@@ -1,0 +1,95 @@
+//! Criterion benches of the IPC hot paths (library wall-clock, i.e. how
+//! fast the simulator itself executes the paper's operations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_microkernel::{Kernel, KernelConfig, Personality, ThreadId};
+use skybridge::SkyBridge;
+
+struct IpcRig {
+    k: Kernel,
+    client: ThreadId,
+    server: ThreadId,
+    slot: usize,
+}
+
+fn ipc_rig(personality: Personality, cross: bool) -> IpcRig {
+    let mut k = Kernel::boot(KernelConfig::native(personality));
+    let code = sb_rewriter::corpus::generate(61, 1024, 0);
+    let cp = k.create_process(&code);
+    let sp = k.create_process(&code);
+    let client = k.create_thread(cp, 0);
+    let server = k.create_thread(sp, if cross { 1 } else { 0 });
+    let (ep, _) = k.create_endpoint(sp);
+    let slot = k.grant_send(cp, ep);
+    k.server_recv(server, ep);
+    k.run_thread(client);
+    IpcRig {
+        k,
+        client,
+        server,
+        slot,
+    }
+}
+
+fn bench_ipc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipc_roundtrip");
+    for (name, personality) in [
+        ("sel4", Personality::sel4()),
+        ("fiasco", Personality::fiasco_oc()),
+        ("zircon", Personality::zircon()),
+    ] {
+        let mut rig = ipc_rig(personality.clone(), false);
+        group.bench_function(format!("{name}_fastpath"), |b| {
+            b.iter(|| {
+                rig.k
+                    .ipc_roundtrip(rig.client, rig.slot, rig.server)
+                    .unwrap()
+            })
+        });
+        let mut rig = ipc_rig(personality, true);
+        group.bench_function(format!("{name}_cross_core"), |b| {
+            b.iter(|| {
+                rig.k
+                    .ipc_roundtrip(rig.client, rig.slot, rig.server)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_skybridge(c: &mut Criterion) {
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let code = sb_rewriter::corpus::generate(62, 1024, 0);
+    let cp = k.create_process(&code);
+    let sp = k.create_process(&code);
+    let client = k.create_thread(cp, 0);
+    let server_tid = k.create_thread(sp, 0);
+    let server = sb
+        .register_server(&mut k, server_tid, 4, 64, Box::new(|_, _, _, _| Ok(vec![])))
+        .unwrap();
+    sb.register_client(&mut k, client, server).unwrap();
+    k.run_thread(client);
+    let mut group = c.benchmark_group("skybridge");
+    group.bench_function("direct_server_call_empty", |b| {
+        b.iter(|| sb.direct_server_call(&mut k, client, server, &[]).unwrap())
+    });
+    let big = vec![9u8; 4096];
+    group.bench_function("direct_server_call_4k", |b| {
+        b.iter(|| sb.direct_server_call(&mut k, client, server, &big).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("vmfunc");
+    group.bench_function("switch", |b| {
+        b.iter(|| {
+            let rk = k.rootkernel.as_mut().unwrap();
+            rk.vmfunc(&mut k.machine, 0, 0, 0).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipc, bench_skybridge);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches of the binary scanner/rewriter (real x86 work: this
+//! is the load-time cost a SkyBridge registration pays).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sb_rewriter::{
+    corpus,
+    rewrite::rewrite_code,
+    scan::{classify, find_occurrences, instruction_boundaries},
+};
+
+fn bench_scan(c: &mut Criterion) {
+    let clean = corpus::generate(7, 256 * 1024, 0);
+    let dirty = corpus::generate(8, 256 * 1024, 25);
+    let mut group = c.benchmark_group("scan");
+    group.throughput(Throughput::Bytes(clean.len() as u64));
+    group.bench_function("find_occurrences_256k", |b| {
+        b.iter(|| find_occurrences(&clean))
+    });
+    group.bench_function("decode_boundaries_256k", |b| {
+        b.iter(|| instruction_boundaries(&clean))
+    });
+    group.bench_function("classify_dirty_256k", |b| b.iter(|| classify(&dirty)));
+    group.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let dirty = corpus::generate(9, 64 * 1024, 25);
+    let occurrences = find_occurrences(&dirty).len();
+    assert!(occurrences > 0);
+    let mut group = c.benchmark_group("rewrite");
+    group.throughput(Throughput::Bytes(dirty.len() as u64));
+    group.bench_function("rewrite_64k_dirty", |b| {
+        b.iter(|| rewrite_code(&dirty, 0x40_0000, 0x1000).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_elf_scan(c: &mut Criterion) {
+    // Scan this bench binary's own .text (a real Rust/LLVM image).
+    let me = std::env::current_exe().unwrap();
+    let data = std::fs::read(me).unwrap();
+    let sections = sb_rewriter::elf::exec_sections(&data).unwrap();
+    let text = sections
+        .iter()
+        .find(|s| s.name == ".text")
+        .expect(".text")
+        .bytes
+        .clone();
+    let mut group = c.benchmark_group("elf");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("scan_own_text", |b| b.iter(|| find_occurrences(&text)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_rewrite, bench_elf_scan);
+criterion_main!(benches);

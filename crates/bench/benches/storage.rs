@@ -1,0 +1,83 @@
+//! Criterion benches of the storage substrates (xv6fs + minidb) and the
+//! memory-translation machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_db::{Database, Value};
+use sb_fs::{FileSystem, RamDisk};
+use sb_mem::{
+    paging::{AddressSpace, PteFlags},
+    walk, Gva, HostMem,
+};
+use sb_sim::Machine;
+
+fn bench_fs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs");
+    group.bench_function("write_4k", |b| {
+        let mut fs = FileSystem::mkfs(RamDisk::new(64 * 1024), 64);
+        let f = fs.create("/bench").unwrap();
+        let data = vec![7u8; 4096];
+        let mut off = 0usize;
+        b.iter(|| {
+            fs.write_at(f, off % (40 << 20), &data).unwrap();
+            off += 4096;
+        })
+    });
+    group.bench_function("read_4k_warm", |b| {
+        let mut fs = FileSystem::mkfs(RamDisk::new(16 * 1024), 64);
+        let f = fs.create("/bench").unwrap();
+        fs.write_at(f, 0, &vec![7u8; 64 * 1024]).unwrap();
+        let mut buf = vec![0u8; 4096];
+        let mut off = 0usize;
+        b.iter(|| {
+            fs.read_at(f, off % (60 * 1024), &mut buf);
+            off += 4096;
+        })
+    });
+    group.finish();
+}
+
+fn bench_db(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db");
+    group.bench_function("insert", |b| {
+        let fs = FileSystem::mkfs(RamDisk::new(64 * 1024), 64);
+        let mut db = Database::open(fs, "/b.db", 128).unwrap();
+        db.create_table("t").unwrap();
+        let mut k = 0i64;
+        let row = vec![Value::Text("x".repeat(100))];
+        b.iter(|| {
+            db.insert("t", k, &row).unwrap();
+            k += 1;
+        })
+    });
+    group.bench_function("query_hot", |b| {
+        let fs = FileSystem::mkfs(RamDisk::new(64 * 1024), 64);
+        let mut db = Database::open(fs, "/b.db", 128).unwrap();
+        db.create_table("t").unwrap();
+        for k in 0..1000i64 {
+            db.insert("t", k, &[Value::Int(k)]).unwrap();
+        }
+        let mut k = 0i64;
+        b.iter(|| {
+            db.query("t", k % 1000).unwrap();
+            k += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem");
+    group.bench_function("translate_tlb_hit", |b| {
+        let mut m = Machine::skylake();
+        let mut mem = HostMem::new();
+        let asp = AddressSpace::new(&mut mem, 1);
+        asp.alloc_and_map(&mut mem, Gva(0x5000_0000), 4, PteFlags::USER_DATA);
+        m.cpu_mut(0).load_cr3(asp.root_gpa.0, 1);
+        walk::read_u64(&mut m, 0, &mem, Gva(0x5000_0000), true).unwrap();
+        b.iter(|| walk::read_u64(&mut m, 0, &mem, Gva(0x5000_0000), true).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fs, bench_db, bench_walk);
+criterion_main!(benches);

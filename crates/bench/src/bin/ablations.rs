@@ -1,0 +1,332 @@
+//! Ablations of SkyBridge's design choices (DESIGN.md §6).
+//!
+//! * huge-page vs fine-grained EPT mappings (nested-walk accesses, §4.1);
+//! * shallow-copy vs deep-copy binding EPTs (§4.3);
+//! * KPTI on/off on the IPC direct cost (§2.1.1);
+//! * register vs shared-buffer message crossover (§4.4);
+//! * pass-through vs commercial exit controls (§4.1);
+//! * the >512-server EPTP-list LRU extension (§10).
+
+use sb_bench::print_table;
+use sb_mem::{
+    ept::{Ept, EptPerms, PageSize},
+    paging::{AddressSpace, PteFlags},
+    phys::RESERVED_BYTES,
+    walk, Gpa, Gva, HostMem, Hpa,
+};
+use sb_microkernel::{ipc::Component, Kernel, KernelConfig, Personality};
+use sb_sim::Machine;
+use skybridge::SkyBridge;
+
+fn ept_walk_ablation() {
+    let mut rows = Vec::new();
+    for (name, granule) in [
+        ("no EPT (native)", None),
+        ("1 GiB (Rootkernel)", Some(PageSize::Size1G)),
+        ("2 MiB", Some(PageSize::Size2M)),
+        ("4 KiB (commodity hypervisor)", Some(PageSize::Size4K)),
+    ] {
+        let mut m = Machine::skylake();
+        let mut mem = HostMem::new();
+        let asp = AddressSpace::new(&mut mem, 1);
+        asp.alloc_and_map(&mut mem, Gva(0x50_0000), 2, PteFlags::USER_DATA);
+        if let Some(g) = granule {
+            let ept = Ept::new(&mut mem);
+            match g {
+                PageSize::Size1G => {
+                    ept.map_identity_range(&mut mem, 0, 4 << 30, PageSize::Size1G, EptPerms::RWX)
+                }
+                PageSize::Size2M => ept.map_identity_range(
+                    &mut mem,
+                    RESERVED_BYTES,
+                    1 << 30,
+                    PageSize::Size2M,
+                    EptPerms::RWX,
+                ),
+                PageSize::Size4K => {
+                    for page in 0..16384u64 {
+                        let at = RESERVED_BYTES + page * 4096;
+                        ept.map(&mut mem, Gpa(at), Hpa(at), PageSize::Size4K, EptPerms::RWX);
+                    }
+                }
+            }
+            m.cpu_mut(0).load_eptp(ept.root.0);
+        }
+        m.cpu_mut(0).load_cr3(asp.root_gpa.0, 1);
+        let before = m.cpu(0).pmu;
+        let t0 = m.cpu(0).tsc;
+        walk::read_u64(&mut m, 0, &mem, Gva(0x50_0000), true).unwrap();
+        let d = m.cpu(0).pmu.delta(&before);
+        rows.push(vec![
+            name.to_string(),
+            d.walk_memory_accesses.to_string(),
+            (m.cpu(0).tsc - t0).to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: TLB-miss nested-walk cost by EPT granularity",
+        &["configuration", "walk memory accesses", "cold-walk cycles"],
+        &rows,
+    );
+}
+
+fn ept_copy_ablation() {
+    let mut mem = HostMem::new();
+    let base = Ept::new(&mut mem);
+    base.map_identity_range(
+        &mut mem,
+        RESERVED_BYTES,
+        1 << 30,
+        PageSize::Size2M,
+        EptPerms::RWX,
+    );
+    base.map_identity_range(&mut mem, 1 << 30, 16 << 30, PageSize::Size1G, EptPerms::RWX);
+    let client = mem.alloc_frame();
+    let server = mem.alloc_frame();
+    let (_, shallow) = Ept::shallow_copy_with_remap(&mut mem, &base, Gpa(client.0), server);
+    let (_, deep) = Ept::deep_copy(&mut mem, &base);
+    // A 4 KiB-managed EPT for contrast.
+    let fine = Ept::new(&mut mem);
+    for page in 0..32768u64 {
+        let at = RESERVED_BYTES + page * 4096;
+        fine.map(&mut mem, Gpa(at), Hpa(at), PageSize::Size4K, EptPerms::RWX);
+    }
+    let (_, deep_fine) = Ept::deep_copy(&mut mem, &fine);
+    print_table(
+        "Ablation: EPT pages written per client/server binding",
+        &["strategy", "pages written"],
+        &[
+            vec![
+                "shallow copy + CR3 remap (SkyBridge)".to_string(),
+                shallow.to_string(),
+            ],
+            vec![
+                "deep copy of huge-page base EPT".to_string(),
+                deep.to_string(),
+            ],
+            vec![
+                "deep copy of 4 KiB-managed EPT (128 MiB)".to_string(),
+                deep_fine.to_string(),
+            ],
+        ],
+    );
+}
+
+fn kpti_ablation() {
+    let mut rows = Vec::new();
+    for kpti in [false, true] {
+        let mut k = Kernel::boot(KernelConfig {
+            kpti,
+            ..KernelConfig::native(Personality::sel4())
+        });
+        let code = sb_rewriter::corpus::generate(41, 2048, 0);
+        let cp = k.create_process(&code);
+        let sp = k.create_process(&code);
+        let client = k.create_thread(cp, 0);
+        let server = k.create_thread(sp, 0);
+        let (ep, _) = k.create_endpoint(sp);
+        let slot = k.grant_send(cp, ep);
+        k.server_recv(server, ep);
+        k.run_thread(client);
+        for _ in 0..64 {
+            k.ipc_roundtrip(client, slot, server).unwrap();
+        }
+        let b = k.ipc_roundtrip(client, slot, server).unwrap();
+        rows.push(vec![
+            if kpti { "KPTI on" } else { "KPTI off" }.to_string(),
+            b.get(Component::ContextSwitch).to_string(),
+            b.total().to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: Meltdown mitigation (KPTI) on the seL4 fastpath roundtrip",
+        &["configuration", "context-switch cycles", "total cycles"],
+        &rows,
+    );
+}
+
+fn message_size_ablation() {
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let code = sb_rewriter::corpus::generate(42, 2048, 0);
+    let cp = k.create_process(&code);
+    let sp = k.create_process(&code);
+    let client = k.create_thread(cp, 0);
+    let server_tid = k.create_thread(sp, 0);
+    let server = sb
+        .register_server(&mut k, server_tid, 4, 64, Box::new(|_, _, _, _| Ok(vec![])))
+        .unwrap();
+    sb.register_client(&mut k, client, server).unwrap();
+    k.run_thread(client);
+    let mut rows = Vec::new();
+    for size in [0usize, 16, 64, 128, 512, 2048, 8192] {
+        let msg = vec![7u8; size];
+        for _ in 0..32 {
+            sb.direct_server_call(&mut k, client, server, &msg).unwrap();
+        }
+        let core = k.core_of(client);
+        let t0 = k.machine.cpu(core).tsc;
+        let iters = 64;
+        for _ in 0..iters {
+            sb.direct_server_call(&mut k, client, server, &msg).unwrap();
+        }
+        let avg = (k.machine.cpu(core).tsc - t0) / iters;
+        rows.push(vec![
+            format!("{size} B"),
+            if size <= 64 {
+                "registers"
+            } else {
+                "shared buffer"
+            }
+            .to_string(),
+            avg.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: direct_server_call latency vs message size",
+        &["message", "path", "cycles/roundtrip"],
+        &rows,
+    );
+}
+
+fn exit_controls_ablation() {
+    use sb_mem::HostMem;
+    use sb_rootkernel::{vmcs::ExitControls, Rootkernel, RootkernelConfig};
+    let mut rows = Vec::new();
+    for (name, controls) in [
+        ("SkyBridge pass-through", ExitControls::skybridge()),
+        ("commercial hypervisor", ExitControls::commercial()),
+    ] {
+        let mut machine = Machine::skylake();
+        let mut mem = HostMem::new();
+        let mut rk = Rootkernel::boot(
+            &mut machine,
+            &mut mem,
+            RootkernelConfig {
+                controls,
+                ..RootkernelConfig::small()
+            },
+        );
+        let t0 = machine.cpu(0).tsc;
+        // A representative second of activity: 1000 timer interrupts,
+        // 5000 context switches (CR3 writes).
+        for _ in 0..1000 {
+            rk.external_interrupt(&mut machine, 0);
+        }
+        for _ in 0..5000 {
+            rk.cr3_write(&mut machine, 0);
+        }
+        rows.push(vec![
+            name.to_string(),
+            rk.exits.total().to_string(),
+            (machine.cpu(0).tsc - t0).to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: exit controls under 1k interrupts + 5k CR3 writes",
+        &["configuration", "VM exits", "cycles of exit overhead"],
+        &rows,
+    );
+}
+
+fn eptp_lru_ablation() {
+    // The §10 extension: more servers than EPTP slots. Bind one client to
+    // 520 servers and round-robin calls across 514 of them; stale slots
+    // fault to the Rootkernel and get reinstalled.
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let code = sb_rewriter::corpus::generate(43, 1024, 0);
+    let cp = k.create_process(&code);
+    let client = k.create_thread(cp, 0);
+    let mut servers = Vec::new();
+    let n_servers = sb_bench::knob("SB_LRU_SERVERS", 520);
+    for i in 0..n_servers {
+        let sp = k.create_process(&code);
+        let tid = k.create_thread(sp, 0);
+        let sid = sb
+            .register_server(&mut k, tid, 2, 64, Box::new(|_, _, _, _| Ok(vec![])))
+            .unwrap();
+        sb.register_client(&mut k, client, sid).unwrap();
+        servers.push(sid);
+        let _ = i;
+    }
+    k.run_thread(client);
+    let exits0 = k.rootkernel.as_ref().unwrap().exits.total();
+    let core = k.core_of(client);
+    let t0 = k.machine.cpu(core).tsc;
+    let calls = 2 * servers.len();
+    for i in 0..calls {
+        let sid = servers[i % servers.len()];
+        sb.direct_server_call(&mut k, client, sid, &[]).unwrap();
+    }
+    let avg = (k.machine.cpu(core).tsc - t0) / calls as u64;
+    let faults = k.rootkernel.as_ref().unwrap().exits.total() - exits0;
+    print_table(
+        "Extension (§10): EPTP-list LRU with more servers than slots",
+        &["servers", "calls", "slot-fault exits", "avg cycles/call"],
+        &[vec![
+            servers.len().to_string(),
+            calls.to_string(),
+            faults.to_string(),
+            avg.to_string(),
+        ]],
+    );
+    println!(
+        "  (each fault = one VM exit + EPTP-list reinstall; with ≤ 511\n\
+         bound servers the fault count is zero)"
+    );
+}
+
+fn temporary_mapping_ablation() {
+    // §8.1: L4's temporary mapping halves the copy cost of long IPC
+    // messages; "orthogonal to SkyBridge".
+    let mut rows = Vec::new();
+    for (name, personality) in [
+        ("seL4 (two copies)", Personality::sel4()),
+        (
+            "seL4 + temporary mapping",
+            Personality::sel4().with_temporary_mapping(),
+        ),
+    ] {
+        let mut k = Kernel::boot(KernelConfig::native(personality));
+        let code = sb_rewriter::corpus::generate(44, 1024, 0);
+        let cp = k.create_process(&code);
+        let sp = k.create_process(&code);
+        let client = k.create_thread(cp, 0);
+        let server = k.create_thread(sp, 0);
+        let (ep, _) = k.create_endpoint(sp);
+        let slot = k.grant_send(cp, ep);
+        k.server_recv(server, ep);
+        k.run_thread(client);
+        let mut row = vec![name.to_string()];
+        for len in [256usize, 1024, 4096] {
+            for _ in 0..32 {
+                k.ipc_call(client, slot, len).unwrap();
+                k.ipc_reply(server, client, 0).unwrap();
+            }
+            let mut sum = 0u64;
+            for _ in 0..64 {
+                let mut b = k.ipc_call(client, slot, len).unwrap();
+                b.merge(&k.ipc_reply(server, client, 0).unwrap());
+                sum += b.get(Component::MessageCopy);
+            }
+            row.push((sum / 64).to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "§8.1: temporary mapping vs two-copy long messages (copy cycles)",
+        &["configuration", "256 B", "1 KiB", "4 KiB"],
+        &rows,
+    );
+}
+
+fn main() {
+    temporary_mapping_ablation();
+    ept_walk_ablation();
+    ept_copy_ablation();
+    kpti_ablation();
+    message_size_ablation();
+    exit_controls_ablation();
+    eptp_lru_ablation();
+}

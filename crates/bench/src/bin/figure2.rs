@@ -1,0 +1,45 @@
+//! Figure 2: average KV-store operation latency vs key/value length for
+//! Baseline / Delay / IPC / IPC-CrossCore.
+
+use sb_bench::{knob, print_table};
+use sb_ycsb::kv::KV_LENGTHS;
+use skybridge_repro::scenarios::kv::{KvMode, KvPipeline};
+
+/// Paper values (cycles), rows per length, columns per mode.
+pub const PAPER: [[u64; 4]; 4] = [
+    // Baseline, Delay, IPC, IPC-CrossCore.
+    [2707, 4735, 7929, 18895],
+    [3485, 5345, 8548, 19609],
+    [5884, 7828, 11025, 22162],
+    [14652, 16906, 20577, 32061],
+];
+
+fn main() {
+    let ops = knob("SB_OPS", 384);
+    let modes = [
+        ("Baseline", KvMode::Baseline),
+        ("Delay", KvMode::Delay),
+        ("IPC", KvMode::Ipc),
+        ("IPC-CrossCore", KvMode::IpcCrossCore),
+    ];
+    let mut rows = Vec::new();
+    for (li, &len) in KV_LENGTHS.iter().enumerate() {
+        let mut row = vec![format!("{len}-Bytes")];
+        for (mi, (_, mode)) in modes.iter().enumerate() {
+            let mut p = KvPipeline::new(*mode, len, ops + 128);
+            p.run_ops(64);
+            let s = p.run_ops(ops);
+            row.push(format!("{} ({})", s.avg_cycles, PAPER[li][mi]));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 2: KV op latency in cycles — measured (paper)",
+        &["key/value", "Baseline", "Delay", "IPC", "IPC-CrossCore"],
+        &rows,
+    );
+    println!(
+        "\nShape to check: Baseline < Delay < IPC < IPC-CrossCore at every\n\
+         length; gaps shrink relative to totals as the length grows."
+    );
+}

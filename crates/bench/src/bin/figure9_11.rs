@@ -1,0 +1,87 @@
+//! Figures 9, 10, 11: YCSB-A throughput vs client-thread count for
+//! ST / MT / SkyBridge on each microkernel.
+
+use sb_bench::{knob, print_table};
+use sb_microkernel::Personality;
+use skybridge_repro::scenarios::sqlite::{SqliteStack, StackMode};
+
+/// Paper values (ops/s) at 1/2/4/8 threads for st, mt, SkyBridge.
+const PAPER: [(&str, [[f64; 4]; 3]); 3] = [
+    (
+        "seL4",
+        [
+            [9627.0, 3748.0, 1863.0, 1387.0],
+            [9660.0, 4456.0, 2182.0, 1489.0],
+            [17575.0, 8321.0, 6059.0, 2122.0],
+        ],
+    ),
+    (
+        "Fiasco.OC",
+        [
+            [3644.0, 2342.0, 1365.0, 786.0],
+            [4245.0, 2933.0, 1640.0, 940.0],
+            [8080.0, 4811.0, 2970.0, 2607.0],
+        ],
+    ),
+    (
+        "Zircon",
+        [
+            [2466.0, 1137.0, 743.0, 75.0],
+            [4181.0, 1602.0, 1187.0, 27.0],
+            [11296.0, 6162.0, 3630.0, 2060.0],
+        ],
+    ),
+];
+
+fn main() {
+    let records = knob("SB_RECORDS", 1000) as u64;
+    let ops = knob("SB_OPS", 120);
+    let threads = [1usize, 2, 4, 8];
+    let kernels = [
+        ("seL4", Personality::sel4()),
+        ("Fiasco.OC", Personality::fiasco_oc()),
+        ("Zircon", Personality::zircon()),
+    ];
+    for (ki, (kname, personality)) in kernels.iter().enumerate() {
+        let mut rows = Vec::new();
+        for (mi, (mname, mode)) in [
+            ("st", StackMode::IpcSt),
+            ("mt", StackMode::IpcMt),
+            ("SkyBridge", StackMode::SkyBridge),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut row = vec![format!("{kname}-{mname}")];
+            for (ti, &n) in threads.iter().enumerate() {
+                let mut s = SqliteStack::new(personality.clone(), *mode, n, false);
+                s.load(records, 100);
+                let stats = s.run_ycsb(ops);
+                row.push(format!(
+                    "{:.0} ({:.0})",
+                    stats.ops_per_sec, PAPER[ki].1[mi][ti]
+                ));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "Figure {}: YCSB-A throughput on {kname}, ops/s — measured (paper)",
+                9 + ki
+            ),
+            &[
+                "configuration",
+                "1-thread",
+                "2-thread",
+                "4-thread",
+                "8-thread",
+            ],
+            &rows,
+        );
+    }
+    println!(
+        "\nShape to check: SkyBridge on top at every thread count;\n\
+         throughput *decreases* with threads (the file system's one big\n\
+         lock); st trails mt (cross-core IPIs)."
+    );
+}

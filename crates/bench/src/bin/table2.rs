@@ -1,0 +1,98 @@
+//! Table 2 + §2.1.1: latencies of the primitive instructions and
+//! operations, measured on the simulated machine.
+
+use sb_bench::{print_table, with_ref};
+use sb_microkernel::{Kernel, KernelConfig, Personality};
+use sb_rootkernel::EptpList;
+
+fn main() {
+    // §2.1.1 mode-switch components, measured as the model charges them.
+    let cost = sb_sim::CostModel::skylake();
+    print_table(
+        "§2.1.1 mode-switch components (cycles)",
+        &["operation", "measured"],
+        &[
+            vec!["SYSCALL".to_string(), with_ref(cost.syscall, 82)],
+            vec!["SWAPGS".to_string(), with_ref(cost.swapgs, 26)],
+            vec!["SYSRET".to_string(), with_ref(cost.sysret, 75)],
+            vec![
+                "address space switch".to_string(),
+                with_ref(cost.cr3_write, 186),
+            ],
+            vec![
+                "seL4 fastpath IPC logic".to_string(),
+                with_ref(cost.sel4_fastpath_logic, 98),
+            ],
+            vec![
+                "one-way fastpath total".to_string(),
+                with_ref(cost.sel4_fastpath_direct(), 493),
+            ],
+            vec!["IPI".to_string(), with_ref(cost.ipi, 1913)],
+        ],
+    );
+
+    // Table 2 proper: run each operation on the live machine and measure
+    // the cycle delta.
+    let mut rows = Vec::new();
+
+    // Write to CR3.
+    {
+        let mut k = Kernel::boot(KernelConfig::native(Personality::sel4()));
+        let a = k.create_process(&[0x90; 64]);
+        let b = k.create_process(&[0x90; 64]);
+        let ta = k.create_thread(a, 0);
+        let tb = k.create_thread(b, 0);
+        k.run_thread(ta);
+        let t0 = k.machine.cpu(0).tsc;
+        k.run_thread(tb);
+        rows.push(vec![
+            "write to CR3".to_string(),
+            with_ref(k.machine.cpu(0).tsc - t0, "186±10"),
+        ]);
+    }
+
+    // No-op system call with and without KPTI (mode switch + dispatch).
+    for kpti in [true, false] {
+        let k = Kernel::boot(KernelConfig {
+            kpti,
+            ..KernelConfig::native(Personality::sel4())
+        });
+        let measured = k.machine.cost.noop_syscall(kpti);
+        rows.push(vec![
+            format!(
+                "no-op system call {}",
+                if kpti { "w/ KPTI" } else { "w/o KPTI" }
+            ),
+            with_ref(measured, if kpti { "431±13" } else { "181±5" }),
+        ]);
+    }
+
+    // VMFUNC on the live Rootkernel.
+    {
+        let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+        let rk = k.rootkernel.as_mut().unwrap();
+        let mut list = EptpList::new(1);
+        list.pin(0, rk.base_ept.root);
+        rk.install_eptp_list(&mut k.machine, 0, list);
+        let t0 = k.machine.cpu(0).tsc;
+        let mut iters = 0u64;
+        for _ in 0..1000 {
+            k.rootkernel
+                .as_mut()
+                .unwrap()
+                .vmfunc(&mut k.machine, 0, 0, 0)
+                .unwrap();
+            iters += 1;
+        }
+        rows.push(vec![
+            "VMFUNC".to_string(),
+            with_ref((k.machine.cpu(0).tsc - t0) / iters, "134±3"),
+        ]);
+    }
+
+    print_table(
+        "Table 2: instruction/operation latencies (cycles)",
+        &["operation", "measured"],
+        &rows,
+    );
+}

@@ -1,0 +1,105 @@
+//! Table 6: inadvertent `VMFUNC` occurrences across a program corpus.
+//!
+//! The paper scanned SPEC CPU 2006, PARSEC, Nginx, Apache, Memcached,
+//! Redis, `vmlinux`, 2,934 kernel modules and 2,605 other programs, and
+//! found exactly one inadvertent occurrence (in GIMP 2.8, inside a call
+//! immediate). Our corpus is (a) the ELF binaries installed in this
+//! container — real compiler output — and (b) deterministic synthetic
+//! instruction streams, including one with injected occurrences to prove
+//! the scanner's sensitivity.
+
+use std::{fs, path::PathBuf};
+
+use sb_bench::{knob, print_table};
+use sb_rewriter::{corpus, elf::exec_sections, scan::find_occurrences};
+
+fn scan_dir(dir: &str, limit: usize) -> (usize, usize, usize, Vec<String>) {
+    let mut programs = 0;
+    let mut bytes = 0usize;
+    let mut hits = 0;
+    let mut hit_names = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return (0, 0, 0, hit_names);
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths.into_iter().take(limit) {
+        let Ok(data) = fs::read(&path) else { continue };
+        let Ok(sections) = exec_sections(&data) else {
+            continue;
+        };
+        if sections.is_empty() {
+            continue;
+        }
+        programs += 1;
+        for sec in &sections {
+            bytes += sec.bytes.len();
+            let found = find_occurrences(&sec.bytes).len();
+            if found > 0 {
+                hits += found;
+                hit_names.push(format!(
+                    "{} ({}, {found})",
+                    path.file_name().unwrap().to_string_lossy(),
+                    sec.name
+                ));
+            }
+        }
+    }
+    (programs, bytes, hits, hit_names)
+}
+
+fn main() {
+    let limit = knob("SB_ELF_LIMIT", 400);
+    let mut rows = Vec::new();
+    let mut all_hits = Vec::new();
+    for dir in ["/usr/bin", "/usr/sbin", "/bin", "/usr/lib/x86_64-linux-gnu"] {
+        let (programs, bytes, hits, names) = scan_dir(dir, limit);
+        if programs == 0 {
+            continue;
+        }
+        rows.push(vec![
+            dir.to_string(),
+            programs.to_string(),
+            format!("{}", bytes / 1024),
+            hits.to_string(),
+        ]);
+        all_hits.extend(names);
+    }
+    // Synthetic corpora: clean and injected.
+    for (name, inject) in [("synthetic (clean)", 0u64), ("synthetic (injected)", 25)] {
+        let mut programs = 0;
+        let mut bytes = 0;
+        let mut hits = 0;
+        for seed in 1..=64u64 {
+            let code = corpus::generate(seed, 64 * 1024, inject);
+            programs += 1;
+            bytes += code.len();
+            hits += find_occurrences(&code).len();
+        }
+        rows.push(vec![
+            name.to_string(),
+            programs.to_string(),
+            format!("{}", bytes / 1024),
+            hits.to_string(),
+        ]);
+    }
+    print_table(
+        "Table 6: inadvertent VMFUNC occurrences",
+        &["corpus", "programs", "code KiB", "VMFUNC count"],
+        &rows,
+    );
+    if all_hits.is_empty() {
+        println!("\nno occurrences in the real-binary corpus");
+    } else {
+        println!("\noccurrences found in:");
+        for h in &all_hits {
+            println!("  {h}");
+        }
+    }
+    println!(
+        "\npaper: 0 occurrences across SPEC/PARSEC/servers/vmlinux/modules;\n\
+         exactly 1 in 2,605 other programs (GIMP 2.8, call immediate).\n\
+         Shape to check: real binaries are (almost always) clean; the\n\
+         injected synthetic corpus shows the scanner finds what exists."
+    );
+}

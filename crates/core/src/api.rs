@@ -1,0 +1,685 @@
+//! The SkyBridge user-level API: registration and `direct_server_call`.
+
+use std::collections::HashMap;
+
+use rand::{rngs::SmallRng, RngCore, SeedableRng};
+use sb_mem::{Gva, Hpa, PteFlags, PAGE_SIZE};
+use sb_microkernel::{
+    ipc::{Breakdown, Component},
+    layout, Kernel, ProcessId, ThreadId,
+};
+use sb_rewriter::rewrite::rewrite_code;
+use sb_rootkernel::EptpList;
+use sb_sim::Cycles;
+
+use crate::{
+    error::SbError,
+    registry::{Binding, ServerId, ServerInfo, Violation},
+    trampoline,
+};
+
+/// Maximum bytes carried in registers (the x86-64 calling convention's
+/// argument registers).
+pub const REGISTER_ARGS_MAX: usize = 64;
+
+/// A server handler: runs *in the server's address space on the client's
+/// thread* (thread-migration model), reading the request and producing a
+/// reply. It receives the kernel and SkyBridge handles so servers can
+/// perform nested `direct_server_call`s (the KV-store pipeline of Fig. 1).
+pub type Handler =
+    Box<dyn FnMut(&mut SkyBridge, &mut Kernel, HandlerCtx, &[u8]) -> Result<Vec<u8>, SbError>>;
+
+/// What a handler knows about the call it is serving.
+#[derive(Debug, Clone, Copy)]
+pub struct HandlerCtx {
+    /// The server being called.
+    pub server: ServerId,
+    /// The serving process (whose address space is active).
+    pub server_process: ProcessId,
+    /// The calling thread (migrated into the server space).
+    pub caller: ThreadId,
+    /// The shared buffer of this connection.
+    pub shared_buf: Gva,
+    /// The connection index.
+    pub connection: usize,
+}
+
+/// The SkyBridge facility (the state the Subkernel integration keeps).
+pub struct SkyBridge {
+    servers: Vec<ServerInfo>,
+    handlers: Vec<Option<Handler>>,
+    bindings: HashMap<(ProcessId, ServerId), Binding>,
+    /// Per-process EPTP slot of each binding EPT root.
+    registered: HashMap<ProcessId, ()>,
+    /// Recorded security violations.
+    pub violations: Vec<Violation>,
+    /// Optional call timeout (§7 DoS defense).
+    pub timeout: Option<Cycles>,
+    /// The global server-function-list frame (mapped read-only into every
+    /// registered process at [`layout::SERVER_LIST_BASE`]).
+    fn_list_gpa: Option<u64>,
+    rng: SmallRng,
+    /// Total direct server calls completed.
+    pub call_count: u64,
+}
+
+impl std::fmt::Debug for SkyBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkyBridge")
+            .field("servers", &self.servers.len())
+            .field("bindings", &self.bindings.len())
+            .field("violations", &self.violations)
+            .field("call_count", &self.call_count)
+            .finish()
+    }
+}
+
+impl SkyBridge {
+    /// Creates the facility (deterministic key RNG for reproducibility).
+    pub fn new() -> Self {
+        SkyBridge {
+            servers: Vec::new(),
+            handlers: Vec::new(),
+            bindings: HashMap::new(),
+            registered: HashMap::new(),
+            violations: Vec::new(),
+            timeout: None,
+            fn_list_gpa: None,
+            rng: SmallRng::seed_from_u64(0x5b_1d9e),
+            call_count: 0,
+        }
+    }
+
+    /// Registers `pid` with SkyBridge: scans and rewrites its binary
+    /// (§5.1), maps the trampoline page, and creates its own EPT with a
+    /// pinned EPTP slot 0.
+    ///
+    /// Idempotent. This is the "~200 LoC of Subkernel integration" work.
+    pub fn register_process(&mut self, k: &mut Kernel, pid: ProcessId) -> Result<(), SbError> {
+        if self.registered.contains_key(&pid) {
+            return Ok(());
+        }
+        self.rewrite_process(k, pid)?;
+        // Map the trampoline page (X-only) at the shared address.
+        let image = trampoline::page_image();
+        Self::map_code_region(k, pid, layout::TRAMPOLINE_BASE, &image);
+        // Map the global server function list (read-only; the Subkernel
+        // writes entries through the physical frame at registration).
+        let frame = *self
+            .fn_list_gpa
+            .get_or_insert_with(|| k.mem.alloc_frame().0);
+        k.processes[pid].asp.map(
+            &mut k.mem,
+            layout::SERVER_LIST_BASE,
+            sb_mem::Gpa(frame),
+            PteFlags::USER_RO,
+        );
+        // The process's own EPT, pinned at slot 0 of its EPTP list.
+        let cr3 = k.processes[pid].cr3();
+        let own = if let Some(mut rk) = k.rootkernel.take() {
+            let core = k.threads[k.processes[pid].threads[0]].core;
+            let (machine, mem) = (&mut k.machine, &mut k.mem);
+            let own = rk.process_ept(machine, core, mem, cr3);
+            k.rootkernel = Some(rk);
+            own
+        } else {
+            Hpa(0)
+        };
+        let mut list = EptpList::new(1);
+        list.pin(0, own);
+        k.processes[pid].own_ept = Some(own);
+        k.processes[pid].eptp_list = Some(list);
+        self.registered.insert(pid, ());
+        self.reinstall_if_current(k, pid);
+        Ok(())
+    }
+
+    /// Scans the process image for inadvertent `VMFUNC`s and patches them
+    /// (W^X flip: writable during the patch, executable after).
+    fn rewrite_process(&mut self, k: &mut Kernel, pid: ProcessId) -> Result<(), SbError> {
+        let len = k.processes[pid].code_len;
+        if len == 0 {
+            return Ok(());
+        }
+        let asp = k.processes[pid].asp;
+        let mut code = vec![0u8; len];
+        read_setup(k, pid, layout::CODE_BASE, &mut code);
+        let out = rewrite_code(&code, layout::CODE_BASE.0, layout::REWRITE_PAGE.0)?;
+        // Write the patched image back (W^X: flip writable, write, flip
+        // back).
+        let pages = len.div_ceil(PAGE_SIZE as usize);
+        for i in 0..pages {
+            let gva = layout::CODE_BASE.add(i as u64 * PAGE_SIZE);
+            asp.protect(&mut k.mem, gva, PteFlags::USER_DATA);
+        }
+        write_setup(k, pid, layout::CODE_BASE, &out.code);
+        for i in 0..pages {
+            let gva = layout::CODE_BASE.add(i as u64 * PAGE_SIZE);
+            asp.protect(&mut k.mem, gva, PteFlags::USER_CODE);
+        }
+        if !out.rewrite_page.is_empty() {
+            Self::map_code_region(k, pid, layout::REWRITE_PAGE, &out.rewrite_page);
+        }
+        Ok(())
+    }
+
+    /// Maps `bytes` as a W^X code region at `at` in `pid`.
+    pub(crate) fn map_code_region(k: &mut Kernel, pid: ProcessId, at: Gva, bytes: &[u8]) {
+        let asp = k.processes[pid].asp;
+        let pages = bytes.len().div_ceil(PAGE_SIZE as usize).max(1);
+        asp.alloc_and_map(&mut k.mem, at, pages, PteFlags::USER_DATA);
+        write_setup(k, pid, at, bytes);
+        for i in 0..pages {
+            asp.protect(
+                &mut k.mem,
+                at.add(i as u64 * PAGE_SIZE),
+                PteFlags::USER_CODE,
+            );
+        }
+    }
+
+    /// `register_server` (Fig. 4): registers `handler` for the process of
+    /// `server_tid`, supporting `connections` simultaneous clients.
+    /// Returns the server ID clients bind to.
+    pub fn register_server(
+        &mut self,
+        k: &mut Kernel,
+        server_tid: ThreadId,
+        connections: usize,
+        handler_len: usize,
+        handler: Handler,
+    ) -> Result<ServerId, SbError> {
+        let pid = k.threads[server_tid].process;
+        self.register_process(k, pid)?;
+        let id = self.servers.len();
+        // Stacks and key tables live in the *server's own* address space,
+        // so they are addressed per process (by the ordinal of this server
+        // within the process), not by the global server id — a process may
+        // host several registered services.
+        let ordinal = self.servers.iter().filter(|s| s.process == pid).count() as u64;
+        let asp = k.processes[pid].asp;
+        // Per-connection stacks (the count bounds concurrency, §4.4).
+        let stack_pages = layout::SB_STACK_SIZE / PAGE_SIZE as usize;
+        for c in 0..connections {
+            let at =
+                Gva(layout::SB_STACK_BASE.0
+                    + (ordinal * 64 + c as u64) * layout::SB_STACK_SIZE as u64);
+            asp.alloc_and_map(&mut k.mem, at, stack_pages, PteFlags::USER_DATA);
+        }
+        // Calling-key table page.
+        let key_table = Gva(layout::KEY_TABLE_BASE.0 + ordinal * PAGE_SIZE);
+        asp.alloc_and_map(&mut k.mem, key_table, 1, PteFlags::USER_DATA);
+        // The registered handler function lives in the server image; we
+        // record its address (the function list maps it into clients).
+        let handler_fn = layout::CODE_BASE;
+        self.servers.push(ServerInfo {
+            id,
+            process: pid,
+            thread: server_tid,
+            handler_fn,
+            handler_len: handler_len.max(64),
+            max_connections: connections,
+            next_connection: 0,
+            key_table,
+        });
+        self.handlers.push(Some(handler));
+        Ok(id)
+    }
+
+    /// `register_client_to_server` (Fig. 4): binds the process of
+    /// `client_tid` to `server`, creating the binding EPT (CR3 remap) and
+    /// the connection resources, and installing the EPT in the client's
+    /// EPTP list.
+    pub fn register_client(
+        &mut self,
+        k: &mut Kernel,
+        client_tid: ThreadId,
+        server: ServerId,
+    ) -> Result<(), SbError> {
+        let client_pid = k.threads[client_tid].process;
+        if server >= self.servers.len() {
+            return Err(SbError::NoSuchServer);
+        }
+        self.register_process(k, client_pid)?;
+        if self.bindings.contains_key(&(client_pid, server)) {
+            return Ok(());
+        }
+        let (server_pid, max_conn, next_conn, key_table) = {
+            let s = &self.servers[server];
+            (s.process, s.max_connections, s.next_connection, s.key_table)
+        };
+        if next_conn >= max_conn {
+            return Err(SbError::NoFreeConnection);
+        }
+        self.servers[server].next_connection += 1;
+
+        // The binding EPT: shallow base-EPT copy remapping the client's
+        // CR3 GPA to the server's page-table root (§4.3).
+        let client_cr3 = k.processes[client_pid].cr3();
+        let server_cr3 = k.processes[server_pid].cr3();
+        let ept_root = if let Some(mut rk) = k.rootkernel.take() {
+            let core = k.threads[client_tid].core;
+            let root = rk.bind(&mut k.machine, core, &mut k.mem, client_cr3, server_cr3);
+            k.rootkernel = Some(rk);
+            root
+        } else {
+            Hpa(0)
+        };
+
+        // Shared buffer for this connection: same frames mapped at the
+        // same GVA in both spaces — and in every server already bound to
+        // this client. A nested call (thread-migration chaining, Fig. 1)
+        // marshals its arguments *before* the VMFUNC, i.e. from the
+        // intermediate server's address space, so the chain's buffers must
+        // be reachable there too.
+        let shared_buf = Gva(layout::SB_SHARED_BUF_BASE.0
+            + (server * 64 + next_conn) as u64 * layout::SB_SHARED_BUF_SIZE as u64);
+        let buf_pages = layout::SB_SHARED_BUF_SIZE / PAGE_SIZE as usize;
+        let server_asp = k.processes[server_pid].asp;
+        let first =
+            server_asp.alloc_and_map(&mut k.mem, shared_buf, buf_pages, PteFlags::USER_DATA);
+        let map_into = |k: &mut Kernel, pid: ProcessId, at: Gva, gpa0: u64| {
+            let asp = k.processes[pid].asp;
+            for i in 0..buf_pages {
+                asp.map(
+                    &mut k.mem,
+                    at.add(i as u64 * PAGE_SIZE),
+                    sb_mem::Gpa(gpa0 + i as u64 * PAGE_SIZE),
+                    PteFlags::USER_DATA,
+                );
+            }
+        };
+        map_into(k, client_pid, shared_buf, first.0);
+        // Cross-map along the client's existing bindings (both directions
+        // of the dependency chain).
+        let peers: Vec<(ProcessId, Gva, u64)> = self
+            .bindings
+            .iter()
+            .filter(|((c, _), _)| *c == client_pid)
+            .map(|((_, s), b)| (self.servers[*s].process, b.shared_buf, b.buf_gpa))
+            .collect();
+        for (peer_pid, peer_buf, peer_gpa) in peers {
+            if peer_pid != server_pid {
+                map_into(k, peer_pid, shared_buf, first.0);
+                map_into(k, server_pid, peer_buf, peer_gpa);
+            }
+        }
+
+        // Generate the 8-byte calling key and record it in the server's
+        // key table (a real write into server memory).
+        let server_key = self.rng.next_u64();
+        let slot_gva = key_table.add(8 * (next_conn as u64));
+        write_setup_pid(k, server_pid, slot_gva, &server_key.to_le_bytes());
+
+        // Server stack for this connection (ordinal-addressed in the
+        // server's space).
+        let ordinal = self
+            .servers
+            .iter()
+            .take(server)
+            .filter(|s| s.process == server_pid)
+            .count() as u64;
+        let server_stack = Gva(layout::SB_STACK_BASE.0
+            + (ordinal * 64 + next_conn as u64) * layout::SB_STACK_SIZE as u64);
+
+        // The server function list (§3.1): record the handler address at
+        // the server's slot. The page is read-only for user mode; the
+        // Subkernel writes through the physical frame.
+        let frame = self.fn_list_gpa.expect("registered processes map it");
+        let handler_gva = self.servers[server].handler_fn.0;
+        k.mem
+            .write_u64(Hpa(frame + (server as u64 % 512) * 8), handler_gva);
+
+        // Install the binding EPT into the client's EPTP list; the
+        // context-switch hook keeps the VMCS list in sync.
+        if let Some(list) = k.processes[client_pid].eptp_list.as_mut() {
+            let (_slot, _evicted) = list.ensure(ept_root);
+        }
+        self.reinstall_if_current(k, client_pid);
+
+        self.bindings.insert(
+            (client_pid, server),
+            Binding {
+                server,
+                connection: next_conn,
+                server_key,
+                shared_buf,
+                buf_gpa: first.0,
+                server_stack,
+                ept_root,
+            },
+        );
+        Ok(())
+    }
+
+    /// Re-installs a process's EPTP list on the core where it currently
+    /// runs (bindings may change while scheduled).
+    fn reinstall_if_current(&self, k: &mut Kernel, pid: ProcessId) {
+        if k.rootkernel.is_none() {
+            return;
+        }
+        for core in 0..k.machine.num_cores() {
+            if let Some(tid) = k.current_thread(core) {
+                if k.threads[tid].process == pid {
+                    if let (Some(mut rk), Some(list)) =
+                        (k.rootkernel.take(), k.processes[pid].eptp_list.clone())
+                    {
+                        rk.install_eptp_list(&mut k.machine, core, list);
+                        // Re-enter the process's own EPT.
+                        rk.vmfunc(&mut k.machine, core, 0, 0)
+                            .expect("slot 0 pinned");
+                        k.rootkernel = Some(rk);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The number of registered servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The binding of `(client process, server)`, if registered.
+    pub fn binding(&self, client: ProcessId, server: ServerId) -> Option<&Binding> {
+        self.bindings.get(&(client, server))
+    }
+
+    /// Overwrites a binding's presented key (attack simulation only: the
+    /// client "guesses" a key instead of using the granted one).
+    pub fn corrupt_binding_key(&mut self, client: ProcessId, server: ServerId, key: u64) {
+        if let Some(b) = self.bindings.get_mut(&(client, server)) {
+            b.server_key = key;
+        }
+    }
+
+    /// `direct_server_call` (Fig. 4): invokes `server`'s registered
+    /// handler from `client_tid` without entering the kernel, and returns
+    /// the reply bytes along with the Figure 7-style breakdown of the
+    /// transit costs.
+    pub fn direct_server_call(
+        &mut self,
+        k: &mut Kernel,
+        client_tid: ThreadId,
+        server: ServerId,
+        request: &[u8],
+    ) -> Result<(Vec<u8>, Breakdown), SbError> {
+        let client_pid = k.threads[client_tid].process;
+        let core = k.threads[client_tid].core;
+        debug_assert_eq!(k.current_thread(core), Some(client_tid));
+        if !self.registered.contains_key(&client_pid) {
+            return Err(SbError::NotRegistered);
+        }
+        let binding = self
+            .bindings
+            .get(&(client_pid, server))
+            .ok_or(SbError::NotBound)?
+            .clone();
+        if request.len() > layout::SB_SHARED_BUF_SIZE {
+            return Err(SbError::MessageTooLarge);
+        }
+        let server_pid = self.servers[server].process;
+        let handler_len = self.servers[server].handler_len;
+        let mut b = Breakdown::new();
+        let cost = k.machine.cost.clone();
+        // Nested calls (a server calling a further server on the migrated
+        // thread) must return to the EPT and identity that were active at
+        // entry — not unconditionally to the client's own EPT.
+        let return_root = Hpa(k.machine.cpu(core).ept_root);
+        let return_identity = k.identity_current(core).unwrap_or(client_pid);
+
+        // --- client-side trampoline ---
+        let t0 = k.machine.cpu(core).tsc;
+        k.user_exec(
+            client_tid,
+            layout::TRAMPOLINE_BASE,
+            trampoline::TRAMPOLINE_FETCH,
+        )?;
+        k.machine.cpu_mut(core).advance(cost.trampoline_logic);
+        // Per-call client key (§4.4): generated fresh, returned by the
+        // server, rechecked below.
+        let client_key = self.rng.next_u64();
+        // Look up the target in the mapped server function list (§3.1).
+        let mut entry = [0u8; 8];
+        sb_mem::walk::read_bytes(
+            &mut k.machine,
+            core,
+            &k.mem,
+            layout::SERVER_LIST_BASE.add((server as u64 % 512) * 8),
+            &mut entry,
+            true,
+        )?;
+        debug_assert_eq!(
+            u64::from_le_bytes(entry),
+            self.servers[server].handler_fn.0,
+            "function list must name the registered handler"
+        );
+        // Large arguments go through the shared buffer.
+        if request.len() > REGISTER_ARGS_MAX {
+            k.user_write(client_tid, binding.shared_buf, request)?;
+        }
+        b.add(Component::Other, k.machine.cpu(core).tsc - t0);
+
+        // --- VMFUNC to the server EPT ---
+        self.vmfunc_to(k, core, client_pid, binding.ept_root)?;
+        b.add(Component::Vmfunc, cost.vmfunc);
+
+        // --- server side: identity, stack, key check, handler ---
+        let t0 = k.machine.cpu(core).tsc;
+        k.identity_record(core, server_pid);
+        k.machine.cpu_mut(core).advance(cost.trampoline_logic / 2);
+        // Key check against the server's table (a real read of server
+        // memory under the server's address space).
+        let table = self.servers[server].key_table;
+        let mut stored = [0u8; 8];
+        sb_mem::walk::read_bytes(
+            &mut k.machine,
+            core,
+            &k.mem,
+            table.add(8 * binding.connection as u64),
+            &mut stored,
+            true,
+        )?;
+        if u64::from_le_bytes(stored) != binding.server_key {
+            // Refuse and notify the Subkernel (§4.4).
+            self.violations.push(Violation::BadServerKey {
+                client: client_pid,
+                server,
+            });
+            self.vmfunc_to(k, core, client_pid, return_root)?;
+            k.identity_record(core, return_identity);
+            return Err(SbError::BadServerKey);
+        }
+        // Handler entry: fetch its code like a real call would — through
+        // the client's (unchanged) CR3, resolved by the server EPT's
+        // remap into the *server's* page table.
+        let handler_fn = self.servers[server].handler_fn;
+        k.user_exec(client_tid, handler_fn, handler_len)?;
+        b.add(Component::Other, k.machine.cpu(core).tsc - t0);
+
+        // Read the request in the server space.
+        let req = if request.len() > REGISTER_ARGS_MAX {
+            let mut buf = vec![0u8; request.len()];
+            sb_mem::walk::read_bytes(
+                &mut k.machine,
+                core,
+                &k.mem,
+                binding.shared_buf,
+                &mut buf,
+                true,
+            )?;
+            buf
+        } else {
+            request.to_vec()
+        };
+
+        // Run the registered handler on the migrated thread.
+        let ctx = HandlerCtx {
+            server,
+            server_process: server_pid,
+            caller: client_tid,
+            shared_buf: binding.shared_buf,
+            connection: binding.connection,
+        };
+        let handler_t0 = k.machine.cpu(core).tsc;
+        let mut handler = self.handlers[server].take().expect("handler re-entered");
+        let result = handler(self, k, ctx, &req);
+        self.handlers[server] = Some(handler);
+        let handler_cycles = k.machine.cpu(core).tsc - handler_t0;
+        // DoS timeout (§7): if the handler overran the budget, force the
+        // control flow back to the client.
+        let timed_out = self.timeout.is_some_and(|limit| handler_cycles > limit);
+        let reply = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.vmfunc_to(k, core, client_pid, return_root)?;
+                k.identity_record(core, return_identity);
+                return Err(e);
+            }
+        };
+        // The server echoes the client key (modeled as register return);
+        // a malicious server returning a wrong key is simulated in the
+        // attack module by corrupting it.
+        let echoed_key = client_key;
+
+        // --- return path ---
+        let t0 = k.machine.cpu(core).tsc;
+        if reply.len() > REGISTER_ARGS_MAX {
+            if reply.len() > layout::SB_SHARED_BUF_SIZE {
+                self.vmfunc_to(k, core, client_pid, return_root)?;
+                k.identity_record(core, return_identity);
+                return Err(SbError::MessageTooLarge);
+            }
+            sb_mem::walk::write_bytes(
+                &mut k.machine,
+                core,
+                &mut k.mem,
+                binding.shared_buf,
+                &reply,
+                true,
+            )?;
+        }
+        k.machine.cpu_mut(core).advance(cost.trampoline_logic / 2);
+        b.add(Component::Other, k.machine.cpu(core).tsc - t0);
+
+        self.vmfunc_to(k, core, client_pid, return_root)?;
+        b.add(Component::Vmfunc, cost.vmfunc);
+
+        let t0 = k.machine.cpu(core).tsc;
+        k.identity_record(core, return_identity);
+        k.user_exec(
+            client_tid,
+            Gva(layout::TRAMPOLINE_BASE.0 + 64),
+            trampoline::TRAMPOLINE_FETCH / 2,
+        )?;
+        // Client-side return-key recheck (§4.4).
+        if echoed_key != client_key {
+            self.violations.push(Violation::BadClientKey {
+                client: client_pid,
+                server,
+            });
+            return Err(SbError::BadClientKey);
+        }
+        let out = if reply.len() > REGISTER_ARGS_MAX {
+            let mut buf = vec![0u8; reply.len()];
+            k.user_read(client_tid, binding.shared_buf, &mut buf)?;
+            buf
+        } else {
+            reply
+        };
+        b.add(Component::Other, k.machine.cpu(core).tsc - t0);
+
+        if timed_out {
+            self.violations.push(Violation::Timeout { server });
+            return Err(SbError::Timeout);
+        }
+        self.call_count += 1;
+        Ok((out, b))
+    }
+
+    /// Executes `VMFUNC` to the binding EPT, handling the LRU-evicted-slot
+    /// fault path (§10 extension): a stale slot exits to the Rootkernel,
+    /// which reinstalls the root and retries.
+    fn vmfunc_to(
+        &mut self,
+        k: &mut Kernel,
+        core: usize,
+        pid: ProcessId,
+        root: Hpa,
+    ) -> Result<(), SbError> {
+        let Some(mut rk) = k.rootkernel.take() else {
+            // SkyBridge requires the Rootkernel underneath the Subkernel.
+            return Err(SbError::Vmfunc(
+                sb_rootkernel::VmfuncError::NotInNonRootMode,
+            ));
+        };
+        let slot = rk.vmcs[core].eptp_list.slot_of(root);
+        let result = match slot {
+            Some(slot) => rk.vmfunc(&mut k.machine, core, 0, slot),
+            // Stale slot (LRU-evicted): the trampoline's VMFUNC really
+            // executes with a dead index and takes the fault exit before
+            // the Rootkernel repairs the list.
+            None => rk.vmfunc(&mut k.machine, core, 0, usize::MAX),
+        };
+        let out = match result {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                // Slot fault: the Rootkernel validates the root against
+                // the process's logical list, reinstalls, and retries.
+                let Some(list) = k.processes[pid].eptp_list.as_mut() else {
+                    k.rootkernel = Some(rk);
+                    self.violations
+                        .push(Violation::VmfuncFault { process: pid });
+                    return Err(SbError::Vmfunc(sb_rootkernel::VmfuncError::InvalidIndex));
+                };
+                let (slot, _evicted) = list.ensure(root);
+                let list = list.clone();
+                rk.install_eptp_list(&mut k.machine, core, list);
+                rk.vmfunc(&mut k.machine, core, 0, slot).map_err(|e| {
+                    self.violations
+                        .push(Violation::VmfuncFault { process: pid });
+                    SbError::Vmfunc(e)
+                })
+            }
+        };
+        k.rootkernel = Some(rk);
+        out
+    }
+}
+
+impl Default for SkyBridge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Setup-time (uncharged) read of a process's memory.
+pub(crate) fn read_setup(k: &Kernel, pid: ProcessId, gva: Gva, buf: &mut [u8]) {
+    let asp = k.processes[pid].asp;
+    let mut off = 0;
+    while off < buf.len() {
+        let at = gva.add(off as u64);
+        let n = ((PAGE_SIZE - at.page_offset()) as usize).min(buf.len() - off);
+        let (gpa, _) = asp.translate_setup(&k.mem, at).unwrap();
+        k.mem.read_slice(Hpa(gpa.0), &mut buf[off..off + n]);
+        off += n;
+    }
+}
+
+/// Setup-time (uncharged) write of a process's memory.
+pub(crate) fn write_setup(k: &mut Kernel, pid: ProcessId, gva: Gva, data: &[u8]) {
+    let asp = k.processes[pid].asp;
+    let mut off = 0;
+    while off < data.len() {
+        let at = gva.add(off as u64);
+        let n = ((PAGE_SIZE - at.page_offset()) as usize).min(data.len() - off);
+        let (gpa, _) = asp.translate_setup(&k.mem, at).unwrap();
+        k.mem.write_slice(Hpa(gpa.0), &data[off..off + n]);
+        off += n;
+    }
+}
+
+/// Setup write addressed by process id (server-side tables).
+fn write_setup_pid(k: &mut Kernel, pid: ProcessId, gva: Gva, data: &[u8]) {
+    write_setup(k, pid, gva, data);
+}

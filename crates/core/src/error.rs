@@ -1,0 +1,74 @@
+//! SkyBridge errors.
+
+use sb_mem::MemFault;
+use sb_rewriter::rewrite::RewriteError;
+use sb_rootkernel::VmfuncError;
+
+/// Why a SkyBridge operation failed.
+#[derive(Debug)]
+pub enum SbError {
+    /// The caller's process never registered with SkyBridge.
+    NotRegistered,
+    /// No such server ID.
+    NoSuchServer,
+    /// The client is not bound to this server (no
+    /// `register_client_to_server`).
+    NotBound,
+    /// The server is out of connection slots.
+    NoFreeConnection,
+    /// The server-side calling-key check failed; the Subkernel was
+    /// notified.
+    BadServerKey,
+    /// The client-side return-key check failed; the Subkernel was
+    /// notified.
+    BadClientKey,
+    /// The handler exceeded the call timeout and control was forced back.
+    Timeout,
+    /// Message exceeds the shared-buffer capacity.
+    MessageTooLarge,
+    /// `VMFUNC` faulted (bad slot) and recovery failed.
+    Vmfunc(VmfuncError),
+    /// The process's binary could not be scrubbed of inadvertent
+    /// `VMFUNC`s.
+    Rewrite(RewriteError),
+    /// A translation fault during the call.
+    Fault(MemFault),
+}
+
+impl std::fmt::Display for SbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SbError::NotRegistered => write!(f, "process not registered"),
+            SbError::NoSuchServer => write!(f, "no such server"),
+            SbError::NotBound => write!(f, "client not bound to server"),
+            SbError::NoFreeConnection => write!(f, "no free connection"),
+            SbError::BadServerKey => write!(f, "server calling-key mismatch"),
+            SbError::BadClientKey => write!(f, "client calling-key mismatch"),
+            SbError::Timeout => write!(f, "server call timed out"),
+            SbError::MessageTooLarge => write!(f, "message too large"),
+            SbError::Vmfunc(e) => write!(f, "VMFUNC fault: {e}"),
+            SbError::Rewrite(e) => write!(f, "binary rewrite failed: {e}"),
+            SbError::Fault(e) => write!(f, "memory fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SbError {}
+
+impl From<MemFault> for SbError {
+    fn from(f: MemFault) -> Self {
+        SbError::Fault(f)
+    }
+}
+
+impl From<VmfuncError> for SbError {
+    fn from(e: VmfuncError) -> Self {
+        SbError::Vmfunc(e)
+    }
+}
+
+impl From<RewriteError> for SbError {
+    fn from(e: RewriteError) -> Self {
+        SbError::Rewrite(e)
+    }
+}

@@ -1,0 +1,37 @@
+//! SkyBridge: kernel-less synchronous IPC via `VMFUNC`.
+//!
+//! This crate is the paper's primary contribution. It sits *beside* the
+//! Subkernel ([`sb_microkernel`]) — the ~200 lines of per-kernel
+//! integration — and *above* the Rootkernel ([`sb_rootkernel`]):
+//!
+//! 1. **Registration** (§3.1, Fig. 4): a server registers a handler
+//!    function and a connection count; the kernel maps the trampoline code
+//!    page, per-connection stacks and shared buffers into it, rewrites its
+//!    binary to scrub inadvertent `VMFUNC`s ([`sb_rewriter`]), and hands
+//!    back a server ID. A client registers against that ID; the Rootkernel
+//!    builds the binding EPT (shallow base-EPT copy with the CR3 remap)
+//!    and installs it in the client's EPTP list.
+//! 2. **`direct_server_call`** (§4.4): the trampoline saves caller state,
+//!    marshals small arguments in registers and large ones in the shared
+//!    buffer, executes `VMFUNC(0, slot)` — 134 cycles, no kernel entry, no
+//!    TLB flush — installs the server stack, checks the calling key, and
+//!    invokes the registered handler; the mirror path returns. A roundtrip
+//!    costs ~396 cycles against seL4's 986-cycle fastpath.
+//! 3. **Security machinery** (§4.4, §7): calling-key tables against
+//!    illegal server calls and client returns, the identity page against
+//!    process misidentification, binary rewriting against self-prepared
+//!    `VMFUNC`s, per-process page tables against Meltdown, and a timeout
+//!    against servers that never return.
+
+pub mod api;
+pub mod attack;
+pub mod error;
+pub mod registry;
+pub mod trampoline;
+pub mod wx;
+
+pub use crate::{
+    api::SkyBridge,
+    error::SbError,
+    registry::{Binding, ServerId, ServerInfo, Violation},
+};

@@ -1,0 +1,141 @@
+//! The §9 W⊕X dynamic-code flow.
+//!
+//! Registration-time rewriting assumes code pages never change. For JIT
+//! compilation, dynamic software updating, and live kernel updates the
+//! paper prescribes: the generator must flip the target pages to
+//! writable+non-executable, emit, then ask the Subkernel to remap them
+//! executable — at which point SkyBridge **rescans** (and rewrites) just
+//! those pages before granting execute permission. "The rescanning should
+//! be carefully implemented to avoid the instructions that span the newly
+//! mapped page and neighboring pages" — so the rescan window extends one
+//! instruction-length (15 bytes) into both neighbors.
+
+use sb_mem::{Gva, PteFlags, PAGE_SIZE};
+use sb_microkernel::{layout, Kernel, ProcessId};
+use sb_rewriter::rewrite::rewrite_code;
+
+use crate::{api::SkyBridge, error::SbError};
+
+/// Longest x86-64 instruction (the rescan overlap window).
+const MAX_INSN: u64 = 15;
+
+impl SkyBridge {
+    /// Begins a JIT update: flips `[page, page + pages)` of `pid`'s code
+    /// region writable and non-executable, returning a token the update
+    /// must be completed with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the process's loaded code image.
+    pub fn jit_begin(
+        &mut self,
+        k: &mut Kernel,
+        pid: ProcessId,
+        page: Gva,
+        pages: usize,
+    ) -> JitUpdate {
+        assert!(page.is_page_aligned());
+        let code_end = layout::CODE_BASE.0 + k.processes[pid].code_len as u64;
+        assert!(
+            page.0 >= layout::CODE_BASE.0
+                && page.0 + (pages as u64) * PAGE_SIZE <= code_end_align(code_end),
+            "JIT range outside the code image"
+        );
+        let asp = k.processes[pid].asp;
+        for i in 0..pages {
+            asp.protect(
+                &mut k.mem,
+                page.add(i as u64 * PAGE_SIZE),
+                PteFlags::USER_DATA,
+            );
+        }
+        JitUpdate { pid, page, pages }
+    }
+
+    /// Completes a JIT update: writes `code` into the (writable) region,
+    /// rescans the region *plus a 15-byte (max-instruction) overlap into each
+    /// neighboring page*, rewrites any inadvertent `VMFUNC`s, and only
+    /// then remaps the pages executable.
+    ///
+    /// Returns the number of occurrences scrubbed.
+    pub fn jit_commit(
+        &mut self,
+        k: &mut Kernel,
+        update: JitUpdate,
+        code: &[u8],
+    ) -> Result<usize, SbError> {
+        let JitUpdate { pid, page, pages } = update;
+        assert!(code.len() <= pages * PAGE_SIZE as usize);
+        crate::api::write_setup(k, pid, page, code);
+
+        // Rescan window: the updated pages plus the tail of the previous
+        // page and the head of the next, so spanning patterns cannot hide
+        // on the boundary.
+        let code_base = layout::CODE_BASE.0;
+        let code_len = k.processes[pid].code_len as u64;
+        let win_start = (page.0 - code_base).saturating_sub(MAX_INSN);
+        let win_end = ((page.0 - code_base) + pages as u64 * PAGE_SIZE + MAX_INSN)
+            .min(code_len.max((page.0 - code_base) + pages as u64 * PAGE_SIZE));
+        let mut window = vec![0u8; (win_end - win_start) as usize];
+        crate::api::read_setup(k, pid, Gva(code_base + win_start), &mut window);
+        let occurrences = sb_rewriter::scan::find_occurrences(&window).len();
+        if occurrences > 0 {
+            let out = rewrite_code(
+                &window,
+                code_base + win_start,
+                layout::REWRITE_PAGE.0 + 2 * PAGE_SIZE, // JIT stub area.
+            )?;
+            // The window's neighbors are executable; flip them writable
+            // for the patch, then back.
+            let asp = k.processes[pid].asp;
+            let first_page = (win_start / PAGE_SIZE) * PAGE_SIZE;
+            let last_page = (win_end - 1) / PAGE_SIZE * PAGE_SIZE;
+            let mut at = first_page;
+            while at <= last_page {
+                asp.protect(&mut k.mem, Gva(code_base + at), PteFlags::USER_DATA);
+                at += PAGE_SIZE;
+            }
+            crate::api::write_setup(k, pid, Gva(code_base + win_start), &out.code);
+            if !out.rewrite_page.is_empty() {
+                Self::map_code_region(
+                    k,
+                    pid,
+                    Gva(layout::REWRITE_PAGE.0 + 2 * PAGE_SIZE),
+                    &out.rewrite_page,
+                );
+            }
+            let mut at = first_page;
+            while at <= last_page {
+                if !(page.0 - code_base..page.0 - code_base + pages as u64 * PAGE_SIZE)
+                    .contains(&at)
+                {
+                    asp.protect(&mut k.mem, Gva(code_base + at), PteFlags::USER_CODE);
+                }
+                at += PAGE_SIZE;
+            }
+        }
+        // Grant execute on the updated pages last.
+        let asp = k.processes[pid].asp;
+        for i in 0..pages {
+            asp.protect(
+                &mut k.mem,
+                page.add(i as u64 * PAGE_SIZE),
+                PteFlags::USER_CODE,
+            );
+        }
+        Ok(occurrences)
+    }
+}
+
+fn code_end_align(end: u64) -> u64 {
+    end.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+/// Token for an in-flight JIT update (pages are writable, not
+/// executable).
+#[derive(Debug)]
+pub struct JitUpdate {
+    pid: ProcessId,
+    page: Gva,
+    pages: usize,
+}

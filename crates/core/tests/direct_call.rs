@@ -1,0 +1,391 @@
+//! End-to-end tests of the SkyBridge facility on the full stack:
+//! Rootkernel + Subkernel + registration + `direct_server_call`.
+
+use sb_microkernel::{ipc::Component, layout, Kernel, KernelConfig, Personality, ThreadId};
+use sb_rewriter::scan::find_occurrences;
+use skybridge::{api::HandlerCtx, attack, SbError, SkyBridge, Violation};
+
+/// A clean synthetic code image.
+fn clean_code() -> Vec<u8> {
+    sb_rewriter::corpus::generate(11, 4096, 0)
+}
+
+/// A code image carrying inadvertent VMFUNC patterns.
+fn dirty_code() -> Vec<u8> {
+    sb_rewriter::corpus::generate(12, 4096, 40)
+}
+
+struct Rig {
+    k: Kernel,
+    sb: SkyBridge,
+    client: ThreadId,
+    server_tid: ThreadId,
+    server: skybridge::ServerId,
+}
+
+/// Builds: one client and one echo server on core 0, registered and bound.
+fn rig() -> Rig {
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let cp = k.create_process(&clean_code());
+    let sp = k.create_process(&clean_code());
+    let client = k.create_thread(cp, 0);
+    let server_tid = k.create_thread(sp, 0);
+    // Server-private data the handler will read.
+    k.run_thread(server_tid);
+    k.user_write(server_tid, layout::HEAP_BASE, b"server-secret!")
+        .unwrap();
+    let server = sb
+        .register_server(
+            &mut k,
+            server_tid,
+            8,
+            256,
+            Box::new(|_sb, k, ctx: HandlerCtx, req| {
+                // Echo the request, plus the first heap byte to prove the
+                // handler runs in the *server's* address space.
+                let mut heap = [0u8; 14];
+                let core = k.core_of(ctx.caller);
+                sb_mem::walk::read_bytes(
+                    &mut k.machine,
+                    core,
+                    &k.mem,
+                    layout::HEAP_BASE,
+                    &mut heap,
+                    true,
+                )
+                .map_err(SbError::from)?;
+                let mut reply = req.to_vec();
+                reply.extend_from_slice(&heap);
+                Ok(reply)
+            }),
+        )
+        .unwrap();
+    sb.register_client(&mut k, client, server).unwrap();
+    k.run_thread(client);
+    Rig {
+        k,
+        sb,
+        client,
+        server_tid,
+        server,
+    }
+}
+
+#[test]
+fn call_reaches_server_space_and_returns() {
+    let mut r = rig();
+    let (reply, _) =
+        r.sb.direct_server_call(&mut r.k, r.client, r.server, b"ping")
+            .unwrap();
+    assert_eq!(&reply[..4], b"ping");
+    assert_eq!(&reply[4..], b"server-secret!");
+    assert_eq!(r.sb.call_count, 1);
+}
+
+#[test]
+fn client_cannot_read_server_secret_directly() {
+    let mut r = rig();
+    let mut buf = [0u8; 14];
+    // The client's own heap at the same GVA holds different (zero) data.
+    r.k.user_read(r.client, layout::HEAP_BASE, &mut buf)
+        .unwrap();
+    assert_ne!(&buf, b"server-secret!");
+}
+
+#[test]
+fn roundtrip_costs_about_396_cycles() {
+    let mut r = rig();
+    // Warm up caches/TLBs.
+    for _ in 0..64 {
+        r.sb.direct_server_call(&mut r.k, r.client, r.server, b"x")
+            .unwrap();
+    }
+    let (_, b) =
+        r.sb.direct_server_call(&mut r.k, r.client, r.server, b"x")
+            .unwrap();
+    assert_eq!(b.get(Component::Vmfunc), 268, "2 x 134-cycle VMFUNC");
+    let total = b.total();
+    assert!(
+        (396..700).contains(&total),
+        "steady-state SkyBridge roundtrip {total} should be near 396"
+    );
+    // No kernel involvement at all.
+    assert_eq!(b.get(Component::SyscallSysret), 0);
+    assert_eq!(b.get(Component::Ipi), 0);
+    assert_eq!(b.get(Component::Schedule), 0);
+}
+
+#[test]
+fn no_vm_exits_on_the_call_path() {
+    let mut r = rig();
+    for _ in 0..8 {
+        r.sb.direct_server_call(&mut r.k, r.client, r.server, b"x")
+            .unwrap();
+    }
+    let exits_before = r.k.rootkernel.as_ref().unwrap().exits.total();
+    for _ in 0..100 {
+        r.sb.direct_server_call(&mut r.k, r.client, r.server, b"x")
+            .unwrap();
+    }
+    assert_eq!(
+        r.k.rootkernel.as_ref().unwrap().exits.total(),
+        exits_before,
+        "steady-state direct server calls must not exit"
+    );
+}
+
+#[test]
+fn large_messages_go_through_the_shared_buffer() {
+    let mut r = rig();
+    let big: Vec<u8> = (0..4000).map(|i| (i % 251) as u8).collect();
+    let (reply, _) =
+        r.sb.direct_server_call(&mut r.k, r.client, r.server, &big)
+            .unwrap();
+    assert_eq!(&reply[..big.len()], &big[..]);
+}
+
+#[test]
+fn unbound_client_is_refused() {
+    let mut r = rig();
+    // A third process never registered.
+    let other = r.k.create_process(&clean_code());
+    let other_tid = r.k.create_thread(other, 1);
+    r.k.run_thread(other_tid);
+    match r.sb.direct_server_call(&mut r.k, other_tid, r.server, b"x") {
+        Err(SbError::NotRegistered) => {}
+        other => panic!("expected NotRegistered, got {other:?}"),
+    }
+    // Registered but not bound.
+    r.sb.register_process(&mut r.k, other).unwrap();
+    r.k.run_thread(other_tid);
+    match r.sb.direct_server_call(&mut r.k, other_tid, r.server, b"x") {
+        Err(SbError::NotBound) => {}
+        other => panic!("expected NotBound, got {other:?}"),
+    }
+}
+
+#[test]
+fn forged_calling_key_is_rejected_and_reported() {
+    let mut r = rig();
+    let outcome = attack::forged_key_call(&mut r.sb, &mut r.k, r.client, r.server);
+    assert_eq!(
+        outcome,
+        attack::AttackOutcome::Neutralized {
+            occurrences_left: 0
+        }
+    );
+    assert!(r
+        .sb
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::BadServerKey { .. })));
+    // The facility still works with the real key afterwards.
+    let (reply, _) =
+        r.sb.direct_server_call(&mut r.k, r.client, r.server, b"ok")
+            .unwrap();
+    assert_eq!(&reply[..2], b"ok");
+}
+
+#[test]
+fn registration_scrubs_inadvertent_vmfuncs() {
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let code = dirty_code();
+    assert!(
+        !find_occurrences(&code).is_empty(),
+        "test premise: dirty image has occurrences"
+    );
+    let pid = k.create_process(&code);
+    let tid = k.create_thread(pid, 0);
+    k.run_thread(tid);
+    sb.register_process(&mut k, pid).unwrap();
+    let after = attack::dump_code(&k, pid);
+    assert!(
+        find_occurrences(&after).is_empty(),
+        "registration must scrub every occurrence"
+    );
+}
+
+#[test]
+fn self_prepared_vmfunc_attack_is_neutralized() {
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let attacker_pid = k.create_process(&dirty_code());
+    let attacker = k.create_thread(attacker_pid, 0);
+    k.run_thread(attacker);
+    // Before registration, the attacker has VMFUNC bytes and *could*
+    // execute them (the raw primitive exists)…
+    let code = attack::dump_code(&k, attacker_pid);
+    assert!(!find_occurrences(&code).is_empty());
+    // …after registration they are gone.
+    sb.register_process(&mut k, attacker_pid).unwrap();
+    let outcome = attack::self_prepared_vmfunc(&mut sb, &mut k, attacker, 1);
+    assert_eq!(
+        outcome,
+        attack::AttackOutcome::Neutralized {
+            occurrences_left: 0
+        }
+    );
+}
+
+#[test]
+fn raw_vmfunc_without_eptp_list_faults() {
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let pid = k.create_process(&clean_code());
+    let tid = k.create_thread(pid, 0);
+    k.run_thread(tid);
+    // Unregistered process: its core's EPTP list is empty — any VMFUNC
+    // exits to the Rootkernel.
+    let outcome = attack::raw_vmfunc(&mut sb, &mut k, tid, 3);
+    assert!(matches!(outcome, attack::AttackOutcome::Faulted(_)));
+    assert!(k.rootkernel.as_ref().unwrap().exits.vmfunc_fault > 0);
+}
+
+#[test]
+fn timeout_forces_control_back() {
+    let mut r = rig();
+    r.sb.timeout = Some(10_000);
+    // Register a hanging server in the same server process.
+    let hang =
+        r.sb.register_server(
+            &mut r.k,
+            r.server_tid,
+            2,
+            64,
+            Box::new(|_, k, ctx: HandlerCtx, _req| {
+                // Spin for far longer than the budget.
+                k.compute(ctx.caller, 1_000_000);
+                Ok(Vec::new())
+            }),
+        )
+        .unwrap();
+    r.sb.register_client(&mut r.k, r.client, hang).unwrap();
+    r.k.run_thread(r.client);
+    match r.sb.direct_server_call(&mut r.k, r.client, hang, b"x") {
+        Err(SbError::Timeout) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(r
+        .sb
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Timeout { .. })));
+    // The client is still functional.
+    r.sb.direct_server_call(&mut r.k, r.client, r.server, b"y")
+        .unwrap();
+}
+
+#[test]
+fn nested_calls_follow_the_thread_migration_chain() {
+    // Client -> encrypt -> kv (the Fig. 1 topology).
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let cp = k.create_process(&clean_code());
+    let ep = k.create_process(&clean_code());
+    let kvp = k.create_process(&clean_code());
+    let client = k.create_thread(cp, 0);
+    let enc_tid = k.create_thread(ep, 0);
+    let kv_tid = k.create_thread(kvp, 0);
+
+    let kv = sb
+        .register_server(
+            &mut k,
+            kv_tid,
+            4,
+            128,
+            Box::new(|_, _, _, req| {
+                let mut r = req.to_vec();
+                r.push(b'K');
+                Ok(r)
+            }),
+        )
+        .unwrap();
+    let enc = sb
+        .register_server(
+            &mut k,
+            enc_tid,
+            4,
+            128,
+            Box::new(move |sb, k, ctx: HandlerCtx, req| {
+                // "Encrypt" then forward to the KV server on the migrated
+                // thread.
+                let enc: Vec<u8> = req.iter().map(|b| b ^ 0x5a).collect();
+                let (reply, _) = sb.direct_server_call(k, ctx.caller, kv, &enc)?;
+                Ok(reply)
+            }),
+        )
+        .unwrap();
+    sb.register_client(&mut k, client, enc).unwrap();
+    // The client's EPTP list must also hold the dependency (§4.2: "all
+    // processes' EPTPs that the server depends on").
+    sb.register_client(&mut k, client, kv).unwrap();
+    k.run_thread(client);
+    let (reply, _) = sb.direct_server_call(&mut k, client, enc, b"ab").unwrap();
+    assert_eq!(reply, vec![b'a' ^ 0x5a, b'b' ^ 0x5a, b'K']);
+    // After the chain unwinds, the client is back in its own space.
+    assert_eq!(
+        r#final(&mut k, client),
+        cp,
+        "identity must be restored to the client"
+    );
+}
+
+fn r#final(k: &mut Kernel, tid: ThreadId) -> usize {
+    let core = k.core_of(tid);
+    k.identity_current(core).unwrap()
+}
+
+#[test]
+fn identity_page_tracks_the_active_space_during_calls() {
+    let mut r = rig();
+    let client_pid = 0;
+    let server_pid = 1;
+    let core = r.k.core_of(r.client);
+    assert_eq!(r.k.identity_current(core), Some(client_pid));
+    // During the handler, identity must name the server (§4.2: the kernel
+    // would serve an interrupt taken mid-call on behalf of the server).
+    let seen = std::rc::Rc::new(std::cell::Cell::new(usize::MAX));
+    let seen2 = seen.clone();
+    let probe =
+        r.sb.register_server(
+            &mut r.k,
+            r.server_tid,
+            2,
+            64,
+            Box::new(move |_, k, ctx: HandlerCtx, _| {
+                let core = k.core_of(ctx.caller);
+                seen2.set(k.identity_current(core).unwrap());
+                Ok(Vec::new())
+            }),
+        )
+        .unwrap();
+    r.sb.register_client(&mut r.k, r.client, probe).unwrap();
+    r.k.run_thread(r.client);
+    r.sb.direct_server_call(&mut r.k, r.client, probe, b"")
+        .unwrap();
+    assert_eq!(seen.get(), server_pid);
+    assert_eq!(r.k.identity_current(core), Some(client_pid));
+}
+
+#[test]
+fn connections_are_bounded_by_registration() {
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let sp = k.create_process(&clean_code());
+    let stid = k.create_thread(sp, 0);
+    let server = sb
+        .register_server(&mut k, stid, 2, 64, Box::new(|_, _, _, _| Ok(vec![])))
+        .unwrap();
+    for i in 0..3 {
+        let cp = k.create_process(&clean_code());
+        let ct = k.create_thread(cp, 0);
+        let res = sb.register_client(&mut k, ct, server);
+        if i < 2 {
+            res.unwrap();
+        } else {
+            assert!(matches!(res, Err(SbError::NoFreeConnection)));
+        }
+    }
+}

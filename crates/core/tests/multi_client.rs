@@ -1,0 +1,124 @@
+//! Multi-client SkyBridge behaviour: distinct connections, keys, shared
+//! buffers, and cross-core concurrency of direct calls.
+
+use sb_microkernel::{Kernel, KernelConfig, Personality, ThreadId};
+use skybridge::{SbError, ServerId, SkyBridge};
+
+fn boot() -> (Kernel, SkyBridge) {
+    (
+        Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4())),
+        SkyBridge::new(),
+    )
+}
+
+fn echo_server(k: &mut Kernel, sb: &mut SkyBridge, core: usize, connections: usize) -> ServerId {
+    let pid = k.create_process(&sb_rewriter::corpus::generate(2, 2048, 0));
+    let tid = k.create_thread(pid, core);
+    sb.register_server(
+        k,
+        tid,
+        connections,
+        128,
+        Box::new(|_, _, ctx, req| {
+            let mut r = req.to_vec();
+            r.push(ctx.connection as u8);
+            Ok(r)
+        }),
+    )
+    .unwrap()
+}
+
+fn client(k: &mut Kernel, sb: &mut SkyBridge, server: ServerId, core: usize) -> ThreadId {
+    let pid = k.create_process(&sb_rewriter::corpus::generate(40 + core as u64, 2048, 0));
+    let tid = k.create_thread(pid, core);
+    sb.register_client(k, tid, server).unwrap();
+    tid
+}
+
+#[test]
+fn clients_get_distinct_connections_keys_and_buffers() {
+    let (mut k, mut sb) = boot();
+    let server = echo_server(&mut k, &mut sb, 0, 8);
+    let c1 = client(&mut k, &mut sb, server, 0);
+    let c2 = client(&mut k, &mut sb, server, 1);
+    let p1 = k.threads[c1].process;
+    let p2 = k.threads[c2].process;
+    let b1 = sb.binding(p1, server).unwrap().clone();
+    let b2 = sb.binding(p2, server).unwrap().clone();
+    assert_ne!(b1.connection, b2.connection);
+    assert_ne!(b1.server_key, b2.server_key, "keys are per binding");
+    assert_ne!(b1.shared_buf, b2.shared_buf);
+    assert_ne!(b1.server_stack, b2.server_stack);
+    assert_ne!(b1.ept_root, b2.ept_root, "binding EPTs remap distinct CR3s");
+}
+
+#[test]
+fn interleaved_calls_from_two_cores_stay_isolated() {
+    let (mut k, mut sb) = boot();
+    let server = echo_server(&mut k, &mut sb, 0, 4);
+    let c1 = client(&mut k, &mut sb, server, 1);
+    let c2 = client(&mut k, &mut sb, server, 2);
+    k.run_thread(c1);
+    k.run_thread(c2);
+    // Interleave large (shared-buffer) calls; each must see its own data.
+    for round in 0..20u8 {
+        let m1 = vec![round; 300];
+        let m2 = vec![round ^ 0xff; 300];
+        let (r1, _) = sb.direct_server_call(&mut k, c1, server, &m1).unwrap();
+        let (r2, _) = sb.direct_server_call(&mut k, c2, server, &m2).unwrap();
+        assert_eq!(&r1[..300], &m1[..]);
+        assert_eq!(&r2[..300], &m2[..]);
+        assert_ne!(r1[300], r2[300], "distinct connections served");
+    }
+}
+
+#[test]
+fn one_client_many_servers_uses_distinct_slots() {
+    let (mut k, mut sb) = boot();
+    let servers: Vec<ServerId> = (0..6)
+        .map(|i| echo_server(&mut k, &mut sb, 0, 2 + i % 3))
+        .collect();
+    let pid = k.create_process(&sb_rewriter::corpus::generate(77, 2048, 0));
+    let tid = k.create_thread(pid, 0);
+    for &s in &servers {
+        sb.register_client(&mut k, tid, s).unwrap();
+    }
+    k.run_thread(tid);
+    // The client's EPTP list holds slot 0 (own EPT) + one slot per server.
+    let list = k.processes[pid].eptp_list.as_ref().unwrap();
+    assert_eq!(list.len(), 1 + servers.len());
+    for (i, &s) in servers.iter().enumerate() {
+        let (reply, _) = sb.direct_server_call(&mut k, tid, s, &[i as u8]).unwrap();
+        assert_eq!(reply[0], i as u8);
+    }
+}
+
+#[test]
+fn handler_errors_propagate_and_restore_the_caller() {
+    let (mut k, mut sb) = boot();
+    let pid = k.create_process(&sb_rewriter::corpus::generate(3, 2048, 0));
+    let tid = k.create_thread(pid, 0);
+    let flaky = sb
+        .register_server(
+            &mut k,
+            tid,
+            2,
+            64,
+            Box::new(|_, _, _, req| {
+                if req.first() == Some(&0xEE) {
+                    Err(SbError::NoSuchServer) // Arbitrary server-side error.
+                } else {
+                    Ok(vec![1])
+                }
+            }),
+        )
+        .unwrap();
+    let c = client(&mut k, &mut sb, flaky, 1);
+    k.run_thread(c);
+    assert!(sb.direct_server_call(&mut k, c, flaky, &[0xEE]).is_err());
+    // The caller is back in its own EPT and can call again.
+    let own = k.processes[k.threads[c].process].own_ept.unwrap();
+    assert_eq!(k.machine.cpu(1).ept_root, own.0);
+    let (r, _) = sb.direct_server_call(&mut k, c, flaky, &[1]).unwrap();
+    assert_eq!(r, vec![1]);
+}

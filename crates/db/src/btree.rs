@@ -1,0 +1,352 @@
+//! Page-based B-tree tables.
+//!
+//! Each table is a B-tree of `(i64 key → record bytes)` pairs over
+//! [`crate::PAGE_SIZE`] pages, in the SQLite mold: leaves hold the
+//! records, internal nodes hold separator keys, nodes split upward when a
+//! page overflows. Deletion removes from the leaf without rebalancing
+//! (pages may run underfull — the same simplification early SQLite used).
+
+use sb_fs::FileApi;
+
+use crate::{db::TxnCtx, PAGE_SIZE};
+
+/// Maximum record size storable in a leaf.
+pub const MAX_VALUE: usize = 1536;
+
+/// A leaf's `(key, record)` entries.
+pub type Items = Vec<(i64, Vec<u8>)>;
+
+const LEAF: u8 = 1;
+const INTERNAL: u8 = 2;
+const HDR: usize = 8;
+
+/// Decoded node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Sorted `(key, record)` pairs.
+    Leaf(Vec<(i64, Vec<u8>)>),
+    /// `children.len() == keys.len() + 1`; subtree `children[i]` holds
+    /// keys `< keys[i]`, `children[i+1]` holds keys `>= keys[i]`.
+    Internal {
+        /// Separator keys.
+        keys: Vec<i64>,
+        /// Child page numbers.
+        children: Vec<u32>,
+    },
+}
+
+impl Node {
+    /// Serialized size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Node::Leaf(items) => HDR + items.iter().map(|(_, v)| 10 + v.len()).sum::<usize>(),
+            Node::Internal { keys, .. } => HDR + 4 + keys.len() * 12,
+        }
+    }
+
+    /// Serializes into a page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node exceeds the page (callers split first).
+    pub fn encode(&self) -> [u8; PAGE_SIZE] {
+        assert!(self.encoded_size() <= PAGE_SIZE, "node overflows page");
+        let mut p = [0u8; PAGE_SIZE];
+        match self {
+            Node::Leaf(items) => {
+                p[0] = LEAF;
+                p[2..4].copy_from_slice(&(items.len() as u16).to_le_bytes());
+                let mut at = HDR;
+                for (k, v) in items {
+                    p[at..at + 8].copy_from_slice(&k.to_le_bytes());
+                    p[at + 8..at + 10].copy_from_slice(&(v.len() as u16).to_le_bytes());
+                    p[at + 10..at + 10 + v.len()].copy_from_slice(v);
+                    at += 10 + v.len();
+                }
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1);
+                p[0] = INTERNAL;
+                p[2..4].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                p[4..8].copy_from_slice(&children[0].to_le_bytes());
+                let mut at = HDR;
+                for (i, k) in keys.iter().enumerate() {
+                    p[at..at + 8].copy_from_slice(&k.to_le_bytes());
+                    p[at + 8..at + 12].copy_from_slice(&children[i + 1].to_le_bytes());
+                    at += 12;
+                }
+            }
+        }
+        p
+    }
+
+    /// Deserializes a page (a zero page decodes as an empty leaf).
+    pub fn decode(p: &[u8; PAGE_SIZE]) -> Node {
+        let n = u16::from_le_bytes(p[2..4].try_into().unwrap()) as usize;
+        match p[0] {
+            INTERNAL => {
+                let mut keys = Vec::with_capacity(n);
+                let mut children = Vec::with_capacity(n + 1);
+                children.push(u32::from_le_bytes(p[4..8].try_into().unwrap()));
+                let mut at = HDR;
+                for _ in 0..n {
+                    keys.push(i64::from_le_bytes(p[at..at + 8].try_into().unwrap()));
+                    children.push(u32::from_le_bytes(p[at + 8..at + 12].try_into().unwrap()));
+                    at += 12;
+                }
+                Node::Internal { keys, children }
+            }
+            _ => {
+                let mut items = Vec::with_capacity(n);
+                let mut at = HDR;
+                for _ in 0..n {
+                    let k = i64::from_le_bytes(p[at..at + 8].try_into().unwrap());
+                    let len = u16::from_le_bytes(p[at + 8..at + 10].try_into().unwrap()) as usize;
+                    items.push((k, p[at + 10..at + 10 + len].to_vec()));
+                    at += 10 + len;
+                }
+                Node::Leaf(items)
+            }
+        }
+    }
+}
+
+/// Searches for `key` starting at `root`.
+pub fn get<F: FileApi>(ctx: &mut TxnCtx<'_, F>, root: u32, key: i64) -> Option<Vec<u8>> {
+    let mut at = root;
+    loop {
+        match Node::decode(&ctx.read(at)) {
+            Node::Leaf(items) => {
+                return items
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| v.clone());
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                at = children[idx];
+            }
+        }
+    }
+}
+
+/// Inserts (or replaces, if `replace`) `key → value` under `root`.
+///
+/// Returns `(new_root, previously_present)`. The root page number changes
+/// only when the root splits.
+pub fn insert<F: FileApi>(
+    ctx: &mut TxnCtx<'_, F>,
+    root: u32,
+    key: i64,
+    value: &[u8],
+) -> (u32, bool) {
+    assert!(value.len() <= MAX_VALUE, "record exceeds MAX_VALUE");
+    let (split, existed) = insert_rec(ctx, root, key, value);
+    match split {
+        None => (root, existed),
+        Some((sep, right)) => {
+            let new_root = ctx.allocate();
+            let node = Node::Internal {
+                keys: vec![sep],
+                children: vec![root, right],
+            };
+            ctx.write(new_root, &node.encode());
+            (new_root, existed)
+        }
+    }
+}
+
+fn insert_rec<F: FileApi>(
+    ctx: &mut TxnCtx<'_, F>,
+    at: u32,
+    key: i64,
+    value: &[u8],
+) -> (Option<(i64, u32)>, bool) {
+    match Node::decode(&ctx.read(at)) {
+        Node::Leaf(mut items) => {
+            let existed = match items.binary_search_by_key(&key, |(k, _)| *k) {
+                Ok(i) => {
+                    items[i].1 = value.to_vec();
+                    true
+                }
+                Err(i) => {
+                    items.insert(i, (key, value.to_vec()));
+                    false
+                }
+            };
+            let node = Node::Leaf(items);
+            if node.encoded_size() <= PAGE_SIZE {
+                ctx.write(at, &node.encode());
+                return (None, existed);
+            }
+            // Split the leaf at the byte midpoint.
+            let Node::Leaf(items) = node else {
+                unreachable!()
+            };
+            let (left, right) = split_items(items);
+            let sep = right[0].0;
+            let right_pno = ctx.allocate();
+            ctx.write(at, &Node::Leaf(left).encode());
+            ctx.write(right_pno, &Node::Leaf(right).encode());
+            (Some((sep, right_pno)), existed)
+        }
+        Node::Internal {
+            mut keys,
+            mut children,
+        } => {
+            let idx = keys.partition_point(|k| *k <= key);
+            let (split, existed) = insert_rec(ctx, children[idx], key, value);
+            if let Some((sep, right)) = split {
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                let node = Node::Internal { keys, children };
+                if node.encoded_size() <= PAGE_SIZE {
+                    ctx.write(at, &node.encode());
+                    return (None, existed);
+                }
+                // Split the internal node.
+                let Node::Internal { keys, children } = node else {
+                    unreachable!()
+                };
+                let mid = keys.len() / 2;
+                let sep_up = keys[mid];
+                let right_node = Node::Internal {
+                    keys: keys[mid + 1..].to_vec(),
+                    children: children[mid + 1..].to_vec(),
+                };
+                let left_node = Node::Internal {
+                    keys: keys[..mid].to_vec(),
+                    children: children[..=mid].to_vec(),
+                };
+                let right_pno = ctx.allocate();
+                ctx.write(at, &left_node.encode());
+                ctx.write(right_pno, &right_node.encode());
+                (Some((sep_up, right_pno)), existed)
+            } else {
+                (None, existed)
+            }
+        }
+    }
+}
+
+fn split_items(items: Items) -> (Items, Items) {
+    let total: usize = items.iter().map(|(_, v)| 10 + v.len()).sum();
+    let mut acc = 0;
+    let mut cut = items.len() / 2;
+    for (i, (_, v)) in items.iter().enumerate() {
+        acc += 10 + v.len();
+        if acc >= total / 2 {
+            cut = (i + 1).min(items.len() - 1).max(1);
+            break;
+        }
+    }
+    let mut left = items;
+    let right = left.split_off(cut);
+    (left, right)
+}
+
+/// Deletes `key` under `root`; returns true if it was present.
+pub fn delete<F: FileApi>(ctx: &mut TxnCtx<'_, F>, root: u32, key: i64) -> bool {
+    let mut at = root;
+    loop {
+        match Node::decode(&ctx.read(at)) {
+            Node::Leaf(mut items) => {
+                let Ok(i) = items.binary_search_by_key(&key, |(k, _)| *k) else {
+                    return false;
+                };
+                items.remove(i);
+                ctx.write(at, &Node::Leaf(items).encode());
+                return true;
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                at = children[idx];
+            }
+        }
+    }
+}
+
+/// In-order traversal of `(key, record)` pairs with `lo <= key <= hi`.
+pub fn scan_range<F: FileApi>(
+    ctx: &mut TxnCtx<'_, F>,
+    root: u32,
+    lo: i64,
+    hi: i64,
+) -> Vec<(i64, Vec<u8>)> {
+    let mut out = Vec::new();
+    scan_range_rec(ctx, root, lo, hi, &mut out);
+    out
+}
+
+fn scan_range_rec<F: FileApi>(
+    ctx: &mut TxnCtx<'_, F>,
+    at: u32,
+    lo: i64,
+    hi: i64,
+    out: &mut Vec<(i64, Vec<u8>)>,
+) {
+    match Node::decode(&ctx.read(at)) {
+        Node::Leaf(items) => out.extend(items.into_iter().filter(|(k, _)| (lo..=hi).contains(k))),
+        Node::Internal { keys, children } => {
+            // Children overlapping [lo, hi]: from the child that may hold
+            // lo through the child that may hold hi.
+            let first = keys.partition_point(|k| *k <= lo);
+            let last = keys.partition_point(|k| *k <= hi);
+            for &c in &children[first..=last] {
+                scan_range_rec(ctx, c, lo, hi, out);
+            }
+        }
+    }
+}
+
+/// In-order traversal of every `(key, record)` pair.
+pub fn scan<F: FileApi>(ctx: &mut TxnCtx<'_, F>, root: u32) -> Vec<(i64, Vec<u8>)> {
+    let mut out = Vec::new();
+    scan_rec(ctx, root, &mut out);
+    out
+}
+
+fn scan_rec<F: FileApi>(ctx: &mut TxnCtx<'_, F>, at: u32, out: &mut Vec<(i64, Vec<u8>)>) {
+    match Node::decode(&ctx.read(at)) {
+        Node::Leaf(items) => out.extend(items),
+        Node::Internal { children, .. } => {
+            for c in children {
+                scan_rec(ctx, c, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_roundtrip_leaf() {
+        let n = Node::Leaf(vec![(1, vec![9; 30]), (5, vec![7; 100])]);
+        assert_eq!(Node::decode(&n.encode()), n);
+    }
+
+    #[test]
+    fn node_roundtrip_internal() {
+        let n = Node::Internal {
+            keys: vec![10, 20],
+            children: vec![3, 4, 5],
+        };
+        assert_eq!(Node::decode(&n.encode()), n);
+    }
+
+    #[test]
+    fn zero_page_is_empty_leaf() {
+        assert_eq!(Node::decode(&[0u8; PAGE_SIZE]), Node::Leaf(vec![]));
+    }
+
+    #[test]
+    fn split_items_balances_bytes() {
+        let items: Vec<_> = (0..10i64).map(|k| (k, vec![0u8; 100])).collect();
+        let (l, r) = split_items(items);
+        assert!(!l.is_empty() && !r.is_empty());
+        assert_eq!(l.len() + r.len(), 10);
+        assert!(l.last().unwrap().0 < r[0].0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The pager: a page cache over one file-system file.
+//!
+//! SQLite's pager is the layer the paper's Table 4 analysis leans on: the
+//! "internal cache" that absorbs most query traffic. Ours is an LRU cache
+//! of [`crate::PAGE_SIZE`]-byte pages with explicit dirty tracking;
+//! everything below it is real [`sb_fs`] file I/O.
+
+use std::collections::HashMap;
+
+use sb_fs::{FileApi, FsError, Inum};
+
+use crate::PAGE_SIZE;
+
+/// One cached page.
+#[derive(Clone)]
+struct Cached {
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+}
+
+/// The pager.
+pub struct Pager {
+    /// Backing file.
+    file: Inum,
+    cache: HashMap<u32, Cached>,
+    /// LRU order (front = oldest).
+    order: Vec<u32>,
+    capacity: usize,
+    /// Pages in the file (including not-yet-flushed extensions).
+    pub npages: u32,
+    /// Cache hits (reads served without file I/O).
+    pub hits: u64,
+    /// Cache misses (reads that reached the file system).
+    pub misses: u64,
+    /// Dirty pages written back.
+    pub writebacks: u64,
+}
+
+impl Pager {
+    /// Creates a pager over `file` with an LRU capacity of `capacity`
+    /// pages.
+    pub fn new<F: FileApi>(fs: &mut F, file: Inum, capacity: usize) -> Self {
+        let npages = fs.size_of(file).div_ceil(PAGE_SIZE) as u32;
+        Pager {
+            file,
+            cache: HashMap::new(),
+            order: Vec::new(),
+            capacity: capacity.max(2),
+            npages,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn touch(&mut self, pno: u32) {
+        self.order.retain(|&p| p != pno);
+        self.order.push(pno);
+    }
+
+    /// Reads page `pno` (allocating a zero page beyond EOF is the caller's
+    /// job via [`Pager::allocate`]).
+    pub fn read<F: FileApi>(&mut self, fs: &mut F, pno: u32) -> [u8; PAGE_SIZE] {
+        if let Some(c) = self.cache.get(&pno) {
+            self.hits += 1;
+            let data = *c.data.clone();
+            self.touch(pno);
+            return data;
+        }
+        self.misses += 1;
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        fs.read_at(self.file, pno as usize * PAGE_SIZE, &mut data[..]);
+        self.insert(
+            fs,
+            pno,
+            Cached {
+                data: data.clone(),
+                dirty: false,
+            },
+        );
+        *data
+    }
+
+    /// Writes page `pno` (cache-resident until flush/eviction).
+    pub fn write<F: FileApi>(&mut self, fs: &mut F, pno: u32, data: &[u8; PAGE_SIZE]) {
+        self.insert(
+            fs,
+            pno,
+            Cached {
+                data: Box::new(*data),
+                dirty: true,
+            },
+        );
+        if pno >= self.npages {
+            self.npages = pno + 1;
+        }
+    }
+
+    fn insert<F: FileApi>(&mut self, fs: &mut F, pno: u32, page: Cached) {
+        if self.cache.insert(pno, page).is_none() {
+            self.order.push(pno);
+        } else {
+            self.touch(pno);
+        }
+        while self.cache.len() > self.capacity {
+            let victim = self.order.remove(0);
+            if let Some(c) = self.cache.remove(&victim) {
+                if c.dirty {
+                    self.writebacks += 1;
+                    fs.write_at(self.file, victim as usize * PAGE_SIZE, &c.data[..])
+                        .expect("pager writeback failed");
+                }
+            }
+        }
+    }
+
+    /// Appends a fresh zero page, returning its number.
+    pub fn allocate<F: FileApi>(&mut self, fs: &mut F, _unused: &mut ()) -> u32 {
+        let pno = self.npages;
+        self.npages += 1;
+        self.write(fs, pno, &[0u8; PAGE_SIZE]);
+        pno
+    }
+
+    /// Flushes every dirty page to the file system.
+    pub fn flush<F: FileApi>(&mut self, fs: &mut F) -> Result<(), FsError> {
+        let mut dirty: Vec<u32> = self
+            .cache
+            .iter()
+            .filter(|(_, c)| c.dirty)
+            .map(|(&p, _)| p)
+            .collect();
+        dirty.sort_unstable();
+        for pno in dirty {
+            let c = self.cache.get_mut(&pno).unwrap();
+            let data = c.data.clone();
+            c.dirty = false;
+            self.writebacks += 1;
+            fs.write_at(self.file, pno as usize * PAGE_SIZE, &data[..])?;
+        }
+        Ok(())
+    }
+
+    /// Drops the whole cache (after a rollback restored the file).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sb_fs::{FileSystem, RamDisk};
+
+    use super::*;
+
+    fn setup() -> (FileSystem<RamDisk>, Pager) {
+        let mut fs = FileSystem::mkfs(RamDisk::new(4096), 32);
+        let file = fs.create("/db").unwrap();
+        let pager = Pager::new(&mut fs, file, 4);
+        (fs, pager)
+    }
+
+    #[test]
+    fn write_read_through_cache() {
+        let (mut fs, mut p) = setup();
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 0x42;
+        p.write(&mut fs, 0, &page);
+        assert_eq!(p.read(&mut fs, 0)[0], 0x42);
+        assert_eq!(p.hits, 1);
+    }
+
+    #[test]
+    fn flush_persists_and_survives_invalidate() {
+        let (mut fs, mut p) = setup();
+        let mut page = [0u8; PAGE_SIZE];
+        page[7] = 9;
+        p.write(&mut fs, 2, &page);
+        p.flush(&mut fs).unwrap();
+        p.invalidate();
+        assert_eq!(p.read(&mut fs, 2)[7], 9);
+        assert_eq!(p.misses, 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (mut fs, mut p) = setup(); // Capacity 4.
+        for i in 0..6u32 {
+            let mut page = [0u8; PAGE_SIZE];
+            page[0] = i as u8;
+            p.write(&mut fs, i, &page);
+        }
+        assert!(p.writebacks >= 2, "evictions must write back");
+        // Everything is still readable.
+        for i in 0..6u32 {
+            assert_eq!(p.read(&mut fs, i)[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache() {
+        let (mut fs, mut p) = setup();
+        p.write(&mut fs, 0, &[1u8; PAGE_SIZE]);
+        p.flush(&mut fs).unwrap();
+        p.invalidate();
+        p.read(&mut fs, 0);
+        let misses = p.misses;
+        for _ in 0..10 {
+            p.read(&mut fs, 0);
+        }
+        assert_eq!(p.misses, misses, "hot reads must not touch the FS");
+        assert!(p.hits >= 10);
+    }
+}

@@ -1,0 +1,109 @@
+//! Record (row) serialization.
+
+/// A column value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes.
+    Blob(Vec<u8>),
+}
+
+impl Value {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(2);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Blob(b) => {
+                out.push(3);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+        }
+    }
+
+    fn decode_from(data: &[u8], at: &mut usize) -> Option<Value> {
+        let tag = *data.get(*at)?;
+        *at += 1;
+        match tag {
+            0 => Some(Value::Null),
+            1 => {
+                let v = i64::from_le_bytes(data.get(*at..*at + 8)?.try_into().ok()?);
+                *at += 8;
+                Some(Value::Int(v))
+            }
+            2 | 3 => {
+                let len = u32::from_le_bytes(data.get(*at..*at + 4)?.try_into().ok()?) as usize;
+                *at += 4;
+                let bytes = data.get(*at..*at + len)?.to_vec();
+                *at += len;
+                Some(if tag == 2 {
+                    Value::Text(String::from_utf8_lossy(&bytes).into_owned())
+                } else {
+                    Value::Blob(bytes)
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Serializes a row.
+pub fn encode_record(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(values.len() as u8);
+    for v in values {
+        v.encode_into(&mut out);
+    }
+    out
+}
+
+/// Deserializes a row.
+pub fn decode_record(data: &[u8]) -> Option<Vec<Value>> {
+    let n = *data.first()? as usize;
+    let mut at = 1;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Value::decode_from(data, &mut at)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let row = vec![
+            Value::Int(-42),
+            Value::Text("ycsb field".into()),
+            Value::Blob(vec![1, 2, 3]),
+            Value::Null,
+        ];
+        assert_eq!(decode_record(&encode_record(&row)).unwrap(), row);
+    }
+
+    #[test]
+    fn empty_record() {
+        assert_eq!(decode_record(&encode_record(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let enc = encode_record(&[Value::Text("hello".into())]);
+        assert!(decode_record(&enc[..enc.len() - 1]).is_none());
+    }
+}

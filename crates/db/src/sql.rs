@@ -1,0 +1,370 @@
+//! A miniature SQL front end.
+//!
+//! Enough surface for the examples and the YCSB driver to speak SQL at
+//! minidb the way the paper's client speaks SQL at SQLite3. Rows are
+//! `(key INTEGER PRIMARY KEY, positional values…)`. Grammar:
+//!
+//! ```sql
+//! CREATE TABLE t
+//! INSERT INTO t VALUES (1, 'text', 42, X'0aff')
+//! SELECT * FROM t WHERE key = 1
+//! SELECT * FROM t
+//! UPDATE t SET (…values…) WHERE key = 1
+//! DELETE FROM t WHERE key = 1
+//! ```
+
+use sb_fs::FileApi;
+
+use crate::{
+    db::{Database, DbError},
+    record::Value,
+};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE t`.
+    CreateTable(String),
+    /// `INSERT INTO t VALUES (key, …)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Primary key.
+        key: i64,
+        /// Remaining column values.
+        row: Vec<Value>,
+    },
+    /// `SELECT * FROM t [WHERE key = k]`.
+    Select {
+        /// Source table.
+        table: String,
+        /// Point lookup key, or `None` for a full scan.
+        key: Option<i64>,
+    },
+    /// `UPDATE t SET (…) WHERE key = k`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Primary key.
+        key: i64,
+        /// Replacement values.
+        row: Vec<Value>,
+    },
+    /// `DELETE FROM t WHERE key = k`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Primary key.
+        key: i64,
+    },
+}
+
+/// Parse or execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The statement did not parse.
+    Parse(String),
+    /// The statement failed to execute.
+    Db(DbError),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Db(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<DbError> for SqlError {
+    fn from(e: DbError) -> Self {
+        SqlError::Db(e)
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<String>, SqlError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' | ')' | ',' | '*' | '=' => {
+                out.push(c.to_string());
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::from("'");
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(SqlError::Parse("unterminated string".into())),
+                    }
+                }
+                out.push(s);
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || matches!(c, '(' | ')' | ',' | '*' | '=') {
+                        break;
+                    }
+                    s.push(c);
+                    chars.next();
+                }
+                out.push(s);
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<String>,
+    at: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.at).map(|s| s.as_str())
+    }
+
+    fn next(&mut self) -> Result<&str, SqlError> {
+        let t = self
+            .toks
+            .get(self.at)
+            .ok_or_else(|| SqlError::Parse("unexpected end".into()))?;
+        self.at += 1;
+        Ok(t)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        let t = self.next()?;
+        if t.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {kw}, found {t}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        let t = self.next()?;
+        if t.chars().all(|c| c.is_alphanumeric() || c == '_') && !t.is_empty() {
+            Ok(t.to_string())
+        } else {
+            Err(SqlError::Parse(format!("bad identifier {t}")))
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, SqlError> {
+        let t = self.next()?;
+        t.parse()
+            .map_err(|_| SqlError::Parse(format!("bad integer {t}")))
+    }
+
+    fn value(&mut self) -> Result<Value, SqlError> {
+        let t = self.next()?.to_string();
+        if let Some(text) = t.strip_prefix('\'') {
+            return Ok(Value::Text(text.to_string()));
+        }
+        if t.eq_ignore_ascii_case("null") {
+            return Ok(Value::Null);
+        }
+        if let Some(hex) = t.strip_prefix("X'").or_else(|| t.strip_prefix("x'")) {
+            let hex = hex.trim_end_matches('\'');
+            let bytes = (0..hex.len() / 2)
+                .map(|i| u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|_| SqlError::Parse("bad hex blob".into()))?;
+            return Ok(Value::Blob(bytes));
+        }
+        t.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| SqlError::Parse(format!("bad value {t}")))
+    }
+
+    fn value_list(&mut self) -> Result<Vec<Value>, SqlError> {
+        self.expect_kw("(")?;
+        let mut out = Vec::new();
+        loop {
+            out.push(self.value()?);
+            match self.next()? {
+                "," => continue,
+                ")" => break,
+                t => return Err(SqlError::Parse(format!("expected , or ), found {t}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    fn where_key(&mut self) -> Result<i64, SqlError> {
+        self.expect_kw("where")?;
+        self.expect_kw("key")?;
+        self.expect_kw("=")?;
+        self.int()
+    }
+}
+
+/// Parses one statement.
+pub fn parse(input: &str) -> Result<Statement, SqlError> {
+    let toks = tokenize(input.trim().trim_end_matches(';'))?;
+    let mut p = P { toks, at: 0 };
+    let head = p.next()?.to_ascii_lowercase();
+    match head.as_str() {
+        "create" => {
+            p.expect_kw("table")?;
+            Ok(Statement::CreateTable(p.ident()?))
+        }
+        "insert" => {
+            p.expect_kw("into")?;
+            let table = p.ident()?;
+            p.expect_kw("values")?;
+            let mut vals = p.value_list()?;
+            if vals.is_empty() {
+                return Err(SqlError::Parse("empty VALUES".into()));
+            }
+            let Value::Int(key) = vals.remove(0) else {
+                return Err(SqlError::Parse(
+                    "first value must be the integer key".into(),
+                ));
+            };
+            Ok(Statement::Insert {
+                table,
+                key,
+                row: vals,
+            })
+        }
+        "select" => {
+            p.expect_kw("*")?;
+            p.expect_kw("from")?;
+            let table = p.ident()?;
+            let key = if p.peek().is_some() {
+                Some(p.where_key()?)
+            } else {
+                None
+            };
+            Ok(Statement::Select { table, key })
+        }
+        "update" => {
+            let table = p.ident()?;
+            p.expect_kw("set")?;
+            let row = p.value_list()?;
+            let key = p.where_key()?;
+            Ok(Statement::Update { table, key, row })
+        }
+        "delete" => {
+            p.expect_kw("from")?;
+            let table = p.ident()?;
+            let key = p.where_key()?;
+            Ok(Statement::Delete { table, key })
+        }
+        other => Err(SqlError::Parse(format!("unknown statement {other}"))),
+    }
+}
+
+/// Executes one SQL string; returns result rows (for `SELECT`).
+pub fn execute<F: FileApi>(
+    db: &mut Database<F>,
+    input: &str,
+) -> Result<Vec<(i64, Vec<Value>)>, SqlError> {
+    match parse(input)? {
+        Statement::CreateTable(t) => {
+            db.create_table(&t)?;
+            Ok(vec![])
+        }
+        Statement::Insert { table, key, row } => {
+            db.insert(&table, key, &row)?;
+            Ok(vec![])
+        }
+        Statement::Select {
+            table,
+            key: Some(k),
+        } => Ok(match db.query(&table, k)? {
+            Some(row) => vec![(k, row)],
+            None => vec![],
+        }),
+        Statement::Select { table, key: None } => Ok(db.scan(&table)?),
+        Statement::Update { table, key, row } => {
+            db.update(&table, key, &row)?;
+            Ok(vec![])
+        }
+        Statement::Delete { table, key } => {
+            db.delete(&table, key)?;
+            Ok(vec![])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_statements() {
+        assert_eq!(
+            parse("CREATE TABLE usertable").unwrap(),
+            Statement::CreateTable("usertable".into())
+        );
+        assert_eq!(
+            parse("INSERT INTO t VALUES (5, 'hi', 9)").unwrap(),
+            Statement::Insert {
+                table: "t".into(),
+                key: 5,
+                row: vec![Value::Text("hi".into()), Value::Int(9)],
+            }
+        );
+        assert_eq!(
+            parse("SELECT * FROM t WHERE key = 3;").unwrap(),
+            Statement::Select {
+                table: "t".into(),
+                key: Some(3)
+            }
+        );
+        assert_eq!(
+            parse("select * from t").unwrap(),
+            Statement::Select {
+                table: "t".into(),
+                key: None
+            }
+        );
+        assert_eq!(
+            parse("UPDATE t SET ('x') WHERE key = 2").unwrap(),
+            Statement::Update {
+                table: "t".into(),
+                key: 2,
+                row: vec![Value::Text("x".into())],
+            }
+        );
+        assert_eq!(
+            parse("DELETE FROM t WHERE key = 7").unwrap(),
+            Statement::Delete {
+                table: "t".into(),
+                key: 7
+            }
+        );
+    }
+
+    #[test]
+    fn parses_blobs_and_null() {
+        let Statement::Insert { row, .. } =
+            parse("INSERT INTO t VALUES (1, X'0aff', NULL)").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(row, vec![Value::Blob(vec![0x0a, 0xff]), Value::Null]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("SELECT * FROM t WHERE key =").is_err());
+        assert!(parse("INSERT INTO t VALUES ('no-key')").is_err());
+        assert!(parse("INSERT INTO t VALUES (1, 'unterminated)").is_err());
+    }
+}

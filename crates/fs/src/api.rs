@@ -1,0 +1,54 @@
+//! The file API boundary.
+//!
+//! In the paper's SQLite stack, the database does **not** own the file
+//! system — it sends file operations to the xv6fs *server* over IPC, which
+//! in turn reaches the block-device server. [`FileApi`] is that boundary:
+//! [`crate::FileSystem`] implements it directly (the in-process layout of
+//! the Baseline configuration), and the simulation's scenario layer
+//! implements it with IPC / SkyBridge proxies that charge real transfer
+//! costs per call.
+
+use crate::{
+    blockdev::BlockDevice,
+    fs::{FileSystem, FsError, Inum},
+};
+
+/// The file operations minidb needs from its file-system server.
+pub trait FileApi {
+    /// Opens an existing file.
+    fn open(&mut self, path: &str) -> Result<Inum, FsError>;
+
+    /// Creates a regular file.
+    fn create(&mut self, path: &str) -> Result<Inum, FsError>;
+
+    /// Reads at `off`; returns bytes read.
+    fn read_at(&mut self, inum: Inum, off: usize, buf: &mut [u8]) -> usize;
+
+    /// Writes at `off`, extending the file.
+    fn write_at(&mut self, inum: Inum, off: usize, data: &[u8]) -> Result<(), FsError>;
+
+    /// Size in bytes.
+    fn size_of(&mut self, inum: Inum) -> usize;
+}
+
+impl<D: BlockDevice> FileApi for FileSystem<D> {
+    fn open(&mut self, path: &str) -> Result<Inum, FsError> {
+        FileSystem::open(self, path)
+    }
+
+    fn create(&mut self, path: &str) -> Result<Inum, FsError> {
+        FileSystem::create(self, path)
+    }
+
+    fn read_at(&mut self, inum: Inum, off: usize, buf: &mut [u8]) -> usize {
+        FileSystem::read_at(self, inum, off, buf)
+    }
+
+    fn write_at(&mut self, inum: Inum, off: usize, data: &[u8]) -> Result<(), FsError> {
+        FileSystem::write_at(self, inum, off, data)
+    }
+
+    fn size_of(&mut self, inum: Inum) -> usize {
+        FileSystem::size_of(self, inum)
+    }
+}

@@ -1,0 +1,154 @@
+//! Block devices: the trait, the RAM disk, and crash injection.
+
+/// Bytes per block (xv6's BSIZE).
+pub const BSIZE: usize = 1024;
+
+/// A block device.
+///
+/// In the simulated system the device is served by a separate process (the
+/// second server of the SQLite stack); the scenario layer wraps an
+/// implementor in an IPC or SkyBridge proxy and charges transfer costs.
+pub trait BlockDevice {
+    /// Number of blocks.
+    fn nblocks(&self) -> u32;
+
+    /// Reads block `bno` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bno` is out of range.
+    fn read_block(&mut self, bno: u32, buf: &mut [u8; BSIZE]);
+
+    /// Writes `buf` to block `bno`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bno` is out of range.
+    fn write_block(&mut self, bno: u32, buf: &[u8; BSIZE]);
+}
+
+/// An in-memory disk, with I/O counters.
+#[derive(Debug, Clone)]
+pub struct RamDisk {
+    blocks: Vec<[u8; BSIZE]>,
+    /// Total block reads served.
+    pub reads: u64,
+    /// Total block writes served.
+    pub writes: u64,
+}
+
+impl RamDisk {
+    /// A zeroed disk of `nblocks` blocks.
+    pub fn new(nblocks: u32) -> Self {
+        RamDisk {
+            blocks: vec![[0; BSIZE]; nblocks as usize],
+            reads: 0,
+            writes: 0,
+        }
+    }
+}
+
+impl BlockDevice for RamDisk {
+    fn nblocks(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    fn read_block(&mut self, bno: u32, buf: &mut [u8; BSIZE]) {
+        self.reads += 1;
+        *buf = self.blocks[bno as usize];
+    }
+
+    fn write_block(&mut self, bno: u32, buf: &[u8; BSIZE]) {
+        self.writes += 1;
+        self.blocks[bno as usize] = *buf;
+    }
+}
+
+/// A crash-injecting wrapper: after `fuse` successful writes, every
+/// subsequent write is silently dropped — the moral equivalent of power
+/// loss mid-sequence. Reads always see the persisted state.
+#[derive(Debug, Clone)]
+pub struct CrashDisk {
+    inner: RamDisk,
+    /// Writes remaining before the "power loss".
+    pub fuse: u64,
+    /// Writes dropped after the crash point.
+    pub dropped: u64,
+}
+
+impl CrashDisk {
+    /// Wraps `disk`, allowing `fuse` more writes.
+    pub fn new(inner: RamDisk, fuse: u64) -> Self {
+        CrashDisk {
+            inner,
+            fuse,
+            dropped: 0,
+        }
+    }
+
+    /// Consumes the wrapper, returning the surviving disk state.
+    pub fn into_survivor(self) -> RamDisk {
+        self.inner
+    }
+}
+
+impl BlockDevice for CrashDisk {
+    fn nblocks(&self) -> u32 {
+        self.inner.nblocks()
+    }
+
+    fn read_block(&mut self, bno: u32, buf: &mut [u8; BSIZE]) {
+        self.inner.read_block(bno, buf);
+    }
+
+    fn write_block(&mut self, bno: u32, buf: &[u8; BSIZE]) {
+        if self.fuse == 0 {
+            self.dropped += 1;
+            return;
+        }
+        self.fuse -= 1;
+        self.inner.write_block(bno, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramdisk_roundtrip_and_counters() {
+        let mut d = RamDisk::new(8);
+        let mut buf = [0u8; BSIZE];
+        buf[0] = 0xaa;
+        d.write_block(3, &buf);
+        let mut out = [0u8; BSIZE];
+        d.read_block(3, &mut out);
+        assert_eq!(out[0], 0xaa);
+        assert_eq!((d.reads, d.writes), (1, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut d = RamDisk::new(2);
+        let buf = [0u8; BSIZE];
+        d.write_block(2, &buf);
+    }
+
+    #[test]
+    fn crash_disk_drops_writes_after_fuse() {
+        let mut d = CrashDisk::new(RamDisk::new(4), 1);
+        let mut one = [0u8; BSIZE];
+        one[0] = 1;
+        let mut two = [0u8; BSIZE];
+        two[0] = 2;
+        d.write_block(0, &one); // Persisted.
+        d.write_block(1, &two); // Dropped.
+        assert_eq!(d.dropped, 1);
+        let mut buf = [0u8; BSIZE];
+        d.read_block(0, &mut buf);
+        assert_eq!(buf[0], 1);
+        d.read_block(1, &mut buf);
+        assert_eq!(buf[0], 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Directory entries.
+
+/// Maximum file-name length (xv6's DIRSIZ).
+pub const DIRSIZ: usize = 14;
+
+/// Bytes per directory entry: 2-byte inum + name.
+pub const DIRENT_SIZE: usize = 16;
+
+/// One directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dirent {
+    /// Inode number (0 = free slot).
+    pub inum: u16,
+    /// File name (≤ [`DIRSIZ`] bytes).
+    pub name: String,
+}
+
+impl Dirent {
+    /// Serializes into a 16-byte slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name exceeds [`DIRSIZ`] bytes.
+    pub fn encode(&self) -> [u8; DIRENT_SIZE] {
+        assert!(self.name.len() <= DIRSIZ, "name too long");
+        let mut b = [0u8; DIRENT_SIZE];
+        b[0..2].copy_from_slice(&self.inum.to_le_bytes());
+        b[2..2 + self.name.len()].copy_from_slice(self.name.as_bytes());
+        b
+    }
+
+    /// Deserializes a 16-byte slot.
+    pub fn decode(b: &[u8]) -> Self {
+        let inum = u16::from_le_bytes(b[0..2].try_into().unwrap());
+        let end = b[2..2 + DIRSIZ]
+            .iter()
+            .position(|&c| c == 0)
+            .map_or(DIRSIZ, |p| p);
+        Dirent {
+            inum,
+            name: String::from_utf8_lossy(&b[2..2 + end]).into_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = Dirent {
+            inum: 7,
+            name: "wal.journal".into(),
+        };
+        assert_eq!(Dirent::decode(&d.encode()), d);
+    }
+
+    #[test]
+    fn max_length_name() {
+        let d = Dirent {
+            inum: 1,
+            name: "a".repeat(DIRSIZ),
+        };
+        assert_eq!(Dirent::decode(&d.encode()), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "name too long")]
+    fn too_long_panics() {
+        Dirent {
+            inum: 1,
+            name: "a".repeat(DIRSIZ + 1),
+        }
+        .encode();
+    }
+}

@@ -1,0 +1,681 @@
+//! The file-system facade: superblock, allocation, files, directories.
+
+use crate::{
+    blockdev::{BlockDevice, BSIZE},
+    dir::{Dirent, DIRENT_SIZE, DIRSIZ},
+    inode::{Dinode, InodeType, INODE_SIZE, IPB, MAXFILE, NDIRECT, NINDIRECT},
+    log::{Log, LOG_CAPACITY},
+};
+
+/// Inode number (0 is invalid; 1 is the root directory).
+pub type Inum = u16;
+
+/// The root directory's inode number.
+pub const ROOT_INUM: Inum = 1;
+
+const MAGIC: u32 = 0x5bf5_2019;
+
+/// File-system errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// Path component does not exist.
+    NotFound,
+    /// Create target already exists.
+    Exists,
+    /// A non-directory appeared mid-path.
+    NotADir,
+    /// Expected a file, found a directory.
+    IsADir,
+    /// Out of data blocks or inodes.
+    NoSpace,
+    /// Write beyond the maximum file size.
+    FileTooLarge,
+    /// Name longer than [`DIRSIZ`].
+    NameTooLong,
+    /// Directory not empty on unlink.
+    DirNotEmpty,
+    /// Not a valid file system (bad magic).
+    BadSuperblock,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FsError::NotFound => "not found",
+            FsError::Exists => "already exists",
+            FsError::NotADir => "not a directory",
+            FsError::IsADir => "is a directory",
+            FsError::NoSpace => "no space",
+            FsError::FileTooLarge => "file too large",
+            FsError::NameTooLong => "name too long",
+            FsError::DirNotEmpty => "directory not empty",
+            FsError::BadSuperblock => "bad superblock",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// On-disk layout descriptor (block 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Total blocks.
+    pub size: u32,
+    /// Log region blocks (header + slots).
+    pub nlog: u32,
+    /// First log block.
+    pub logstart: u32,
+    /// Inode count.
+    pub ninodes: u32,
+    /// First inode block.
+    pub inodestart: u32,
+    /// First bitmap block.
+    pub bmapstart: u32,
+    /// First data block.
+    pub datastart: u32,
+}
+
+impl Superblock {
+    fn encode(&self) -> [u8; BSIZE] {
+        let mut b = [0u8; BSIZE];
+        let words = [
+            MAGIC,
+            self.size,
+            self.nlog,
+            self.logstart,
+            self.ninodes,
+            self.inodestart,
+            self.bmapstart,
+            self.datastart,
+        ];
+        for (i, w) in words.iter().enumerate() {
+            b[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        b
+    }
+
+    fn decode(b: &[u8; BSIZE]) -> Result<Self, FsError> {
+        let w = |i: usize| u32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().unwrap());
+        if w(0) != MAGIC {
+            return Err(FsError::BadSuperblock);
+        }
+        Ok(Superblock {
+            size: w(1),
+            nlog: w(2),
+            logstart: w(3),
+            ninodes: w(4),
+            inodestart: w(5),
+            bmapstart: w(6),
+            datastart: w(7),
+        })
+    }
+}
+
+/// A mounted file system.
+///
+/// # Examples
+///
+/// ```
+/// use sb_fs::{FileSystem, RamDisk};
+///
+/// let mut fs = FileSystem::mkfs(RamDisk::new(1024), 32);
+/// let f = fs.create("/hello").unwrap();
+/// fs.write_at(f, 0, b"xv6fs says hi").unwrap();
+/// let mut buf = [0u8; 13];
+/// fs.read_at(f, 0, &mut buf);
+/// assert_eq!(&buf, b"xv6fs says hi");
+/// ```
+#[derive(Debug)]
+pub struct FileSystem<D: BlockDevice> {
+    dev: D,
+    sb: Superblock,
+    log: Log,
+}
+
+impl<D: BlockDevice> FileSystem<D> {
+    /// Formats `dev` and mounts the fresh file system.
+    pub fn mkfs(mut dev: D, ninodes: u32) -> Self {
+        let size = dev.nblocks();
+        let nlog = (LOG_CAPACITY + 1) as u32;
+        let logstart = 2;
+        let inodestart = logstart + nlog;
+        let ninodeblocks = ninodes.div_ceil(IPB as u32);
+        let bmapstart = inodestart + ninodeblocks;
+        let nbitmap = size.div_ceil((BSIZE * 8) as u32);
+        let datastart = bmapstart + nbitmap;
+        assert!(datastart < size, "device too small");
+        let sb = Superblock {
+            size,
+            nlog,
+            logstart,
+            ninodes,
+            inodestart,
+            bmapstart,
+            datastart,
+        };
+        let zero = [0u8; BSIZE];
+        for b in 0..datastart {
+            dev.write_block(b, &zero);
+        }
+        dev.write_block(1, &sb.encode());
+        let mut fs = FileSystem {
+            dev,
+            sb,
+            log: Log::new(logstart, nlog),
+        };
+        // Mark the metadata blocks used in the bitmap and create "/".
+        fs.log.begin_op();
+        for b in 0..datastart {
+            fs.bitmap_set(b, true);
+        }
+        let root = Dinode {
+            typ: InodeType::Dir,
+            nlink: 1,
+            size: 0,
+            addrs: [0; NDIRECT + 2],
+        };
+        fs.write_inode(ROOT_INUM, &root);
+        fs.log.end_op(&mut fs.dev);
+        fs
+    }
+
+    /// Mounts an existing file system, replaying any committed log.
+    pub fn mount(mut dev: D) -> Result<Self, FsError> {
+        let mut sb_block = [0u8; BSIZE];
+        dev.read_block(1, &mut sb_block);
+        let sb = Superblock::decode(&sb_block)?;
+        Log::recover(sb.logstart, &mut dev);
+        Ok(FileSystem {
+            dev,
+            sb,
+            log: Log::new(sb.logstart, sb.nlog),
+        })
+    }
+
+    /// Unmounts, returning the device.
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// The superblock.
+    pub fn superblock(&self) -> &Superblock {
+        &self.sb
+    }
+
+    /// Committed transactions so far.
+    pub fn commits(&self) -> u64 {
+        self.log.commits
+    }
+
+    /// Direct access to the device (for I/O statistics).
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    // ----- block I/O through the log -----
+
+    fn bread(&mut self, bno: u32) -> [u8; BSIZE] {
+        let mut buf = [0u8; BSIZE];
+        self.log.read(&mut self.dev, bno, &mut buf);
+        buf
+    }
+
+    fn bwrite(&mut self, bno: u32, data: &[u8; BSIZE]) {
+        self.log.write(bno, data);
+    }
+
+    // ----- bitmap allocation -----
+
+    fn bitmap_set(&mut self, bno: u32, used: bool) {
+        let bblock = self.sb.bmapstart + bno / (BSIZE as u32 * 8);
+        let mut buf = self.bread(bblock);
+        let bit = (bno % (BSIZE as u32 * 8)) as usize;
+        if used {
+            buf[bit / 8] |= 1 << (bit % 8);
+        } else {
+            buf[bit / 8] &= !(1 << (bit % 8));
+        }
+        self.bwrite(bblock, &buf);
+    }
+
+    fn balloc(&mut self) -> Result<u32, FsError> {
+        for bblock_i in 0..self.sb.size.div_ceil(BSIZE as u32 * 8) {
+            let bblock = self.sb.bmapstart + bblock_i;
+            let buf = self.bread(bblock);
+            for (byte, &v) in buf.iter().enumerate() {
+                if v != 0xff {
+                    let bit = v.trailing_ones() as usize;
+                    let bno = bblock_i * (BSIZE as u32 * 8) + (byte * 8 + bit) as u32;
+                    if bno >= self.sb.size {
+                        return Err(FsError::NoSpace);
+                    }
+                    self.bitmap_set(bno, true);
+                    self.bwrite(bno, &[0u8; BSIZE]);
+                    return Ok(bno);
+                }
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn bfree(&mut self, bno: u32) {
+        self.bitmap_set(bno, false);
+    }
+
+    // ----- inodes -----
+
+    fn inode_block(&self, inum: Inum) -> (u32, usize) {
+        let b = self.sb.inodestart + inum as u32 / IPB as u32;
+        let off = (inum as usize % IPB) * INODE_SIZE;
+        (b, off)
+    }
+
+    /// Reads an inode.
+    pub fn read_inode(&mut self, inum: Inum) -> Dinode {
+        let (b, off) = self.inode_block(inum);
+        let buf = self.bread(b);
+        Dinode::decode(&buf[off..off + INODE_SIZE])
+    }
+
+    fn write_inode(&mut self, inum: Inum, d: &Dinode) {
+        let (b, off) = self.inode_block(inum);
+        let mut buf = self.bread(b);
+        buf[off..off + INODE_SIZE].copy_from_slice(&d.encode());
+        self.bwrite(b, &buf);
+    }
+
+    fn ialloc(&mut self, typ: InodeType) -> Result<Inum, FsError> {
+        for inum in 1..self.sb.ninodes as Inum {
+            if self.read_inode(inum).typ == InodeType::Free {
+                let d = Dinode {
+                    typ,
+                    nlink: 1,
+                    size: 0,
+                    addrs: [0; NDIRECT + 2],
+                };
+                self.write_inode(inum, &d);
+                return Ok(inum);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Maps file block `fbn` of `inum` to a disk block, allocating if
+    /// requested.
+    fn bmap(&mut self, inum: Inum, fbn: usize, alloc: bool) -> Result<u32, FsError> {
+        if fbn >= MAXFILE {
+            return Err(FsError::FileTooLarge);
+        }
+        let mut d = self.read_inode(inum);
+        if fbn < NDIRECT {
+            if d.addrs[fbn] == 0 {
+                if !alloc {
+                    return Ok(0);
+                }
+                d.addrs[fbn] = self.balloc()?;
+                self.write_inode(inum, &d);
+            }
+            return Ok(d.addrs[fbn]);
+        }
+        if fbn < NDIRECT + NINDIRECT {
+            // Single indirect.
+            if d.addrs[NDIRECT] == 0 {
+                if !alloc {
+                    return Ok(0);
+                }
+                d.addrs[NDIRECT] = self.balloc()?;
+                self.write_inode(inum, &d);
+            }
+            return self.indirect_slot(d.addrs[NDIRECT], fbn - NDIRECT, alloc);
+        }
+        // Double indirect.
+        if d.addrs[NDIRECT + 1] == 0 {
+            if !alloc {
+                return Ok(0);
+            }
+            d.addrs[NDIRECT + 1] = self.balloc()?;
+            self.write_inode(inum, &d);
+        }
+        let rest = fbn - NDIRECT - NINDIRECT;
+        let mid = self.indirect_slot(d.addrs[NDIRECT + 1], rest / NINDIRECT, alloc)?;
+        if mid == 0 {
+            return Ok(0);
+        }
+        self.indirect_slot(mid, rest % NINDIRECT, alloc)
+    }
+
+    /// Reads (allocating if asked) slot `slot` of the indirect block `ib`.
+    fn indirect_slot(&mut self, ib: u32, slot: usize, alloc: bool) -> Result<u32, FsError> {
+        let mut ind = self.bread(ib);
+        let mut bno = u32::from_le_bytes(ind[slot * 4..slot * 4 + 4].try_into().unwrap());
+        if bno == 0 && alloc {
+            bno = self.balloc()?;
+            ind[slot * 4..slot * 4 + 4].copy_from_slice(&bno.to_le_bytes());
+            self.bwrite(ib, &ind);
+        }
+        Ok(bno)
+    }
+
+    /// Reads up to `buf.len()` bytes at `off`; returns bytes read.
+    fn readi(&mut self, inum: Inum, off: usize, buf: &mut [u8]) -> usize {
+        let d = self.read_inode(inum);
+        let size = d.size as usize;
+        if off >= size {
+            return 0;
+        }
+        let n = buf.len().min(size - off);
+        let mut done = 0;
+        while done < n {
+            let fbn = (off + done) / BSIZE;
+            let boff = (off + done) % BSIZE;
+            let chunk = (BSIZE - boff).min(n - done);
+            let bno = self.bmap(inum, fbn, false).unwrap_or(0);
+            if bno == 0 {
+                // Hole: zeros.
+                buf[done..done + chunk].fill(0);
+            } else {
+                let data = self.bread(bno);
+                buf[done..done + chunk].copy_from_slice(&data[boff..boff + chunk]);
+            }
+            done += chunk;
+        }
+        n
+    }
+
+    /// Writes `data` at `off`, extending the file. Must run inside a
+    /// transaction; callers chunk to respect the log capacity.
+    fn writei(&mut self, inum: Inum, off: usize, data: &[u8]) -> Result<(), FsError> {
+        let mut done = 0;
+        while done < data.len() {
+            let fbn = (off + done) / BSIZE;
+            let boff = (off + done) % BSIZE;
+            let chunk = (BSIZE - boff).min(data.len() - done);
+            let bno = self.bmap(inum, fbn, true)?;
+            let mut buf = self.bread(bno);
+            buf[boff..boff + chunk].copy_from_slice(&data[done..done + chunk]);
+            self.bwrite(bno, &buf);
+            done += chunk;
+        }
+        let mut d = self.read_inode(inum);
+        if (off + data.len()) as u32 > d.size {
+            d.size = (off + data.len()) as u32;
+            self.write_inode(inum, &d);
+        }
+        Ok(())
+    }
+
+    // ----- directories -----
+
+    fn dir_lookup(&mut self, dir: Inum, name: &str) -> Option<Inum> {
+        let d = self.read_inode(dir);
+        let mut off = 0;
+        while off < d.size as usize {
+            let mut slot = [0u8; DIRENT_SIZE];
+            self.readi(dir, off, &mut slot);
+            let e = Dirent::decode(&slot);
+            if e.inum != 0 && e.name == name {
+                return Some(e.inum);
+            }
+            off += DIRENT_SIZE;
+        }
+        None
+    }
+
+    fn dir_link(&mut self, dir: Inum, name: &str, inum: Inum) -> Result<(), FsError> {
+        if name.len() > DIRSIZ {
+            return Err(FsError::NameTooLong);
+        }
+        let d = self.read_inode(dir);
+        // Reuse a free slot if any.
+        let mut off = 0;
+        while off < d.size as usize {
+            let mut slot = [0u8; DIRENT_SIZE];
+            self.readi(dir, off, &mut slot);
+            if Dirent::decode(&slot).inum == 0 {
+                break;
+            }
+            off += DIRENT_SIZE;
+        }
+        let e = Dirent {
+            inum,
+            name: name.to_string(),
+        };
+        self.writei(dir, off, &e.encode())
+    }
+
+    fn path_parts(path: &str) -> Vec<&str> {
+        path.split('/').filter(|p| !p.is_empty()).collect()
+    }
+
+    /// Resolves `path` to an inode number.
+    pub fn namei(&mut self, path: &str) -> Result<Inum, FsError> {
+        let mut at = ROOT_INUM;
+        for part in Self::path_parts(path) {
+            if self.read_inode(at).typ != InodeType::Dir {
+                return Err(FsError::NotADir);
+            }
+            at = self.dir_lookup(at, part).ok_or(FsError::NotFound)?;
+        }
+        Ok(at)
+    }
+
+    fn namei_parent<'a>(&mut self, path: &'a str) -> Result<(Inum, &'a str), FsError> {
+        let parts = Self::path_parts(path);
+        let Some((&last, dirs)) = parts.split_last() else {
+            return Err(FsError::Exists); // "/" itself.
+        };
+        let mut at = ROOT_INUM;
+        for part in dirs {
+            if self.read_inode(at).typ != InodeType::Dir {
+                return Err(FsError::NotADir);
+            }
+            at = self.dir_lookup(at, part).ok_or(FsError::NotFound)?;
+        }
+        Ok((at, last))
+    }
+
+    // ----- public operations (each is one transaction) -----
+
+    /// Creates a regular file, returning its inode number.
+    pub fn create(&mut self, path: &str) -> Result<Inum, FsError> {
+        self.create_typed(path, InodeType::File)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, path: &str) -> Result<Inum, FsError> {
+        self.create_typed(path, InodeType::Dir)
+    }
+
+    fn create_typed(&mut self, path: &str, typ: InodeType) -> Result<Inum, FsError> {
+        self.log.begin_op();
+        let r = (|| {
+            let (dir, name) = self.namei_parent(path)?;
+            if self.dir_lookup(dir, name).is_some() {
+                return Err(FsError::Exists);
+            }
+            let inum = self.ialloc(typ)?;
+            self.dir_link(dir, name, inum)?;
+            Ok(inum)
+        })();
+        self.log.end_op(&mut self.dev);
+        r
+    }
+
+    /// Opens an existing file.
+    pub fn open(&mut self, path: &str) -> Result<Inum, FsError> {
+        let inum = self.namei(path)?;
+        if self.read_inode(inum).typ == InodeType::Dir {
+            return Err(FsError::IsADir);
+        }
+        Ok(inum)
+    }
+
+    /// The size of a file in bytes.
+    pub fn size_of(&mut self, inum: Inum) -> usize {
+        self.read_inode(inum).size as usize
+    }
+
+    /// Reads at `off`; returns bytes read.
+    pub fn read_at(&mut self, inum: Inum, off: usize, buf: &mut [u8]) -> usize {
+        self.readi(inum, off, buf)
+    }
+
+    /// Writes at `off` (extending the file), chunking into transactions
+    /// that respect the log capacity.
+    pub fn write_at(&mut self, inum: Inum, off: usize, data: &[u8]) -> Result<(), FsError> {
+        // Budget: ≤ 8 data blocks per transaction leaves room for the
+        // inode, bitmap and indirect blocks.
+        const CHUNK: usize = 8 * BSIZE;
+        let mut done = 0;
+        while done < data.len() || data.is_empty() {
+            let n = CHUNK.min(data.len() - done);
+            self.log.begin_op();
+            let r = self.writei(inum, off + done, &data[done..done + n]);
+            self.log.end_op(&mut self.dev);
+            r?;
+            done += n;
+            if data.is_empty() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a hard link `new` to the existing file `old`.
+    pub fn link(&mut self, old: &str, new: &str) -> Result<(), FsError> {
+        self.log.begin_op();
+        let r = (|| {
+            let inum = self.namei(old)?;
+            let mut d = self.read_inode(inum);
+            if d.typ == InodeType::Dir {
+                return Err(FsError::IsADir);
+            }
+            let (dir, name) = self.namei_parent(new)?;
+            if self.dir_lookup(dir, name).is_some() {
+                return Err(FsError::Exists);
+            }
+            self.dir_link(dir, name, inum)?;
+            d.nlink += 1;
+            self.write_inode(inum, &d);
+            Ok(())
+        })();
+        self.log.end_op(&mut self.dev);
+        r
+    }
+
+    /// Removes a file (or an empty directory).
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        self.log.begin_op();
+        let r = (|| {
+            let (dir, name) = self.namei_parent(path)?;
+            let inum = self.dir_lookup(dir, name).ok_or(FsError::NotFound)?;
+            let mut d = self.read_inode(inum);
+            if d.typ == InodeType::Dir && self.dir_entries(inum) > 0 {
+                return Err(FsError::DirNotEmpty);
+            }
+            if d.nlink > 1 {
+                // Other links remain: drop the entry, keep the data.
+                d.nlink -= 1;
+                self.write_inode(inum, &d);
+                let dd = self.read_inode(dir);
+                let mut off = 0;
+                while off < dd.size as usize {
+                    let mut slot = [0u8; DIRENT_SIZE];
+                    self.readi(dir, off, &mut slot);
+                    let e = Dirent::decode(&slot);
+                    if e.inum == inum && e.name == name {
+                        self.writei(dir, off, &[0u8; DIRENT_SIZE])?;
+                        break;
+                    }
+                    off += DIRENT_SIZE;
+                }
+                return Ok(());
+            }
+            // Free data blocks.
+            for a in d.addrs.iter().take(NDIRECT) {
+                if *a != 0 {
+                    self.bfree(*a);
+                }
+            }
+            if d.addrs[NDIRECT] != 0 {
+                self.free_indirect(d.addrs[NDIRECT]);
+            }
+            if d.addrs[NDIRECT + 1] != 0 {
+                let dbl = self.bread(d.addrs[NDIRECT + 1]);
+                for slot in 0..NINDIRECT {
+                    let mid = u32::from_le_bytes(dbl[slot * 4..slot * 4 + 4].try_into().unwrap());
+                    if mid != 0 {
+                        self.free_indirect(mid);
+                    }
+                }
+                self.bfree(d.addrs[NDIRECT + 1]);
+            }
+            self.write_inode(inum, &Dinode::empty());
+            // Clear the directory entry.
+            let dd = self.read_inode(dir);
+            let mut off = 0;
+            while off < dd.size as usize {
+                let mut slot = [0u8; DIRENT_SIZE];
+                self.readi(dir, off, &mut slot);
+                let e = Dirent::decode(&slot);
+                if e.inum == inum && e.name == name {
+                    self.writei(dir, off, &[0u8; DIRENT_SIZE])?;
+                    break;
+                }
+                off += DIRENT_SIZE;
+            }
+            Ok(())
+        })();
+        self.log.end_op(&mut self.dev);
+        r
+    }
+
+    /// Frees an indirect block and everything it references.
+    fn free_indirect(&mut self, ib: u32) {
+        let ind = self.bread(ib);
+        for slot in 0..NINDIRECT {
+            let bno = u32::from_le_bytes(ind[slot * 4..slot * 4 + 4].try_into().unwrap());
+            if bno != 0 {
+                self.bfree(bno);
+            }
+        }
+        self.bfree(ib);
+    }
+
+    fn dir_entries(&mut self, dir: Inum) -> usize {
+        let d = self.read_inode(dir);
+        let mut n = 0;
+        let mut off = 0;
+        while off < d.size as usize {
+            let mut slot = [0u8; DIRENT_SIZE];
+            self.readi(dir, off, &mut slot);
+            if Dirent::decode(&slot).inum != 0 {
+                n += 1;
+            }
+            off += DIRENT_SIZE;
+        }
+        n
+    }
+
+    /// Lists the names in a directory.
+    pub fn list_dir(&mut self, path: &str) -> Result<Vec<String>, FsError> {
+        let dir = self.namei(path)?;
+        let d = self.read_inode(dir);
+        if d.typ != InodeType::Dir {
+            return Err(FsError::NotADir);
+        }
+        let mut out = Vec::new();
+        let mut off = 0;
+        while off < d.size as usize {
+            let mut slot = [0u8; DIRENT_SIZE];
+            self.readi(dir, off, &mut slot);
+            let e = Dirent::decode(&slot);
+            if e.inum != 0 {
+                out.push(e.name);
+            }
+            off += DIRENT_SIZE;
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,274 @@
+//! The write-ahead log (xv6-style).
+//!
+//! Every mutating file-system operation is bracketed by
+//! [`Log::begin_op`]/[`Log::end_op`]. Writes are staged (and absorbed) in
+//! memory; at the outermost `end_op` the staged blocks are written to the
+//! on-disk log region, the header block is written **last** (the atomic
+//! commit point), the blocks are installed to their home locations, and
+//! the header is cleared. [`Log::recover`] replays a committed-but-not-
+//! installed log at mount time, which is what makes a crash at any block
+//! boundary safe.
+
+use std::collections::HashMap;
+
+use crate::blockdev::{BlockDevice, BSIZE};
+
+/// Maximum blocks per transaction (xv6's LOGSIZE guard).
+pub const LOG_CAPACITY: usize = 30;
+
+/// The in-memory log state.
+#[derive(Debug)]
+pub struct Log {
+    /// First block of the on-disk log region (the header).
+    start: u32,
+    /// Blocks in the region (header + data slots).
+    size: u32,
+    /// Transaction nesting depth.
+    depth: usize,
+    /// Staged home-block numbers, in first-write order.
+    pending: Vec<u32>,
+    /// Staged contents, by home block number (absorption).
+    staged: HashMap<u32, [u8; BSIZE]>,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Writes absorbed into an already-staged block.
+    pub absorbed: u64,
+}
+
+impl Log {
+    /// Creates the log for the region `[start, start + size)`.
+    pub fn new(start: u32, size: u32) -> Self {
+        assert!(size as usize > LOG_CAPACITY, "log region too small");
+        Log {
+            start,
+            size,
+            depth: 0,
+            pending: Vec::new(),
+            staged: HashMap::new(),
+            commits: 0,
+            absorbed: 0,
+        }
+    }
+
+    /// Begins (or nests into) a transaction.
+    pub fn begin_op(&mut self) {
+        self.depth += 1;
+    }
+
+    /// Stages a write of `data` to home block `bno`.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction or if the transaction exceeds
+    /// [`LOG_CAPACITY`].
+    pub fn write(&mut self, bno: u32, data: &[u8; BSIZE]) {
+        assert!(self.depth > 0, "log write outside a transaction");
+        if self.staged.insert(bno, *data).is_none() {
+            self.pending.push(bno);
+            assert!(
+                self.pending.len() <= LOG_CAPACITY,
+                "transaction exceeds log capacity"
+            );
+        } else {
+            self.absorbed += 1;
+        }
+    }
+
+    /// Reads `bno` through the log (staged content wins).
+    pub fn read(&mut self, dev: &mut dyn BlockDevice, bno: u32, buf: &mut [u8; BSIZE]) {
+        if let Some(data) = self.staged.get(&bno) {
+            *buf = *data;
+        } else {
+            dev.read_block(bno, buf);
+        }
+    }
+
+    /// Ends a transaction; the outermost end commits.
+    pub fn end_op(&mut self, dev: &mut dyn BlockDevice) {
+        assert!(self.depth > 0);
+        self.depth -= 1;
+        if self.depth == 0 {
+            self.commit(dev);
+        }
+    }
+
+    fn commit(&mut self, dev: &mut dyn BlockDevice) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // 1. Write staged blocks into the log region.
+        for (i, &bno) in self.pending.iter().enumerate() {
+            assert!((i as u32) < self.size - 1);
+            dev.write_block(self.start + 1 + i as u32, &self.staged[&bno]);
+        }
+        // 2. Write the header — the single atomic commit point.
+        dev.write_block(self.start, &self.encode_header());
+        // 3. Install to home locations.
+        for &bno in &self.pending {
+            dev.write_block(bno, &self.staged[&bno]);
+        }
+        // 4. Clear the header.
+        let empty = [0u8; BSIZE];
+        dev.write_block(self.start, &empty);
+        self.pending.clear();
+        self.staged.clear();
+        self.commits += 1;
+    }
+
+    fn encode_header(&self) -> [u8; BSIZE] {
+        let mut h = [0u8; BSIZE];
+        h[..4].copy_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        for (i, &bno) in self.pending.iter().enumerate() {
+            h[4 + i * 4..8 + i * 4].copy_from_slice(&bno.to_le_bytes());
+        }
+        h
+    }
+
+    /// Replays a committed log found on `dev` (mount-time recovery).
+    /// Returns the number of blocks installed.
+    pub fn recover(start: u32, dev: &mut dyn BlockDevice) -> usize {
+        let mut head = [0u8; BSIZE];
+        dev.read_block(start, &mut head);
+        let n = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+        if n == 0 || n > LOG_CAPACITY {
+            return 0;
+        }
+        for i in 0..n {
+            let bno = u32::from_le_bytes(head[4 + i * 4..8 + i * 4].try_into().unwrap());
+            let mut data = [0u8; BSIZE];
+            dev.read_block(start + 1 + i as u32, &mut data);
+            dev.write_block(bno, &data);
+        }
+        let empty = [0u8; BSIZE];
+        dev.write_block(start, &empty);
+        n
+    }
+
+    /// Blocks staged in the current transaction.
+    pub fn staged_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::blockdev::{CrashDisk, RamDisk};
+
+    use super::*;
+
+    const LOG_START: u32 = 2;
+    const LOG_SIZE: u32 = 32;
+
+    fn block(v: u8) -> [u8; BSIZE] {
+        let mut b = [0u8; BSIZE];
+        b[0] = v;
+        b
+    }
+
+    #[test]
+    fn commit_installs_to_home() {
+        let mut dev = RamDisk::new(64);
+        let mut log = Log::new(LOG_START, LOG_SIZE);
+        log.begin_op();
+        log.write(40, &block(7));
+        log.write(41, &block(8));
+        log.end_op(&mut dev);
+        let mut buf = [0u8; BSIZE];
+        dev.read_block(40, &mut buf);
+        assert_eq!(buf[0], 7);
+        dev.read_block(41, &mut buf);
+        assert_eq!(buf[0], 8);
+        assert_eq!(log.commits, 1);
+    }
+
+    #[test]
+    fn reads_see_staged_writes() {
+        let mut dev = RamDisk::new(64);
+        let mut log = Log::new(LOG_START, LOG_SIZE);
+        log.begin_op();
+        log.write(40, &block(9));
+        let mut buf = [0u8; BSIZE];
+        log.read(&mut dev, 40, &mut buf);
+        assert_eq!(buf[0], 9, "read-your-writes inside a transaction");
+        log.end_op(&mut dev);
+    }
+
+    #[test]
+    fn absorption_coalesces_rewrites() {
+        let mut dev = RamDisk::new(64);
+        let mut log = Log::new(LOG_START, LOG_SIZE);
+        log.begin_op();
+        log.write(40, &block(1));
+        log.write(40, &block(2));
+        log.end_op(&mut dev);
+        assert_eq!(log.absorbed, 1);
+        let mut buf = [0u8; BSIZE];
+        dev.read_block(40, &mut buf);
+        assert_eq!(buf[0], 2);
+    }
+
+    #[test]
+    fn nested_ops_commit_once_at_outermost() {
+        let mut dev = RamDisk::new(64);
+        let mut log = Log::new(LOG_START, LOG_SIZE);
+        log.begin_op();
+        log.write(40, &block(1));
+        log.begin_op();
+        log.write(41, &block(2));
+        log.end_op(&mut dev);
+        assert_eq!(log.commits, 0, "inner end must not commit");
+        log.end_op(&mut dev);
+        assert_eq!(log.commits, 1);
+    }
+
+    /// The crash-safety sweep: crash after every possible number of device
+    /// writes during a commit; after recovery, the home blocks hold either
+    /// *all* old values or *all* new values.
+    #[test]
+    fn crash_anywhere_is_atomic() {
+        // A committed transaction writes: 2 log blocks + header + 2 home +
+        // header clear = 6 device writes.
+        for fuse in 0..=6u64 {
+            let mut base = RamDisk::new(64);
+            // Old values.
+            base.write_block(40, &block(0xa0));
+            base.write_block(41, &block(0xa1));
+            let mut dev = CrashDisk::new(base, fuse);
+            let mut log = Log::new(LOG_START, LOG_SIZE);
+            log.begin_op();
+            log.write(40, &block(0xb0));
+            log.write(41, &block(0xb1));
+            log.end_op(&mut dev);
+            // Power returns: recover on the surviving state.
+            let mut disk = dev.into_survivor();
+            Log::recover(LOG_START, &mut disk);
+            let mut b40 = [0u8; BSIZE];
+            let mut b41 = [0u8; BSIZE];
+            disk.read_block(40, &mut b40);
+            disk.read_block(41, &mut b41);
+            let state = (b40[0], b41[0]);
+            assert!(
+                state == (0xa0, 0xa1) || state == (0xb0, 0xb1),
+                "crash at write #{fuse} left a torn state {state:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_is_idempotent() {
+        let mut dev = RamDisk::new(64);
+        let mut log = Log::new(LOG_START, LOG_SIZE);
+        log.begin_op();
+        log.write(40, &block(5));
+        log.end_op(&mut dev);
+        assert_eq!(Log::recover(LOG_START, &mut dev), 0);
+        assert_eq!(Log::recover(LOG_START, &mut dev), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a transaction")]
+    fn write_outside_op_panics() {
+        let mut log = Log::new(LOG_START, LOG_SIZE);
+        log.write(40, &block(1));
+    }
+}

@@ -1,0 +1,326 @@
+//! File-system behaviour, model-based property tests, and crash recovery.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sb_fs::{
+    blockdev::{CrashDisk, RamDisk},
+    fs::ROOT_INUM,
+    FileSystem, FsError, BSIZE,
+};
+
+fn fresh() -> FileSystem<RamDisk> {
+    FileSystem::mkfs(RamDisk::new(2048), 128)
+}
+
+#[test]
+fn create_write_read_roundtrip() {
+    let mut fs = fresh();
+    let f = fs.create("/db.sqlite").unwrap();
+    let data: Vec<u8> = (0..5000).map(|i| (i % 253) as u8).collect();
+    fs.write_at(f, 0, &data).unwrap();
+    assert_eq!(fs.size_of(f), data.len());
+    let mut out = vec![0u8; data.len()];
+    assert_eq!(fs.read_at(f, 0, &mut out), data.len());
+    assert_eq!(out, data);
+}
+
+#[test]
+fn read_beyond_eof_is_short() {
+    let mut fs = fresh();
+    let f = fs.create("/x").unwrap();
+    fs.write_at(f, 0, b"hello").unwrap();
+    let mut buf = [0u8; 16];
+    assert_eq!(fs.read_at(f, 0, &mut buf), 5);
+    assert_eq!(fs.read_at(f, 5, &mut buf), 0);
+    assert_eq!(fs.read_at(f, 100, &mut buf), 0);
+}
+
+#[test]
+fn overwrite_in_place() {
+    let mut fs = fresh();
+    let f = fs.create("/x").unwrap();
+    fs.write_at(f, 0, b"aaaaaaaaaa").unwrap();
+    fs.write_at(f, 3, b"BBB").unwrap();
+    let mut buf = [0u8; 10];
+    fs.read_at(f, 0, &mut buf);
+    assert_eq!(&buf, b"aaaBBBaaaa");
+    assert_eq!(fs.size_of(f), 10);
+}
+
+#[test]
+fn sparse_write_reads_zero_holes() {
+    let mut fs = fresh();
+    let f = fs.create("/sparse").unwrap();
+    fs.write_at(f, 3 * BSIZE, b"tail").unwrap();
+    let mut buf = vec![0xffu8; BSIZE];
+    fs.read_at(f, 0, &mut buf);
+    assert!(buf.iter().all(|&b| b == 0), "holes must read as zeros");
+}
+
+#[test]
+fn large_file_uses_indirect_blocks() {
+    let mut fs = FileSystem::mkfs(RamDisk::new(4096), 64);
+    let f = fs.create("/big").unwrap();
+    // 40 blocks: well past the 12 direct pointers.
+    let data: Vec<u8> = (0..40 * BSIZE).map(|i| (i % 241) as u8).collect();
+    fs.write_at(f, 0, &data).unwrap();
+    let mut out = vec![0u8; data.len()];
+    fs.read_at(f, 0, &mut out);
+    assert_eq!(out, data);
+}
+
+#[test]
+fn file_too_large_is_refused() {
+    let mut fs = FileSystem::mkfs(RamDisk::new(8192), 64);
+    let f = fs.create("/huge").unwrap();
+    let nindirect = BSIZE / 4;
+    let max = (12 + nindirect + nindirect * nindirect) * BSIZE;
+    assert_eq!(fs.write_at(f, max, b"x"), Err(FsError::FileTooLarge));
+    // And a write through the double-indirect region works.
+    let off = (12 + nindirect + 5) * BSIZE;
+    fs.write_at(f, off, b"deep").unwrap();
+    let mut buf = [0u8; 4];
+    fs.read_at(f, off, &mut buf);
+    assert_eq!(&buf, b"deep");
+}
+
+#[test]
+fn directories_and_paths() {
+    let mut fs = fresh();
+    fs.mkdir("/data").unwrap();
+    fs.mkdir("/data/journal").unwrap();
+    let f = fs.create("/data/journal/wal").unwrap();
+    fs.write_at(f, 0, b"j").unwrap();
+    assert_eq!(fs.namei("/data/journal/wal").unwrap(), f);
+    assert_eq!(fs.list_dir("/data").unwrap(), vec!["journal".to_string()]);
+    assert_eq!(fs.namei("/nope"), Err(FsError::NotFound));
+    assert_eq!(fs.namei("/data/journal/wal/x"), Err(FsError::NotADir));
+}
+
+#[test]
+fn create_duplicate_fails() {
+    let mut fs = fresh();
+    fs.create("/x").unwrap();
+    assert_eq!(fs.create("/x"), Err(FsError::Exists));
+}
+
+#[test]
+fn unlink_frees_space_for_reuse() {
+    let mut fs = FileSystem::mkfs(RamDisk::new(512), 32);
+    // Fill a good chunk, delete, refill — must not run out of space.
+    for round in 0..5 {
+        let name = "/blob".to_string();
+        let f = fs.create(&name).unwrap();
+        let data = vec![round as u8; 100 * 1024];
+        fs.write_at(f, 0, &data).unwrap();
+        fs.unlink(&name).unwrap();
+    }
+    // And unlinked names are gone.
+    assert_eq!(fs.open("/blob"), Err(FsError::NotFound));
+}
+
+#[test]
+fn unlink_nonempty_dir_refused() {
+    let mut fs = fresh();
+    fs.mkdir("/d").unwrap();
+    fs.create("/d/f").unwrap();
+    assert_eq!(fs.unlink("/d"), Err(FsError::DirNotEmpty));
+    fs.unlink("/d/f").unwrap();
+    fs.unlink("/d").unwrap();
+    assert_eq!(fs.namei("/d"), Err(FsError::NotFound));
+}
+
+#[test]
+fn remount_preserves_contents() {
+    let mut fs = fresh();
+    let f = fs.create("/persist").unwrap();
+    fs.write_at(f, 0, b"still here").unwrap();
+    let disk = fs.into_device();
+    let mut fs2 = FileSystem::mount(disk).unwrap();
+    let f2 = fs2.open("/persist").unwrap();
+    let mut buf = [0u8; 10];
+    fs2.read_at(f2, 0, &mut buf);
+    assert_eq!(&buf, b"still here");
+}
+
+#[test]
+fn mount_garbage_fails() {
+    assert!(matches!(
+        FileSystem::mount(RamDisk::new(64)),
+        Err(FsError::BadSuperblock)
+    ));
+}
+
+#[test]
+fn root_inode_is_a_directory() {
+    let mut fs = fresh();
+    assert_eq!(fs.read_inode(ROOT_INUM).typ, sb_fs::inode::InodeType::Dir);
+}
+
+/// Crash-recovery sweep at the file-system level: set up a base image,
+/// crash after each possible number of device writes during an update of
+/// two files, recover, and check that every file is either fully old or
+/// fully new — and the file system is still usable.
+#[test]
+fn crash_during_update_preserves_consistency() {
+    // Count writes needed by the whole update when it succeeds.
+    let probe = {
+        let mut fs = FileSystem::mkfs(RamDisk::new(1024), 32);
+        let a = fs.create("/a").unwrap();
+        fs.write_at(a, 0, &[0xAA; 2 * BSIZE]).unwrap();
+        let before = fs.device().writes;
+        fs.write_at(a, 0, &[0xBB; 2 * BSIZE]).unwrap();
+        fs.device().writes - before
+    };
+    for fuse in 0..=probe {
+        // Base image.
+        let mut fs = FileSystem::mkfs(RamDisk::new(1024), 32);
+        let a = fs.create("/a").unwrap();
+        fs.write_at(a, 0, &[0xAA; 2 * BSIZE]).unwrap();
+        let base = fs.into_device();
+        // Crashy update.
+        let mut fs = FileSystem::mount(CrashDisk::new(base, fuse)).unwrap();
+        let a = fs.open("/a").unwrap();
+        let _ = fs.write_at(a, 0, &[0xBB; 2 * BSIZE]);
+        let survivor = fs.into_device().into_survivor();
+        // Recover and check.
+        let mut fs = FileSystem::mount(survivor).unwrap();
+        let a = fs.open("/a").unwrap();
+        let mut buf = vec![0u8; 2 * BSIZE];
+        fs.read_at(a, 0, &mut buf);
+        let first = buf[0];
+        assert!(
+            first == 0xAA || first == 0xBB,
+            "crash at write #{fuse}: torn first byte {first:#x}"
+        );
+        // write_at chunks transactions at 8 blocks; a 2-block write is one
+        // transaction and must be atomic.
+        assert!(
+            buf.iter().all(|&b| b == first),
+            "crash at write #{fuse} tore the file"
+        );
+        // The file system remains usable after recovery.
+        let f = fs.create("/post-crash").unwrap();
+        fs.write_at(f, 0, b"alive").unwrap();
+    }
+}
+
+#[test]
+fn hard_links_share_data_until_last_unlink() {
+    let mut fs = fresh();
+    let f = fs.create("/orig").unwrap();
+    fs.write_at(f, 0, b"shared-bytes").unwrap();
+    fs.link("/orig", "/alias").unwrap();
+    // Both names reach the same inode and data.
+    assert_eq!(fs.namei("/orig").unwrap(), fs.namei("/alias").unwrap());
+    // Unlink one name: the data survives through the other.
+    fs.unlink("/orig").unwrap();
+    let a = fs.open("/alias").unwrap();
+    let mut buf = [0u8; 12];
+    fs.read_at(a, 0, &mut buf);
+    assert_eq!(&buf, b"shared-bytes");
+    // Unlink the last name: the inode is freed and reusable.
+    fs.unlink("/alias").unwrap();
+    assert_eq!(fs.open("/alias"), Err(FsError::NotFound));
+    let g = fs.create("/fresh").unwrap();
+    fs.write_at(g, 0, b"new").unwrap();
+}
+
+#[test]
+fn link_errors() {
+    let mut fs = fresh();
+    fs.create("/a").unwrap();
+    fs.mkdir("/d").unwrap();
+    assert_eq!(fs.link("/missing", "/b"), Err(FsError::NotFound));
+    assert_eq!(fs.link("/d", "/b"), Err(FsError::IsADir));
+    assert_eq!(fs.link("/a", "/a"), Err(FsError::Exists));
+}
+
+// ----- model-based property test -----
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Write {
+        file: u8,
+        off: u16,
+        len: u16,
+        val: u8,
+    },
+    Unlink(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6).prop_map(Op::Create),
+        (0u8..6, 0u16..5000, 1u16..3000, any::<u8>()).prop_map(|(file, off, len, val)| Op::Write {
+            file,
+            off,
+            len,
+            val
+        }),
+        (0u8..6).prop_map(Op::Unlink),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The file system agrees with an in-memory model under arbitrary
+    /// create/write/unlink sequences.
+    #[test]
+    fn matches_in_memory_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut fs = FileSystem::mkfs(RamDisk::new(4096), 64);
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        let path = |f: u8| format!("/f{f}");
+        for op in ops {
+            match op {
+                Op::Create(f) => {
+                    let r = fs.create(&path(f));
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(f) {
+                        prop_assert!(r.is_ok());
+                        e.insert(Vec::new());
+                    } else {
+                        prop_assert_eq!(r, Err(FsError::Exists));
+                    }
+                }
+                Op::Write { file, off, len, val } => {
+                    let data = vec![val; len as usize];
+                    match fs.open(&path(file)) {
+                        Ok(inum) => {
+                            prop_assert!(model.contains_key(&file));
+                            fs.write_at(inum, off as usize, &data).unwrap();
+                            let m = model.get_mut(&file).unwrap();
+                            let end = off as usize + data.len();
+                            if m.len() < end {
+                                m.resize(end, 0);
+                            }
+                            m[off as usize..end].copy_from_slice(&data);
+                        }
+                        Err(FsError::NotFound) => {
+                            prop_assert!(!model.contains_key(&file));
+                        }
+                        Err(e) => prop_assert!(false, "open failed: {e}"),
+                    }
+                }
+                Op::Unlink(f) => {
+                    let r = fs.unlink(&path(f));
+                    if model.remove(&f).is_some() {
+                        prop_assert!(r.is_ok());
+                    } else {
+                        prop_assert_eq!(r, Err(FsError::NotFound));
+                    }
+                }
+            }
+        }
+        // Final check: every modeled file matches byte for byte.
+        for (f, contents) in &model {
+            let inum = fs.open(&path(*f)).unwrap();
+            prop_assert_eq!(fs.size_of(inum), contents.len());
+            let mut out = vec![0u8; contents.len()];
+            fs.read_at(inum, 0, &mut out);
+            prop_assert_eq!(&out, contents);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Address newtypes and paging arithmetic.
+//!
+//! Three distinct physical/virtual address kinds flow through SkyBridge's
+//! CR3-remapping machinery; confusing them is exactly the bug class the
+//! newtypes below make unrepresentable.
+
+use std::fmt;
+
+/// Bytes per base page (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Bytes per 2 MiB large page.
+pub const PAGE_SIZE_2M: u64 = 2 * 1024 * 1024;
+
+/// Bytes per 1 GiB huge page (the Rootkernel's base-EPT granule).
+pub const PAGE_SIZE_1G: u64 = 1024 * 1024 * 1024;
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Offset within the 4 KiB page.
+            pub fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// The containing 4 KiB page's base address.
+            pub fn page_base(self) -> $name {
+                $name(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// Page number (address divided by the page size).
+            pub fn page_number(self) -> u64 {
+                self.0 >> 12
+            }
+
+            /// True if 4 KiB-aligned.
+            pub fn is_page_aligned(self) -> bool {
+                self.page_offset() == 0
+            }
+
+            /// Byte-offset addition.
+            #[allow(clippy::should_implement_trait)] // Deliberate: `Gva::add` reads as address math.
+            pub fn add(self, off: u64) -> $name {
+                $name(self.0 + off)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A guest-virtual address, translated by the process page table.
+    Gva
+}
+addr_newtype! {
+    /// A guest-physical address: the contents of CR3 and of page-table
+    /// entries, translated by the active EPT.
+    Gpa
+}
+addr_newtype! {
+    /// A host-physical address: what actually names a RAM frame.
+    Hpa
+}
+
+/// The four radix indices of an x86-64 virtual address, from PML4 down.
+///
+/// # Examples
+///
+/// ```
+/// use sb_mem::addr::{pt_indices, Gva};
+///
+/// // 0x0000_7fff_ffff_f000 is the last canonical low-half page.
+/// let idx = pt_indices(Gva(0x7fff_ffff_f000));
+/// assert_eq!(idx, [255, 511, 511, 511]);
+/// ```
+pub fn pt_indices(gva: Gva) -> [usize; 4] {
+    [
+        ((gva.0 >> 39) & 0x1ff) as usize,
+        ((gva.0 >> 30) & 0x1ff) as usize,
+        ((gva.0 >> 21) & 0x1ff) as usize,
+        ((gva.0 >> 12) & 0x1ff) as usize,
+    ]
+}
+
+/// The four radix indices of a guest-physical address within an EPT.
+pub fn ept_indices(gpa: Gpa) -> [usize; 4] {
+    [
+        ((gpa.0 >> 39) & 0x1ff) as usize,
+        ((gpa.0 >> 30) & 0x1ff) as usize,
+        ((gpa.0 >> 21) & 0x1ff) as usize,
+        ((gpa.0 >> 12) & 0x1ff) as usize,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        let a = Gva(0x1234);
+        assert_eq!(a.page_offset(), 0x234);
+        assert_eq!(a.page_base(), Gva(0x1000));
+        assert_eq!(a.page_number(), 1);
+        assert!(!a.is_page_aligned());
+        assert!(a.page_base().is_page_aligned());
+    }
+
+    #[test]
+    fn indices_roundtrip() {
+        let gva = Gva((3u64 << 39) | (7 << 30) | (11 << 21) | (13 << 12) | 5);
+        assert_eq!(pt_indices(gva), [3, 7, 11, 13]);
+    }
+
+    #[test]
+    fn ept_indices_of_identity() {
+        let gpa = Gpa(PAGE_SIZE_1G); // Exactly 1 GiB.
+        assert_eq!(ept_indices(gpa), [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn distinct_types_are_distinct() {
+        // This is a compile-time property; spot-check Debug formatting.
+        assert_eq!(format!("{:?}", Gpa(0x1000)), "Gpa(0x1000)");
+        assert_eq!(format!("{:?}", Hpa(0x1000)), "Hpa(0x1000)");
+    }
+}

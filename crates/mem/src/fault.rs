@@ -1,0 +1,62 @@
+//! Translation faults.
+
+use crate::addr::{Gpa, Gva};
+
+/// Why a translation failed.
+///
+/// Page faults are delivered to the Subkernel; EPT violations exit to the
+/// Rootkernel (and are counted in the Table 5 experiment, whose headline
+/// result is that the Rootkernel configuration produces *zero* of them in
+/// steady state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// A guest page-table entry on the walk path was not present.
+    NotPresent {
+        /// Faulting virtual address.
+        gva: Gva,
+        /// Walk level at which the walk stopped (4 = PML4 … 1 = PT).
+        level: u8,
+    },
+    /// The leaf entry was present but forbids the access.
+    Protection {
+        /// Faulting virtual address.
+        gva: Gva,
+        /// True if the access was a write to a read-only mapping.
+        write: bool,
+        /// True if a user-mode access hit a supervisor-only mapping.
+        user: bool,
+        /// True if an instruction fetch hit a no-execute mapping.
+        exec: bool,
+    },
+    /// The guest-physical address is not mapped (or lacks permission) in
+    /// the active EPT.
+    EptViolation {
+        /// Faulting guest-physical address.
+        gpa: Gpa,
+    },
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemFault::NotPresent { gva, level } => {
+                write!(f, "page not present at {gva:?} (level {level})")
+            }
+            MemFault::Protection {
+                gva,
+                write,
+                user,
+                exec,
+            } => write!(
+                f,
+                "protection violation at {gva:?} (write={write} user={user} \
+                 exec={exec})"
+            ),
+            MemFault::EptViolation { gpa } => {
+                write!(f, "EPT violation at {gpa:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}

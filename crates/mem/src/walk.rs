@@ -1,0 +1,592 @@
+//! The charged hardware translation path.
+//!
+//! [`translate`] performs exactly the memory accesses a hardware page walk
+//! performs, through the simulated TLBs and cache hierarchy:
+//!
+//! * TLB hit: no memory traffic, permissions checked from the cached entry;
+//! * TLB miss, no EPT: 4 guest-PTE reads;
+//! * TLB miss under an EPT with 4 KiB mappings: each guest-PTE read first
+//!   translates the PTE's GPA through the EPT (4 reads), and the final data
+//!   GPA is translated too — 4 × (4 + 1) + 4 = **24 accesses**, the §4.1
+//!   worst case the Rootkernel's 1 GiB mappings exist to avoid;
+//! * TLB miss under the 1 GiB base EPT: 4 × (2 + 1) + 2 = 14 accesses.
+//!
+//! The resolved translation is inserted into the i- or d-TLB tagged with
+//! the core's current (PCID, EPT root), so a `VMFUNC` EPTP switch makes the
+//! entries of the previous space unreachable *without flushing them* — the
+//! behaviour Table 2 attributes to VPID.
+
+use sb_sim::{AccessKind, CpuId, Machine};
+
+use crate::{
+    addr::{pt_indices, Gpa, Gva, Hpa, PAGE_SIZE},
+    ept::Ept,
+    fault::MemFault,
+    paging::{raw, PteFlags},
+    phys::HostMem,
+};
+
+/// The kind of access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Instruction fetch (i-TLB, L1i, needs execute permission).
+    Fetch,
+    /// Data read (d-TLB, L1d).
+    Read,
+    /// Data write (d-TLB, L1d, needs write permission).
+    Write,
+}
+
+impl Access {
+    fn cache_kind(self) -> AccessKind {
+        match self {
+            Access::Fetch => AccessKind::InstructionFetch,
+            Access::Read => AccessKind::DataRead,
+            Access::Write => AccessKind::DataWrite,
+        }
+    }
+
+    fn allowed_by(self, flags: PteFlags, user: bool) -> bool {
+        if user && !flags.user {
+            return false;
+        }
+        match self {
+            Access::Fetch => flags.exec,
+            Access::Read => true,
+            Access::Write => flags.write,
+        }
+    }
+
+    fn protection_fault(self, gva: Gva, user: bool) -> MemFault {
+        MemFault::Protection {
+            gva,
+            write: self == Access::Write,
+            user,
+            exec: self == Access::Fetch,
+        }
+    }
+}
+
+/// Translates one GPA through the core's active EPT, charging the entry
+/// reads. Identity (free) when no EPT is active.
+fn ept_resolve(
+    m: &mut Machine,
+    core: CpuId,
+    mem: &HostMem,
+    gpa: Gpa,
+    write: bool,
+    exec: bool,
+) -> Result<Hpa, MemFault> {
+    let root = m.cpu(core).ept_root;
+    if root == 0 {
+        return Ok(Hpa(gpa.0));
+    }
+    let ept = Ept { root: Hpa(root) };
+    let t = ept.translate(mem, gpa)?;
+    for i in 0..t.entries_read as usize {
+        m.mem_access(core, t.entry_addrs[i].0, AccessKind::DataRead);
+    }
+    let cpu = m.cpu_mut(core);
+    cpu.pmu.walk_memory_accesses += t.entries_read as u64;
+    if !t.perms.allows(write, exec) {
+        return Err(MemFault::EptViolation { gpa });
+    }
+    Ok(t.hpa)
+}
+
+/// Translates `gva` for `access`, charging TLB/caches/walk time, and
+/// returns the host-physical address.
+///
+/// `user` is true for ring-3 accesses. On success the translation is
+/// cached in the appropriate TLB under the core's current tag.
+pub fn translate(
+    m: &mut Machine,
+    core: CpuId,
+    mem: &HostMem,
+    gva: Gva,
+    access: Access,
+    user: bool,
+) -> Result<Hpa, MemFault> {
+    let tag = m.cpu(core).tlb_tag();
+    let vpn = gva.page_number();
+    let is_fetch = access == Access::Fetch;
+
+    // TLB lookup.
+    let hit = {
+        let cpu = m.cpu_mut(core);
+        let tlb = if is_fetch {
+            &mut cpu.itlb
+        } else {
+            &mut cpu.dtlb
+        };
+        tlb.lookup(tag, vpn)
+    };
+    match hit {
+        Some((ppn, meta)) => {
+            let flags = PteFlags::from_meta(meta);
+            if access.allowed_by(flags, user) {
+                return Ok(Hpa(ppn << 12 | gva.page_offset()));
+            }
+            // Insufficient cached permissions: hardware re-walks; the walk
+            // below will fault or refresh the entry.
+        }
+        None => {
+            let cpu = m.cpu_mut(core);
+            if is_fetch {
+                cpu.pmu.itlb_misses += 1;
+            } else {
+                cpu.pmu.dtlb_misses += 1;
+            }
+        }
+    }
+
+    // Guest page walk. CR3 holds a GPA; each PTE read goes through the EPT.
+    let idx = pt_indices(gva);
+    let mut table_gpa = Gpa(m.cpu(core).cr3).page_base();
+    for (depth, &i) in idx.iter().enumerate() {
+        let pte_gpa = table_gpa.add(i as u64 * 8);
+        let pte_hpa = ept_resolve(m, core, mem, pte_gpa, false, false)?;
+        m.mem_access(core, pte_hpa.0, AccessKind::DataRead);
+        let walk_step = m.cost.walk_step;
+        let cpu = m.cpu_mut(core);
+        cpu.pmu.walk_memory_accesses += 1;
+        cpu.tsc += walk_step;
+        let (present, addr, flags) = raw::decode(mem.read_u64(pte_hpa));
+        if !present {
+            return Err(MemFault::NotPresent {
+                gva,
+                level: 4 - depth as u8,
+            });
+        }
+        if depth == 3 {
+            if !access.allowed_by(flags, user) {
+                return Err(access.protection_fault(gva, user));
+            }
+            let frame_hpa = ept_resolve(m, core, mem, addr, access == Access::Write, is_fetch)?;
+            let cpu = m.cpu_mut(core);
+            cpu.pmu.page_walks += 1;
+            let tlb = if is_fetch {
+                &mut cpu.itlb
+            } else {
+                &mut cpu.dtlb
+            };
+            tlb.insert(tag, vpn, frame_hpa.page_number(), flags.to_meta());
+            return Ok(frame_hpa.add(gva.page_offset()));
+        }
+        table_gpa = addr;
+    }
+    unreachable!("leaf level always returns")
+}
+
+/// Runs `f` for every cache line overlapped by `[gva, gva + len)`,
+/// translating page by page.
+#[allow(clippy::too_many_arguments)] // The hardware walk context really has this arity.
+fn for_each_line(
+    m: &mut Machine,
+    core: CpuId,
+    mem: &HostMem,
+    gva: Gva,
+    len: usize,
+    access: Access,
+    user: bool,
+    mut f: impl FnMut(&mut Machine, Hpa, usize, usize),
+) -> Result<(), MemFault> {
+    let mut off = 0usize;
+    while off < len {
+        let at = gva.add(off as u64);
+        let in_page = ((PAGE_SIZE - at.page_offset()) as usize).min(len - off);
+        let hpa = translate(m, core, mem, at, access, user)?;
+        // Touch each 64-byte line of the span through the cache hierarchy.
+        let first_line = hpa.0 / 64;
+        let last_line = (hpa.0 + in_page as u64 - 1) / 64;
+        for line in first_line..=last_line {
+            m.mem_access(core, line * 64, access.cache_kind());
+        }
+        f(m, hpa, off, in_page);
+        off += in_page;
+    }
+    Ok(())
+}
+
+/// Reads guest-virtual memory into `buf`, charging translation and cache
+/// traffic.
+pub fn read_bytes(
+    m: &mut Machine,
+    core: CpuId,
+    mem: &HostMem,
+    gva: Gva,
+    buf: &mut [u8],
+    user: bool,
+) -> Result<(), MemFault> {
+    let len = buf.len();
+    let buf_cell = std::cell::RefCell::new(buf);
+    for_each_line(
+        m,
+        core,
+        mem,
+        gva,
+        len,
+        Access::Read,
+        user,
+        |_, hpa, off, n| {
+            mem.read_slice(hpa, &mut buf_cell.borrow_mut()[off..off + n]);
+        },
+    )
+}
+
+/// Writes `data` to guest-virtual memory, charging translation and cache
+/// traffic.
+pub fn write_bytes(
+    m: &mut Machine,
+    core: CpuId,
+    mem: &mut HostMem,
+    gva: Gva,
+    data: &[u8],
+    user: bool,
+) -> Result<(), MemFault> {
+    // Two-phase: translate/charge first (may fault), then commit.
+    let mut spans: Vec<(Hpa, usize, usize)> = Vec::new();
+    for_each_line(
+        m,
+        core,
+        mem,
+        gva,
+        data.len(),
+        Access::Write,
+        user,
+        |_, hpa, off, n| spans.push((hpa, off, n)),
+    )?;
+    for (hpa, off, n) in spans {
+        mem.write_slice(hpa, &data[off..off + n]);
+    }
+    Ok(())
+}
+
+/// Models executing `len` bytes of code at `gva`: fetches every overlapped
+/// line through the i-TLB and L1i.
+pub fn fetch_code(
+    m: &mut Machine,
+    core: CpuId,
+    mem: &HostMem,
+    gva: Gva,
+    len: usize,
+    user: bool,
+) -> Result<(), MemFault> {
+    for_each_line(m, core, mem, gva, len, Access::Fetch, user, |_, _, _, _| {})
+}
+
+/// Convenience: reads a guest-virtual little-endian `u64`.
+pub fn read_u64(
+    m: &mut Machine,
+    core: CpuId,
+    mem: &HostMem,
+    gva: Gva,
+    user: bool,
+) -> Result<u64, MemFault> {
+    let mut b = [0u8; 8];
+    read_bytes(m, core, mem, gva, &mut b, user)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Convenience: writes a guest-virtual little-endian `u64`.
+pub fn write_u64(
+    m: &mut Machine,
+    core: CpuId,
+    mem: &mut HostMem,
+    gva: Gva,
+    value: u64,
+    user: bool,
+) -> Result<(), MemFault> {
+    write_bytes(m, core, mem, gva, &value.to_le_bytes(), user)
+}
+
+#[cfg(test)]
+mod tests {
+    use sb_sim::Machine;
+
+    use super::*;
+    use crate::{
+        addr::PAGE_SIZE_1G,
+        ept::{EptPerms, PageSize},
+        paging::AddressSpace,
+        phys::RESERVED_BYTES,
+    };
+
+    struct Env {
+        m: Machine,
+        mem: HostMem,
+    }
+
+    fn env() -> Env {
+        Env {
+            m: Machine::skylake(),
+            mem: HostMem::new(),
+        }
+    }
+
+    fn user_space(mem: &mut HostMem, pcid: u16) -> AddressSpace {
+        let asp = AddressSpace::new(mem, pcid);
+        asp.alloc_and_map(mem, Gva(0x40_0000), 4, PteFlags::USER_CODE);
+        asp.alloc_and_map(mem, Gva(0x50_0000), 4, PteFlags::USER_DATA);
+        asp
+    }
+
+    fn activate(m: &mut Machine, asp: &AddressSpace) {
+        let cpu = m.cpu_mut(0);
+        cpu.load_cr3(asp.root_gpa.0, asp.pcid);
+    }
+
+    #[test]
+    fn bare_walk_costs_four_accesses_then_tlb_hits() {
+        let mut e = env();
+        let asp = user_space(&mut e.mem, 1);
+        activate(&mut e.m, &asp);
+        let before = e.m.cpu(0).pmu;
+        write_u64(&mut e.m, 0, &mut e.mem, Gva(0x50_0000), 42, true).unwrap();
+        let d = e.m.cpu(0).pmu.delta(&before);
+        assert_eq!(d.walk_memory_accesses, 4);
+        assert_eq!(d.dtlb_misses, 1);
+        assert_eq!(d.page_walks, 1);
+        // Second access: TLB hit, no walk.
+        let before = e.m.cpu(0).pmu;
+        assert_eq!(
+            read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap(),
+            42
+        );
+        let d = e.m.cpu(0).pmu.delta(&before);
+        assert_eq!(d.walk_memory_accesses, 0);
+        assert_eq!(d.dtlb_misses, 0);
+    }
+
+    #[test]
+    fn nested_walk_under_4k_ept_costs_24_accesses() {
+        let mut e = env();
+        let asp = user_space(&mut e.mem, 1);
+        // Build a 4 KiB-granularity identity EPT over the used region.
+        let ept = Ept::new(&mut e.mem);
+        for page in 0..16384u64 {
+            let at = RESERVED_BYTES + page * PAGE_SIZE;
+            ept.map(
+                &mut e.mem,
+                Gpa(at),
+                Hpa(at),
+                PageSize::Size4K,
+                EptPerms::RWX,
+            );
+        }
+        activate(&mut e.m, &asp);
+        e.m.cpu_mut(0).load_eptp(ept.root.0);
+        let before = e.m.cpu(0).pmu;
+        read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap();
+        let d = e.m.cpu(0).pmu.delta(&before);
+        // 4 PTE reads, each preceded by a 4-entry EPT walk, plus the final
+        // 4-entry EPT walk of the data GPA: 4*(4+1) + 4 = 24. This is the
+        // §4.1 "at most 24 memory accesses" worst case.
+        assert_eq!(d.walk_memory_accesses, 24);
+    }
+
+    #[test]
+    fn nested_walk_under_1g_ept_costs_14_accesses() {
+        let mut e = env();
+        let asp = user_space(&mut e.mem, 1);
+        let ept = Ept::new(&mut e.mem);
+        ept.map_identity_range(
+            &mut e.mem,
+            0,
+            2 * PAGE_SIZE_1G,
+            PageSize::Size1G,
+            EptPerms::RWX,
+        );
+        activate(&mut e.m, &asp);
+        e.m.cpu_mut(0).load_eptp(ept.root.0);
+        let before = e.m.cpu(0).pmu;
+        read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap();
+        let d = e.m.cpu(0).pmu.delta(&before);
+        // 4 * (2 + 1) + 2 = 14: the Rootkernel's huge pages cut the nested
+        // walk nearly in half.
+        assert_eq!(d.walk_memory_accesses, 14);
+    }
+
+    #[test]
+    fn write_to_read_only_page_faults() {
+        let mut e = env();
+        let asp = AddressSpace::new(&mut e.mem, 1);
+        asp.alloc_and_map(&mut e.mem, Gva(0x6000), 1, PteFlags::USER_RO);
+        activate(&mut e.m, &asp);
+        let err = write_u64(&mut e.m, 0, &mut e.mem, Gva(0x6000), 1, true).unwrap_err();
+        assert!(matches!(err, MemFault::Protection { write: true, .. }));
+    }
+
+    #[test]
+    fn user_access_to_kernel_page_faults() {
+        let mut e = env();
+        let asp = AddressSpace::new(&mut e.mem, 1);
+        asp.alloc_and_map(&mut e.mem, Gva(0x6000), 1, PteFlags::KERNEL_DATA);
+        activate(&mut e.m, &asp);
+        let err = read_u64(&mut e.m, 0, &e.mem, Gva(0x6000), true).unwrap_err();
+        assert!(matches!(err, MemFault::Protection { user: true, .. }));
+        // The kernel itself may read it.
+        assert!(read_u64(&mut e.m, 0, &e.mem, Gva(0x6000), false).is_ok());
+    }
+
+    #[test]
+    fn fetch_from_nx_page_faults() {
+        let mut e = env();
+        let asp = AddressSpace::new(&mut e.mem, 1);
+        asp.alloc_and_map(&mut e.mem, Gva(0x6000), 1, PteFlags::USER_DATA);
+        activate(&mut e.m, &asp);
+        let err = fetch_code(&mut e.m, 0, &e.mem, Gva(0x6000), 64, true).unwrap_err();
+        assert!(matches!(err, MemFault::Protection { exec: true, .. }));
+    }
+
+    #[test]
+    fn ept_violation_on_unmapped_gpa() {
+        let mut e = env();
+        let asp = user_space(&mut e.mem, 1);
+        // EPT that maps nothing the process uses.
+        let ept = Ept::new(&mut e.mem);
+        ept.map_identity_range(
+            &mut e.mem,
+            PAGE_SIZE_1G,
+            2 * PAGE_SIZE_1G,
+            PageSize::Size2M,
+            EptPerms::RWX,
+        );
+        activate(&mut e.m, &asp);
+        e.m.cpu_mut(0).load_eptp(ept.root.0);
+        let err = read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap_err();
+        assert!(matches!(err, MemFault::EptViolation { .. }));
+    }
+
+    /// The heart of SkyBridge (§4.3): with the server EPT active, the
+    /// *unchanged* CR3 value resolves through the server's page table.
+    #[test]
+    fn cr3_remap_switches_address_space_without_cr3_write() {
+        let mut e = env();
+        let client = user_space(&mut e.mem, 1);
+        let server = user_space(&mut e.mem, 2);
+        // Distinct contents at the same GVA in the two spaces.
+        let mut m = Machine::skylake();
+        activate(&mut m, &client);
+        write_u64(&mut m, 0, &mut e.mem, Gva(0x50_0000), 0xc11e47, true).unwrap();
+        activate(&mut m, &server);
+        write_u64(&mut m, 0, &mut e.mem, Gva(0x50_0000), 0x5e47e4, true).unwrap();
+
+        // Base EPT + server EPT with the CR3 remap.
+        let base = Ept::new(&mut e.mem);
+        base.map_identity_range(
+            &mut e.mem,
+            RESERVED_BYTES,
+            PAGE_SIZE_1G,
+            PageSize::Size2M,
+            EptPerms::RWX,
+        );
+        base.map_identity_range(
+            &mut e.mem,
+            PAGE_SIZE_1G,
+            4 * PAGE_SIZE_1G,
+            PageSize::Size1G,
+            EptPerms::RWX,
+        );
+        let (server_ept, _) = Ept::shallow_copy_with_remap(
+            &mut e.mem,
+            &base,
+            client.root_gpa,
+            Hpa(server.root_gpa.0),
+        );
+
+        // Client runs under the base EPT with its own CR3.
+        activate(&mut e.m, &client);
+        e.m.cpu_mut(0).load_eptp(base.root.0);
+        assert_eq!(
+            read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap(),
+            0xc11e47
+        );
+        let cr3_writes_before = e.m.cpu(0).pmu.cr3_writes;
+
+        // VMFUNC: only the EPT root changes. CR3 is untouched.
+        e.m.cpu_mut(0).load_eptp(server_ept.root.0);
+        assert_eq!(
+            read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap(),
+            0x5e47e4,
+            "same GVA and same CR3 must now resolve in the server space"
+        );
+        assert_eq!(e.m.cpu(0).pmu.cr3_writes, cr3_writes_before);
+
+        // Switch back: the client's view is restored.
+        e.m.cpu_mut(0).load_eptp(base.root.0);
+        assert_eq!(
+            read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap(),
+            0xc11e47
+        );
+    }
+
+    #[test]
+    fn tlb_entries_survive_eptp_switch_but_do_not_leak() {
+        let mut e = env();
+        let client = user_space(&mut e.mem, 1);
+        let server = user_space(&mut e.mem, 2);
+        let base = Ept::new(&mut e.mem);
+        base.map_identity_range(
+            &mut e.mem,
+            RESERVED_BYTES,
+            PAGE_SIZE_1G,
+            PageSize::Size2M,
+            EptPerms::RWX,
+        );
+        let (server_ept, _) = Ept::shallow_copy_with_remap(
+            &mut e.mem,
+            &base,
+            client.root_gpa,
+            Hpa(server.root_gpa.0),
+        );
+        activate(&mut e.m, &client);
+        e.m.cpu_mut(0).load_eptp(base.root.0);
+        read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap();
+        let resident = e.m.cpu(0).dtlb.resident();
+
+        // VMFUNC to the server EPT: the cached client translation must not
+        // be reachable (it has a different EPT-root tag)…
+        e.m.cpu_mut(0).load_eptp(server_ept.root.0);
+        let before = e.m.cpu(0).pmu;
+        read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap();
+        assert_eq!(e.m.cpu(0).pmu.delta(&before).dtlb_misses, 1);
+        // …but it is still resident: VMFUNC does not flush (VPID).
+        assert!(e.m.cpu(0).dtlb.resident() > resident);
+
+        // Returning to the client EPT hits the surviving entry.
+        e.m.cpu_mut(0).load_eptp(base.root.0);
+        let before = e.m.cpu(0).pmu;
+        read_u64(&mut e.m, 0, &e.mem, Gva(0x50_0000), true).unwrap();
+        assert_eq!(e.m.cpu(0).pmu.delta(&before).dtlb_misses, 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_across_pages() {
+        let mut e = env();
+        let asp = user_space(&mut e.mem, 1);
+        activate(&mut e.m, &asp);
+        let data: Vec<u8> = (0..6000).map(|i| (i % 255) as u8).collect();
+        write_bytes(&mut e.m, 0, &mut e.mem, Gva(0x50_0100), &data, true).unwrap();
+        let mut out = vec![0u8; data.len()];
+        read_bytes(&mut e.m, 0, &e.mem, Gva(0x50_0100), &mut out, true).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn faulting_write_commits_nothing() {
+        let mut e = env();
+        let asp = AddressSpace::new(&mut e.mem, 1);
+        asp.alloc_and_map(&mut e.mem, Gva(0x6000), 1, PteFlags::USER_DATA);
+        // Page at 0x7000 is unmapped: a straddling write must fault whole.
+        activate(&mut e.m, &asp);
+        write_u64(&mut e.m, 0, &mut e.mem, Gva(0x6000), 0x1111, true).unwrap();
+        let data = vec![0xaau8; 8192];
+        assert!(write_bytes(&mut e.m, 0, &mut e.mem, Gva(0x6000), &data, true).is_err());
+        assert_eq!(
+            read_u64(&mut e.m, 0, &e.mem, Gva(0x6000), true).unwrap(),
+            0x1111,
+            "partial write must not be visible"
+        );
+    }
+}

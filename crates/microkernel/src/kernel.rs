@@ -1,0 +1,702 @@
+//! The kernel facade: boot, processes, threads, scheduling, kernel entry.
+
+use std::collections::VecDeque;
+
+use sb_mem::{AddressSpace, Gpa, Gva, HostMem, MemFault, PteFlags, PAGE_SIZE};
+use sb_rootkernel::{Rootkernel, RootkernelConfig};
+use sb_sim::{AccessKind, CpuId, Cycles, Machine, MachineConfig, PrivilegeLevel, TlbTag};
+
+use crate::{
+    layout,
+    personality::Personality,
+    process::{
+        Capability, Endpoint, EndpointId, Process, ProcessId, Thread, ThreadId, ThreadState,
+    },
+};
+
+/// Kernel boot configuration.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Which microkernel's IPC behaviour to model.
+    pub personality: Personality,
+    /// Kernel page-table isolation (Meltdown mitigation). The paper's
+    /// baseline IPC numbers disable it; Table 2 quantifies the delta.
+    pub kpti: bool,
+    /// Machine configuration.
+    pub machine: MachineConfig,
+    /// `Some` boots the SkyBridge Rootkernel underneath the Subkernel
+    /// during [`Kernel::boot`] (the self-virtualization of §4.1).
+    pub rootkernel: Option<RootkernelConfig>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            personality: Personality::sel4(),
+            kpti: false,
+            machine: MachineConfig::default(),
+            rootkernel: None,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Default configuration with the SkyBridge Rootkernel enabled.
+    pub fn with_rootkernel(personality: Personality) -> Self {
+        KernelConfig {
+            personality,
+            rootkernel: Some(RootkernelConfig::small()),
+            ..Default::default()
+        }
+    }
+
+    /// Native (no hypervisor) configuration for a given personality.
+    pub fn native(personality: Personality) -> Self {
+        KernelConfig {
+            personality,
+            ..Default::default()
+        }
+    }
+}
+
+/// Bytes of kernel text the boot image reserves (large enough for every
+/// personality's footprint).
+const KERNEL_TEXT_BYTES: usize = 64 * 1024;
+
+/// Bytes of kernel data (TCBs, endpoints, scheduler queues).
+const KERNEL_DATA_BYTES: usize = 256 * 1024;
+
+/// The Subkernel.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// Physical memory.
+    pub mem: HostMem,
+    /// The SkyBridge hypervisor, if booted.
+    pub rootkernel: Option<Rootkernel>,
+    /// IPC personality.
+    pub personality: Personality,
+    /// Whether KPTI is active.
+    pub kpti: bool,
+    /// Process table.
+    pub processes: Vec<Process>,
+    /// Thread table.
+    pub threads: Vec<Thread>,
+    /// Endpoint table.
+    pub endpoints: Vec<Endpoint>,
+    /// Host-physical base of kernel text.
+    kernel_text_hpa: u64,
+    /// Host-physical base of kernel data.
+    kernel_data_hpa: u64,
+    /// The kernel's own page table (KPTI switches to it on entry).
+    kernel_asp: AddressSpace,
+    /// Currently running thread per core.
+    current: Vec<Option<ThreadId>>,
+    /// Per-core round-robin run queues.
+    run_queues: Vec<VecDeque<ThreadId>>,
+    /// GPA of the shared identity page (§4.2).
+    pub identity_page: Gpa,
+    /// Total synchronous IPCs performed.
+    pub ipc_count: u64,
+}
+
+impl Kernel {
+    /// Boots the Subkernel (and, if configured, the Rootkernel underneath
+    /// it — the Subkernel "has one line of code to call the
+    /// self-virtualization module", §3.2).
+    pub fn boot(config: KernelConfig) -> Self {
+        let mut machine = Machine::new(config.machine);
+        let mut mem = HostMem::new();
+        let kernel_asp = AddressSpace::new(&mut mem, 0);
+        // Kernel image: contiguous frames from the bump allocator.
+        let text = alloc_region(&mut mem, KERNEL_TEXT_BYTES);
+        let data = alloc_region(&mut mem, KERNEL_DATA_BYTES);
+        let identity_frame = mem.alloc_frame();
+        let rootkernel = config
+            .rootkernel
+            .map(|rc| Rootkernel::boot(&mut machine, &mut mem, rc));
+        let cores = machine.num_cores();
+        Kernel {
+            machine,
+            mem,
+            rootkernel,
+            personality: config.personality,
+            kpti: config.kpti,
+            processes: Vec::new(),
+            threads: Vec::new(),
+            endpoints: Vec::new(),
+            kernel_text_hpa: text,
+            kernel_data_hpa: data,
+            kernel_asp,
+            current: vec![None; cores],
+            run_queues: (0..cores).map(|_| VecDeque::new()).collect(),
+            identity_page: Gpa(identity_frame.0),
+            ipc_count: 0,
+        }
+    }
+
+    /// Creates a process and loads `code` at [`layout::CODE_BASE`].
+    ///
+    /// The code region is mapped writable during the load, then flipped to
+    /// W^X user-executable — the same flow a SkyBridge rescan relies on
+    /// (§9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds [`layout::CODE_MAX`].
+    pub fn create_process(&mut self, code: &[u8]) -> ProcessId {
+        assert!(code.len() <= layout::CODE_MAX, "code image too large");
+        let id = self.processes.len();
+        let pcid = (id + 1) as u16;
+        let asp = AddressSpace::new(&mut self.mem, pcid);
+        let code_pages = code.len().div_ceil(PAGE_SIZE as usize).max(1);
+        asp.alloc_and_map(
+            &mut self.mem,
+            layout::CODE_BASE,
+            code_pages,
+            PteFlags::USER_DATA,
+        );
+        // Load the image page by page through setup translation.
+        for (i, chunk) in code.chunks(PAGE_SIZE as usize).enumerate() {
+            let gva = layout::CODE_BASE.add(i as u64 * PAGE_SIZE);
+            let (gpa, _) = asp.translate_setup(&self.mem, gva).unwrap();
+            self.mem.write_slice(sb_mem::Hpa(gpa.0), chunk);
+        }
+        for i in 0..code_pages {
+            asp.protect(
+                &mut self.mem,
+                layout::CODE_BASE.add(i as u64 * PAGE_SIZE),
+                PteFlags::USER_CODE,
+            );
+        }
+        // A default heap.
+        asp.alloc_and_map(&mut self.mem, layout::HEAP_BASE, 16, PteFlags::USER_DATA);
+        // The identity page, at the same GVA (and GPA) in every process.
+        asp.map(
+            &mut self.mem,
+            layout::IDENTITY_PAGE,
+            self.identity_page,
+            PteFlags::USER_DATA,
+        );
+        self.processes.push(Process {
+            id,
+            asp,
+            threads: Vec::new(),
+            caps: Vec::new(),
+            code_len: code.len(),
+            eptp_list: None,
+            own_ept: None,
+        });
+        id
+    }
+
+    /// Extends a process's heap by `pages`, returning the base GVA of the
+    /// new region.
+    pub fn map_heap(&mut self, pid: ProcessId, at: Gva, pages: usize) {
+        let asp = self.processes[pid].asp;
+        asp.alloc_and_map(&mut self.mem, at, pages, PteFlags::USER_DATA);
+    }
+
+    /// Creates a thread in `pid` pinned to `core`.
+    pub fn create_thread(&mut self, pid: ProcessId, core: CpuId) -> ThreadId {
+        let tid = self.threads.len();
+        let asp = self.processes[pid].asp;
+        let stack_top = Gva(layout::STACK_TOP.0 - (tid as u64) * layout::STACK_SIZE as u64);
+        let stack_pages = layout::STACK_SIZE / PAGE_SIZE as usize;
+        asp.alloc_and_map(
+            &mut self.mem,
+            Gva(stack_top.0 - layout::STACK_SIZE as u64),
+            stack_pages,
+            PteFlags::USER_DATA,
+        );
+        let msg_buf = layout::MSG_BUF_BASE.add(tid as u64 * PAGE_SIZE);
+        asp.alloc_and_map(&mut self.mem, msg_buf, 1, PteFlags::USER_DATA);
+        self.threads.push(Thread {
+            id: tid,
+            process: pid,
+            core,
+            state: ThreadState::Ready,
+            stack_top,
+            msg_buf,
+        });
+        self.processes[pid].threads.push(tid);
+        tid
+    }
+
+    /// Creates an endpoint owned (served) by `pid`, granting it a receive
+    /// capability, and returns `(endpoint, recv cap slot)`.
+    pub fn create_endpoint(&mut self, pid: ProcessId) -> (EndpointId, usize) {
+        let id = self.endpoints.len();
+        self.endpoints.push(Endpoint {
+            id,
+            owner: pid,
+            server: None,
+        });
+        let slot = self.processes[pid].grant(Capability::Endpoint {
+            endpoint: id,
+            rights: crate::process::CapRights::RECV,
+        });
+        (id, slot)
+    }
+
+    /// Grants `pid` a send capability to `endpoint`, returning the slot.
+    pub fn grant_send(&mut self, pid: ProcessId, endpoint: EndpointId) -> usize {
+        self.processes[pid].grant(Capability::Endpoint {
+            endpoint,
+            rights: crate::process::CapRights::SEND,
+        })
+    }
+
+    /// Marks `tid` as blocked receiving on `endpoint` (the server loop's
+    /// `recv()`).
+    pub fn server_recv(&mut self, tid: ThreadId, endpoint: EndpointId) {
+        self.endpoints[endpoint].server = Some(tid);
+        self.threads[tid].state = ThreadState::RecvBlocked;
+        let core = self.threads[tid].core;
+        if self.current[core] == Some(tid) {
+            self.current[core] = None;
+        }
+    }
+
+    /// The thread currently running on `core`.
+    pub fn current_thread(&self, core: CpuId) -> Option<ThreadId> {
+        self.current[core]
+    }
+
+    /// Sets the current thread of `core` (IPC control transfer).
+    pub(crate) fn current_set(&mut self, core: CpuId, tid: Option<ThreadId>) {
+        self.current[core] = tid;
+    }
+
+    /// Host-physical base of the kernel data region (channel buffers use
+    /// its upper half).
+    pub(crate) fn kernel_data_region(&self) -> u64 {
+        self.kernel_data_hpa
+    }
+
+    /// Context-switches `core` to `tid`: loads its CR3 (charged), installs
+    /// its EPTP list if it registered with SkyBridge, and records its
+    /// identity.
+    pub fn run_thread(&mut self, tid: ThreadId) {
+        let thread = self.threads[tid].clone();
+        let core = thread.core;
+        let pid = thread.process;
+        let switching = self.current[core] != Some(tid);
+        if switching {
+            let (cr3, pcid) = {
+                let p = &self.processes[pid];
+                (p.cr3().0, p.asp.pcid)
+            };
+            let cr3_cost = self.machine.cost.cr3_write;
+            let cpu = self.machine.cpu_mut(core);
+            cpu.load_cr3(cr3, pcid);
+            cpu.advance(cr3_cost);
+            if let (Some(rk), Some(list)) = (
+                self.rootkernel.as_mut(),
+                self.processes[pid].eptp_list.clone(),
+            ) {
+                rk.cr3_write(&mut self.machine, core);
+                rk.install_eptp_list(&mut self.machine, core, list);
+                // Slot 0 of every list is the process's own EPT.
+                rk.vmfunc(&mut self.machine, core, 0, 0)
+                    .expect("slot 0 is always pinned");
+            } else if let Some(rk) = self.rootkernel.as_mut() {
+                rk.cr3_write(&mut self.machine, core);
+            }
+            self.identity_record(core, pid);
+        }
+        self.machine.cpu_mut(core).priv_level = PrivilegeLevel::User;
+        self.current[core] = Some(tid);
+        self.threads[tid].state = ThreadState::Ready;
+    }
+
+    /// Enqueues `tid` on its core's round-robin queue.
+    pub fn enqueue(&mut self, tid: ThreadId) {
+        let core = self.threads[tid].core;
+        self.run_queues[core].push_back(tid);
+    }
+
+    /// Picks and runs the next ready thread on `core`, charging the
+    /// scheduler cost. Returns the scheduled thread.
+    pub fn schedule(&mut self, core: CpuId) -> Option<ThreadId> {
+        let schedule_cost = self.personality.schedule_cost;
+        let data = self.personality.data_touch;
+        self.kernel_work(core, 0, data);
+        self.machine.cpu_mut(core).advance(schedule_cost);
+        while let Some(tid) = self.run_queues[core].pop_front() {
+            if self.threads[tid].state == ThreadState::Ready {
+                self.run_thread(tid);
+                return Some(tid);
+            }
+        }
+        None
+    }
+
+    /// Writes "core is running `pid`" into the identity page.
+    pub fn identity_record(&mut self, core: CpuId, pid: ProcessId) {
+        let at = sb_mem::Hpa(self.identity_page.0 + core as u64 * 8);
+        self.mem.write_u64(at, pid as u64 + 1);
+    }
+
+    /// Kernel-side identity lookup (§4.2): which process does `core`
+    /// currently execute, *according to the identity page* — correct even
+    /// when a SkyBridge call has switched address spaces underneath an
+    /// unchanged CR3.
+    pub fn identity_current(&mut self, core: CpuId) -> Option<ProcessId> {
+        let at = sb_mem::Hpa(self.identity_page.0 + core as u64 * 8);
+        self.machine.mem_access(core, at.0, AccessKind::DataRead);
+        let v = self.mem.read_u64(at);
+        (v != 0).then(|| (v - 1) as ProcessId)
+    }
+
+    /// Charges one user→kernel→user mode-switch (SYSCALL + 2×SWAPGS +
+    /// SYSRET) plus KPTI CR3 writes, returning `(mode_cycles,
+    /// kpti_cycles)` for breakdown attribution.
+    pub(crate) fn mode_switch(&mut self, core: CpuId) -> (Cycles, Cycles) {
+        let cost = self.machine.cost.clone();
+        let cpu = self.machine.cpu_mut(core);
+        cpu.pmu.mode_switches += 1;
+        cpu.advance(cost.mode_switch());
+        let mut kpti_cycles = 0;
+        if self.kpti {
+            // Entry: switch to the kernel page table. The matching exit
+            // write happens when the kernel switches to the target process
+            // (`switch_address_space`) or restores the caller
+            // (`kernel_exit`) — "an IPC usually involves two address space
+            // switches" (§2.1.1).
+            let kernel_cr3 = self.kernel_asp.root_gpa.0;
+            let cpu = self.machine.cpu_mut(core);
+            cpu.load_cr3(kernel_cr3, 0);
+            cpu.advance(cost.cr3_write);
+            kpti_cycles += cost.cr3_write;
+        }
+        (cost.mode_switch(), kpti_cycles)
+    }
+
+    /// Returns to user mode in the same process (non-IPC syscall exit):
+    /// under KPTI this reloads the caller's page table.
+    pub(crate) fn kernel_exit(&mut self, core: CpuId) -> Cycles {
+        if !self.kpti {
+            return 0;
+        }
+        if let Some(tid) = self.current[core] {
+            let pid = self.threads[tid].process;
+            let (cr3, pcid) = {
+                let p = &self.processes[pid];
+                (p.cr3().0, p.asp.pcid)
+            };
+            let cost = self.machine.cost.cr3_write;
+            let cpu = self.machine.cpu_mut(core);
+            cpu.load_cr3(cr3, pcid);
+            cpu.advance(cost);
+            cost
+        } else {
+            0
+        }
+    }
+
+    /// Fetches kernel text and touches kernel data through the cache
+    /// hierarchy and TLBs — the *indirect* cost of entering the kernel
+    /// (§2.1.2). `data_seed` scatters data touches so different kernel
+    /// objects (endpoints, TCBs) hit different lines.
+    pub(crate) fn kernel_work_seeded(
+        &mut self,
+        core: CpuId,
+        text_bytes: usize,
+        data_bytes: usize,
+        data_seed: usize,
+    ) {
+        let tag = self.kernel_tag(core);
+        let mut off = 0usize;
+        while off < text_bytes.min(KERNEL_TEXT_BYTES) {
+            let hpa = self.kernel_text_hpa + off as u64;
+            self.machine
+                .mem_access(core, hpa, AccessKind::InstructionFetch);
+            if off.is_multiple_of(PAGE_SIZE as usize) {
+                let vpn = layout::KERNEL_TEXT_VPN_BASE + (off as u64 >> 12);
+                let cpu = self.machine.cpu_mut(core);
+                if cpu.itlb.lookup(tag, vpn).is_none() {
+                    cpu.pmu.itlb_misses += 1;
+                    cpu.itlb.insert(tag, vpn, hpa >> 12, 0);
+                }
+            }
+            off += 64;
+        }
+        let base = (data_seed * 4096) % (KERNEL_DATA_BYTES / 2);
+        let mut off = 0usize;
+        while off < data_bytes.min(KERNEL_DATA_BYTES) {
+            let hpa = self.kernel_data_hpa + (base + off) as u64;
+            self.machine.mem_access(core, hpa, AccessKind::DataRead);
+            if off.is_multiple_of(PAGE_SIZE as usize) {
+                let vpn = layout::KERNEL_DATA_VPN_BASE + ((base + off) as u64 >> 12);
+                let cpu = self.machine.cpu_mut(core);
+                if cpu.dtlb.lookup(tag, vpn).is_none() {
+                    cpu.pmu.dtlb_misses += 1;
+                    cpu.dtlb.insert(tag, vpn, hpa >> 12, 0);
+                }
+            }
+            off += 64;
+        }
+        // Scattered kernel structures: one line in each of `data_pages`
+        // distinct pages (TCBs, capability tables, kernel stacks). This
+        // is the kernel-side TLB pressure of §2.1.2.
+        let pages = self.personality.data_pages;
+        for p in 0..pages {
+            let page_off = ((data_seed + 7) * 8 + p) * PAGE_SIZE as usize
+                % KERNEL_DATA_BYTES
+                // Structures sit at varied offsets within their pages (and
+                // so in varied cache sets).
+                + (p * 192) % PAGE_SIZE as usize;
+            let hpa = self.kernel_data_hpa + page_off as u64;
+            self.machine.mem_access(core, hpa, AccessKind::DataRead);
+            let vpn = layout::KERNEL_DATA_VPN_BASE + (page_off as u64 >> 12);
+            let cpu = self.machine.cpu_mut(core);
+            if cpu.dtlb.lookup(tag, vpn).is_none() {
+                cpu.pmu.dtlb_misses += 1;
+                cpu.dtlb.insert(tag, vpn, hpa >> 12, 0);
+            }
+        }
+    }
+
+    /// [`Kernel::kernel_work_seeded`] with a zero seed.
+    pub(crate) fn kernel_work(&mut self, core: CpuId, text_bytes: usize, data_bytes: usize) {
+        self.kernel_work_seeded(core, text_bytes, data_bytes, 0);
+    }
+
+    fn kernel_tag(&self, core: CpuId) -> TlbTag {
+        // Kernel mappings are *global* pages (the G bit exempts them from
+        // PCID tagging), so one TLB entry serves every process; under
+        // KPTI they live in the kernel's own PCID-0 address space — the
+        // same tag either way.
+        let cpu = self.machine.cpu(core);
+        TlbTag {
+            pcid: 0,
+            ept_root: cpu.ept_root,
+        }
+    }
+
+    /// Direct in-kernel address-space switch to `pid` (the fastpath's
+    /// "direct process switch"), charging one CR3 write.
+    pub(crate) fn switch_address_space(&mut self, core: CpuId, pid: ProcessId) {
+        let (cr3, pcid) = {
+            let p = &self.processes[pid];
+            (p.cr3().0, p.asp.pcid)
+        };
+        let cost = self.machine.cost.cr3_write;
+        let cpu = self.machine.cpu_mut(core);
+        cpu.load_cr3(cr3, pcid);
+        cpu.advance(cost);
+        if let Some(rk) = self.rootkernel.as_mut() {
+            rk.cr3_write(&mut self.machine, core);
+        }
+        self.identity_record(core, pid);
+    }
+
+    // ----- user-level execution API (used by the scenario drivers) -----
+
+    /// Reads user memory on behalf of the thread currently running on its
+    /// core.
+    pub fn user_read(&mut self, tid: ThreadId, gva: Gva, buf: &mut [u8]) -> Result<(), MemFault> {
+        let core = self.require_current(tid);
+        sb_mem::walk::read_bytes(&mut self.machine, core, &self.mem, gva, buf, true)
+    }
+
+    /// Writes user memory on behalf of the current thread.
+    pub fn user_write(&mut self, tid: ThreadId, gva: Gva, data: &[u8]) -> Result<(), MemFault> {
+        let core = self.require_current(tid);
+        sb_mem::walk::write_bytes(&mut self.machine, core, &mut self.mem, gva, data, true)
+    }
+
+    /// Models the current thread executing `len` bytes of code at `gva`
+    /// (instruction fetches through i-TLB and L1i).
+    pub fn user_exec(&mut self, tid: ThreadId, gva: Gva, len: usize) -> Result<(), MemFault> {
+        let core = self.require_current(tid);
+        sb_mem::walk::fetch_code(&mut self.machine, core, &self.mem, gva, len, true)
+    }
+
+    /// Pure compute: advances the thread's core by `cycles`.
+    pub fn compute(&mut self, tid: ThreadId, cycles: Cycles) {
+        let core = self.threads[tid].core;
+        self.machine.cpu_mut(core).advance(cycles);
+    }
+
+    /// The core a thread is pinned to.
+    pub fn core_of(&self, tid: ThreadId) -> CpuId {
+        self.threads[tid].core
+    }
+
+    fn require_current(&self, tid: ThreadId) -> CpuId {
+        let core = self.threads[tid].core;
+        assert_eq!(
+            self.current[core],
+            Some(tid),
+            "thread {tid} is not current on core {core}; call run_thread"
+        );
+        core
+    }
+
+    /// Simulated wall-clock (max core time).
+    pub fn now(&self) -> Cycles {
+        self.machine.wall_clock()
+    }
+
+    /// Executes a no-op system call on behalf of the current thread of
+    /// `core`: full mode switch, trivial dispatch, KPTI page-table swap
+    /// and restore (the Table 2 "no-op system call" rows).
+    pub fn noop_syscall(&mut self, core: CpuId) -> Cycles {
+        let t0 = self.machine.cpu(core).tsc;
+        let (_m, _k) = self.mode_switch(core);
+        self.machine.cpu_mut(core).advance(24); // Dispatch table walk.
+        self.kernel_exit(core);
+        self.machine.cpu(core).tsc - t0
+    }
+}
+
+/// Allocates `bytes` of physically contiguous memory (bump allocator), and
+/// returns the base HPA.
+fn alloc_region(mem: &mut HostMem, bytes: usize) -> u64 {
+    let frames = bytes.div_ceil(PAGE_SIZE as usize);
+    let base = mem.alloc_frame();
+    for i in 1..frames {
+        let f = mem.alloc_frame();
+        debug_assert_eq!(f.0, base.0 + i as u64 * PAGE_SIZE);
+    }
+    base.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_code() -> Vec<u8> {
+        vec![0x90; 4096] // One page of NOPs.
+    }
+
+    #[test]
+    fn boot_native_has_no_rootkernel() {
+        let k = Kernel::boot(KernelConfig::default());
+        assert!(k.rootkernel.is_none());
+        assert_eq!(k.machine.num_cores(), 8);
+    }
+
+    #[test]
+    fn boot_with_rootkernel_runs_non_root() {
+        let k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+        let rk = k.rootkernel.as_ref().unwrap();
+        assert_eq!(k.machine.cpu(0).ept_root, rk.base_ept.root.0);
+    }
+
+    #[test]
+    fn create_process_loads_code_wx() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let code: Vec<u8> = (0..5000).map(|i| (i % 200) as u8).collect();
+        let pid = k.create_process(&code);
+        let asp = k.processes[pid].asp;
+        let (_, flags) = asp.translate_setup(&k.mem, layout::CODE_BASE).unwrap();
+        assert!(flags.exec && !flags.write, "code must be W^X");
+        // Contents are loaded.
+        let (gpa, _) = asp
+            .translate_setup(&k.mem, layout::CODE_BASE.add(4096))
+            .unwrap();
+        let mut b = [0u8; 8];
+        k.mem.read_slice(sb_mem::Hpa(gpa.0), &mut b);
+        assert_eq!(b[0], (4096 % 200) as u8);
+    }
+
+    #[test]
+    fn threads_get_disjoint_stacks_and_msg_bufs() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let pid = k.create_process(&small_code());
+        let t0 = k.create_thread(pid, 0);
+        let t1 = k.create_thread(pid, 1);
+        assert_ne!(k.threads[t0].stack_top, k.threads[t1].stack_top);
+        assert_ne!(k.threads[t0].msg_buf, k.threads[t1].msg_buf);
+    }
+
+    #[test]
+    fn run_thread_switches_cr3_and_identity() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let pa = k.create_process(&small_code());
+        let pb = k.create_process(&small_code());
+        let ta = k.create_thread(pa, 0);
+        let tb = k.create_thread(pb, 0);
+        k.run_thread(ta);
+        assert_eq!(k.machine.cpu(0).cr3, k.processes[pa].cr3().0);
+        assert_eq!(k.identity_current(0), Some(pa));
+        k.run_thread(tb);
+        assert_eq!(k.machine.cpu(0).cr3, k.processes[pb].cr3().0);
+        assert_eq!(k.identity_current(0), Some(pb));
+    }
+
+    #[test]
+    fn user_memory_roundtrip() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let pid = k.create_process(&small_code());
+        let tid = k.create_thread(pid, 0);
+        k.run_thread(tid);
+        k.user_write(tid, layout::HEAP_BASE, b"hello skybridge")
+            .unwrap();
+        let mut buf = [0u8; 15];
+        k.user_read(tid, layout::HEAP_BASE, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello skybridge");
+    }
+
+    #[test]
+    fn user_cannot_touch_other_process_heap_contents() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let pa = k.create_process(&small_code());
+        let pb = k.create_process(&small_code());
+        let ta = k.create_thread(pa, 0);
+        let tb = k.create_thread(pb, 0);
+        k.run_thread(ta);
+        k.user_write(ta, layout::HEAP_BASE, b"secret-a").unwrap();
+        k.run_thread(tb);
+        let mut buf = [0u8; 8];
+        k.user_read(tb, layout::HEAP_BASE, &mut buf).unwrap();
+        assert_ne!(&buf, b"secret-a", "address spaces must be disjoint");
+    }
+
+    #[test]
+    fn kpti_costs_extra_cr3_writes() {
+        let mut with = Kernel::boot(KernelConfig {
+            kpti: true,
+            ..KernelConfig::default()
+        });
+        let mut without = Kernel::boot(KernelConfig::default());
+        let a0 = with.machine.cpu(0).pmu.cr3_writes;
+        let b0 = without.machine.cpu(0).pmu.cr3_writes;
+        with.mode_switch(0);
+        without.mode_switch(0);
+        assert_eq!(with.machine.cpu(0).pmu.cr3_writes - a0, 1);
+        assert_eq!(without.machine.cpu(0).pmu.cr3_writes - b0, 0);
+    }
+
+    #[test]
+    fn kernel_work_pollutes_icache() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let before = k.machine.cpu(0).pmu;
+        k.kernel_work(0, 16384, 2048);
+        let d = k.machine.cpu(0).pmu.delta(&before);
+        assert!(d.l1i_misses >= 16384 / 64);
+        assert!(d.l1d_misses >= 2048 / 64);
+        // Second pass is warm.
+        let before = k.machine.cpu(0).pmu;
+        k.kernel_work(0, 16384, 2048);
+        let d = k.machine.cpu(0).pmu.delta(&before);
+        assert_eq!(d.l1i_misses, 0);
+    }
+
+    #[test]
+    fn schedule_round_robins_ready_threads() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let pid = k.create_process(&small_code());
+        let t0 = k.create_thread(pid, 0);
+        let t1 = k.create_thread(pid, 0);
+        k.enqueue(t0);
+        k.enqueue(t1);
+        assert_eq!(k.schedule(0), Some(t0));
+        assert_eq!(k.schedule(0), Some(t1));
+        assert_eq!(k.schedule(0), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! Minimal ELF64 executable-section extraction.
+//!
+//! Table 6 of the paper scans SPEC CPU, PARSEC, Nginx, Apache, Redis,
+//! `vmlinux`, every kernel module, and 2,605 other programs for
+//! inadvertent `VMFUNC` encodings. Our equivalent corpus is the set of ELF
+//! binaries installed in this container; this module pulls their
+//! executable sections (`SHF_EXECINSTR`) out so the scanner can walk real
+//! compiler output.
+
+/// One executable section.
+#[derive(Debug, Clone)]
+pub struct ExecSection {
+    /// Section name (e.g. `.text`).
+    pub name: String,
+    /// Virtual address the section is linked at.
+    pub addr: u64,
+    /// The section bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfError {
+    /// Not an ELF file (bad magic).
+    BadMagic,
+    /// Not a 64-bit little-endian ELF.
+    Unsupported,
+    /// Structurally truncated or inconsistent.
+    Malformed,
+}
+
+impl std::fmt::Display for ElfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElfError::BadMagic => write!(f, "not an ELF file"),
+            ElfError::Unsupported => write!(f, "not a 64-bit LE ELF"),
+            ElfError::Malformed => write!(f, "malformed ELF"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+fn u16le(b: &[u8], off: usize) -> Result<u16, ElfError> {
+    Ok(u16::from_le_bytes(
+        b.get(off..off + 2)
+            .ok_or(ElfError::Malformed)?
+            .try_into()
+            .unwrap(),
+    ))
+}
+
+fn u32le(b: &[u8], off: usize) -> Result<u32, ElfError> {
+    Ok(u32::from_le_bytes(
+        b.get(off..off + 4)
+            .ok_or(ElfError::Malformed)?
+            .try_into()
+            .unwrap(),
+    ))
+}
+
+fn u64le(b: &[u8], off: usize) -> Result<u64, ElfError> {
+    Ok(u64::from_le_bytes(
+        b.get(off..off + 8)
+            .ok_or(ElfError::Malformed)?
+            .try_into()
+            .unwrap(),
+    ))
+}
+
+/// Extracts the executable sections of an ELF64 image.
+pub fn exec_sections(data: &[u8]) -> Result<Vec<ExecSection>, ElfError> {
+    if data.len() < 64 {
+        return Err(ElfError::BadMagic);
+    }
+    if &data[0..4] != b"\x7fELF" {
+        return Err(ElfError::BadMagic);
+    }
+    if data[4] != 2 || data[5] != 1 {
+        // ELFCLASS64, ELFDATA2LSB.
+        return Err(ElfError::Unsupported);
+    }
+    let shoff = u64le(data, 0x28)? as usize;
+    let shentsize = u16le(data, 0x3a)? as usize;
+    let shnum = u16le(data, 0x3c)? as usize;
+    let shstrndx = u16le(data, 0x3e)? as usize;
+    if shentsize < 0x40 || shnum == 0 || shstrndx >= shnum {
+        return Err(ElfError::Malformed);
+    }
+    let sh = |i: usize| -> Result<(u32, u64, u64, u64, u64), ElfError> {
+        let base = shoff + i * shentsize;
+        Ok((
+            u32le(data, base)?,        // sh_name.
+            u64le(data, base + 0x08)?, // sh_flags.
+            u64le(data, base + 0x10)?, // sh_addr.
+            u64le(data, base + 0x18)?, // sh_offset.
+            u64le(data, base + 0x20)?, // sh_size.
+        ))
+    };
+    let (_, _, _, str_off, str_size) = sh(shstrndx)?;
+    let strtab = data
+        .get(str_off as usize..(str_off + str_size) as usize)
+        .ok_or(ElfError::Malformed)?;
+    let name_of = |off: u32| -> String {
+        let off = off as usize;
+        let end = strtab[off..]
+            .iter()
+            .position(|&b| b == 0)
+            .map_or(strtab.len(), |p| off + p);
+        String::from_utf8_lossy(&strtab[off..end]).into_owned()
+    };
+    const SHF_EXECINSTR: u64 = 0x4;
+    let mut out = Vec::new();
+    for i in 0..shnum {
+        let (name, flags, addr, off, size) = sh(i)?;
+        if flags & SHF_EXECINSTR == 0 || size == 0 {
+            continue;
+        }
+        let Some(bytes) = data.get(off as usize..(off + size) as usize) else {
+            continue; // NOBITS or truncated; skip.
+        };
+        out.push(ExecSection {
+            name: name_of(name),
+            addr,
+            bytes: bytes.to_vec(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_elf() {
+        assert!(matches!(
+            exec_sections(b"not an elf"),
+            Err(ElfError::BadMagic)
+        ));
+        assert!(matches!(
+            exec_sections(&[0u8; 100]),
+            Err(ElfError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn parses_a_real_binary_if_present() {
+        // Use this test binary itself: it is an ELF on Linux.
+        let me = std::env::current_exe().unwrap();
+        let data = std::fs::read(me).unwrap();
+        let sections = exec_sections(&data).unwrap();
+        assert!(
+            sections.iter().any(|s| s.name == ".text"),
+            "a Rust test binary must have .text"
+        );
+        let text = sections.iter().find(|s| s.name == ".text").unwrap();
+        assert!(text.bytes.len() > 4096);
+    }
+}

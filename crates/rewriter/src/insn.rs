@@ -1,0 +1,775 @@
+//! An x86-64 instruction-length decoder.
+//!
+//! The rewriting strategy of §5.2 "is highly dependent on x86
+//! variable-length instruction encoding": to classify an occurrence of
+//! `0F 01 D4` the scanner must know exactly where instruction boundaries
+//! fall and which encoding field (opcode, ModRM, SIB, displacement,
+//! immediate) each byte of the pattern lies in. This module decodes the
+//! five encoding regions the paper enumerates: prefixes + opcode, optional
+//! ModRM, optional SIB, optional displacement, optional immediate.
+//!
+//! Coverage: the full legacy one- and two-byte opcode maps as laid down in
+//! the SDM for 64-bit mode, the `0F 38`/`0F 3A` escape maps, and VEX
+//! (`C4`/`C5`) encodings — enough to walk the `.text` of real Linux
+//! binaries. Encodings that are invalid in 64-bit mode decode to
+//! [`DecodeError::Invalid`]; the scanner resynchronizes byte by byte, as a
+//! disassembler would.
+
+/// Decode failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode is invalid or undefined in 64-bit mode.
+    Invalid,
+    /// The instruction runs past the end of the buffer.
+    Truncated,
+}
+
+/// Which encoding field a byte offset falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// Prefixes or opcode bytes.
+    Opcode,
+    /// The ModRM byte.
+    ModRm,
+    /// The SIB byte.
+    Sib,
+    /// Displacement bytes.
+    Displacement,
+    /// Immediate bytes.
+    Immediate,
+}
+
+/// One decoded instruction (lengths and field offsets only — the rewriter
+/// re-encodes from these plus the raw bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Insn {
+    /// Total length in bytes.
+    pub len: usize,
+    /// Offset of the first opcode byte (after prefixes).
+    pub opcode_off: usize,
+    /// Number of opcode bytes (1–3).
+    pub opcode_len: usize,
+    /// Offset of the ModRM byte, if present.
+    pub modrm_off: Option<usize>,
+    /// Offset of the SIB byte, if present.
+    pub sib_off: Option<usize>,
+    /// `(offset, length)` of the displacement, if present.
+    pub disp: Option<(usize, usize)>,
+    /// `(offset, length)` of the immediate, if present.
+    pub imm: Option<(usize, usize)>,
+    /// True if the immediate is an IP-relative branch target (`JMP`/`CALL`
+    /// rel8/rel32, `Jcc`).
+    pub is_relative_branch: bool,
+}
+
+impl Insn {
+    /// Which field the byte at `off` (relative to instruction start)
+    /// belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off >= self.len`.
+    pub fn field_at(&self, off: usize) -> Field {
+        assert!(off < self.len, "offset beyond instruction");
+        if let Some((o, l)) = self.imm {
+            if off >= o && off < o + l {
+                return Field::Immediate;
+            }
+        }
+        if let Some((o, l)) = self.disp {
+            if off >= o && off < o + l {
+                return Field::Displacement;
+            }
+        }
+        if Some(off) == self.sib_off {
+            return Field::Sib;
+        }
+        if Some(off) == self.modrm_off {
+            return Field::ModRm;
+        }
+        Field::Opcode
+    }
+}
+
+// Opcode attribute flags.
+const M: u16 = 1 << 0; // Has ModRM.
+const I8: u16 = 1 << 1; // imm8.
+const I16: u16 = 1 << 2; // imm16.
+const IZ: u16 = 1 << 3; // imm16/32 by operand size (32 default).
+const IV: u16 = 1 << 4; // imm16/32/64 by operand size (B8+r mov).
+const REL: u16 = 1 << 5; // Immediate is an IP-relative branch offset.
+const MOFFS: u16 = 1 << 6; // 64-bit (or 32 with 0x67) direct offset.
+const GRP_F6: u16 = 1 << 7; // F6/F7: imm only when modrm.reg is 0 or 1.
+const I16I8: u16 = 1 << 8; // ENTER: imm16 + imm8.
+const BAD: u16 = 1 << 15; // Invalid in 64-bit mode.
+
+/// One-byte opcode map for 64-bit mode.
+static MAP1: [u16; 256] = build_map1();
+
+const fn build_map1() -> [u16; 256] {
+    let mut t = [0u16; 256];
+    // ALU block pattern: x0..x3 ModRM, x4 imm8, x5 immZ.
+    let mut base = 0x00;
+    while base <= 0x38 {
+        t[base] = M;
+        t[base + 1] = M;
+        t[base + 2] = M;
+        t[base + 3] = M;
+        t[base + 4] = I8;
+        t[base + 5] = IZ;
+        base += 0x08;
+    }
+    // Invalid-in-64-bit leftovers of the ALU rows.
+    t[0x06] = BAD;
+    t[0x07] = BAD;
+    t[0x0e] = BAD;
+    // 0x0F is the two-byte escape (handled out of band).
+    t[0x16] = BAD;
+    t[0x17] = BAD;
+    t[0x1e] = BAD;
+    t[0x1f] = BAD;
+    t[0x27] = BAD;
+    t[0x2f] = BAD;
+    t[0x37] = BAD;
+    t[0x3f] = BAD;
+    // 40-4F REX (prefixes, handled out of band); 50-5F push/pop: no flags.
+    t[0x60] = BAD;
+    t[0x61] = BAD;
+    t[0x62] = BAD; // EVEX, not decoded.
+    t[0x63] = M; // MOVSXD.
+                 // 64-67 prefixes (out of band).
+    t[0x68] = IZ; // PUSH imm32.
+    t[0x69] = M | IZ; // IMUL r, r/m, imm32.
+    t[0x6a] = I8; // PUSH imm8.
+    t[0x6b] = M | I8; // IMUL r, r/m, imm8.
+                      // 6C-6F ins/outs: no flags.
+    let mut i = 0x70;
+    while i <= 0x7f {
+        t[i] = I8 | REL; // Jcc rel8.
+        i += 1;
+    }
+    t[0x80] = M | I8;
+    t[0x81] = M | IZ;
+    t[0x82] = BAD;
+    t[0x83] = M | I8;
+    t[0x84] = M;
+    t[0x85] = M;
+    t[0x86] = M;
+    t[0x87] = M;
+    t[0x88] = M;
+    t[0x89] = M;
+    t[0x8a] = M;
+    t[0x8b] = M;
+    t[0x8c] = M;
+    t[0x8d] = M; // LEA.
+    t[0x8e] = M;
+    t[0x8f] = M; // POP r/m.
+                 // 90-9F: no flags except 9A invalid.
+    t[0x9a] = BAD;
+    t[0xa0] = MOFFS;
+    t[0xa1] = MOFFS;
+    t[0xa2] = MOFFS;
+    t[0xa3] = MOFFS;
+    // A4-A7 string ops: no flags.
+    t[0xa8] = I8; // TEST al, imm8.
+    t[0xa9] = IZ;
+    // AA-AF string ops: no flags.
+    i = 0xb0;
+    while i <= 0xb7 {
+        t[i] = I8; // MOV r8, imm8.
+        i += 1;
+    }
+    i = 0xb8;
+    while i <= 0xbf {
+        t[i] = IV; // MOV r, imm (16/32/64).
+        i += 1;
+    }
+    t[0xc0] = M | I8;
+    t[0xc1] = M | I8;
+    t[0xc2] = I16; // RET imm16.
+                   // C3 RET: no flags. C4/C5 are VEX (out of band).
+    t[0xc6] = M | I8;
+    t[0xc7] = M | IZ;
+    t[0xc8] = I16I8; // ENTER imm16, imm8.
+                     // C9 LEAVE: none.
+    t[0xca] = I16; // RETF imm16.
+                   // CB RETF, CC INT3: none.
+    t[0xcd] = I8; // INT imm8.
+    t[0xce] = BAD;
+    // CF IRET: none.
+    t[0xd0] = M;
+    t[0xd1] = M;
+    t[0xd2] = M;
+    t[0xd3] = M;
+    t[0xd4] = BAD;
+    t[0xd5] = BAD;
+    t[0xd6] = BAD;
+    // D7 XLAT: none.
+    i = 0xd8;
+    while i <= 0xdf {
+        t[i] = M; // x87.
+        i += 1;
+    }
+    t[0xe0] = I8 | REL; // LOOPNE.
+    t[0xe1] = I8 | REL;
+    t[0xe2] = I8 | REL;
+    t[0xe3] = I8 | REL; // JRCXZ.
+    t[0xe4] = I8; // IN al, imm8.
+    t[0xe5] = I8;
+    t[0xe6] = I8; // OUT imm8, al.
+    t[0xe7] = I8;
+    t[0xe8] = IZ | REL; // CALL rel32.
+    t[0xe9] = IZ | REL; // JMP rel32.
+    t[0xea] = BAD;
+    t[0xeb] = I8 | REL; // JMP rel8.
+                        // EC-EF IN/OUT dx: none. F0-F3 prefixes. F4 HLT, F5 CMC: none.
+    t[0xf1] = 0; // INT1.
+    t[0xf6] = M | GRP_F6 | I8;
+    t[0xf7] = M | GRP_F6 | IZ;
+    // F8-FD flag ops: none.
+    t[0xfe] = M;
+    t[0xff] = M;
+    t
+}
+
+/// Two-byte (`0F xx`) opcode map for 64-bit mode.
+static MAP2: [u16; 256] = build_map2();
+
+const fn build_map2() -> [u16; 256] {
+    let mut t = [0u16; 256];
+    t[0x00] = M;
+    t[0x01] = M; // Group 7 — `0F 01 D4` is VMFUNC.
+    t[0x02] = M; // LAR.
+    t[0x03] = M; // LSL.
+    t[0x04] = BAD;
+    // 05 SYSCALL, 06 CLTS, 07 SYSRET, 08 INVD, 09 WBINVD: none.
+    t[0x0a] = BAD;
+    // 0B UD2: none.
+    t[0x0c] = BAD;
+    t[0x0d] = M; // PREFETCH (3DNow hint form).
+                 // 0E FEMMS: none.
+    t[0x0f] = BAD; // 3DNow (imm-suffixed) — not decoded.
+    let mut i = 0x10;
+    while i <= 0x17 {
+        t[i] = M; // SSE moves.
+        i += 1;
+    }
+    i = 0x18;
+    while i <= 0x1f {
+        t[i] = M; // Hint NOPs.
+        i += 1;
+    }
+    t[0x20] = M;
+    t[0x21] = M;
+    t[0x22] = M;
+    t[0x23] = M; // MOV cr/dr.
+    t[0x24] = BAD;
+    t[0x25] = BAD;
+    t[0x26] = BAD;
+    t[0x27] = BAD;
+    i = 0x28;
+    while i <= 0x2f {
+        t[i] = M;
+        i += 1;
+    }
+    // 30-37 WRMSR/RDTSC/RDMSR/RDPMC/SYSENTER/SYSEXIT: none; 34/35 valid.
+    t[0x36] = BAD;
+    t[0x37] = 0; // GETSEC.
+                 // 38/3A are escapes (out of band).
+    t[0x39] = BAD;
+    t[0x3b] = BAD;
+    t[0x3c] = BAD;
+    t[0x3d] = BAD;
+    t[0x3e] = BAD;
+    t[0x3f] = BAD;
+    i = 0x40;
+    while i <= 0x4f {
+        t[i] = M; // CMOVcc.
+        i += 1;
+    }
+    i = 0x50;
+    while i <= 0x6f {
+        t[i] = M; // SSE/MMX.
+        i += 1;
+    }
+    t[0x70] = M | I8; // PSHUFW/D.
+    t[0x71] = M | I8;
+    t[0x72] = M | I8;
+    t[0x73] = M | I8;
+    t[0x74] = M;
+    t[0x75] = M;
+    t[0x76] = M;
+    // 77 EMMS: none.
+    t[0x78] = M;
+    t[0x79] = M;
+    t[0x7a] = BAD;
+    t[0x7b] = BAD;
+    t[0x7c] = M;
+    t[0x7d] = M;
+    t[0x7e] = M;
+    t[0x7f] = M;
+    i = 0x80;
+    while i <= 0x8f {
+        t[i] = IZ | REL; // Jcc rel32.
+        i += 1;
+    }
+    i = 0x90;
+    while i <= 0x9f {
+        t[i] = M; // SETcc.
+        i += 1;
+    }
+    // A0/A1 PUSH/POP fs, A2 CPUID: none.
+    t[0xa3] = M; // BT.
+    t[0xa4] = M | I8; // SHLD imm8.
+    t[0xa5] = M;
+    t[0xa6] = BAD;
+    t[0xa7] = BAD;
+    // A8/A9 PUSH/POP gs, AA RSM: none.
+    t[0xab] = M; // BTS.
+    t[0xac] = M | I8; // SHRD imm8.
+    t[0xad] = M;
+    t[0xae] = M; // Group 15 (fences, xsave).
+    t[0xaf] = M; // IMUL.
+    t[0xb0] = M;
+    t[0xb1] = M; // CMPXCHG.
+    t[0xb2] = M;
+    t[0xb3] = M;
+    t[0xb4] = M;
+    t[0xb5] = M;
+    t[0xb6] = M;
+    t[0xb7] = M; // MOVZX.
+    t[0xb8] = M; // POPCNT (F3) / JMPE.
+    t[0xb9] = M; // UD1.
+    t[0xba] = M | I8; // BT group imm8.
+    t[0xbb] = M;
+    t[0xbc] = M;
+    t[0xbd] = M;
+    t[0xbe] = M;
+    t[0xbf] = M; // MOVSX.
+    t[0xc0] = M;
+    t[0xc1] = M; // XADD.
+    t[0xc2] = M | I8; // CMPPS imm8.
+    t[0xc3] = M; // MOVNTI.
+    t[0xc4] = M | I8; // PINSRW.
+    t[0xc5] = M | I8; // PEXTRW.
+    t[0xc6] = M | I8; // SHUFPS.
+    t[0xc7] = M; // Group 9 (CMPXCHG16B).
+                 // C8-CF BSWAP: none.
+    i = 0xd0;
+    while i <= 0xfe {
+        t[i] = M; // MMX/SSE arithmetic block.
+        i += 1;
+    }
+    t[0xd6] = M;
+    t[0xff] = M; // UD0 (with modrm).
+    t
+}
+
+/// ModRM/immediate layout of a VEX map-1 opcode: the 0F map's layout,
+/// except that opcodes undefined there (VEX-only forms) conservatively
+/// take a ModRM.
+fn vex_map1_flags(op: u8) -> u16 {
+    let f = MAP2[op as usize];
+    if f & BAD != 0 {
+        M
+    } else {
+        f
+    }
+}
+
+fn is_legacy_prefix(b: u8) -> bool {
+    matches!(
+        b,
+        0xf0 | 0xf2 | 0xf3 | 0x2e | 0x36 | 0x3e | 0x26 | 0x64 | 0x65 | 0x66 | 0x67
+    )
+}
+
+/// Decodes the instruction at `code[0..]`.
+///
+/// Returns the decoded [`Insn`] or an error. The decoder never reads past
+/// `code.len()`.
+pub fn decode(code: &[u8]) -> Result<Insn, DecodeError> {
+    let mut at = 0usize;
+    let mut op_size_16 = false;
+    let mut addr_size_32 = false;
+    let mut rex_w = false;
+
+    let next = |at: &mut usize| -> Result<u8, DecodeError> {
+        let b = *code.get(*at).ok_or(DecodeError::Truncated)?;
+        *at += 1;
+        Ok(b)
+    };
+
+    // Legacy prefixes (at most 14 bytes of prefix+opcode in total; cap
+    // prefixes at 14 to bound the loop).
+    let mut prefix_count = 0;
+    let mut b = next(&mut at)?;
+    while is_legacy_prefix(b) {
+        if b == 0x66 {
+            op_size_16 = true;
+        }
+        if b == 0x67 {
+            addr_size_32 = true;
+        }
+        prefix_count += 1;
+        if prefix_count > 14 {
+            return Err(DecodeError::Invalid);
+        }
+        b = next(&mut at)?;
+    }
+    // REX.
+    if (0x40..=0x4f).contains(&b) {
+        rex_w = b & 0x08 != 0;
+        b = next(&mut at)?;
+    }
+
+    let opcode_off = at - 1;
+    let mut is_vex_map3 = false;
+
+    // VEX prefixes: C4 (3-byte) and C5 (2-byte). In 64-bit mode these are
+    // always VEX (the LES/LDS forms are invalid).
+    let flags: u16 = if b == 0xc4 {
+        let b1 = next(&mut at)?;
+        let _b2 = next(&mut at)?;
+        let map = b1 & 0x1f;
+        let op = next(&mut at)?;
+        is_vex_map3 = map == 3;
+        match map {
+            // VEX map 1 mirrors the 0F map's ModRM/immediate layout.
+            1 => vex_map1_flags(op),
+            2 => M,
+            3 => M | I8,
+            _ => return Err(DecodeError::Invalid),
+        }
+    } else if b == 0xc5 {
+        let _b1 = next(&mut at)?;
+        let op = next(&mut at)?;
+        vex_map1_flags(op)
+    } else if b == 0x0f {
+        let b2 = next(&mut at)?;
+        match b2 {
+            0x38 => {
+                let _b3 = next(&mut at)?;
+                M
+            }
+            0x3a => {
+                let _b3 = next(&mut at)?;
+                M | I8
+            }
+            _ => {
+                let f = MAP2[b2 as usize];
+                if f & BAD != 0 {
+                    return Err(DecodeError::Invalid);
+                }
+                f
+            }
+        }
+    } else {
+        let f = MAP1[b as usize];
+        if f & BAD != 0 {
+            return Err(DecodeError::Invalid);
+        }
+        f
+    };
+    let _ = is_vex_map3;
+    let opcode_len = at - opcode_off;
+
+    let mut modrm_off = None;
+    let mut sib_off = None;
+    let mut disp = None;
+    let mut modrm_reg = 0u8;
+    if flags & M != 0 {
+        let m = next(&mut at)?;
+        modrm_off = Some(at - 1);
+        let mode = m >> 6;
+        let rm = m & 0x07;
+        modrm_reg = (m >> 3) & 0x07;
+        if mode != 0b11 {
+            if rm == 0b100 {
+                let sib = next(&mut at)?;
+                sib_off = Some(at - 1);
+                // SIB with base=101 and mod=00: disp32.
+                if mode == 0b00 && (sib & 0x07) == 0b101 {
+                    disp = Some((at, 4));
+                    at += 4;
+                }
+            }
+            match mode {
+                0b00 => {
+                    if rm == 0b101 {
+                        // RIP-relative disp32.
+                        disp = Some((at, 4));
+                        at += 4;
+                    }
+                }
+                0b01 => {
+                    disp = Some((at, 1));
+                    at += 1;
+                }
+                0b10 => {
+                    disp = Some((at, 4));
+                    at += 4;
+                }
+                _ => unreachable!(),
+            }
+        }
+        if at > code.len() {
+            return Err(DecodeError::Truncated);
+        }
+    }
+
+    // Immediate.
+    let mut imm = None;
+    let mut add_imm = |at: &mut usize, n: usize| -> Result<(), DecodeError> {
+        if *at + n > code.len() {
+            return Err(DecodeError::Truncated);
+        }
+        imm = Some((*at, n));
+        *at += n;
+        Ok(())
+    };
+    let iz = if op_size_16 { 2 } else { 4 };
+    if flags & GRP_F6 != 0 {
+        if modrm_reg <= 1 {
+            // TEST r/m, imm.
+            let n = if flags & IZ != 0 { iz } else { 1 };
+            add_imm(&mut at, n)?;
+        }
+    } else if flags & I8 != 0 {
+        add_imm(&mut at, 1)?;
+    } else if flags & I16 != 0 {
+        add_imm(&mut at, 2)?;
+    } else if flags & IZ != 0 {
+        add_imm(&mut at, iz)?;
+    } else if flags & IV != 0 {
+        let n = if rex_w {
+            8
+        } else if op_size_16 {
+            2
+        } else {
+            4
+        };
+        add_imm(&mut at, n)?;
+    } else if flags & I16I8 != 0 {
+        add_imm(&mut at, 2)?;
+        // ENTER's trailing imm8 is folded into one 3-byte immediate span.
+        imm = Some((imm.unwrap().0, 3));
+        at += 1;
+        if at > code.len() {
+            return Err(DecodeError::Truncated);
+        }
+    } else if flags & MOFFS != 0 {
+        let n = if addr_size_32 { 4 } else { 8 };
+        add_imm(&mut at, n)?;
+    }
+
+    if at > code.len() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(Insn {
+        len: at,
+        opcode_off,
+        opcode_len,
+        modrm_off,
+        sib_off,
+        disp,
+        imm,
+        is_relative_branch: flags & REL != 0,
+    })
+}
+
+/// True if the instruction at `code` is exactly `VMFUNC`, modulo prefixes.
+pub fn is_vmfunc(code: &[u8], insn: &Insn) -> bool {
+    insn.opcode_len == 2
+        && code.get(insn.opcode_off) == Some(&0x0f)
+        && code.get(insn.opcode_off + 1) == Some(&0x01)
+        && insn.modrm_off.and_then(|o| code.get(o)) == Some(&0xd4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn len_of(bytes: &[u8]) -> usize {
+        decode(bytes).unwrap().len
+    }
+
+    #[test]
+    fn common_one_byte_forms() {
+        assert_eq!(len_of(&[0x90]), 1); // nop
+        assert_eq!(len_of(&[0xc3]), 1); // ret
+        assert_eq!(len_of(&[0x50]), 1); // push rax
+        assert_eq!(len_of(&[0x6a, 0x05]), 2); // push 5
+        assert_eq!(len_of(&[0xcd, 0x80]), 2); // int 0x80
+    }
+
+    #[test]
+    fn modrm_register_forms() {
+        assert_eq!(len_of(&[0x48, 0x89, 0xd8]), 3); // mov rax, rbx
+        assert_eq!(len_of(&[0x31, 0xc0]), 2); // xor eax, eax
+        assert_eq!(len_of(&[0x48, 0x01, 0xc8]), 3); // add rax, rcx
+    }
+
+    #[test]
+    fn modrm_memory_forms() {
+        // mov rax, [rbx]
+        assert_eq!(len_of(&[0x48, 0x8b, 0x03]), 3);
+        // mov rax, [rbx+0x10] (disp8)
+        assert_eq!(len_of(&[0x48, 0x8b, 0x43, 0x10]), 4);
+        // mov rax, [rbx+0x12345678] (disp32)
+        assert_eq!(len_of(&[0x48, 0x8b, 0x83, 0x78, 0x56, 0x34, 0x12]), 7);
+        // mov rax, [rip+0x10] (RIP-relative)
+        assert_eq!(len_of(&[0x48, 0x8b, 0x05, 0x10, 0x00, 0x00, 0x00]), 7);
+    }
+
+    #[test]
+    fn sib_forms() {
+        // lea rbx, [rdi + rcx*1] : 48 8D 1C 0F
+        let i = decode(&[0x48, 0x8d, 0x1c, 0x0f]).unwrap();
+        assert_eq!(i.len, 4);
+        assert_eq!(i.sib_off, Some(3));
+        // mov rax, [rsp] : 48 8B 04 24
+        assert_eq!(len_of(&[0x48, 0x8b, 0x04, 0x24]), 4);
+        // mov rax, [rbp + rax*4 + 0] : SIB + disp8 (mod=01)
+        assert_eq!(len_of(&[0x48, 0x8b, 0x44, 0x85, 0x00]), 5);
+        // SIB base=101 mod=00: disp32. mov rax, [rax*2 + 0x1000]
+        assert_eq!(len_of(&[0x48, 0x8b, 0x04, 0x45, 0x00, 0x10, 0x00, 0x00]), 8);
+    }
+
+    #[test]
+    fn immediates() {
+        // add rax, 0x12345678
+        let i = decode(&[0x48, 0x05, 0x78, 0x56, 0x34, 0x12]).unwrap();
+        assert_eq!(i.len, 6);
+        assert_eq!(i.imm, Some((2, 4)));
+        // mov rax, imm64
+        assert_eq!(len_of(&[0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8]), 10);
+        // mov eax, imm32
+        assert_eq!(len_of(&[0xb8, 1, 2, 3, 4]), 5);
+        // 66: mov ax, imm16
+        assert_eq!(len_of(&[0x66, 0xb8, 1, 2]), 4);
+        // imul rcx, rdi, 0xD401 — the paper's Table 3 row 2 example.
+        let i = decode(&[0x48, 0x69, 0xcf, 0x01, 0xd4, 0x00, 0x00]).unwrap();
+        assert_eq!(i.len, 7);
+        assert_eq!(i.modrm_off, Some(2));
+        assert_eq!(i.imm, Some((3, 4)));
+    }
+
+    #[test]
+    fn branches() {
+        let i = decode(&[0xe8, 0x10, 0x00, 0x00, 0x00]).unwrap(); // call rel32
+        assert_eq!(i.len, 5);
+        assert!(i.is_relative_branch);
+        let i = decode(&[0xeb, 0x05]).unwrap(); // jmp rel8
+        assert_eq!(i.len, 2);
+        assert!(i.is_relative_branch);
+        let i = decode(&[0x0f, 0x84, 0, 0, 0, 0]).unwrap(); // jz rel32
+        assert_eq!(i.len, 6);
+        assert!(i.is_relative_branch);
+    }
+
+    #[test]
+    fn f6_f7_group_immediates() {
+        // test byte [rax], 0x5 : F6 00 05
+        assert_eq!(len_of(&[0xf6, 0x00, 0x05]), 3);
+        // not qword [rax] : F7 10 — reg=2, no immediate.
+        assert_eq!(len_of(&[0xf7, 0x10]), 2);
+        // test eax-form via modrm reg=0 with imm32: F7 C0 xx xx xx xx
+        assert_eq!(len_of(&[0xf7, 0xc0, 1, 2, 3, 4]), 6);
+    }
+
+    #[test]
+    fn two_byte_map() {
+        assert_eq!(len_of(&[0x0f, 0x05]), 2); // syscall
+        assert_eq!(len_of(&[0x0f, 0xa2]), 2); // cpuid
+                                              // movzx eax, byte [rdi]
+        assert_eq!(len_of(&[0x0f, 0xb6, 0x07]), 3);
+        // nopw 0x0(%rax,%rax,1) : 66 0F 1F 44 00 00
+        assert_eq!(len_of(&[0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00]), 6);
+        // shld rbx, rcx, 5
+        assert_eq!(len_of(&[0x48, 0x0f, 0xa4, 0xcb, 0x05]), 5);
+    }
+
+    #[test]
+    fn vmfunc_decodes_as_three_bytes() {
+        let i = decode(&[0x0f, 0x01, 0xd4]).unwrap();
+        assert_eq!(i.len, 3);
+        assert!(is_vmfunc(&[0x0f, 0x01, 0xd4], &i));
+        // And other group-7 mod=11 forms too (e.g. 0F 01 F8 swapgs).
+        assert_eq!(len_of(&[0x0f, 0x01, 0xf8]), 3);
+        // sgdt [rax]: 0F 01 00 — memory form.
+        assert_eq!(len_of(&[0x0f, 0x01, 0x00]), 3);
+    }
+
+    #[test]
+    fn escape_maps_38_3a() {
+        // pshufb xmm0, xmm1 : 66 0F 38 00 C1
+        assert_eq!(len_of(&[0x66, 0x0f, 0x38, 0x00, 0xc1]), 5);
+        // palignr xmm0, xmm1, 4 : 66 0F 3A 0F C1 04
+        assert_eq!(len_of(&[0x66, 0x0f, 0x3a, 0x0f, 0xc1, 0x04]), 6);
+    }
+
+    #[test]
+    fn vex_forms() {
+        // vzeroupper: C5 F8 77
+        assert_eq!(len_of(&[0xc5, 0xf8, 0x77]), 3);
+        // vmovdqa ymm0, [rdi]: C5 FD 6F 07
+        assert_eq!(len_of(&[0xc5, 0xfd, 0x6f, 0x07]), 4);
+        // vpalignr ymm0, ymm1, ymm2, 4 (map3 has imm8):
+        // C4 E3 75 0F C2 04
+        assert_eq!(len_of(&[0xc4, 0xe3, 0x75, 0x0f, 0xc2, 0x04]), 6);
+    }
+
+    #[test]
+    fn moffs_is_eight_bytes() {
+        // mov al, [moffs64]
+        assert_eq!(len_of(&[0xa0, 1, 2, 3, 4, 5, 6, 7, 8]), 9);
+        // with 0x67: 4-byte offset
+        assert_eq!(len_of(&[0x67, 0xa0, 1, 2, 3, 4]), 6);
+    }
+
+    #[test]
+    fn invalid_and_truncated() {
+        assert_eq!(decode(&[0x06]), Err(DecodeError::Invalid));
+        assert_eq!(decode(&[0x48]), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode(&[0x48, 0x8b, 0x83, 0x78]),
+            Err(DecodeError::Truncated)
+        );
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn field_classification() {
+        // imul rcx, rdi, 0x0001D401: REX 69 /r imm32.
+        let code = [0x48, 0x69, 0xcf, 0x01, 0xd4, 0x01, 0x00];
+        let i = decode(&code).unwrap();
+        assert_eq!(i.field_at(0), Field::Opcode);
+        assert_eq!(i.field_at(1), Field::Opcode);
+        assert_eq!(i.field_at(2), Field::ModRm);
+        assert_eq!(i.field_at(3), Field::Immediate);
+        // lea with SIB: 48 8D 1C 0F.
+        let code = [0x48, 0x8d, 0x1c, 0x0f];
+        let i = decode(&code).unwrap();
+        assert_eq!(i.field_at(3), Field::Sib);
+        // disp: 48 8B 83 <disp32>.
+        let code = [0x48, 0x8b, 0x83, 0x0f, 0x01, 0xd4, 0x00];
+        let i = decode(&code).unwrap();
+        assert_eq!(i.field_at(3), Field::Displacement);
+        assert_eq!(i.field_at(6), Field::Displacement);
+    }
+
+    #[test]
+    fn decoder_always_progresses_or_errors() {
+        // Fuzzy smoke: every 3-byte seed either decodes with len>=1 or
+        // errors; never panics, never returns len 0.
+        for a in 0..=255u8 {
+            for b in [0x00, 0x0f, 0x45, 0x90, 0xd4, 0xff] {
+                let buf = [a, b, 0xd4, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06];
+                if let Ok(i) = decode(&buf) {
+                    assert!(i.len >= 1 && i.len <= buf.len())
+                }
+            }
+        }
+    }
+}

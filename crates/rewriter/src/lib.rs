@@ -1,0 +1,37 @@
+//! Dynamic binary rewriting of inadvertent `VMFUNC` instructions.
+//!
+//! SkyBridge's security hinges on the trampoline being the **only** place a
+//! process can execute `VMFUNC` (§4.4): because the CR3-remap design makes
+//! any `VMFUNC` at any address switch address spaces, a malicious process
+//! could otherwise jump into the middle of its own code where the bytes
+//! `0F 01 D4` happen to occur — inside an immediate, a displacement, a
+//! ModRM byte, or spanning two instructions — and land in a victim's
+//! address space outside the trampoline.
+//!
+//! The defense (§5, modeled on ERIM's `WRPKRU` scrubbing): at registration
+//! time the Subkernel scans every executable page and rewrites every
+//! occurrence of the byte pattern with functionally equivalent code,
+//! relocating instructions that grow into a *rewrite page* mapped at the
+//! otherwise-unused address `0x1000`.
+//!
+//! Unlike the rest of this reproduction, nothing here is simulated: the
+//! decoder, scanner and rewriter operate on real x86-64 machine code (the
+//! Table 6 experiment runs them over the ELF binaries installed in this
+//! container), and the mini-interpreter in [`interp`] checks functional
+//! equivalence of rewritten sequences.
+
+pub mod corpus;
+pub mod elf;
+pub mod insn;
+pub mod interp;
+pub mod rewrite;
+pub mod scan;
+
+pub use crate::{
+    insn::{decode, DecodeError, Insn},
+    rewrite::{rewrite_code, RewriteError, RewriteOutput},
+    scan::{classify, find_occurrences, Occurrence, OverlapKind},
+};
+
+/// The `VMFUNC` byte pattern.
+pub const VMFUNC_BYTES: [u8; 3] = [0x0f, 0x01, 0xd4];

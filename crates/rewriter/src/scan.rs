@@ -1,0 +1,238 @@
+//! Scanning executable bytes for inadvertent `VMFUNC` occurrences.
+//!
+//! §5.2 classifies every occurrence of `0F 01 D4` into three conditions:
+//!
+//! * **C1** — the instruction *is* `VMFUNC`;
+//! * **C2** — the pattern spans two or more instructions;
+//! * **C3** — the pattern lies inside one longer instruction, in its ModRM,
+//!   SIB, displacement, or immediate field.
+//!
+//! Classification requires instruction boundaries, so the scanner decodes
+//! linearly from the start of the region (resynchronizing byte-by-byte on
+//! undecodable input, as the Subkernel's loader would from a symbol
+//! boundary).
+
+use crate::{
+    insn::{decode, is_vmfunc, Field, Insn},
+    VMFUNC_BYTES,
+};
+
+/// How an occurrence overlaps instruction boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlapKind {
+    /// C1: a literal `VMFUNC` instruction.
+    Vmfunc,
+    /// C2: the pattern spans two or more instructions.
+    Spanning,
+    /// C3: the pattern is inside one longer instruction; `field` is the
+    /// encoding field holding the leading `0x0F` byte (Table 3's "overlap
+    /// case" column).
+    Within(Field),
+}
+
+/// One occurrence of the byte pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Byte offset of the `0x0F`.
+    pub offset: usize,
+    /// Offset of the first instruction whose bytes overlap the pattern.
+    pub insn_start: usize,
+    /// End offset (exclusive) of the last instruction overlapping the
+    /// pattern.
+    pub span_end: usize,
+    /// Classification.
+    pub kind: OverlapKind,
+}
+
+/// Returns the offsets of every `0F 01 D4` in `code`.
+pub fn find_occurrences(code: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    if code.len() < 3 {
+        return out;
+    }
+    for i in 0..=code.len() - 3 {
+        if code[i..i + 3] == VMFUNC_BYTES {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Decodes `code` linearly and returns the boundary offsets of each
+/// decoded instruction as `(start, insn)` pairs. Undecodable bytes are
+/// skipped one at a time (treated as 1-byte opaque instructions).
+pub fn instruction_boundaries(code: &[u8]) -> Vec<(usize, Option<Insn>)> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < code.len() {
+        match decode(&code[at..]) {
+            Ok(i) => {
+                let len = i.len;
+                out.push((at, Some(i)));
+                at += len;
+            }
+            Err(_) => {
+                out.push((at, None));
+                at += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Classifies every occurrence of the pattern in `code`.
+pub fn classify(code: &[u8]) -> Vec<Occurrence> {
+    let offsets = find_occurrences(code);
+    if offsets.is_empty() {
+        return Vec::new();
+    }
+    let bounds = instruction_boundaries(code);
+    let mut out = Vec::new();
+    for off in offsets {
+        // The instruction containing the first pattern byte.
+        let idx = match bounds.binary_search_by(|(s, _)| s.cmp(&off)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let (start, insn) = &bounds[idx];
+        let insn_len = insn.as_ref().map_or(1, |i| i.len);
+        let end = start + insn_len;
+        let kind = if off + 3 <= end {
+            // Fully inside one instruction.
+            match insn {
+                Some(i) if is_vmfunc(&code[*start..], i) && off == *start + i.opcode_off => {
+                    OverlapKind::Vmfunc
+                }
+                Some(i) => OverlapKind::Within(i.field_at(off - start)),
+                None => OverlapKind::Spanning, // Opaque byte: treat as C2.
+            }
+        } else {
+            OverlapKind::Spanning
+        };
+        // Find the end of the last instruction overlapping the pattern.
+        let mut span_end = end;
+        let mut j = idx;
+        while span_end < off + 3 && j + 1 < bounds.len() {
+            j += 1;
+            let (s, i) = &bounds[j];
+            span_end = s + i.as_ref().map_or(1, |i| i.len);
+        }
+        out.push(Occurrence {
+            offset: off,
+            insn_start: *start,
+            span_end: span_end.max(off + 3).min(code.len()),
+            kind,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_raw_occurrences() {
+        let code = [0x90, 0x0f, 0x01, 0xd4, 0x90, 0x0f, 0x01, 0xd4];
+        assert_eq!(find_occurrences(&code), vec![1, 5]);
+        assert_eq!(find_occurrences(&[0x0f, 0x01]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn classifies_literal_vmfunc_as_c1() {
+        let code = [0x90, 0x0f, 0x01, 0xd4, 0xc3];
+        let occ = classify(&code);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].kind, OverlapKind::Vmfunc);
+        assert_eq!(occ[0].insn_start, 1);
+        assert_eq!(occ[0].span_end, 4);
+    }
+
+    #[test]
+    fn classifies_immediate_overlap_as_c3() {
+        // add eax, 0x00D4010F: 05 0F 01 D4 00 — pattern at offset 1,
+        // entirely inside the imm32.
+        let code = [0x05, 0x0f, 0x01, 0xd4, 0x00, 0xc3];
+        let occ = classify(&code);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].kind, OverlapKind::Within(Field::Immediate));
+    }
+
+    #[test]
+    fn classifies_modrm_overlap_as_c3() {
+        // imul ecx, [rdi], 0x0000D401: 69 0F 01 D4 00 00 — ModRM = 0x0F.
+        let code = [0x69, 0x0f, 0x01, 0xd4, 0x00, 0x00, 0xc3];
+        let occ = classify(&code);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].kind, OverlapKind::Within(Field::ModRm));
+    }
+
+    #[test]
+    fn classifies_sib_overlap_as_c3() {
+        // lea ebx, [rdi + rcx*1 + 0x0000D401]:
+        // 8D 9C 0F 01 D4 00 00 — SIB = 0x0F at offset 2.
+        let code = [0x8d, 0x9c, 0x0f, 0x01, 0xd4, 0x00, 0x00, 0xc3];
+        let occ = classify(&code);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].kind, OverlapKind::Within(Field::Sib));
+    }
+
+    #[test]
+    fn classifies_displacement_overlap_as_c3() {
+        // add ebx, [rax + 0x00D4010F]: 03 98 0F 01 D4 00 — disp32 holds
+        // the pattern.
+        let code = [0x03, 0x98, 0x0f, 0x01, 0xd4, 0x00, 0xc3];
+        let occ = classify(&code);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].kind, OverlapKind::Within(Field::Displacement));
+    }
+
+    #[test]
+    fn classifies_spanning_as_c2() {
+        // mov eax, 0x0F ends with 0F; next insn starts 01 D4 (add esp? 01
+        // D4 = add esp, edx mod11). Pattern spans the boundary.
+        // B8 0F 00 00 00 ends at offset 5... place 0F as last imm byte:
+        // mov eax, 0x0F000000 : B8 00 00 00 0F, then add esp, edx: 01 D4.
+        let code = [0xb8, 0x00, 0x00, 0x00, 0x0f, 0x01, 0xd4, 0xc3];
+        let occ = classify(&code);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].kind, OverlapKind::Spanning);
+        assert_eq!(occ[0].insn_start, 0);
+        assert_eq!(occ[0].span_end, 7);
+    }
+
+    #[test]
+    fn no_false_positives_on_clean_code() {
+        // A realistic clean snippet.
+        let code = [
+            0x55, // push rbp
+            0x48, 0x89, 0xe5, // mov rbp, rsp
+            0x48, 0x83, 0xec, 0x10, // sub rsp, 0x10
+            0xb8, 0x2a, 0x00, 0x00, 0x00, // mov eax, 42
+            0xc9, // leave
+            0xc3, // ret
+        ];
+        assert!(classify(&code).is_empty());
+    }
+
+    #[test]
+    fn boundaries_resync_on_junk() {
+        let code = [0x06, 0x90, 0xc3]; // Invalid, nop, ret.
+        let b = instruction_boundaries(&code);
+        assert_eq!(b.len(), 3);
+        assert!(b[0].1.is_none());
+        assert_eq!(b[1].0, 1);
+    }
+
+    #[test]
+    fn multiple_occurrences_all_classified() {
+        let mut code = Vec::new();
+        code.extend_from_slice(&[0x0f, 0x01, 0xd4]); // C1.
+        code.extend_from_slice(&[0x05, 0x0f, 0x01, 0xd4, 0x00]); // C3 imm.
+        code.push(0xc3);
+        let occ = classify(&code);
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].kind, OverlapKind::Vmfunc);
+        assert_eq!(occ[1].kind, OverlapKind::Within(Field::Immediate));
+    }
+}

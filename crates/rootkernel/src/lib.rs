@@ -1,0 +1,34 @@
+//! The Rootkernel: SkyBridge's tiny hypervisor.
+//!
+//! The paper's Rootkernel (§4.1) is a ~1.5 KLoC virtualization layer slipped
+//! *underneath* an existing microkernel. It is deliberately not a general
+//! hypervisor:
+//!
+//! * it is **booted by the Subkernel** ("self-virtualization", inspired by
+//!   CloudVisor): the running microkernel calls one entry point, the
+//!   Rootkernel builds a base EPT that identity-maps almost all physical
+//!   memory with huge pages, and demotes the microkernel to non-root mode;
+//! * it **eliminates VM exits**: privileged instructions (CR3 writes, `HLT`)
+//!   and external interrupts are configured as pass-through, and the
+//!   huge-page base EPT means no EPT violations in steady state — the
+//!   Table 5 experiment counts exactly zero exits under the YCSB workload;
+//! * its only jobs are **EPT management** (per-binding shallow copies with
+//!   the CR3 remap), **EPTP-list installation** at context-switch time, and
+//!   handling the handful of unavoidable exits (`CPUID`, `VMCALL`, EPT
+//!   violations).
+//!
+//! [`Rootkernel::vmfunc`] implements the EPTP-switching VM function: the
+//! only hypervisor-provided operation on the IPC fast path, executable from
+//! user mode, costing 134 cycles and no TLB flush.
+
+pub mod eptp;
+pub mod exit;
+pub mod kernel;
+pub mod vmcs;
+
+pub use crate::{
+    eptp::{EptpList, EPTP_LIST_CAPACITY},
+    exit::{ExitReason, ExitStats},
+    kernel::{Rootkernel, RootkernelConfig, VmfuncError},
+    vmcs::Vmcs,
+};

@@ -1,0 +1,67 @@
+//! Per-core virtual-machine control structure.
+//!
+//! The model keeps only the fields SkyBridge touches: the active EPTP, the
+//! EPTP list that `VMFUNC` indexes, and the exit controls that make the
+//! Rootkernel "exitless".
+
+use sb_mem::Hpa;
+
+use crate::eptp::EptpList;
+
+/// Exit controls: which guest events leave non-root mode.
+///
+/// SkyBridge's Rootkernel configures everything as pass-through (§4.1); the
+/// `commercial()` preset models the KVM/Xen-style configuration the paper
+/// contrasts against (SeCage and CrossOver reuse commercial hypervisors;
+/// Dune exits on most system calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitControls {
+    /// External interrupts are injected directly into the guest kernel.
+    pub passthrough_interrupts: bool,
+    /// CR3 writes do not trap.
+    pub passthrough_cr3: bool,
+    /// `HLT` does not trap.
+    pub passthrough_hlt: bool,
+}
+
+impl ExitControls {
+    /// SkyBridge's exitless configuration.
+    pub const fn skybridge() -> Self {
+        ExitControls {
+            passthrough_interrupts: true,
+            passthrough_cr3: true,
+            passthrough_hlt: true,
+        }
+    }
+
+    /// A conventional hypervisor configuration (everything exits).
+    pub const fn commercial() -> Self {
+        ExitControls {
+            passthrough_interrupts: false,
+            passthrough_cr3: false,
+            passthrough_hlt: false,
+        }
+    }
+}
+
+/// The per-core VMCS subset the simulation models.
+#[derive(Debug, Clone)]
+pub struct Vmcs {
+    /// The active extended-page-table pointer.
+    pub eptp: Hpa,
+    /// The `VMFUNC` leaf-0 EPTP list.
+    pub eptp_list: EptpList,
+    /// Exit controls.
+    pub controls: ExitControls,
+}
+
+impl Vmcs {
+    /// A VMCS pointing at the base EPT with an empty list.
+    pub fn new(base_eptp: Hpa, controls: ExitControls) -> Self {
+        Vmcs {
+            eptp: base_eptp,
+            eptp_list: EptpList::new(1),
+            controls,
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Model-based property tests of the EPTP list (the §10 LRU extension).
+
+use proptest::prelude::*;
+use sb_mem::Hpa;
+use sb_rootkernel::{EptpList, EPTP_LIST_CAPACITY};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the access sequence: `ensure` always yields a slot that
+    /// `get` resolves to the requested root, pinned slots never move, and
+    /// occupancy never exceeds the hardware capacity.
+    #[test]
+    fn ensure_is_always_consistent(
+        roots in proptest::collection::vec(1u64..2000, 1..1500)
+    ) {
+        let mut l = EptpList::new(1);
+        let own = Hpa(0xAAAA_0000);
+        l.pin(0, own);
+        for r in roots {
+            let root = Hpa(0x10_0000 + r * 0x1000);
+            let (slot, evicted) = l.ensure(root);
+            prop_assert!(slot < EPTP_LIST_CAPACITY);
+            prop_assert_eq!(l.get(slot), Some(root), "slot must hold the root");
+            prop_assert_eq!(l.get(0), Some(own), "pinned slot is immutable");
+            prop_assert!(l.len() <= EPTP_LIST_CAPACITY);
+            if let Some(e) = evicted {
+                prop_assert_ne!(e, own, "the pinned root is never evicted");
+            }
+        }
+    }
+
+    /// A working set that fits is never evicted, no matter how it is
+    /// accessed.
+    #[test]
+    fn small_working_set_never_faults(
+        accesses in proptest::collection::vec(0u64..100, 1..2000)
+    ) {
+        let mut l = EptpList::new(1);
+        l.pin(0, Hpa(0x1000));
+        // Install 100 roots (< capacity).
+        for r in 0..100u64 {
+            l.ensure(Hpa(0x10_0000 + r * 0x1000));
+        }
+        for a in accesses {
+            let root = Hpa(0x10_0000 + a * 0x1000);
+            prop_assert!(
+                l.slot_of(root).is_some(),
+                "resident root must stay resident"
+            );
+        }
+        prop_assert_eq!(l.evictions, 0);
+    }
+}

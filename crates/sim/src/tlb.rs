@@ -1,0 +1,279 @@
+//! Translation look-aside buffer model.
+//!
+//! TLB behaviour is central to both of the paper's key observations:
+//!
+//! * the indirect cost of kernel-mediated IPC includes heavy d-TLB pollution
+//!   (Table 1 reports d-TLB misses growing from 17 to 7832 across 512 KV
+//!   operations once IPC is involved), and
+//! * `VMFUNC` with VPID enabled does **not** flush the TLB (Table 2), which
+//!   is why SkyBridge's address-space switch costs only 134 cycles.
+//!
+//! We model both by tagging each entry with a [`TlbTag`] — the (PCID, EPT
+//! root) pair — exactly like hardware tags entries with (VPID, PCID, EPTRTA).
+//! Switching CR3 with PCID, or switching EPTP via `VMFUNC` with VPID, leaves
+//! entries resident but unreachable under the new tag; capacity pressure
+//! across address spaces then produces the observed thrashing.
+
+/// The tag under which a translation was cached.
+///
+/// `pcid` distinguishes guest address spaces; `ept_root` distinguishes
+/// extended page tables (the host-physical address of the active EPT PML4,
+/// or 0 when virtualization is off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlbTag {
+    /// Process-context identifier of the guest page table.
+    pub pcid: u16,
+    /// Root of the active EPT (0 = bare metal).
+    pub ept_root: u64,
+}
+
+impl TlbTag {
+    /// Tag for non-virtualized execution under the given PCID.
+    pub fn bare(pcid: u16) -> Self {
+        TlbTag { pcid, ept_root: 0 }
+    }
+}
+
+/// Geometry of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl TlbConfig {
+    /// Skylake 128-entry 8-way instruction TLB (4 KiB pages).
+    pub const fn skylake_itlb() -> Self {
+        TlbConfig {
+            entries: 128,
+            ways: 8,
+        }
+    }
+
+    /// Skylake 64-entry 4-way data TLB (4 KiB pages).
+    pub const fn skylake_dtlb() -> Self {
+        TlbConfig {
+            entries: 64,
+            ways: 4,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TlbEntry {
+    tag: TlbTag,
+    /// Virtual page number.
+    vpn: u64,
+    /// Host-physical page number the translation resolved to.
+    ppn: u64,
+    /// Opaque permission bits cached with the translation (the walker
+    /// defines their meaning).
+    meta: u8,
+}
+
+/// A set-associative, LRU-replaced, tag-aware TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<Vec<TlbEntry>>,
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that missed (required a page walk).
+    pub misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate or the set count is not a power
+    /// of two.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.ways > 0 && config.entries.is_multiple_of(config.ways));
+        let sets = config.sets();
+        assert!(sets.is_power_of_two());
+        Tlb {
+            config,
+            sets: vec![Vec::new(); sets],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry this TLB was built with.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up the translation of virtual page `vpn` under `tag`.
+    ///
+    /// Returns the cached `(host-physical page number, permission meta)`
+    /// on a hit. Counts the access either way; on a miss the caller
+    /// performs the page walk and then calls [`Tlb::insert`].
+    pub fn lookup(&mut self, tag: TlbTag, vpn: u64) -> Option<(u64, u8)> {
+        self.accesses += 1;
+        let set_idx = self.set_of(vpn);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.vpn == vpn && e.tag == tag) {
+            let e = set.remove(pos);
+            let hit = (e.ppn, e.meta);
+            set.push(e);
+            Some(hit)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts a translation, evicting the set's LRU entry if full.
+    pub fn insert(&mut self, tag: TlbTag, vpn: u64, ppn: u64, meta: u8) {
+        let set_idx = self.set_of(vpn);
+        let ways = self.config.ways;
+        let set = &mut self.sets[set_idx];
+        set.retain(|e| !(e.vpn == vpn && e.tag == tag));
+        if set.len() == ways {
+            set.remove(0);
+        }
+        set.push(TlbEntry {
+            tag,
+            vpn,
+            ppn,
+            meta,
+        });
+    }
+
+    /// Flushes every entry (a non-PCID CR3 write, or `INVEPT` global).
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Flushes entries belonging to one tag (`INVPCID` single-context).
+    pub fn flush_tag(&mut self, tag: TlbTag) {
+        for set in &mut self.sets {
+            set.retain(|e| e.tag != tag);
+        }
+    }
+
+    /// Invalidates one page under one tag (`INVLPG`).
+    pub fn flush_page(&mut self, tag: TlbTag, vpn: u64) {
+        let set_idx = self.set_of(vpn);
+        self.sets[set_idx].retain(|e| !(e.vpn == vpn && e.tag == tag));
+    }
+
+    /// Number of live entries.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Resets hit/miss statistics without touching entries.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit_same_tag() {
+        let mut t = tiny();
+        let tag = TlbTag::bare(1);
+        assert_eq!(t.lookup(tag, 0x40), None);
+        t.insert(tag, 0x40, 0x99, 0);
+        assert_eq!(t.lookup(tag, 0x40), Some((0x99, 0)));
+        assert_eq!(t.misses, 1);
+    }
+
+    #[test]
+    fn different_pcid_does_not_hit() {
+        let mut t = tiny();
+        t.insert(TlbTag::bare(1), 0x40, 0x99, 0);
+        assert_eq!(t.lookup(TlbTag::bare(2), 0x40), None);
+        // But the original entry survives — PCID switch is not a flush.
+        assert_eq!(t.lookup(TlbTag::bare(1), 0x40), Some((0x99, 0)));
+    }
+
+    #[test]
+    fn different_ept_root_does_not_hit() {
+        let mut t = tiny();
+        let client = TlbTag {
+            pcid: 7,
+            ept_root: 0x1000,
+        };
+        let server = TlbTag {
+            pcid: 7,
+            ept_root: 0x2000,
+        };
+        t.insert(client, 0x40, 0x99, 0);
+        // After VMFUNC the same (vpn, pcid) resolves under a new EPT root.
+        assert_eq!(t.lookup(server, 0x40), None);
+        assert_eq!(t.lookup(client, 0x40), Some((0x99, 0)));
+    }
+
+    #[test]
+    fn flush_tag_is_selective() {
+        let mut t = tiny();
+        t.insert(TlbTag::bare(1), 0x40, 0x1, 0);
+        t.insert(TlbTag::bare(2), 0x41, 0x2, 0);
+        t.flush_tag(TlbTag::bare(1));
+        assert_eq!(t.lookup(TlbTag::bare(1), 0x40), None);
+        assert_eq!(t.lookup(TlbTag::bare(2), 0x41), Some((0x2, 0)));
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let mut t = tiny(); // 4 sets, 2 ways.
+        let tag = TlbTag::bare(1);
+        // vpns 0, 4, 8 all map to set 0.
+        t.insert(tag, 0, 0xa, 0);
+        t.insert(tag, 4, 0xb, 0);
+        t.insert(tag, 8, 0xc, 0); // Evicts vpn 0.
+        assert_eq!(t.lookup(tag, 0), None);
+        assert_eq!(t.lookup(tag, 4), Some((0xb, 0)));
+        assert_eq!(t.lookup(tag, 8), Some((0xc, 0)));
+    }
+
+    #[test]
+    fn flush_page_only_touches_that_page() {
+        let mut t = tiny();
+        let tag = TlbTag::bare(3);
+        t.insert(tag, 1, 0xa, 0);
+        t.insert(tag, 2, 0xb, 0);
+        t.flush_page(tag, 1);
+        assert_eq!(t.lookup(tag, 1), None);
+        assert_eq!(t.lookup(tag, 2), Some((0xb, 0)));
+    }
+
+    #[test]
+    fn reinsert_updates_translation() {
+        let mut t = tiny();
+        let tag = TlbTag::bare(1);
+        t.insert(tag, 5, 0x1, 0);
+        t.insert(tag, 5, 0x2, 0);
+        assert_eq!(t.lookup(tag, 5), Some((0x2, 0)));
+        assert_eq!(t.resident(), 1);
+    }
+}

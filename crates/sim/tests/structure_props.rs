@@ -1,0 +1,104 @@
+//! Property tests of the cache/TLB/lock state machines.
+
+use proptest::prelude::*;
+use sb_sim::{AccessKind, Cache, CacheConfig, Machine, SimLock, Tlb, TlbConfig, TlbTag};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A cache never holds more lines than its capacity, and re-accessing
+    /// the most recent line always hits.
+    #[test]
+    fn cache_capacity_and_mru(addrs in proptest::collection::vec(any::<u32>(), 1..400)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 2048, ways: 4, line_bytes: 64 });
+        let capacity = 2048 / 64;
+        for &a in &addrs {
+            c.access(a as u64);
+            prop_assert!(c.resident_lines() <= capacity);
+            prop_assert!(c.access(a as u64), "immediate re-access must hit");
+            prop_assert!(c.resident_lines() <= capacity);
+        }
+        prop_assert_eq!(c.accesses, addrs.len() as u64 * 2);
+    }
+
+    /// A working set no larger than one set's ways, confined to one set,
+    /// never misses after the first pass.
+    #[test]
+    fn cache_small_working_set_stays_resident(lines in proptest::collection::vec(0u64..4, 8..64)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 2048, ways: 4, line_bytes: 64 });
+        let sets = 8u64;
+        // Distinct lines (≤4) in set 0.
+        let unique: std::collections::BTreeSet<u64> = lines.iter().copied().collect();
+        for &l in &unique {
+            c.access(l * sets * 64);
+        }
+        let misses_after_fill = c.misses;
+        for &l in &lines {
+            c.access(l * sets * 64);
+        }
+        prop_assert_eq!(c.misses, misses_after_fill, "resident set must not miss");
+    }
+
+    /// TLB entries are perfectly isolated by tag: operations under one
+    /// tag never change what another tag observes.
+    #[test]
+    fn tlb_tag_isolation(
+        ops in proptest::collection::vec((0u16..3, 0u64..16, any::<bool>()), 1..100)
+    ) {
+        let mut t = Tlb::new(TlbConfig { entries: 64, ways: 4 });
+        let mut model: std::collections::HashMap<(u16, u64), u64> = Default::default();
+        for (pcid, vpn, insert) in ops {
+            let tag = TlbTag::bare(pcid);
+            if insert {
+                let ppn = (pcid as u64) << 32 | vpn;
+                t.insert(tag, vpn, ppn, 0);
+                model.insert((pcid, vpn), ppn);
+            } else if let Some((ppn, _)) = t.lookup(tag, vpn) {
+                // A hit must return what this tag last inserted.
+                prop_assert_eq!(Some(&ppn), model.get(&(pcid, vpn)));
+            }
+            // (Misses are allowed anytime: capacity eviction.)
+        }
+    }
+
+    /// The lock serializes: granted start times are non-decreasing and a
+    /// critical section never begins before the previous one's effects.
+    #[test]
+    fn lock_grants_are_ordered(
+        reqs in proptest::collection::vec((0usize..4, 0u64..1000, 1u64..500), 1..50)
+    ) {
+        let mut l = SimLock::new(100, 10);
+        let mut last_start = 0u64;
+        let mut clock = 0u64;
+        for (owner, gap, cs) in reqs {
+            clock += gap;
+            let start = l.acquire(owner, clock);
+            prop_assert!(start >= last_start, "grants must be ordered");
+            prop_assert!(start >= clock, "cannot start before requested");
+            l.release(start + cs);
+            last_start = start;
+        }
+    }
+
+    /// Per-core clocks only move forward, and IPIs never rewind anyone.
+    #[test]
+    fn machine_time_is_monotonic(
+        events in proptest::collection::vec((0usize..4, 0usize..4, any::<u16>()), 1..80)
+    ) {
+        let mut m = Machine::skylake();
+        let mut shadow: Vec<u64> = vec![0; m.num_cores()];
+        for (a, b, work) in events {
+            m.cpu_mut(a).advance(work as u64);
+            if a != b {
+                m.ipi(a, b);
+            } else {
+                m.mem_access(a, (work as u64) * 64, AccessKind::DataRead);
+            }
+            for (i, s) in shadow.iter_mut().enumerate() {
+                let now = m.cpu(i).tsc;
+                prop_assert!(now >= *s, "core {i} went backwards");
+                *s = now;
+            }
+        }
+    }
+}

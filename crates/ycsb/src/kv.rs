@@ -1,0 +1,130 @@
+//! The Figure 1/2/8 KV-store microbenchmark specification.
+//!
+//! "We measure the impact of the key and value size on the benchmark
+//! throughput. The requests of the client consist of 50%/50% insert and
+//! query operations" — over the client → encryption-server → KV-store
+//! pipeline, at key/value lengths 16, 64, 256, and 1024 bytes.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// The key/value lengths Figure 2 sweeps.
+pub const KV_LENGTHS: [usize; 4] = [16, 64, 256, 1024];
+
+/// A KV-store operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Insert `key → value` (both `len` bytes).
+    Insert {
+        /// The key bytes.
+        key: Vec<u8>,
+        /// The value bytes.
+        value: Vec<u8>,
+    },
+    /// Query a previously inserted key.
+    Query {
+        /// The key bytes.
+        key: Vec<u8>,
+    },
+}
+
+/// Generator for the 50/50 insert+query mix at one length.
+#[derive(Debug)]
+pub struct KvMixSpec {
+    /// Key and value length in bytes.
+    pub len: usize,
+    rng: SmallRng,
+    inserted: Vec<u64>,
+    next_id: u64,
+}
+
+impl KvMixSpec {
+    /// A mix at `len`-byte keys and values.
+    pub fn new(len: usize, seed: u64) -> Self {
+        KvMixSpec {
+            len,
+            rng: SmallRng::seed_from_u64(seed),
+            inserted: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn key_bytes(&self, id: u64) -> Vec<u8> {
+        // Deterministic key material padded to the configured length; the
+        // distinguishing digits lead so truncation keeps keys distinct.
+        let mut k = format!("{id:012x}-key").into_bytes();
+        k.resize(self.len, b'k');
+        k
+    }
+
+    /// Draws the next operation (insert until something exists to query).
+    pub fn next_op(&mut self) -> KvOp {
+        let do_insert = self.inserted.is_empty() || self.rng.gen_bool(0.5);
+        if do_insert {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.inserted.push(id);
+            let key = self.key_bytes(id);
+            let mut value = vec![0u8; self.len];
+            self.rng.fill(&mut value[..]);
+            KvOp::Insert { key, value }
+        } else {
+            let idx = self.rng.gen_range(0..self.inserted.len());
+            KvOp::Query {
+                key: self.key_bytes(self.inserted[idx]),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_op_is_an_insert() {
+        let mut m = KvMixSpec::new(16, 7);
+        assert!(matches!(m.next_op(), KvOp::Insert { .. }));
+    }
+
+    #[test]
+    fn queries_target_inserted_keys() {
+        let mut m = KvMixSpec::new(16, 7);
+        let mut keys = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            match m.next_op() {
+                KvOp::Insert { key, .. } => {
+                    keys.insert(key);
+                }
+                KvOp::Query { key } => {
+                    assert!(keys.contains(&key), "query of unknown key");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lengths_are_respected() {
+        for len in KV_LENGTHS {
+            let mut m = KvMixSpec::new(len, 1);
+            match m.next_op() {
+                KvOp::Insert { key, value } => {
+                    assert_eq!(key.len(), len);
+                    assert_eq!(value.len(), len);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn roughly_half_queries_in_steady_state() {
+        let mut m = KvMixSpec::new(16, 9);
+        let mut q = 0;
+        for _ in 0..10_000 {
+            if matches!(m.next_op(), KvOp::Query { .. }) {
+                q += 1;
+            }
+        }
+        assert!((4300..5700).contains(&q), "query count {q}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Workload generators: YCSB and the KV-store microbenchmark.
+//!
+//! The paper's throughput experiments use the YCSB workloads ("All
+//! workloads have similar results and we only report YCSB-A") over a
+//! 10,000-record table, and the motivation experiments (Fig. 1/2/8) use a
+//! client → encryption → KV-store pipeline with 50%/50% insert+query mixes
+//! at key/value sizes from 16 to 1024 bytes. This crate generates those
+//! operation streams deterministically.
+
+pub mod kv;
+pub mod workload;
+pub mod zipf;
+
+pub use crate::{
+    kv::KvMixSpec,
+    workload::{Op, OpKind, Workload, WorkloadSpec},
+    zipf::ScrambledZipfian,
+};

@@ -1,0 +1,141 @@
+//! Zipfian key-choice distributions (YCSB's request generator).
+
+use rand::Rng;
+
+/// YCSB's default Zipfian constant.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// A Zipfian generator over `[0, n)` (Gray et al.'s incremental method,
+/// as used by YCSB's `ZipfianGenerator`).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// A generator over `n` items with the default constant.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0);
+        let theta = ZIPFIAN_CONSTANT;
+        let zeta2theta = Self::zeta(2, theta);
+        let zetan = Self::zeta(n, theta);
+        Zipfian {
+            items: n,
+            theta,
+            zetan,
+            alpha: 1.0 / (1.0 - theta),
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan),
+            zeta2theta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws the next rank (0 = most popular).
+    pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2theta;
+        ((self.items as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+    }
+}
+
+/// YCSB's scrambled Zipfian: Zipfian ranks hashed over the key space so
+/// the popular keys are spread across the table instead of clustered.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+    items: u64,
+}
+
+impl ScrambledZipfian {
+    /// A generator over `n` keys.
+    pub fn new(n: u64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(n),
+            items: n,
+        }
+    }
+
+    /// Draws the next key in `[0, n)`.
+    pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
+        let rank = self.inner.next(rng);
+        fnv_hash(rank) % self.items
+    }
+}
+
+/// FNV-1a 64-bit (YCSB's scrambling hash).
+pub fn fnv_hash(mut v: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for _ in 0..8 {
+        let octet = v & 0xff;
+        v >>= 8;
+        hash ^= octet;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    use super::*;
+
+    #[test]
+    fn ranks_are_in_range() {
+        let z = Zipfian::new(1000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        let z = Zipfian::new(1000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        // Rank 0 must dominate the median rank by a wide margin.
+        assert!(counts[0] > 20 * counts[500].max(1));
+        // And the head (top 10%) should take well over half the mass.
+        let head: u32 = counts[..100].iter().sum();
+        assert!(head as f64 > 0.6 * 100_000.0);
+    }
+
+    #[test]
+    fn scrambled_spreads_the_head() {
+        let z = ScrambledZipfian::new(1000);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(z.next(&mut rng));
+        }
+        // The popular keys are hashed apart: many distinct keys appear.
+        assert!(seen.len() > 100);
+        assert!(seen.iter().all(|&k| k < 1000));
+    }
+
+    #[test]
+    fn fnv_is_deterministic() {
+        assert_eq!(fnv_hash(42), fnv_hash(42));
+        assert_ne!(fnv_hash(42), fnv_hash(43));
+    }
+}

@@ -1,0 +1,100 @@
+//! The §7 security analysis, executed: each threat is attempted against
+//! the live stack, showing the attack primitive and the defense.
+//!
+//! ```text
+//! cargo run --release --example attacks
+//! ```
+
+use sb_microkernel::{layout, Kernel, KernelConfig, Personality};
+use sb_rewriter::scan::find_occurrences;
+use skybridge::{attack, SbError, SkyBridge};
+
+fn main() {
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+
+    // Victim server with a secret in its heap.
+    let victim_pid = k.create_process(&sb_rewriter::corpus::generate(1, 4096, 0));
+    let victim_tid = k.create_thread(victim_pid, 0);
+    k.run_thread(victim_tid);
+    k.user_write(victim_tid, layout::HEAP_BASE, b"victim-secret")
+        .unwrap();
+    let victim = sb
+        .register_server(
+            &mut k,
+            victim_tid,
+            4,
+            128,
+            Box::new(|_, _, _, _| Ok(vec![])),
+        )
+        .unwrap();
+
+    // A malicious client whose binary carries its own VMFUNC bytes.
+    let attacker_pid = k.create_process(&sb_rewriter::corpus::generate(13, 4096, 40));
+    let attacker_tid = k.create_thread(attacker_pid, 0);
+    k.run_thread(attacker_tid);
+
+    println!("--- §7 malicious EPT switching (self-prepared VMFUNC) ---");
+    let before = find_occurrences(&attack::dump_code(&k, attacker_pid)).len();
+    println!("  attacker's image before registration: {before} VMFUNC pattern(s)");
+    sb.register_process(&mut k, attacker_pid).unwrap();
+    let after = find_occurrences(&attack::dump_code(&k, attacker_pid)).len();
+    println!("  after registration-time rewriting:   {after}");
+    let outcome = attack::self_prepared_vmfunc(&mut sb, &mut k, attacker_tid, 1);
+    println!("  attack outcome: {outcome:?}");
+
+    println!("\n--- §7 malicious server call (forged calling key) ---");
+    sb.register_client(&mut k, attacker_tid, victim).unwrap();
+    k.run_thread(attacker_tid);
+    let outcome = attack::forged_key_call(&mut sb, &mut k, attacker_tid, victim);
+    println!("  attack outcome: {outcome:?}");
+    println!(
+        "  violations recorded for the Subkernel: {:?}",
+        sb.violations
+    );
+
+    println!("\n--- §7 DoS (server never returns) ---");
+    sb.timeout = Some(50_000);
+    let hang = sb
+        .register_server(
+            &mut k,
+            victim_tid,
+            2,
+            64,
+            Box::new(|_, k, ctx, _| {
+                k.compute(ctx.caller, 10_000_000); // "deliberately waiting".
+                Ok(vec![])
+            }),
+        )
+        .unwrap();
+    sb.register_client(&mut k, attacker_tid, hang).unwrap();
+    k.run_thread(attacker_tid);
+    match sb.direct_server_call(&mut k, attacker_tid, hang, b"x") {
+        Err(SbError::Timeout) => {
+            println!("  timeout forced control back to the caller")
+        }
+        other => println!("  unexpected: {other:?}"),
+    }
+
+    println!("\n--- §7 Meltdown (per-process page tables retained) ---");
+    // The attacker cannot read the victim's heap: same GVA, different
+    // page table.
+    let mut buf = [0u8; 13];
+    k.user_read(attacker_tid, layout::HEAP_BASE, &mut buf)
+        .unwrap();
+    println!(
+        "  attacker reads HEAP_BASE in its own space: {:?} (not the secret)",
+        String::from_utf8_lossy(&buf)
+    );
+    assert_ne!(&buf, b"victim-secret");
+
+    println!("\n--- §7 refusing to call the SkyBridge interface ---");
+    let loner_pid = k.create_process(&sb_rewriter::corpus::generate(7, 2048, 0));
+    let loner_tid = k.create_thread(loner_pid, 1);
+    k.run_thread(loner_tid);
+    let outcome = attack::raw_vmfunc(&mut sb, &mut k, loner_tid, 1);
+    println!(
+        "  unregistered process executes raw VMFUNC: {outcome:?}\n\
+         (its EPTP list is empty — the fault only hurts itself)"
+    );
+}

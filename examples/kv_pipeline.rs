@@ -1,0 +1,42 @@
+//! The paper's motivating workload (Fig. 1): client → encryption server →
+//! KV-store server, compared across all five process layouts.
+//!
+//! ```text
+//! cargo run --release --example kv_pipeline
+//! ```
+
+use skybridge_repro::scenarios::kv::{KvMode, KvPipeline};
+
+fn main() {
+    let len = 64;
+    let ops = 256;
+    println!("KV pipeline, {len}-byte keys/values, {ops} ops (50/50 insert+query)\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "layout", "cycles/op", "dTLB misses", "i$ misses"
+    );
+    for (name, mode) in [
+        ("Baseline", KvMode::Baseline),
+        ("Delay", KvMode::Delay),
+        ("IPC", KvMode::Ipc),
+        ("IPC-CrossCore", KvMode::IpcCrossCore),
+        ("SkyBridge", KvMode::SkyBridge),
+    ] {
+        let mut p = KvPipeline::new(mode, len, ops + 128);
+        p.run_ops(64); // Warm up.
+        let s = p.run_ops(ops);
+        println!(
+            "{:<16} {:>12} {:>12} {:>12}",
+            name, s.avg_cycles, s.pmu.dtlb_misses, s.pmu.l1i_misses
+        );
+    }
+    println!(
+        "\nReading the table:\n\
+         * Delay − Baseline ≈ 4 × 493 cycles: the *direct* IPC cost,\n\
+           injected as pure delay.\n\
+         * IPC − Delay: the *indirect* cost — kernel entries pollute the\n\
+           caches and TLBs (watch the dTLB column explode).\n\
+         * SkyBridge: two VMFUNCs per hop instead of kernel entries; most\n\
+           of both costs is gone."
+    );
+}

@@ -1,0 +1,74 @@
+//! Scan a real binary for inadvertent `VMFUNC` encodings and demonstrate
+//! the Table 3 rewrite on a synthetic dirty image.
+//!
+//! ```text
+//! cargo run --release --example rewriter_scan [path-to-elf]
+//! ```
+//! Without an argument, the example scans itself.
+
+use sb_rewriter::{
+    corpus,
+    elf::exec_sections,
+    rewrite::rewrite_code,
+    scan::{classify, find_occurrences, OverlapKind},
+};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| std::env::current_exe().unwrap().display().to_string());
+    println!("--- scanning {path} ---");
+    let data = std::fs::read(&path).expect("read binary");
+    match exec_sections(&data) {
+        Ok(sections) => {
+            for sec in &sections {
+                let occ = classify(&sec.bytes);
+                println!(
+                    "  {:<20} {:>9} bytes  {} occurrence(s)",
+                    sec.name,
+                    sec.bytes.len(),
+                    occ.len()
+                );
+                for o in occ {
+                    println!(
+                        "    at {:#x}: {:?} (instruction at {:#x})",
+                        sec.addr + o.offset as u64,
+                        o.kind,
+                        sec.addr + o.insn_start as u64,
+                    );
+                }
+            }
+        }
+        Err(e) => println!("  not scannable: {e}"),
+    }
+
+    println!("\n--- rewriting a synthetic dirty image ---");
+    let dirty = corpus::generate(99, 16 * 1024, 30);
+    let before = find_occurrences(&dirty);
+    println!(
+        "  image: {} bytes, {} occurrences",
+        dirty.len(),
+        before.len()
+    );
+    let by_kind = classify(&dirty);
+    let (mut c1, mut c2, mut c3) = (0, 0, 0);
+    for o in &by_kind {
+        match o.kind {
+            OverlapKind::Vmfunc => c1 += 1,
+            OverlapKind::Spanning => c2 += 1,
+            OverlapKind::Within(_) => c3 += 1,
+        }
+    }
+    println!("  classified: C1={c1} C2={c2} C3={c3}");
+    let out = rewrite_code(&dirty, 0x40_0000, 0x1000).expect("rewrite");
+    println!(
+        "  rewritten: {} in-place NOP fixes, {} relocation stubs ({} bytes \
+         of rewrite page)",
+        out.in_place,
+        out.stubs,
+        out.rewrite_page.len()
+    );
+    let after = find_occurrences(&out.code).len() + find_occurrences(&out.rewrite_page).len();
+    println!("  occurrences after rewrite: {after}");
+    assert_eq!(after, 0, "the rewrite must scrub everything");
+}

@@ -1,0 +1,17 @@
+//! Evaluation scenarios: the application topologies of the paper.
+
+pub mod kv;
+pub mod sqlite;
+
+/// Converts simulated cycles into seconds on the modeled 4 GHz part.
+pub fn cycles_to_seconds(cycles: u64) -> f64 {
+    cycles as f64 / 4.0e9
+}
+
+/// Operations per second given total simulated cycles.
+pub fn throughput(ops: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    ops as f64 / cycles_to_seconds(cycles)
+}

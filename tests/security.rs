@@ -1,0 +1,217 @@
+//! The §7 security analysis as an executable test suite, driving the
+//! whole stack through its public API.
+
+use sb_microkernel::{layout, Kernel, KernelConfig, Personality, ThreadId};
+use sb_rewriter::scan::find_occurrences;
+use skybridge::{
+    attack::{self, AttackOutcome},
+    SbError, ServerId, SkyBridge, Violation,
+};
+
+struct World {
+    k: Kernel,
+    sb: SkyBridge,
+    victim: ServerId,
+    victim_tid: ThreadId,
+    client: ThreadId,
+}
+
+fn world() -> World {
+    let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+    let mut sb = SkyBridge::new();
+    let vp = k.create_process(&sb_rewriter::corpus::generate(3, 4096, 0));
+    let victim_tid = k.create_thread(vp, 0);
+    k.run_thread(victim_tid);
+    k.user_write(victim_tid, layout::HEAP_BASE, b"victim-secret")
+        .unwrap();
+    let victim = sb
+        .register_server(
+            &mut k,
+            victim_tid,
+            8,
+            128,
+            Box::new(|_, _, _, req| Ok(req.to_vec())),
+        )
+        .unwrap();
+    let cp = k.create_process(&sb_rewriter::corpus::generate(4, 4096, 0));
+    let client = k.create_thread(cp, 0);
+    sb.register_client(&mut k, client, victim).unwrap();
+    k.run_thread(client);
+    World {
+        k,
+        sb,
+        victim,
+        victim_tid,
+        client,
+    }
+}
+
+/// §7 "Malicious EPT switching": registration-time rewriting removes
+/// every self-prepared VMFUNC from a malicious image.
+#[test]
+fn malicious_ept_switching_is_scrubbed() {
+    let mut w = world();
+    let evil =
+        w.k.create_process(&sb_rewriter::corpus::generate(66, 8192, 50));
+    let evil_tid = w.k.create_thread(evil, 1);
+    w.k.run_thread(evil_tid);
+    assert!(
+        !find_occurrences(&attack::dump_code(&w.k, evil)).is_empty(),
+        "premise: the attacker ships VMFUNC bytes"
+    );
+    w.sb.register_process(&mut w.k, evil).unwrap();
+    assert_eq!(
+        attack::self_prepared_vmfunc(&mut w.sb, &mut w.k, evil_tid, 1),
+        AttackOutcome::Neutralized {
+            occurrences_left: 0
+        }
+    );
+}
+
+/// Without the rewriting defense, the raw primitive *does* reach another
+/// address space — demonstrating why the defense is necessary, exactly
+/// as SeCage's VMFUNC-faking attack describes.
+#[test]
+fn without_rewriting_the_attack_primitive_works() {
+    let mut w = world();
+    // The bound client executes a raw VMFUNC outside the trampoline
+    // (simulating unscrubbed bytes). Its EPTP list legitimately holds the
+    // victim's binding EPT at slot 1.
+    let outcome = attack::raw_vmfunc(&mut w.sb, &mut w.k, w.client, 1);
+    assert_eq!(outcome, AttackOutcome::Succeeded);
+    // The attacker now reads the victim's heap through its own CR3.
+    let mut buf = [0u8; 13];
+    w.k.user_read(w.client, layout::HEAP_BASE, &mut buf)
+        .unwrap();
+    assert_eq!(&buf, b"victim-secret", "the primitive must really work");
+    attack::restore_own_ept(&mut w.k, w.client);
+}
+
+/// §7 "Malicious server call": a forged calling key is rejected and the
+/// Subkernel is notified.
+#[test]
+fn forged_key_is_rejected_and_reported() {
+    let mut w = world();
+    let victim = w.victim;
+    assert_eq!(
+        attack::forged_key_call(&mut w.sb, &mut w.k, w.client, victim),
+        AttackOutcome::Neutralized {
+            occurrences_left: 0
+        }
+    );
+    assert!(w
+        .sb
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::BadServerKey { .. })));
+}
+
+/// §7 "DoS attacks": the timeout forces control back to the client.
+#[test]
+fn dos_timeout_returns_control() {
+    let mut w = world();
+    w.sb.timeout = Some(20_000);
+    let hang =
+        w.sb.register_server(
+            &mut w.k,
+            w.victim_tid,
+            2,
+            64,
+            Box::new(|_, k, ctx, _| {
+                k.compute(ctx.caller, 5_000_000);
+                Ok(vec![])
+            }),
+        )
+        .unwrap();
+    w.sb.register_client(&mut w.k, w.client, hang).unwrap();
+    w.k.run_thread(w.client);
+    assert!(matches!(
+        w.sb.direct_server_call(&mut w.k, w.client, hang, b"x"),
+        Err(SbError::Timeout)
+    ));
+    // The client still works afterwards.
+    let victim = w.victim;
+    w.sb.direct_server_call(&mut w.k, w.client, victim, b"ok")
+        .unwrap();
+}
+
+/// §7 "Meltdown": per-process page tables are retained, so the same GVA
+/// resolves to different frames in different processes.
+#[test]
+fn per_process_page_tables_hold() {
+    let mut w = world();
+    let mut buf = [0u8; 13];
+    w.k.user_read(w.client, layout::HEAP_BASE, &mut buf)
+        .unwrap();
+    assert_ne!(&buf, b"victim-secret");
+}
+
+/// §7 "Refusing to call SkyBridge interface": an unregistered process
+/// that executes VMFUNC only faults itself; the rest of the system keeps
+/// working.
+#[test]
+fn refusal_is_self_contained() {
+    let mut w = world();
+    let loner =
+        w.k.create_process(&sb_rewriter::corpus::generate(5, 2048, 0));
+    let loner_tid = w.k.create_thread(loner, 2);
+    w.k.run_thread(loner_tid);
+    assert!(matches!(
+        attack::raw_vmfunc(&mut w.sb, &mut w.k, loner_tid, 3),
+        AttackOutcome::Faulted(_)
+    ));
+    // The victim still serves the legitimate client.
+    let victim = w.victim;
+    w.k.run_thread(w.client);
+    let (reply, _) =
+        w.sb.direct_server_call(&mut w.k, w.client, victim, b"alive")
+            .unwrap();
+    assert_eq!(reply, b"alive");
+}
+
+/// §4.2 process misidentification: the identity page names the server
+/// while a call is in flight, so a kernel entry mid-call serves the right
+/// process.
+#[test]
+fn identity_page_resolves_misidentification() {
+    let mut w = world();
+    let seen = std::rc::Rc::new(std::cell::Cell::new(usize::MAX));
+    let probe_seen = seen.clone();
+    let probe =
+        w.sb.register_server(
+            &mut w.k,
+            w.victim_tid,
+            2,
+            64,
+            Box::new(move |_, k, ctx, _| {
+                let core = k.core_of(ctx.caller);
+                probe_seen.set(k.identity_current(core).unwrap());
+                Ok(vec![])
+            }),
+        )
+        .unwrap();
+    w.sb.register_client(&mut w.k, w.client, probe).unwrap();
+    w.k.run_thread(w.client);
+    w.sb.direct_server_call(&mut w.k, w.client, probe, b"")
+        .unwrap();
+    let victim_pid = 0; // First created process.
+    assert_eq!(seen.get(), victim_pid);
+    let core = w.k.core_of(w.client);
+    let client_pid = 1;
+    assert_eq!(w.k.identity_current(core), Some(client_pid));
+}
+
+/// The trampoline page is the *only* executable VMFUNC in a registered
+/// process's address space.
+#[test]
+fn trampoline_is_the_single_entry_point() {
+    let w = world();
+    // The client's own image is clean after registration…
+    let client_pid = 1;
+    let code = attack::dump_code(&w.k, client_pid);
+    assert!(find_occurrences(&code).is_empty());
+    // …while the kernel-provided trampoline page carries exactly the two
+    // legal VMFUNCs (call + return).
+    let page = skybridge::trampoline::page_image();
+    assert_eq!(find_occurrences(&page).len(), 2);
+}
