@@ -1,7 +1,10 @@
 //! Figures 9, 10, 11: YCSB-A throughput vs client-thread count for
 //! ST / MT / SkyBridge on each microkernel.
 
-use sb_bench::{knob, print_table};
+use sb_bench::{
+    knob, print_table,
+    report::{write_json, Json},
+};
 use sb_microkernel::Personality;
 use skybridge_repro::scenarios::sqlite::{SqliteStack, StackMode};
 
@@ -42,6 +45,7 @@ fn main() {
         ("Fiasco.OC", Personality::fiasco_oc()),
         ("Zircon", Personality::zircon()),
     ];
+    let mut json_rows: Vec<Json> = Vec::new();
     for (ki, (kname, personality)) in kernels.iter().enumerate() {
         let mut rows = Vec::new();
         for (mi, (mname, mode)) in [
@@ -61,6 +65,14 @@ fn main() {
                     "{:.0} ({:.0})",
                     stats.ops_per_sec, PAPER[ki].1[mi][ti]
                 ));
+                json_rows.push(
+                    Json::obj()
+                        .field("kernel", *kname)
+                        .field("configuration", *mname)
+                        .field("threads", n)
+                        .field("ops_per_sec", stats.ops_per_sec)
+                        .field("paper_ops_per_sec", PAPER[ki].1[mi][ti]),
+                );
             }
             rows.push(row);
         }
@@ -78,6 +90,16 @@ fn main() {
             ],
             &rows,
         );
+    }
+    let doc = Json::obj()
+        .field("bench", "figure9_11")
+        .field("workload", "ycsb-a")
+        .field("records", records)
+        .field("ops", ops)
+        .field("rows", Json::Arr(json_rows));
+    match write_json("figure9_11", &doc) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write results JSON: {e}"),
     }
     println!(
         "\nShape to check: SkyBridge on top at every thread count;\n\

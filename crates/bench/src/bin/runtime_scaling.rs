@@ -1,0 +1,116 @@
+//! Serving-runtime scaling sweep: threads × offered load × IPC transport.
+//!
+//! For each of the four transports (seL4, Fiasco.OC, Zircon kernel IPC,
+//! and SkyBridge direct server calls) and each worker-thread count
+//! (1/2/4/8 simulated cores), the sweep calibrates the transport's base
+//! service time, then offers open-loop Poisson load at multiples of the
+//! theoretical capacity (ρ = offered / capacity) and records throughput,
+//! p50/p95/p99 latency, shed counts, and per-core utilization. Results go
+//! to `results/runtime_scaling.json`.
+//!
+//! Defaults simulate ~1.04M requests (80 cells × 13,000); `SB_REQUESTS`
+//! scales the per-cell count.
+
+use sb_bench::{
+    knob, print_table,
+    report::{write_json, Json},
+};
+use sb_runtime::{AdmissionPolicy, Engine, RequestFactory, RuntimeConfig};
+use skybridge_repro::scenarios::runtime::{
+    build_engine, ops_per_sec, run_open_loop, ServingScenario, Transport,
+};
+
+/// Mean service cycles of one request, measured on a warm worker.
+fn calibrate(engine: &mut dyn Engine, factory: &mut RequestFactory) -> f64 {
+    let (warm, n) = (64, 256);
+    for _ in 0..warm {
+        let req = factory.make(engine.now(0), None);
+        engine.serve(0, &req).expect("calibration serve");
+    }
+    let t0 = engine.now(0);
+    for _ in 0..n {
+        let req = factory.make(engine.now(0), None);
+        engine.serve(0, &req).expect("calibration serve");
+    }
+    (engine.now(0) - t0) as f64 / n as f64
+}
+
+fn main() {
+    let requests = knob("SB_REQUESTS", 13_000) as u64;
+    let capacity = knob("SB_QUEUE_CAPACITY", 64);
+    let scenario = ServingScenario::Kv;
+    let threads = [1usize, 2, 4, 8];
+    let rhos = [0.5, 0.8, 1.0, 1.2, 1.5];
+    let cells = Transport::all().len() * threads.len() * rhos.len();
+    println!(
+        "runtime_scaling: {} cells x {requests} requests = {} total simulated requests",
+        cells,
+        cells as u64 * requests
+    );
+
+    let mut json_rows: Vec<Json> = Vec::new();
+    for (ti, transport) in Transport::all().iter().enumerate() {
+        let mut cal_engine = build_engine(scenario, transport, 1);
+        let mut cal_factory = RequestFactory::new(scenario.workload(), scenario.payload());
+        let svc = calibrate(cal_engine.as_mut(), &mut cal_factory);
+        let mut rows = Vec::new();
+        for (wi, &workers) in threads.iter().enumerate() {
+            let mut row = vec![format!("{} threads", workers)];
+            for (ri, &rho) in rhos.iter().enumerate() {
+                let mean_ia = svc / (workers as f64 * rho);
+                let cfg = RuntimeConfig {
+                    queue_capacity: capacity,
+                    policy: AdmissionPolicy::Shed,
+                    queue_deadline: None,
+                };
+                let seed = 0x0005_ca1e_0000 + (ti * 1000 + wi * 100 + ri) as u64;
+                let stats =
+                    run_open_loop(scenario, transport, workers, cfg, mean_ia, requests, seed);
+                row.push(format!(
+                    "{:.1}/Mc p99={} shed={}",
+                    stats.throughput_per_mcycle(),
+                    stats.p99(),
+                    stats.shed()
+                ));
+                json_rows.push(
+                    Json::obj()
+                        .field("transport", transport.label())
+                        .field("workers", workers)
+                        .field("rho", rho)
+                        .field("service_cycles", svc)
+                        .field("mean_inter_arrival", mean_ia)
+                        .field("offered_per_mcycle", 1e6 / mean_ia)
+                        .field("ops_per_sec", ops_per_sec(&stats))
+                        .field("stats", stats.to_json()),
+                );
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "runtime scaling on {} (service ~{:.0} cycles) — throughput/Mcycle, p99 cycles, shed",
+                transport.label(),
+                svc
+            ),
+            &["workers", "rho=0.5", "rho=0.8", "rho=1.0", "rho=1.2", "rho=1.5"],
+            &rows,
+        );
+    }
+
+    let doc = Json::obj()
+        .field("bench", "runtime_scaling")
+        .field("scenario", "kv")
+        .field("workload", "ycsb-a")
+        .field("requests_per_cell", requests)
+        .field("queue_capacity", capacity)
+        .field("rows", Json::Arr(json_rows));
+    match write_json("runtime_scaling", &doc) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write results JSON: {e}"),
+    }
+    println!(
+        "\nShape to check: at every thread count SkyBridge's zero-shed\n\
+         offered load sits above each trap-based kernel's, and p99 blows\n\
+         up past rho = 1.0 while the Shed policy bounds queue depth."
+    );
+}

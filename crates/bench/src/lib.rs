@@ -9,6 +9,8 @@
 
 use std::fmt::Display;
 
+pub mod report;
+
 /// Prints an aligned table: `header` then `rows`, all columns padded.
 pub fn print_table<H: Display, C: Display>(title: &str, header: &[H], rows: &[Vec<C>]) {
     println!("\n=== {title} ===");

@@ -1,0 +1,53 @@
+//! Machine-readable benchmark output: JSON files under `results/`.
+//!
+//! Every bench binary that produces figures worth post-processing writes
+//! its rows here in addition to the human-readable table. The JSON values
+//! come from [`sb_runtime::Json`] (hand-rolled; the environment has no
+//! serde).
+
+use std::{
+    fs,
+    io::Write,
+    path::{Path, PathBuf},
+};
+
+pub use sb_runtime::Json;
+
+/// The output directory, overridable with `SB_RESULTS_DIR`.
+pub fn results_dir() -> PathBuf {
+    std::env::var("SB_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Writes `value` to `results/<name>.json` (pretty enough for diffing:
+/// one trailing newline) and returns the path.
+pub fn write_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{value}")?;
+    Ok(path)
+}
+
+/// Reads a previously written report back (test support).
+pub fn read_to_string(path: &Path) -> std::io::Result<String> {
+    fs::read_to_string(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_back() {
+        let dir = std::env::temp_dir().join("sb-bench-report-test");
+        std::env::set_var("SB_RESULTS_DIR", &dir);
+        let j = Json::obj().field("x", 1u64);
+        let path = write_json("unit", &j).unwrap();
+        assert_eq!(read_to_string(&path).unwrap(), "{\"x\":1}\n");
+        std::env::remove_var("SB_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

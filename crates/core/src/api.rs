@@ -591,7 +591,10 @@ impl SkyBridge {
 
         if timed_out {
             self.violations.push(Violation::Timeout { server });
-            return Err(SbError::Timeout);
+            return Err(SbError::Timeout {
+                server,
+                elapsed: handler_cycles,
+            });
         }
         self.call_count += 1;
         Ok((out, b))

@@ -3,6 +3,9 @@
 use sb_mem::MemFault;
 use sb_rewriter::rewrite::RewriteError;
 use sb_rootkernel::VmfuncError;
+use sb_sim::Cycles;
+
+use crate::registry::ServerId;
 
 /// Why a SkyBridge operation failed.
 #[derive(Debug)]
@@ -23,7 +26,16 @@ pub enum SbError {
     /// notified.
     BadClientKey,
     /// The handler exceeded the call timeout and control was forced back.
-    Timeout,
+    /// Carries the offending server and the handler's elapsed simulated
+    /// cycles so callers (the serving runtime's shed/timeout accounting)
+    /// can distinguish causes.
+    Timeout {
+        /// The server whose handler overran the budget.
+        server: ServerId,
+        /// Simulated cycles the handler consumed before control was
+        /// forced back.
+        elapsed: Cycles,
+    },
     /// Message exceeds the shared-buffer capacity.
     MessageTooLarge,
     /// `VMFUNC` faulted (bad slot) and recovery failed.
@@ -44,7 +56,12 @@ impl std::fmt::Display for SbError {
             SbError::NoFreeConnection => write!(f, "no free connection"),
             SbError::BadServerKey => write!(f, "server calling-key mismatch"),
             SbError::BadClientKey => write!(f, "client calling-key mismatch"),
-            SbError::Timeout => write!(f, "server call timed out"),
+            SbError::Timeout { server, elapsed } => {
+                write!(
+                    f,
+                    "call to server {server} timed out after {elapsed} cycles"
+                )
+            }
             SbError::MessageTooLarge => write!(f, "message too large"),
             SbError::Vmfunc(e) => write!(f, "VMFUNC fault: {e}"),
             SbError::Rewrite(e) => write!(f, "binary rewrite failed: {e}"),

@@ -264,7 +264,10 @@ fn timeout_forces_control_back() {
     r.sb.register_client(&mut r.k, r.client, hang).unwrap();
     r.k.run_thread(r.client);
     match r.sb.direct_server_call(&mut r.k, r.client, hang, b"x") {
-        Err(SbError::Timeout) => {}
+        Err(SbError::Timeout { server, elapsed }) => {
+            assert_eq!(server, hang);
+            assert!(elapsed > 0, "elapsed cycles must be reported");
+        }
         other => panic!("expected Timeout, got {other:?}"),
     }
     assert!(r

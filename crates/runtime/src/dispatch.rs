@@ -1,0 +1,386 @@
+//! The serving loop: a discrete-event dispatcher over per-worker clocks.
+//!
+//! The runtime simulates an M/G/k server: arrivals (open-loop Poisson or
+//! closed-loop clients) enter one bounded [`DispatchQueue`]; the
+//! dispatcher starts each queued request on the earliest-free worker, in
+//! arrival order, never starting a request before everything that starts
+//! earlier in simulated time has been issued. Worker clocks are the
+//! engine's simulated cores, so service times (and their cache/TLB
+//! history) come out of the machine model, not a distribution.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sb_sim::Cycles;
+
+use crate::{
+    engine::{Engine, Request, ServeError},
+    load::RequestFactory,
+    queue::{AdmissionPolicy, DispatchQueue},
+    stats::RunStats,
+};
+
+/// Dispatcher knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Bound on admitted-but-unserved requests.
+    pub queue_capacity: usize,
+    /// What happens to arrivals that find the queue full.
+    pub policy: AdmissionPolicy,
+    /// Optional bound on time spent queued: a request that waits longer
+    /// before service starts is dropped (counted in `shed_deadline`)
+    /// without consuming worker time.
+    pub queue_deadline: Option<Cycles>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            queue_capacity: 64,
+            policy: AdmissionPolicy::Shed,
+            queue_deadline: None,
+        }
+    }
+}
+
+/// A dispatcher bound to an engine.
+pub struct ServerRuntime<'a, E: Engine + ?Sized> {
+    engine: &'a mut E,
+    cfg: RuntimeConfig,
+}
+
+impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
+    /// Wraps `engine` with the dispatcher configuration.
+    pub fn new(engine: &'a mut E, cfg: RuntimeConfig) -> Self {
+        assert!(engine.workers() > 0);
+        ServerRuntime { engine, cfg }
+    }
+
+    /// The earliest-free worker and its clock.
+    fn min_worker(&mut self) -> (usize, Cycles) {
+        let mut best = (0, self.engine.now(0));
+        for w in 1..self.engine.workers() {
+            let t = self.engine.now(w);
+            if t < best.1 {
+                best = (w, t);
+            }
+        }
+        best
+    }
+
+    /// Runs `req` on worker `w` (idling the worker to the arrival first),
+    /// applying the queue deadline and recording the outcome. Closed-loop
+    /// completions are reported through `completions`.
+    fn serve_one(
+        &mut self,
+        w: usize,
+        req: Request,
+        stats: &mut RunStats,
+        completions: &mut Vec<(usize, Cycles)>,
+    ) {
+        self.engine.wait_until(w, req.arrival);
+        let start = self.engine.now(w);
+        let client = req.client;
+        let past_deadline = self
+            .cfg
+            .queue_deadline
+            .is_some_and(|d| start - req.arrival > d);
+        if past_deadline {
+            stats.shed_deadline += 1;
+        } else {
+            match self.engine.serve(w, &req) {
+                Ok(()) => {
+                    let done = self.engine.now(w);
+                    stats.completed += 1;
+                    stats.latencies.push(done - req.arrival);
+                    stats.busy[w] += done - start;
+                }
+                Err(ServeError::Timeout { .. }) => {
+                    stats.timed_out += 1;
+                    stats.busy[w] += self.engine.now(w) - start;
+                }
+                Err(ServeError::Failed(_)) => {
+                    stats.failed += 1;
+                    stats.busy[w] += self.engine.now(w) - start;
+                }
+            }
+        }
+        if let Some(c) = client {
+            completions.push((c, self.engine.now(w)));
+        }
+    }
+
+    /// Starts queued requests, earliest-free worker first, until no worker
+    /// frees up at or before `horizon` (so no service start is issued out
+    /// of order with arrivals at the horizon).
+    fn drain_until(
+        &mut self,
+        queue: &mut DispatchQueue,
+        horizon: Cycles,
+        stats: &mut RunStats,
+        completions: &mut Vec<(usize, Cycles)>,
+    ) {
+        while !queue.is_empty() {
+            let (w, t) = self.min_worker();
+            if t > horizon {
+                break;
+            }
+            let req = queue.pop().expect("checked non-empty");
+            self.serve_one(w, req, stats, completions);
+        }
+    }
+
+    /// Frees one queue slot under the Block policy by force-running the
+    /// oldest queued request on the earliest-free worker.
+    fn block_until_slot(
+        &mut self,
+        queue: &mut DispatchQueue,
+        stats: &mut RunStats,
+        completions: &mut Vec<(usize, Cycles)>,
+    ) {
+        while queue.is_full() {
+            let (w, _) = self.min_worker();
+            let req = queue.pop().expect("full queue is non-empty");
+            self.serve_one(w, req, stats, completions);
+        }
+    }
+
+    /// The instant the server is ready: the latest worker clock. Engine
+    /// setup (boot, registration, binary rewriting) runs on the same
+    /// simulated cores that serve requests, so worker clocks are well past
+    /// zero when a run starts; arrival times are offsets from this epoch,
+    /// not from machine power-on.
+    fn epoch(&mut self) -> Cycles {
+        (0..self.engine.workers())
+            .map(|w| self.engine.now(w))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Open-loop run: `arrivals` yields monotone arrival times relative to
+    /// server readiness (Poisson in the benches, arbitrary sequences in
+    /// the property tests); each arrival takes its operation from
+    /// `factory`. Arrivals are independent of service progress — under
+    /// overload the queue fills and the admission policy decides.
+    pub fn run_open_loop<I>(&mut self, arrivals: I, factory: &mut RequestFactory) -> RunStats
+    where
+        I: IntoIterator<Item = Cycles>,
+    {
+        let mut stats = RunStats::new(self.engine.label(), self.engine.workers());
+        let mut queue = DispatchQueue::new(self.cfg.queue_capacity);
+        let mut completions = Vec::new();
+        let epoch = self.epoch();
+        let mut first = None;
+        let mut clock = 0;
+        for t in arrivals {
+            let t = t.saturating_add(epoch).max(clock); // Never backwards.
+            clock = t;
+            first.get_or_insert(t);
+            stats.offered += 1;
+            self.drain_until(&mut queue, t, &mut stats, &mut completions);
+            if queue.is_full() {
+                match self.cfg.policy {
+                    AdmissionPolicy::Shed => {
+                        stats.shed_queue_full += 1;
+                        continue;
+                    }
+                    AdmissionPolicy::Block => {
+                        self.block_until_slot(&mut queue, &mut stats, &mut completions)
+                    }
+                }
+            }
+            queue.push(factory.make(t, None));
+            stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
+        }
+        self.drain_until(&mut queue, Cycles::MAX, &mut stats, &mut completions);
+        stats.start = first.unwrap_or(0);
+        stats.end = (0..self.engine.workers())
+            .map(|w| self.engine.now(w))
+            .max()
+            .unwrap_or(0);
+        stats.seal();
+        stats
+    }
+
+    /// Closed-loop run: `clients` issuers each keep exactly one request in
+    /// flight, issuing the next one `think` cycles after the previous
+    /// completion, `ops_per_client` times. Offered load self-adjusts to
+    /// service capacity, so queue-full shedding only appears when
+    /// `clients` exceeds `queue_capacity + workers`.
+    pub fn run_closed_loop(
+        &mut self,
+        clients: usize,
+        ops_per_client: u64,
+        think: Cycles,
+        factory: &mut RequestFactory,
+    ) -> RunStats {
+        assert!(clients > 0);
+        let mut stats = RunStats::new(self.engine.label(), self.engine.workers());
+        let mut queue = DispatchQueue::new(self.cfg.queue_capacity);
+        let mut completions: Vec<(usize, Cycles)> = Vec::new();
+        let epoch = self.epoch();
+        // One-cycle stagger breaks the all-at-once tie deterministically.
+        let mut ready: BinaryHeap<Reverse<(Cycles, usize)>> = (0..clients)
+            .map(|c| Reverse((epoch + c as Cycles, c)))
+            .collect();
+        let mut remaining = vec![ops_per_client; clients];
+        loop {
+            for (c, done) in completions.drain(..) {
+                if remaining[c] > 0 {
+                    ready.push(Reverse((done.saturating_add(think), c)));
+                }
+            }
+            let Some(&Reverse((t, c))) = ready.peek() else {
+                if queue.is_empty() {
+                    break;
+                }
+                self.drain_until(&mut queue, Cycles::MAX, &mut stats, &mut completions);
+                continue;
+            };
+            // Completions inside the drain may schedule arrivals earlier
+            // than `t`; flush them into the heap before admitting.
+            self.drain_until(&mut queue, t, &mut stats, &mut completions);
+            if !completions.is_empty() {
+                continue;
+            }
+            ready.pop();
+            stats.offered += 1;
+            remaining[c] -= 1;
+            if queue.is_full() {
+                match self.cfg.policy {
+                    AdmissionPolicy::Shed => {
+                        stats.shed_queue_full += 1;
+                        if remaining[c] > 0 {
+                            ready.push(Reverse((t.saturating_add(think.max(1)), c)));
+                        }
+                        continue;
+                    }
+                    AdmissionPolicy::Block => {
+                        self.block_until_slot(&mut queue, &mut stats, &mut completions)
+                    }
+                }
+            }
+            queue.push(factory.make(t, Some(c)));
+            stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
+        }
+        stats.start = epoch;
+        stats.end = (0..self.engine.workers())
+            .map(|w| self.engine.now(w))
+            .max()
+            .unwrap_or(0);
+        stats.seal();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sb_ycsb::WorkloadSpec;
+
+    use super::*;
+    use crate::engine::FixedServiceEngine;
+
+    fn factory() -> RequestFactory {
+        RequestFactory::new(WorkloadSpec::ycsb_a(1000, 64), 64)
+    }
+
+    fn cfg(capacity: usize, policy: AdmissionPolicy) -> RuntimeConfig {
+        RuntimeConfig {
+            queue_capacity: capacity,
+            policy,
+            queue_deadline: None,
+        }
+    }
+
+    /// offered must equal the sum of all outcome counters.
+    fn assert_conserved(s: &RunStats) {
+        assert_eq!(
+            s.offered,
+            s.completed + s.shed_queue_full + s.shed_deadline + s.timed_out + s.failed,
+            "request conservation violated: {s:?}"
+        );
+    }
+
+    #[test]
+    fn underload_completes_everything_with_flat_latency() {
+        let mut e = FixedServiceEngine::new(2, 100);
+        let mut rt = ServerRuntime::new(&mut e, cfg(16, AdmissionPolicy::Shed));
+        let arrivals: Vec<Cycles> = (0..50).map(|i| i * 100).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_eq!(s.completed, 50);
+        assert_eq!(s.shed(), 0);
+        assert_eq!(s.p50(), 100, "no queueing at half load");
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn overload_sheds_and_respects_queue_bound() {
+        let mut e = FixedServiceEngine::new(1, 1000);
+        let mut rt = ServerRuntime::new(&mut e, cfg(4, AdmissionPolicy::Shed));
+        let arrivals: Vec<Cycles> = (0..200).map(|i| i * 10).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert!(s.shed_queue_full > 0, "10x overload must shed");
+        assert!(s.max_queue_depth <= 4);
+        assert!(s.completed > 0);
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn block_policy_never_sheds_but_latency_grows() {
+        let mut e = FixedServiceEngine::new(1, 1000);
+        let mut rt = ServerRuntime::new(&mut e, cfg(4, AdmissionPolicy::Block));
+        let arrivals: Vec<Cycles> = (0..100).map(|i| i * 10).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_eq!(s.shed_queue_full, 0);
+        assert_eq!(s.completed, 100);
+        assert!(s.p99() > 50_000, "blocked waits show up in tail latency");
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn queue_deadline_drops_stale_requests() {
+        let mut e = FixedServiceEngine::new(1, 1000);
+        let mut rt = ServerRuntime::new(
+            &mut e,
+            RuntimeConfig {
+                queue_capacity: 16,
+                policy: AdmissionPolicy::Shed,
+                queue_deadline: Some(500),
+            },
+        );
+        let s = rt.run_open_loop(vec![0, 1, 2, 3], &mut factory());
+        assert_eq!(s.completed, 1, "only the first request starts in time");
+        assert_eq!(s.shed_deadline, 3);
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn closed_loop_self_paces_to_capacity() {
+        let mut e = FixedServiceEngine::new(2, 100);
+        let mut rt = ServerRuntime::new(&mut e, cfg(16, AdmissionPolicy::Shed));
+        let s = rt.run_closed_loop(4, 50, 0, &mut factory());
+        assert_eq!(s.offered, 200);
+        assert_eq!(s.completed, 200);
+        assert_eq!(
+            s.shed(),
+            0,
+            "closed loop cannot overrun 16 slots with 4 clients"
+        );
+        // 200 requests x 100 cycles over 2 workers ~ 10_000 cycles.
+        let tput = s.throughput_per_mcycle();
+        assert!(
+            (15_000.0..25_000.0).contains(&tput),
+            "closed-loop throughput {tput} should sit near 2 workers / 100 cycles"
+        );
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn closed_loop_with_more_clients_than_slots_sheds() {
+        let mut e = FixedServiceEngine::new(1, 1000);
+        let mut rt = ServerRuntime::new(&mut e, cfg(2, AdmissionPolicy::Shed));
+        let s = rt.run_closed_loop(8, 20, 0, &mut factory());
+        assert!(s.shed_queue_full > 0);
+        assert_conserved(&s);
+    }
+}

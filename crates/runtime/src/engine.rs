@@ -1,0 +1,215 @@
+//! The serving engine abstraction.
+//!
+//! The dispatcher ([`crate::dispatch::ServerRuntime`]) is a discrete-event
+//! loop over per-worker clocks; an [`Engine`] owns those clocks and knows
+//! how to execute one request on one worker. Two kernel-backed engines
+//! exist — [`crate::SkyBridgeEngine`] (VMFUNC direct server calls) and
+//! [`crate::TrapIpcEngine`] (synchronous kernel IPC) — plus the synthetic
+//! [`FixedServiceEngine`] used by the dispatcher's own tests and the
+//! backpressure property tests.
+
+use sb_mem::Gva;
+use sb_sim::Cycles;
+
+/// Base of the server's record region (one 64-byte line per record),
+/// mapped into the server process by both kernel-backed engines.
+pub const DATA_BASE: Gva = Gva(0x5100_0000);
+
+/// Bytes per stored record line.
+pub const RECORD_LINE: usize = 64;
+
+/// Minimum wire size of a request: 8-byte key + 1-byte op tag.
+pub const WIRE_HEADER: usize = 9;
+
+/// One request flowing through the runtime.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Monotone request number.
+    pub id: u64,
+    /// Arrival time in simulated cycles.
+    pub arrival: Cycles,
+    /// Target record key.
+    pub key: u64,
+    /// Whether the operation mutates the record (update/insert/RMW).
+    pub write: bool,
+    /// Request/reply payload bytes on the wire.
+    pub payload: usize,
+    /// The closed-loop client that issued this request, if any.
+    pub client: Option<usize>,
+}
+
+impl Request {
+    /// Encodes the request as wire bytes (key, op tag, zero padding up to
+    /// `payload`).
+    pub fn encode(&self) -> Vec<u8> {
+        let len = self.payload.max(WIRE_HEADER);
+        let mut bytes = vec![0u8; len];
+        bytes[..8].copy_from_slice(&self.key.to_le_bytes());
+        bytes[8] = self.write as u8;
+        bytes
+    }
+}
+
+/// What one request does inside the server, shared by every engine so the
+/// personalities are compared on identical service work.
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    /// Records in the server's table (the paper's YCSB setup uses 10,000).
+    pub records: u64,
+    /// Fixed per-request compute (parsing, hashing, record handling).
+    pub cpu: Cycles,
+    /// Server code bytes fetched per request (the handler footprint).
+    pub footprint: usize,
+    /// Per-call DoS-timeout budget (§7), enforced by the SkyBridge engine
+    /// through [`skybridge::SkyBridge::timeout`].
+    pub timeout: Option<Cycles>,
+}
+
+impl Default for ServiceSpec {
+    fn default() -> Self {
+        ServiceSpec {
+            records: 10_000,
+            cpu: 180,
+            footprint: 2048,
+            timeout: None,
+        }
+    }
+}
+
+/// Why a serve failed.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The handler overran the per-call budget; carries the handler's
+    /// elapsed simulated cycles.
+    Timeout {
+        /// Cycles the handler consumed before control was forced back.
+        elapsed: Cycles,
+    },
+    /// Any other failure (fault, broken binding, kernel error).
+    Failed(String),
+}
+
+/// A serving backend: per-worker clocks plus the ability to execute one
+/// request synchronously on one worker.
+///
+/// Workers are indexed `0..workers()`; each owns one simulated core, so
+/// engine time only moves forward per worker and the dispatcher can treat
+/// `now(w)` as that worker's availability time.
+pub trait Engine {
+    /// Display label (personality / transport).
+    fn label(&self) -> &str;
+
+    /// Number of serving workers.
+    fn workers(&self) -> usize;
+
+    /// Worker `w`'s current clock.
+    fn now(&mut self, worker: usize) -> Cycles;
+
+    /// Idles worker `w` forward to at least `time`.
+    fn wait_until(&mut self, worker: usize, time: Cycles);
+
+    /// Executes `req` to completion on worker `w`, advancing its clock by
+    /// the full service time.
+    fn serve(&mut self, worker: usize, req: &Request) -> Result<(), ServeError>;
+}
+
+/// A synthetic engine with a constant service time and no kernel
+/// underneath — deterministic, allocation-free, fast enough for property
+/// tests over millions of arrivals.
+#[derive(Debug, Clone)]
+pub struct FixedServiceEngine {
+    clocks: Vec<Cycles>,
+    service: Cycles,
+    label: String,
+}
+
+impl FixedServiceEngine {
+    /// `workers` parallel workers, each serving any request in exactly
+    /// `service` cycles.
+    pub fn new(workers: usize, service: Cycles) -> Self {
+        assert!(workers > 0, "at least one worker");
+        FixedServiceEngine {
+            clocks: vec![0; workers],
+            service,
+            label: format!("fixed:{service}"),
+        }
+    }
+}
+
+impl Engine for FixedServiceEngine {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn workers(&self) -> usize {
+        self.clocks.len()
+    }
+
+    fn now(&mut self, worker: usize) -> Cycles {
+        self.clocks[worker]
+    }
+
+    fn wait_until(&mut self, worker: usize, time: Cycles) {
+        let c = &mut self.clocks[worker];
+        *c = (*c).max(time);
+    }
+
+    fn serve(&mut self, _worker: usize, _req: &Request) -> Result<(), ServeError> {
+        self.clocks[_worker] += self.service;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_pads_to_payload() {
+        let r = Request {
+            id: 0,
+            arrival: 0,
+            key: 0xabcd,
+            write: true,
+            payload: 128,
+            client: None,
+        };
+        let b = r.encode();
+        assert_eq!(b.len(), 128);
+        assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), 0xabcd);
+        assert_eq!(b[8], 1);
+    }
+
+    #[test]
+    fn encode_enforces_wire_header_minimum() {
+        let r = Request {
+            id: 0,
+            arrival: 0,
+            key: 1,
+            write: false,
+            payload: 0,
+            client: None,
+        };
+        assert_eq!(r.encode().len(), WIRE_HEADER);
+    }
+
+    #[test]
+    fn fixed_engine_advances_per_worker() {
+        let mut e = FixedServiceEngine::new(2, 100);
+        let req = Request {
+            id: 0,
+            arrival: 0,
+            key: 0,
+            write: false,
+            payload: 16,
+            client: None,
+        };
+        e.serve(0, &req).unwrap();
+        assert_eq!(e.now(0), 100);
+        assert_eq!(e.now(1), 0);
+        e.wait_until(1, 250);
+        assert_eq!(e.now(1), 250);
+        e.wait_until(1, 10); // Never moves backwards.
+        assert_eq!(e.now(1), 250);
+    }
+}

@@ -1,0 +1,46 @@
+//! `sb-runtime`: the SkyBridge serving runtime.
+//!
+//! The core crates model one call; this crate turns the call primitive
+//! into a *serving system* and asks the paper's throughput question at
+//! scale: given a stream of millions of requests, how much offered load
+//! can each IPC transport sustain before the server has to shed?
+//!
+//! The pieces:
+//!
+//! * [`Engine`] — a serving backend owning per-worker simulated cores.
+//!   [`SkyBridgeEngine`] serves via `direct_server_call` (one connection
+//!   slot, and so one shared buffer, per worker thread — §4.4's
+//!   concurrency rule); [`TrapIpcEngine`] serves via `ipc_call` /
+//!   `ipc_reply` under a seL4/Fiasco.OC/Zircon personality;
+//!   [`FixedServiceEngine`] is the synthetic backend for dispatcher
+//!   tests.
+//! * [`ServerRuntime`] — a discrete-event dispatcher: one bounded
+//!   [`queue::DispatchQueue`] per server, admission control
+//!   ([`AdmissionPolicy::Shed`] vs [`AdmissionPolicy::Block`]), optional
+//!   queue deadlines, and per-call DoS-timeout budgets via the existing
+//!   `skybridge` §7 machinery.
+//! * [`PoissonArrivals`] / [`RequestFactory`] — open-loop Poisson and
+//!   closed-loop load generation over `sb-ycsb` key mixes.
+//! * [`RunStats`] — throughput, p50/p95/p99 latency in simulated cycles,
+//!   queue depth, shed counts, per-core utilization; serializable as JSON
+//!   rows through [`json::Json`] (the environment has no serde).
+
+pub mod dispatch;
+pub mod engine;
+pub mod json;
+pub mod load;
+pub mod queue;
+pub mod skybridge_engine;
+pub mod stats;
+pub mod trap_engine;
+
+pub use crate::{
+    dispatch::{RuntimeConfig, ServerRuntime},
+    engine::{Engine, FixedServiceEngine, Request, ServeError, ServiceSpec},
+    json::Json,
+    load::{PoissonArrivals, RequestFactory},
+    queue::AdmissionPolicy,
+    skybridge_engine::SkyBridgeEngine,
+    stats::RunStats,
+    trap_engine::TrapIpcEngine,
+};

@@ -1,0 +1,124 @@
+//! Load generation: YCSB-mix request factories and Poisson arrivals.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use sb_sim::Cycles;
+use sb_ycsb::{OpKind, Workload, WorkloadSpec};
+
+use crate::engine::Request;
+
+/// Turns a YCSB operation stream into [`Request`]s with a fixed wire
+/// payload.
+#[derive(Debug)]
+pub struct RequestFactory {
+    workload: Workload,
+    payload: usize,
+    next_id: u64,
+}
+
+impl RequestFactory {
+    /// A factory over `spec`'s key/op mix with `payload` wire bytes per
+    /// request.
+    pub fn new(spec: WorkloadSpec, payload: usize) -> Self {
+        RequestFactory {
+            workload: Workload::new(spec),
+            payload,
+            next_id: 0,
+        }
+    }
+
+    /// The next request, stamped with `arrival` (and, for closed-loop
+    /// runs, the issuing `client`).
+    pub fn make(&mut self, arrival: Cycles, client: Option<usize>) -> Request {
+        let op = self.workload.next_op();
+        let id = self.next_id;
+        self.next_id += 1;
+        Request {
+            id,
+            arrival,
+            key: op.key,
+            write: !matches!(op.kind, OpKind::Read | OpKind::Scan),
+            payload: self.payload,
+            client,
+        }
+    }
+}
+
+/// An open-loop Poisson arrival process: inter-arrival gaps are
+/// exponential with the given mean, independent of service progress.
+#[derive(Debug)]
+pub struct PoissonArrivals {
+    rng: SmallRng,
+    /// Mean inter-arrival gap in cycles.
+    mean: f64,
+    /// Accumulated arrival clock (f64 to avoid rounding drift).
+    t: f64,
+}
+
+impl PoissonArrivals {
+    /// Arrivals at a mean gap of `mean_inter_arrival` cycles, i.e. an
+    /// offered rate of `1e6 / mean_inter_arrival` requests per Mcycle.
+    pub fn new(mean_inter_arrival: f64, seed: u64) -> Self {
+        assert!(
+            mean_inter_arrival > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        PoissonArrivals {
+            rng: SmallRng::seed_from_u64(seed),
+            mean: mean_inter_arrival,
+            t: 0.0,
+        }
+    }
+
+    /// The offered rate in requests per million cycles.
+    pub fn rate_per_mcycle(&self) -> f64 {
+        1e6 / self.mean
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = Cycles;
+
+    fn next(&mut self) -> Option<Cycles> {
+        // Inverse-CDF exponential draw; 1 - u avoids ln(0).
+        let u: f64 = self.rng.gen();
+        self.t += -self.mean * (1.0 - u).ln();
+        Some(self.t as Cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_is_close() {
+        let n = 20_000;
+        let last = PoissonArrivals::new(500.0, 42).take(n).last().unwrap();
+        let mean = last as f64 / n as f64;
+        assert!(
+            (420.0..580.0).contains(&mean),
+            "mean gap {mean} far from 500"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let times: Vec<Cycles> = PoissonArrivals::new(10.0, 7).take(1000).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn factory_respects_mix_and_payload() {
+        let mut f = RequestFactory::new(WorkloadSpec::ycsb_c(100, 64), 64);
+        for i in 0..50 {
+            let r = f.make(i, None);
+            assert_eq!(r.id, i);
+            assert!(!r.write, "YCSB-C is read-only");
+            assert!(r.key < 100);
+            assert_eq!(r.payload, 64);
+        }
+        let mut f = RequestFactory::new(WorkloadSpec::ycsb_a(100, 64), 64);
+        let writes = (0..200).filter(|&i| f.make(i, None).write).count();
+        assert!((60..140).contains(&writes), "YCSB-A is ~50% update");
+    }
+}

@@ -1,0 +1,108 @@
+//! The per-server bounded dispatch queue and its admission policy.
+
+use std::collections::VecDeque;
+
+use crate::engine::Request;
+
+/// What happens to an arrival that finds the queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject it immediately (load shedding); the client sees an error.
+    Shed,
+    /// Block the producer until a slot frees; the wait is charged to the
+    /// request's latency.
+    Block,
+}
+
+/// A bounded FIFO of admitted-but-unserved requests.
+#[derive(Debug)]
+pub struct DispatchQueue {
+    items: VecDeque<Request>,
+    capacity: usize,
+}
+
+impl DispatchQueue {
+    /// An empty queue holding at most `capacity` requests.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        DispatchQueue {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+        }
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether an admission would exceed the bound.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a request. Callers must check [`DispatchQueue::is_full`]
+    /// first and apply their [`AdmissionPolicy`]; pushing past the bound
+    /// is a dispatcher bug.
+    pub fn push(&mut self, req: Request) {
+        assert!(!self.is_full(), "admission past the queue bound");
+        self.items.push_back(req);
+    }
+
+    /// The oldest queued request, if any.
+    pub fn front(&self) -> Option<&Request> {
+        self.items.front()
+    }
+
+    /// Removes and returns the oldest queued request.
+    pub fn pop(&mut self) -> Option<Request> {
+        self.items.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            arrival: id,
+            key: 0,
+            write: false,
+            payload: 16,
+            client: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_bound() {
+        let mut q = DispatchQueue::new(2);
+        assert!(q.is_empty());
+        q.push(req(1));
+        q.push(req(2));
+        assert!(q.is_full());
+        assert_eq!(q.front().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "admission past the queue bound")]
+    fn push_past_bound_panics() {
+        let mut q = DispatchQueue::new(1);
+        q.push(req(1));
+        q.push(req(2));
+    }
+}

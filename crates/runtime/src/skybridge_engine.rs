@@ -1,0 +1,195 @@
+//! The SkyBridge-backed serving engine.
+//!
+//! One server process registers its handler with `connections` equal to
+//! the worker count — the paper's rule that SkyBridge maps one shared
+//! buffer and one server stack *per server thread* (§4.4), so connections
+//! bound concurrency. Each worker is a separate client process with one
+//! thread pinned to its own simulated core, holding its own connection
+//! slot (and therefore its own shared buffer). Serving a request is a
+//! real `direct_server_call`: trampoline, VMFUNC, key check, handler in
+//! the server space on the migrated thread, VMFUNC back.
+
+use sb_mem::PAGE_SIZE;
+use sb_microkernel::{Kernel, KernelConfig, Personality, ThreadId};
+use sb_rewriter::corpus;
+use sb_sim::Cycles;
+use skybridge::{SbError, ServerId, SkyBridge};
+
+use crate::engine::{Engine, Request, ServeError, ServiceSpec, DATA_BASE, RECORD_LINE};
+
+/// The SkyBridge serving engine.
+pub struct SkyBridgeEngine {
+    /// The kernel (exposed for PMU access in benches).
+    pub k: Kernel,
+    sb: SkyBridge,
+    server: ServerId,
+    /// Worker `w`'s client thread, pinned to core `w`.
+    clients: Vec<ThreadId>,
+    label: String,
+}
+
+impl SkyBridgeEngine {
+    /// Boots a Rootkernel-backed machine and wires `workers` client
+    /// threads (one per core, one connection slot each) to one server
+    /// process running `spec`'s service work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or exceeds the simulated core count.
+    pub fn new(workers: usize, spec: &ServiceSpec) -> Self {
+        let mut k = Kernel::boot(KernelConfig::with_rootkernel(Personality::sel4()));
+        assert!(
+            workers >= 1 && workers <= k.machine.num_cores(),
+            "workers must fit the machine's cores"
+        );
+        let server_pid = k.create_process(&corpus::generate(0x5b_01, 4096, 0));
+        let server_tid = k.create_thread(server_pid, 0);
+        let data_pages = (spec.records as usize * RECORD_LINE).div_ceil(PAGE_SIZE as usize) + 1;
+        k.map_heap(server_pid, DATA_BASE, data_pages);
+
+        let mut sb = SkyBridge::new();
+        sb.timeout = spec.timeout;
+        let (records, cpu) = (spec.records.max(1), spec.cpu);
+        let server = sb
+            .register_server(
+                &mut k,
+                server_tid,
+                workers,
+                spec.footprint,
+                Box::new(move |_sb, k, ctx, req| {
+                    let key = u64::from_le_bytes(req[..8].try_into().expect("wire header"));
+                    let at = DATA_BASE.add((key % records) * RECORD_LINE as u64);
+                    let mut line = [0u8; RECORD_LINE];
+                    if req[8] == 1 {
+                        k.user_write(ctx.caller, at, &line)?;
+                    } else {
+                        k.user_read(ctx.caller, at, &mut line)?;
+                    }
+                    k.compute(ctx.caller, cpu);
+                    Ok(vec![0u8; req.len()])
+                }),
+            )
+            .expect("server registration");
+
+        let mut clients = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let pid = k.create_process(&corpus::generate(0xc11e_4200 + w as u64, 2048, 0));
+            let tid = k.create_thread(pid, w);
+            sb.register_client(&mut k, tid, server)
+                .expect("one connection per worker");
+            k.run_thread(tid);
+            clients.push(tid);
+        }
+        SkyBridgeEngine {
+            k,
+            sb,
+            server,
+            clients,
+            label: "skybridge".to_string(),
+        }
+    }
+
+    /// Attempts to bind one more client process beyond the per-worker
+    /// connections. With every slot taken this must fail cleanly with
+    /// [`SbError::NoFreeConnection`] — the shared-buffer exhaustion path.
+    pub fn try_extra_client(&mut self) -> Result<(), SbError> {
+        let pid = self.k.create_process(&corpus::generate(
+            0xeeee + self.clients.len() as u64,
+            2048,
+            0,
+        ));
+        let tid = self.k.create_thread(pid, 0);
+        self.sb.register_client(&mut self.k, tid, self.server)
+    }
+
+    /// Recorded security violations (timeouts land here too).
+    pub fn violations(&self) -> usize {
+        self.sb.violations.len()
+    }
+}
+
+impl Engine for SkyBridgeEngine {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn workers(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn now(&mut self, worker: usize) -> Cycles {
+        self.k.machine.cpu(worker).tsc
+    }
+
+    fn wait_until(&mut self, worker: usize, time: Cycles) {
+        self.k.machine.wait_until(worker, time);
+    }
+
+    fn serve(&mut self, worker: usize, req: &Request) -> Result<(), ServeError> {
+        let bytes = req.encode();
+        match self
+            .sb
+            .direct_server_call(&mut self.k, self.clients[worker], self.server, &bytes)
+        {
+            Ok(_) => Ok(()),
+            Err(SbError::Timeout { elapsed, .. }) => Err(ServeError::Timeout { elapsed }),
+            Err(e) => Err(ServeError::Failed(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_on_distinct_cores() {
+        let spec = ServiceSpec::default();
+        let mut e = SkyBridgeEngine::new(2, &spec);
+        let mk = |id: u64, key: u64, write: bool| Request {
+            id,
+            arrival: 0,
+            key,
+            write,
+            payload: 64,
+            client: None,
+        };
+        let t0 = e.now(0);
+        e.serve(0, &mk(0, 7, true)).unwrap();
+        assert!(e.now(0) > t0, "serving must consume cycles");
+        let t1 = e.now(1);
+        e.serve(1, &mk(1, 7, false)).unwrap();
+        assert!(e.now(1) > t1);
+    }
+
+    #[test]
+    fn connection_slots_are_exhausted_cleanly() {
+        let mut e = SkyBridgeEngine::new(2, &ServiceSpec::default());
+        assert!(matches!(
+            e.try_extra_client(),
+            Err(SbError::NoFreeConnection)
+        ));
+    }
+
+    #[test]
+    fn timeout_budget_is_enforced_per_call() {
+        let spec = ServiceSpec {
+            timeout: Some(1), // Nothing real finishes in one cycle.
+            ..ServiceSpec::default()
+        };
+        let mut e = SkyBridgeEngine::new(1, &spec);
+        let req = Request {
+            id: 0,
+            arrival: 0,
+            key: 3,
+            write: false,
+            payload: 64,
+            client: None,
+        };
+        match e.serve(0, &req) {
+            Err(ServeError::Timeout { elapsed }) => assert!(elapsed > 1),
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert!(e.violations() > 0, "the Subkernel records the violation");
+    }
+}

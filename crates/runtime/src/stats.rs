@@ -1,0 +1,187 @@
+//! Run statistics: latency percentiles, throughput, shedding, utilization.
+
+use sb_sim::Cycles;
+
+use crate::json::Json;
+
+/// Everything one runtime run measured. Latencies are client-observed:
+/// service completion minus arrival, so queueing delay is included.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Engine label (personality / transport).
+    pub label: String,
+    /// Serving workers.
+    pub workers: usize,
+    /// Requests offered (arrivals generated).
+    pub offered: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Arrivals rejected because the queue was full (Shed policy).
+    pub shed_queue_full: u64,
+    /// Admitted requests dropped because they waited past the queue
+    /// deadline before service started.
+    pub shed_deadline: u64,
+    /// Requests whose handler overran the per-call DoS budget.
+    pub timed_out: u64,
+    /// Requests that failed for any other reason.
+    pub failed: u64,
+    /// First arrival time.
+    pub start: Cycles,
+    /// Latest worker clock after the drain.
+    pub end: Cycles,
+    /// Largest queue depth observed at any admission.
+    pub max_queue_depth: usize,
+    /// Busy (serving) cycles per worker.
+    pub busy: Vec<Cycles>,
+    /// Completed-request latencies, sorted ascending once the run is
+    /// sealed by the dispatcher.
+    pub latencies: Vec<Cycles>,
+}
+
+impl RunStats {
+    /// An empty record for `workers` workers under `label`.
+    pub fn new(label: &str, workers: usize) -> Self {
+        RunStats {
+            label: label.to_string(),
+            workers,
+            offered: 0,
+            completed: 0,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            timed_out: 0,
+            failed: 0,
+            start: 0,
+            end: 0,
+            max_queue_depth: 0,
+            busy: vec![0; workers],
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Sorts latencies; the dispatcher calls this once at the end of a
+    /// run, before percentiles are read.
+    pub fn seal(&mut self) {
+        self.latencies.sort_unstable();
+    }
+
+    /// Requests shed for any reason (queue-full plus deadline).
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline
+    }
+
+    /// The `p`-th latency percentile (`p` in `[0, 100]`), or 0 when
+    /// nothing completed.
+    pub fn percentile(&self, p: f64) -> Cycles {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[rank.min(self.latencies.len() - 1)]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Cycles {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Cycles {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Cycles {
+        self.percentile(99.0)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().sum::<Cycles>() as f64 / self.latencies.len() as f64
+    }
+
+    /// The measured run window in cycles.
+    pub fn window(&self) -> Cycles {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Completions per million simulated cycles.
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        let w = self.window();
+        if w == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 1e6 / w as f64
+    }
+
+    /// Per-worker (core) utilization: busy cycles over the run window.
+    pub fn utilization(&self) -> Vec<f64> {
+        let w = self.window().max(1) as f64;
+        self.busy.iter().map(|&b| b as f64 / w).collect()
+    }
+
+    /// The run as a JSON object (`results/*.json` rows).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("label", self.label.as_str())
+            .field("workers", self.workers)
+            .field("offered", self.offered)
+            .field("completed", self.completed)
+            .field("shed_queue_full", self.shed_queue_full)
+            .field("shed_deadline", self.shed_deadline)
+            .field("timed_out", self.timed_out)
+            .field("failed", self.failed)
+            .field("window_cycles", self.window())
+            .field("throughput_per_mcycle", self.throughput_per_mcycle())
+            .field("latency_mean", self.mean())
+            .field("latency_p50", self.p50())
+            .field("latency_p95", self.p95())
+            .field("latency_p99", self.p99())
+            .field("max_queue_depth", self.max_queue_depth)
+            .field("utilization", self.utilization())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let mut s = RunStats::new("t", 1);
+        s.latencies = (0..100).rev().collect();
+        s.completed = 100;
+        s.seal();
+        assert_eq!(s.p50(), 50);
+        assert_eq!(s.p99(), 98);
+        assert_eq!(s.percentile(0.0), 0);
+        assert_eq!(s.percentile(100.0), 99);
+        assert!((s.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeroes() {
+        let s = RunStats::new("t", 2);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.throughput_per_mcycle(), 0.0);
+        assert_eq!(s.utilization(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn json_row_has_the_key_fields() {
+        let mut s = RunStats::new("sel4", 2);
+        s.offered = 10;
+        s.completed = 8;
+        s.shed_queue_full = 2;
+        s.start = 0;
+        s.end = 1000;
+        s.latencies = vec![10, 20, 30];
+        s.seal();
+        let row = s.to_json().to_string();
+        assert!(row.contains("\"label\":\"sel4\""));
+        assert!(row.contains("\"shed_queue_full\":2"));
+        assert!(row.contains("\"latency_p50\":20"));
+    }
+}

@@ -1,0 +1,199 @@
+//! The trap-based (synchronous kernel IPC) serving engine.
+//!
+//! The multi-threaded-server shape every microkernel personality uses in
+//! the paper's throughput experiments: the server process runs one thread
+//! per core, each receive-blocked on its own endpoint; worker `w`'s
+//! client process runs on the same core, so each call takes the same-core
+//! IPC path (the fastpath where the personality and message size allow
+//! it). Serving a request is `ipc_call` → server-side work → `ipc_reply`.
+
+use sb_mem::PAGE_SIZE;
+use sb_microkernel::{layout, Kernel, KernelConfig, Personality, ThreadId};
+use sb_rewriter::corpus;
+use sb_sim::Cycles;
+
+use crate::engine::{Engine, Request, ServeError, ServiceSpec, DATA_BASE, RECORD_LINE};
+
+struct TrapWorker {
+    client: ThreadId,
+    server: ThreadId,
+    cap: usize,
+}
+
+/// The kernel-IPC serving engine.
+pub struct TrapIpcEngine {
+    /// The kernel (exposed for PMU access in benches).
+    pub k: Kernel,
+    workers: Vec<TrapWorker>,
+    cpu: Cycles,
+    records: u64,
+    footprint: usize,
+    label: String,
+}
+
+impl TrapIpcEngine {
+    /// Boots a native (no hypervisor) machine under `personality` and
+    /// wires `workers` client/server thread pairs, one per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or exceeds the simulated core count.
+    pub fn new(personality: Personality, workers: usize, spec: &ServiceSpec) -> Self {
+        let label = personality.name.to_string();
+        let mut k = Kernel::boot(KernelConfig::native(personality));
+        assert!(
+            workers >= 1 && workers <= k.machine.num_cores(),
+            "workers must fit the machine's cores"
+        );
+        let server_pid = k.create_process(&corpus::generate(0x7a_01, 4096, 0));
+        let data_pages = (spec.records as usize * RECORD_LINE).div_ceil(PAGE_SIZE as usize) + 1;
+        k.map_heap(server_pid, DATA_BASE, data_pages);
+
+        let mut ws = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let server_tid = k.create_thread(server_pid, w);
+            let (ep, _recv_slot) = k.create_endpoint(server_pid);
+            k.server_recv(server_tid, ep);
+            let client_pid = k.create_process(&corpus::generate(0xc11e_7700 + w as u64, 2048, 0));
+            let client_tid = k.create_thread(client_pid, w);
+            let cap = k.grant_send(client_pid, ep);
+            k.run_thread(client_tid);
+            ws.push(TrapWorker {
+                client: client_tid,
+                server: server_tid,
+                cap,
+            });
+        }
+        TrapIpcEngine {
+            k,
+            workers: ws,
+            cpu: spec.cpu,
+            records: spec.records.max(1),
+            footprint: spec.footprint,
+            label,
+        }
+    }
+}
+
+impl Engine for TrapIpcEngine {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn now(&mut self, worker: usize) -> Cycles {
+        self.k.machine.cpu(worker).tsc
+    }
+
+    fn wait_until(&mut self, worker: usize, time: Cycles) {
+        self.k.machine.wait_until(worker, time);
+    }
+
+    fn serve(&mut self, worker: usize, req: &Request) -> Result<(), ServeError> {
+        let TrapWorker {
+            client,
+            server,
+            cap,
+        } = self.workers[worker];
+        let k = &mut self.k;
+        let bytes = req.encode();
+        let fail = |e: String| ServeError::Failed(e);
+
+        // Client marshals the request into its message buffer.
+        let client_buf = k.threads[client].msg_buf;
+        k.user_write(client, client_buf, &bytes)
+            .map_err(|e| fail(e.to_string()))?;
+        k.ipc_call(client, cap, bytes.len())
+            .map_err(|e| fail(format!("{e:?}")))?;
+
+        // Server side (the server thread is now current on this core):
+        // fetch the handler's code, unmarshal, touch the record, compute.
+        let server_buf = k.threads[server].msg_buf;
+        k.user_exec(server, layout::CODE_BASE, self.footprint)
+            .map_err(|e| fail(e.to_string()))?;
+        let mut msg = vec![0u8; bytes.len()];
+        k.user_read(server, server_buf, &mut msg)
+            .map_err(|e| fail(e.to_string()))?;
+        let key = u64::from_le_bytes(msg[..8].try_into().expect("wire header"));
+        let at = DATA_BASE.add((key % self.records) * RECORD_LINE as u64);
+        let mut line = [0u8; RECORD_LINE];
+        if msg[8] == 1 {
+            k.user_write(server, at, &line)
+                .map_err(|e| fail(e.to_string()))?;
+        } else {
+            k.user_read(server, at, &mut line)
+                .map_err(|e| fail(e.to_string()))?;
+        }
+        k.compute(server, self.cpu);
+        k.user_write(server, server_buf, &msg)
+            .map_err(|e| fail(e.to_string()))?;
+        k.ipc_reply(server, client, bytes.len())
+            .map_err(|e| fail(format!("{e:?}")))?;
+
+        // Client unmarshals the reply.
+        let mut reply = vec![0u8; bytes.len()];
+        k.user_read(client, client_buf, &mut reply)
+            .map_err(|e| fail(e.to_string()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(key: u64, write: bool) -> Request {
+        Request {
+            id: 0,
+            arrival: 0,
+            key,
+            write,
+            payload: 64,
+            client: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_on_every_personality() {
+        for p in Personality::all() {
+            let mut e = TrapIpcEngine::new(p, 2, &ServiceSpec::default());
+            let (t0, w0) = (e.now(1), e.now(0));
+            e.serve(1, &req(9, true)).unwrap();
+            e.serve(1, &req(9, false)).unwrap();
+            assert!(e.now(1) > t0);
+            assert_eq!(e.now(0), w0, "worker 0 untouched");
+        }
+    }
+
+    #[test]
+    fn trap_ipc_costs_more_than_skybridge_per_call() {
+        // The headline claim, at the serving-engine level: one request
+        // through sel4's kernel IPC costs more cycles than the same
+        // request through a direct server call.
+        let spec = ServiceSpec::default();
+        let mut trap = TrapIpcEngine::new(Personality::sel4(), 1, &spec);
+        let mut sky = crate::SkyBridgeEngine::new(1, &spec);
+        // Warm both, then measure.
+        for e in [&mut trap as &mut dyn Engine, &mut sky] {
+            for i in 0..32 {
+                e.serve(0, &req(i, i % 2 == 0)).unwrap();
+            }
+        }
+        let measure = |e: &mut dyn Engine| {
+            let t0 = e.now(0);
+            for i in 0..64 {
+                e.serve(0, &req(i, i % 2 == 0)).unwrap();
+            }
+            (e.now(0) - t0) / 64
+        };
+        let trap_avg = measure(&mut trap);
+        let sky_avg = measure(&mut sky);
+        assert!(
+            sky_avg < trap_avg,
+            "skybridge {sky_avg} must beat trap IPC {trap_avg}"
+        );
+    }
+}

@@ -70,7 +70,8 @@ fn main() {
     sb.register_client(&mut k, attacker_tid, hang).unwrap();
     k.run_thread(attacker_tid);
     match sb.direct_server_call(&mut k, attacker_tid, hang, b"x") {
-        Err(SbError::Timeout) => {
+        Err(SbError::Timeout { server, elapsed }) => {
+            println!("  server {server} overran its budget ({elapsed} cycles)");
             println!("  timeout forced control back to the caller")
         }
         other => println!("  unexpected: {other:?}"),

@@ -11,7 +11,10 @@
 //!   configurations (Table 1, Figures 2 and 8);
 //! * [`scenarios::sqlite`] — the SQLite3-over-xv6fs-over-RAM-disk stack of
 //!   §6.5 in the ST-Server / MT-Server / SkyBridge configurations
-//!   (Table 4, Figures 9–11, Table 5).
+//!   (Table 4, Figures 9–11, Table 5);
+//! * [`scenarios::runtime`] — the same application shapes as *services*
+//!   on the `sb-runtime` dispatcher: multi-core worker pools, bounded
+//!   queues with admission control, and open/closed-loop load generation.
 
 pub mod scenarios;
 
@@ -21,6 +24,7 @@ pub use sb_mem as mem;
 pub use sb_microkernel as microkernel;
 pub use sb_rewriter as rewriter;
 pub use sb_rootkernel as rootkernel;
+pub use sb_runtime as runtime;
 pub use sb_sim as sim;
 pub use sb_ycsb as ycsb;
 pub use skybridge as bridge;

@@ -1,6 +1,7 @@
 //! Evaluation scenarios: the application topologies of the paper.
 
 pub mod kv;
+pub mod runtime;
 pub mod sqlite;
 
 /// Converts simulated cycles into seconds on the modeled 4 GHz part.

@@ -1,0 +1,213 @@
+//! Runtime-backed serving mode for the evaluation scenarios.
+//!
+//! [`scenarios::kv`](crate::scenarios::kv) and
+//! [`scenarios::sqlite`](crate::scenarios::sqlite) drive one client in a
+//! closed lock-step loop — right for latency figures, blind to queueing.
+//! This module runs the same two application shapes *as services* on the
+//! `sb-runtime` dispatcher: N worker threads pinned to simulated cores,
+//! one bounded dispatch queue with admission control, and an open-loop
+//! Poisson (or closed-loop) client population, so saturation, shedding,
+//! and tail latency become measurable per IPC transport.
+
+use sb_microkernel::Personality;
+use sb_runtime::{
+    Engine, PoissonArrivals, RequestFactory, RunStats, RuntimeConfig, ServerRuntime, ServiceSpec,
+    SkyBridgeEngine, TrapIpcEngine,
+};
+use sb_ycsb::WorkloadSpec;
+
+use crate::scenarios::cycles_to_seconds;
+
+/// Which IPC transport serves the requests.
+#[derive(Debug, Clone)]
+pub enum Transport {
+    /// `direct_server_call` over VMFUNC (one connection per worker).
+    SkyBridge,
+    /// Synchronous kernel IPC under the given personality.
+    Trap(Personality),
+}
+
+impl Transport {
+    /// Display label (matches the engine's).
+    pub fn label(&self) -> &str {
+        match self {
+            Transport::SkyBridge => "skybridge",
+            Transport::Trap(p) => p.name,
+        }
+    }
+
+    /// The four personalities the scaling sweep compares: the three
+    /// trap-based kernels, then SkyBridge.
+    pub fn all() -> Vec<Transport> {
+        let mut v: Vec<Transport> = Personality::all()
+            .into_iter()
+            .map(Transport::Trap)
+            .collect();
+        v.push(Transport::SkyBridge);
+        v
+    }
+}
+
+/// Which application the service work models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingScenario {
+    /// The KV-store server of Figure 1: light per-op work, small records.
+    Kv,
+    /// The minidb/xv6fs stack of §6.5: SQL parsing, B-tree probing and
+    /// file-system block handling — an order of magnitude more compute
+    /// and a much larger handler footprint per operation.
+    Minidb,
+}
+
+impl ServingScenario {
+    /// The per-request service work of this scenario.
+    pub fn service_spec(self) -> ServiceSpec {
+        match self {
+            ServingScenario::Kv => ServiceSpec {
+                records: 10_000,
+                cpu: 180,
+                footprint: 2048,
+                timeout: None,
+            },
+            ServingScenario::Minidb => ServiceSpec {
+                records: 10_000,
+                cpu: 2_400,
+                footprint: 8 * 1024,
+                timeout: None,
+            },
+        }
+    }
+
+    /// The operation mix (YCSB-A, the workload Figures 9–11 report).
+    pub fn workload(self) -> WorkloadSpec {
+        let spec = self.service_spec();
+        WorkloadSpec::ycsb_a(spec.records, self.payload())
+    }
+
+    /// Wire bytes per request.
+    pub fn payload(self) -> usize {
+        match self {
+            ServingScenario::Kv => 64,
+            ServingScenario::Minidb => 256,
+        }
+    }
+}
+
+/// Builds the serving engine for `transport` with `workers` worker
+/// threads, each pinned to its own simulated core.
+pub fn build_engine(
+    scenario: ServingScenario,
+    transport: &Transport,
+    workers: usize,
+) -> Box<dyn Engine> {
+    let spec = scenario.service_spec();
+    match transport {
+        Transport::SkyBridge => Box::new(SkyBridgeEngine::new(workers, &spec)),
+        Transport::Trap(p) => Box::new(TrapIpcEngine::new(p.clone(), workers, &spec)),
+    }
+}
+
+/// One open-loop serving run: `requests` Poisson arrivals at a mean gap
+/// of `mean_inter_arrival` cycles against `workers` server threads.
+pub fn run_open_loop(
+    scenario: ServingScenario,
+    transport: &Transport,
+    workers: usize,
+    runtime: RuntimeConfig,
+    mean_inter_arrival: f64,
+    requests: u64,
+    seed: u64,
+) -> RunStats {
+    let mut engine = build_engine(scenario, transport, workers);
+    let mut factory = RequestFactory::new(scenario.workload(), scenario.payload());
+    let arrivals = PoissonArrivals::new(mean_inter_arrival, seed).take(requests as usize);
+    ServerRuntime::new(engine.as_mut(), runtime).run_open_loop(arrivals, &mut factory)
+}
+
+/// One closed-loop serving run: `clients` issuers, one in-flight request
+/// each, `ops_per_client` operations, `think` cycles between completion
+/// and reissue.
+pub fn run_closed_loop(
+    scenario: ServingScenario,
+    transport: &Transport,
+    workers: usize,
+    runtime: RuntimeConfig,
+    clients: usize,
+    ops_per_client: u64,
+    think: u64,
+) -> RunStats {
+    let mut engine = build_engine(scenario, transport, workers);
+    let mut factory = RequestFactory::new(scenario.workload(), scenario.payload());
+    ServerRuntime::new(engine.as_mut(), runtime).run_closed_loop(
+        clients,
+        ops_per_client,
+        think,
+        &mut factory,
+    )
+}
+
+/// Completions per wall-clock second on the modeled 4 GHz part.
+pub fn ops_per_sec(stats: &RunStats) -> f64 {
+    let secs = cycles_to_seconds(stats.window());
+    if secs == 0.0 {
+        return 0.0;
+    }
+    stats.completed as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use sb_runtime::AdmissionPolicy;
+
+    use super::*;
+
+    fn cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            queue_capacity: 16,
+            policy: AdmissionPolicy::Shed,
+            queue_deadline: None,
+        }
+    }
+
+    #[test]
+    fn kv_open_loop_completes_under_light_load() {
+        for transport in [Transport::SkyBridge, Transport::Trap(Personality::sel4())] {
+            let s = run_open_loop(
+                ServingScenario::Kv,
+                &transport,
+                2,
+                cfg(),
+                60_000.0, // ~17 req/Mcycle: far below capacity.
+                120,
+                7,
+            );
+            assert_eq!(s.completed, 120, "{}: all served", transport.label());
+            assert_eq!(s.shed(), 0);
+            assert!(s.p99() > 0);
+            assert!(ops_per_sec(&s) > 0.0);
+        }
+    }
+
+    #[test]
+    fn minidb_costs_more_per_op_than_kv() {
+        let t = Transport::SkyBridge;
+        let kv = run_open_loop(ServingScenario::Kv, &t, 1, cfg(), 60_000.0, 64, 7);
+        let db = run_open_loop(ServingScenario::Minidb, &t, 1, cfg(), 60_000.0, 64, 7);
+        assert!(db.p50() > kv.p50(), "minidb ops are heavier");
+    }
+
+    #[test]
+    fn closed_loop_serving_conserves_requests() {
+        let s = run_closed_loop(
+            ServingScenario::Kv,
+            &Transport::Trap(Personality::zircon()),
+            2,
+            cfg(),
+            4,
+            16,
+            0,
+        );
+        assert_eq!(s.offered, 64);
+        assert_eq!(s.offered, s.completed + s.shed() + s.timed_out + s.failed);
+    }
+}

@@ -1,0 +1,206 @@
+//! Serving-runtime integration tests: saturation ordering, shared-buffer
+//! exhaustion, and backpressure invariants.
+
+use proptest::prelude::*;
+use sb_microkernel::Personality;
+use sb_runtime::{
+    AdmissionPolicy, Engine, FixedServiceEngine, Request, RequestFactory, RuntimeConfig,
+    ServeError, ServerRuntime, ServiceSpec, SkyBridgeEngine,
+};
+use sb_ycsb::WorkloadSpec;
+use skybridge::SbError;
+use skybridge_repro::scenarios::runtime::{run_open_loop, ServingScenario, Transport};
+
+fn shed_cfg(queue_capacity: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        queue_capacity,
+        policy: AdmissionPolicy::Shed,
+        queue_deadline: None,
+    }
+}
+
+/// Walks an ascending geometric ladder of offered rates (20% steps,
+/// shared across transports) and returns the first rate, in requests per
+/// Mcycle, at which the runtime sheds.
+fn first_shed_rate(transport: &Transport) -> f64 {
+    let workers = 2;
+    let requests = 600;
+    let mut mean_ia = 16_384.0;
+    for rung in 0..24u64 {
+        let s = run_open_loop(
+            ServingScenario::Kv,
+            transport,
+            workers,
+            shed_cfg(8),
+            mean_ia,
+            requests,
+            0x5eed_0000 + rung,
+        );
+        assert_eq!(
+            s.offered,
+            s.completed + s.shed() + s.timed_out + s.failed,
+            "{}: request conservation",
+            transport.label()
+        );
+        if s.shed() > 0 {
+            return 1e6 / mean_ia;
+        }
+        mean_ia *= 0.8;
+    }
+    panic!(
+        "{} never shed down to a {mean_ia:.0}-cycle inter-arrival gap",
+        transport.label()
+    );
+}
+
+/// The headline serving claim: SkyBridge saturates at a strictly higher
+/// offered load than every trap-based personality, on the same ladder,
+/// the same workload, and the same worker count.
+#[test]
+fn skybridge_saturates_after_every_trap_kernel() {
+    let sky = first_shed_rate(&Transport::SkyBridge);
+    for p in Personality::all() {
+        let name = p.name;
+        let trap = first_shed_rate(&Transport::Trap(p));
+        assert!(
+            sky > trap,
+            "SkyBridge first shed at {sky:.1}/Mcycle must exceed {name}'s {trap:.1}/Mcycle"
+        );
+    }
+}
+
+/// §4.4: connections (shared buffers + server stacks) bound concurrency.
+/// Asking for more in-flight clients than the server registered worker
+/// slots for must fail cleanly — an `SbError::NoFreeConnection`, never a
+/// panic — and must not corrupt the already-bound workers.
+#[test]
+fn shared_buffer_exhaustion_fails_cleanly() {
+    let mut e = SkyBridgeEngine::new(3, &ServiceSpec::default());
+    for attempt in 0..3 {
+        match e.try_extra_client() {
+            Err(SbError::NoFreeConnection) => {}
+            other => panic!("attempt {attempt}: expected NoFreeConnection, got {other:?}"),
+        }
+    }
+    // The bound workers still serve after the failed registrations.
+    for w in 0..3 {
+        let req = Request {
+            id: w as u64,
+            arrival: 0,
+            key: w as u64,
+            write: w % 2 == 0,
+            payload: 64,
+            client: None,
+        };
+        e.serve(w, &req).expect("existing connections unharmed");
+    }
+}
+
+/// A burst deeper than the worker pool queues rather than failing: the
+/// dispatcher never puts more calls in flight than there are connection
+/// slots, so buffer exhaustion cannot be triggered from the arrival side.
+#[test]
+fn burst_deeper_than_worker_pool_queues_without_errors() {
+    let transport = Transport::SkyBridge;
+    let s = run_open_loop(
+        ServingScenario::Kv,
+        &transport,
+        2,
+        shed_cfg(64),
+        1.0, // Everything arrives nearly at once: a 50-deep burst on 2 workers.
+        50,
+        7,
+    );
+    assert_eq!(s.completed, 50);
+    assert_eq!(s.failed, 0);
+    assert!(s.max_queue_depth > 2, "the burst must actually queue");
+}
+
+/// The per-call DoS budget (§7) surfaces through the runtime as a
+/// timeout outcome, not a failure, and carries the handler's cycles.
+#[test]
+fn dos_timeout_budget_counts_as_timed_out() {
+    let spec = ServiceSpec {
+        timeout: Some(1),
+        ..ServiceSpec::default()
+    };
+    let mut e = SkyBridgeEngine::new(1, &spec);
+    let req = Request {
+        id: 0,
+        arrival: 0,
+        key: 1,
+        write: false,
+        payload: 64,
+        client: None,
+    };
+    match e.serve(0, &req) {
+        Err(ServeError::Timeout { elapsed }) => assert!(elapsed > 1),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    let mut factory = RequestFactory::new(WorkloadSpec::ycsb_a(1000, 64), 64);
+    let s = ServerRuntime::new(&mut e, shed_cfg(16)).run_open_loop(vec![0, 10, 20], &mut factory);
+    assert_eq!(s.timed_out, 3);
+    assert_eq!(s.completed, 0);
+    assert_eq!(s.offered, 3);
+}
+
+proptest! {
+    /// Backpressure invariants over arbitrary arrival sequences, Shed
+    /// policy: every request is accounted for exactly once, and the
+    /// queue bound is never exceeded.
+    #[test]
+    fn shed_policy_conserves_and_bounds_queue(
+        gaps in proptest::collection::vec(0u64..2_000, 1..160),
+        service in 1u64..5_000,
+        workers in 1usize..5,
+        capacity in 1usize..24,
+    ) {
+        let arrivals: Vec<u64> = gaps
+            .iter()
+            .scan(0u64, |t, g| {
+                *t += g;
+                Some(*t)
+            })
+            .collect();
+        let offered = arrivals.len() as u64;
+        let mut engine = FixedServiceEngine::new(workers, service);
+        let mut factory = RequestFactory::new(WorkloadSpec::ycsb_a(1_000, 64), 64);
+        let mut rt = ServerRuntime::new(&mut engine, shed_cfg(capacity));
+        let s = rt.run_open_loop(arrivals, &mut factory);
+        prop_assert_eq!(s.offered, offered);
+        prop_assert_eq!(s.offered, s.completed + s.shed_queue_full);
+        prop_assert!(s.max_queue_depth <= capacity);
+        prop_assert_eq!(s.timed_out, 0);
+        prop_assert_eq!(s.failed, 0);
+    }
+
+    /// Under the Block policy nothing is ever shed: admission waits for a
+    /// slot instead, so every offered request completes.
+    #[test]
+    fn block_policy_never_sheds(
+        gaps in proptest::collection::vec(0u64..500, 1..120),
+        service in 1u64..5_000,
+        capacity in 1usize..8,
+    ) {
+        let arrivals: Vec<u64> = gaps
+            .iter()
+            .scan(0u64, |t, g| {
+                *t += g;
+                Some(*t)
+            })
+            .collect();
+        let offered = arrivals.len() as u64;
+        let mut engine = FixedServiceEngine::new(1, service);
+        let mut factory = RequestFactory::new(WorkloadSpec::ycsb_a(1_000, 64), 64);
+        let cfg = RuntimeConfig {
+            queue_capacity: capacity,
+            policy: AdmissionPolicy::Block,
+            queue_deadline: None,
+        };
+        let mut rt = ServerRuntime::new(&mut engine, cfg);
+        let s = rt.run_open_loop(arrivals, &mut factory);
+        prop_assert_eq!(s.shed_queue_full, 0);
+        prop_assert_eq!(s.completed, offered);
+        prop_assert!(s.max_queue_depth <= capacity);
+    }
+}

@@ -127,7 +127,7 @@ fn dos_timeout_returns_control() {
     w.k.run_thread(w.client);
     assert!(matches!(
         w.sb.direct_server_call(&mut w.k, w.client, hang, b"x"),
-        Err(SbError::Timeout)
+        Err(SbError::Timeout { .. })
     ));
     // The client still works afterwards.
     let victim = w.victim;

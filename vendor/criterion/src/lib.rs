@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion's API its benches use. Measurement is
+//! a plain calibrated wall-clock loop (no statistics, plots, or saved
+//! baselines): each benchmark is timed over enough iterations to cover
+//! ~100 ms and the mean per-iteration time is printed.
+
+use std::time::{Duration, Instant};
+
+/// Units a measurement is normalized against.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handed to `bench_function` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// An opaque sink preventing the optimizer from deleting the measured
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_bench(&name.into(), None, f);
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in the report.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_bench(&name.into(), self.throughput, f);
+    }
+
+    /// Ends the group (report flushing is immediate; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibrate: grow the iteration count until the loop runs >= 20 ms,
+    // then do a 5x measurement run.
+    let mut iters = 1u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        b.iters = iters;
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 24 {
+            break;
+        }
+        iters = (iters * 4).max(4);
+    }
+    let measured = (iters * 5).max(10);
+    b.iters = measured;
+    f(&mut b);
+    let per_iter = b.elapsed.as_nanos() as f64 / measured as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            "  {:>10.1} MiB/s",
+            n as f64 / (1024.0 * 1024.0) / (per_iter * 1e-9)
+        ),
+        Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / (per_iter * 1e-9)),
+    });
+    println!(
+        "  {name:<40} {:>12.1} ns/iter{}",
+        per_iter,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares the benchmark entry list (criterion API compatibility).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_support_throughput() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        g.finish();
+    }
+}
