@@ -62,6 +62,7 @@ fn main() {
                     queue_capacity: capacity,
                     policy: AdmissionPolicy::Shed,
                     queue_deadline: None,
+                    ..RuntimeConfig::default()
                 };
                 let seed = 0x0005_ca1e_0000 + (ti * 1000 + wi * 100 + ri) as u64;
                 let stats =

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use rand::{rngs::SmallRng, RngCore, SeedableRng};
+use sb_faultplane::{FaultHandle, FaultMix, FaultPoint};
 use sb_mem::{Gva, Hpa, PteFlags, PAGE_SIZE};
 use sb_microkernel::{
     ipc::{Breakdown, Component},
@@ -61,6 +62,9 @@ pub struct SkyBridge {
     rng: SmallRng,
     /// Total direct server calls completed.
     pub call_count: u64,
+    /// The chaos fault plane. Defaults to an all-zero mix, i.e. no
+    /// injection; [`SkyBridge::attach_faults`] swaps in a live one.
+    faults: FaultHandle,
 }
 
 impl std::fmt::Debug for SkyBridge {
@@ -87,6 +91,56 @@ impl SkyBridge {
             fn_list_gpa: None,
             rng: SmallRng::seed_from_u64(0x5b_1d9e),
             call_count: 0,
+            faults: FaultHandle::new(0, FaultMix::none()),
+        }
+    }
+
+    /// Attaches a live fault plane (chaos runs). Without this call the
+    /// facility keeps its default all-zero mix and never injects.
+    pub fn attach_faults(&mut self, faults: FaultHandle) {
+        self.faults = faults;
+    }
+
+    /// The attached fault plane (for report collection).
+    pub fn faults(&self) -> &FaultHandle {
+        &self.faults
+    }
+
+    /// Kills `server` (chaos/test control, and the internal effect of an
+    /// injected handler panic): its thread dies and every subsequent call
+    /// refuses with [`SbError::ServerDead`] until a revive.
+    pub fn kill_server(&mut self, k: &mut Kernel, server: ServerId) {
+        self.servers[server].dead = true;
+        k.kill_thread(self.servers[server].thread);
+    }
+
+    /// Revives a crashed server — the supervisor restart half of the
+    /// crash-recovery path. The outstanding handler-panic instance is
+    /// marked recovered; clients still need to rebind.
+    pub fn revive_server(&mut self, k: &mut Kernel, server: ServerId) {
+        if self.servers[server].dead {
+            self.servers[server].dead = false;
+            k.revive_thread(self.servers[server].thread);
+            self.faults.recovered(FaultPoint::HandlerPanic);
+        }
+    }
+
+    /// Whether `server` is currently dead (crashed, not yet revived).
+    pub fn server_dead(&self, server: ServerId) -> bool {
+        self.servers.get(server).is_some_and(|s| s.dead)
+    }
+
+    /// Dissolves the `(client, server)` binding, returning its connection
+    /// slot to the server's free list. The crash-recovery sequence is
+    /// unbind → revive → `register_client`. Returns whether a binding
+    /// existed.
+    pub fn unbind_client(&mut self, client: ProcessId, server: ServerId) -> bool {
+        match self.bindings.remove(&(client, server)) {
+            Some(b) => {
+                self.servers[server].free_connections.push(b.connection);
+                true
+            }
+            None => false,
         }
     }
 
@@ -220,7 +274,9 @@ impl SkyBridge {
             handler_len: handler_len.max(64),
             max_connections: connections,
             next_connection: 0,
+            free_connections: Vec::new(),
             key_table,
+            dead: false,
         });
         self.handlers.push(Some(handler));
         Ok(id)
@@ -242,16 +298,35 @@ impl SkyBridge {
         }
         self.register_process(k, client_pid)?;
         if self.bindings.contains_key(&(client_pid, server)) {
+            // Idempotent rebind: if a connection-slot exhaustion was
+            // outstanding, the caller just observed it resolve.
+            self.faults.recovered(FaultPoint::BufferExhaust);
             return Ok(());
         }
-        let (server_pid, max_conn, next_conn, key_table) = {
-            let s = &self.servers[server];
-            (s.process, s.max_connections, s.next_connection, s.key_table)
-        };
-        if next_conn >= max_conn {
+        // Injected slot exhaustion (§4.4 resource bound): a rogue sibling
+        // grabbed the connection first. The facility refuses cleanly; the
+        // caller's retry finds the slot reclaimed.
+        if self.faults.fire(FaultPoint::BufferExhaust) {
+            self.faults.detected(FaultPoint::BufferExhaust);
             return Err(SbError::NoFreeConnection);
         }
-        self.servers[server].next_connection += 1;
+        let (server_pid, key_table) = {
+            let s = &self.servers[server];
+            (s.process, s.key_table)
+        };
+        // Reuse a slot freed by `unbind_client` before growing; crash →
+        // rebind cycles must not exhaust the connection space.
+        let next_conn = match self.servers[server].free_connections.pop() {
+            Some(c) => c,
+            None => {
+                let s = &mut self.servers[server];
+                if s.next_connection >= s.max_connections {
+                    return Err(SbError::NoFreeConnection);
+                }
+                s.next_connection += 1;
+                s.next_connection - 1
+            }
+        };
 
         // The binding EPT: shallow base-EPT copy remapping the client's
         // CR3 GPA to the server's page-table root (§4.3).
@@ -349,6 +424,9 @@ impl SkyBridge {
                 ept_root,
             },
         );
+        // A fresh binding succeeded: any outstanding slot-exhaustion
+        // refusal has been retried past — the recovery path completed.
+        self.faults.recovered(FaultPoint::BufferExhaust);
         Ok(())
     }
 
@@ -418,6 +496,11 @@ impl SkyBridge {
         if request.len() > layout::SB_SHARED_BUF_SIZE {
             return Err(SbError::MessageTooLarge);
         }
+        if self.servers[server].dead {
+            // Crashed earlier and not yet revived: refuse before touching
+            // the server's address space.
+            return Err(SbError::ServerDead { server });
+        }
         let server_pid = self.servers[server].process;
         let handler_len = self.servers[server].handler_len;
         let mut b = Breakdown::new();
@@ -480,8 +563,16 @@ impl SkyBridge {
             &mut stored,
             true,
         )?;
-        if u64::from_le_bytes(stored) != binding.server_key {
+        // Injected key corruption: the presented key is flipped on the
+        // wire (a guessing attack); the table check below must refuse it.
+        let presented_key = if self.faults.fire(FaultPoint::KeyCorrupt) {
+            binding.server_key ^ (1 + self.faults.draw(u64::MAX - 1))
+        } else {
+            binding.server_key
+        };
+        if u64::from_le_bytes(stored) != presented_key {
             // Refuse and notify the Subkernel (§4.4).
+            self.faults.detected(FaultPoint::KeyCorrupt);
             self.violations.push(Violation::BadServerKey {
                 client: client_pid,
                 server,
@@ -513,6 +604,19 @@ impl SkyBridge {
             request.to_vec()
         };
 
+        // Injected handler panic: the server thread dies mid-request. The
+        // Subkernel notices, marks the server dead, and bounces the caller
+        // back to its own space; recovery is revive + rebind + retry.
+        if self.faults.fire(FaultPoint::HandlerPanic) {
+            self.servers[server].dead = true;
+            k.kill_thread(self.servers[server].thread);
+            self.violations.push(Violation::ServerCrash { server });
+            self.faults.detected(FaultPoint::HandlerPanic);
+            self.vmfunc_to(k, core, client_pid, return_root)?;
+            k.identity_record(core, return_identity);
+            return Err(SbError::ServerDead { server });
+        }
+
         // Run the registered handler on the migrated thread.
         let ctx = HandlerCtx {
             server,
@@ -525,10 +629,22 @@ impl SkyBridge {
         let mut handler = self.handlers[server].take().expect("handler re-entered");
         let result = handler(self, k, ctx, &req);
         self.handlers[server] = Some(handler);
+        // Injected handler hang: the handler spins past the DoS budget.
+        // Only injectable when a timeout is configured — without one a
+        // hang has no recovery path and would wedge the simulation.
+        let hung = self.timeout.is_some() && self.faults.fire(FaultPoint::HandlerHang);
+        if let (true, Some(limit)) = (hung, self.timeout) {
+            k.machine.cpu_mut(core).advance(limit.saturating_add(1));
+        }
         let handler_cycles = k.machine.cpu(core).tsc - handler_t0;
         // DoS timeout (§7): if the handler overran the budget, force the
         // control flow back to the client.
         let timed_out = self.timeout.is_some_and(|limit| handler_cycles > limit);
+        if hung {
+            debug_assert!(timed_out, "an injected hang always overruns the budget");
+            // The forced return (§7) IS the recovery for a hang.
+            self.faults.recovered(FaultPoint::HandlerHang);
+        }
         let reply = match result {
             Ok(r) => r,
             Err(e) => {
@@ -597,6 +713,10 @@ impl SkyBridge {
             });
         }
         self.call_count += 1;
+        // A completed call is the retry that resolves an earlier injected
+        // key corruption (the refused attempt re-issued with the granted
+        // key). No-op when nothing is outstanding.
+        self.faults.recovered(FaultPoint::KeyCorrupt);
         Ok((out, b))
     }
 
@@ -616,6 +736,13 @@ impl SkyBridge {
                 sb_rootkernel::VmfuncError::NotInNonRootMode,
             ));
         };
+        // Injected EPTP eviction: a context switch elsewhere recycled this
+        // root's VMCS slot, so the lookup below misses and the VMFUNC
+        // takes the fault + reinstall path. Pinned slots can't be evicted;
+        // a fire against one is rescinded (it never happened).
+        if self.faults.fire(FaultPoint::EptpEvict) && !rk.vmcs[core].eptp_list.evict(root) {
+            self.faults.rescind(FaultPoint::EptpEvict);
+        }
         let slot = rk.vmcs[core].eptp_list.slot_of(root);
         let result = match slot {
             Some(slot) => rk.vmfunc(&mut k.machine, core, 0, slot),
@@ -629,6 +756,8 @@ impl SkyBridge {
             Err(_) => {
                 // Slot fault: the Rootkernel validates the root against
                 // the process's logical list, reinstalls, and retries.
+                // This exit is where an evicted slot becomes *observed*.
+                self.faults.detected(FaultPoint::EptpEvict);
                 let Some(list) = k.processes[pid].eptp_list.as_mut() else {
                     k.rootkernel = Some(rk);
                     self.violations
@@ -638,11 +767,19 @@ impl SkyBridge {
                 let (slot, _evicted) = list.ensure(root);
                 let list = list.clone();
                 rk.install_eptp_list(&mut k.machine, core, list);
-                rk.vmfunc(&mut k.machine, core, 0, slot).map_err(|e| {
-                    self.violations
-                        .push(Violation::VmfuncFault { process: pid });
-                    SbError::Vmfunc(e)
-                })
+                match rk.vmfunc(&mut k.machine, core, 0, slot) {
+                    Ok(()) => {
+                        // Reinstall + retry succeeded — the TLB-refill-
+                        // style repair is the eviction's recovery.
+                        self.faults.recovered(FaultPoint::EptpEvict);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.violations
+                            .push(Violation::VmfuncFault { process: pid });
+                        Err(SbError::Vmfunc(e))
+                    }
+                }
             }
         };
         k.rootkernel = Some(rk);

@@ -19,6 +19,12 @@ pub enum SbError {
     NotBound,
     /// The server is out of connection slots.
     NoFreeConnection,
+    /// The server's handler crashed (this call or an earlier one) and the
+    /// server has not been revived. Recovery: revive + rebind, then retry.
+    ServerDead {
+        /// The dead server.
+        server: ServerId,
+    },
     /// The server-side calling-key check failed; the Subkernel was
     /// notified.
     BadServerKey,
@@ -54,6 +60,7 @@ impl std::fmt::Display for SbError {
             SbError::NoSuchServer => write!(f, "no such server"),
             SbError::NotBound => write!(f, "client not bound to server"),
             SbError::NoFreeConnection => write!(f, "no free connection"),
+            SbError::ServerDead { server } => write!(f, "server {server} is dead"),
             SbError::BadServerKey => write!(f, "server calling-key mismatch"),
             SbError::BadClientKey => write!(f, "client calling-key mismatch"),
             SbError::Timeout { server, elapsed } => {

@@ -24,8 +24,15 @@ pub struct ServerInfo {
     pub max_connections: usize,
     /// Connections handed out so far.
     pub next_connection: usize,
+    /// Connection indices returned by `unbind_client`, reused before
+    /// `next_connection` grows (so crash/rebind cycles don't exhaust the
+    /// slot space).
+    pub free_connections: Vec<usize>,
     /// GVA of the calling-key table page in the server's space.
     pub key_table: Gva,
+    /// The handler crashed and the server awaits a supervisor revive;
+    /// calls are refused with `SbError::ServerDead` meanwhile.
+    pub dead: bool,
 }
 
 /// One client→server binding.
@@ -75,6 +82,11 @@ pub enum Violation {
     /// A handler exceeded the timeout and was forced to return.
     Timeout {
         /// The server that hung.
+        server: ServerId,
+    },
+    /// A handler panicked mid-request and the server thread died.
+    ServerCrash {
+        /// The server that crashed.
         server: ServerId,
     },
 }

@@ -30,6 +30,7 @@ pub mod log;
 
 pub use crate::{
     api::FileApi,
-    blockdev::{BlockDevice, CrashDisk, RamDisk, BSIZE},
+    blockdev::{BlockDevice, CrashDisk, DevError, FaultyDisk, RamDisk, BSIZE},
     fs::{FileSystem, FsError, Inum},
+    log::RecoverOutcome,
 };

@@ -1,4 +1,4 @@
-//! The write-ahead log (xv6-style).
+//! The write-ahead log (xv6-style), hardened against torn headers.
 //!
 //! Every mutating file-system operation is bracketed by
 //! [`Log::begin_op`]/[`Log::end_op`]. Writes are staged (and absorbed) in
@@ -8,6 +8,18 @@
 //! the header is cleared. [`Log::recover`] replays a committed-but-not-
 //! installed log at mount time, which is what makes a crash at any block
 //! boundary safe.
+//!
+//! Two fault-plane hardenings over plain xv6:
+//!
+//! * the header carries an FNV-1a checksum over the block list *and the
+//!   logged contents*, so a **torn** header or log-slot write (power lost
+//!   mid-block, not mid-sequence) is detected at recovery and discarded
+//!   instead of replaying garbage block numbers — without the checksum a
+//!   torn header whose count field landed would replay uninitialized log
+//!   slots over live data;
+//! * commit-path device writes go through [`BlockDevice::try_write_block`]
+//!   with a bounded retry, so a transient device error is absorbed by the
+//!   log instead of panicking the file system.
 
 use std::collections::HashMap;
 
@@ -15,6 +27,20 @@ use crate::blockdev::{BlockDevice, BSIZE};
 
 /// Maximum blocks per transaction (xv6's LOGSIZE guard).
 pub const LOG_CAPACITY: usize = 30;
+
+/// Transient-error retry bound on commit-path writes.
+const WRITE_RETRIES: usize = 8;
+
+/// What mount-time recovery found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoverOutcome {
+    /// Blocks of a committed log installed to their home locations.
+    pub replayed: usize,
+    /// A torn (checksum-mismatched) header was found and discarded: the
+    /// crash interrupted the commit point itself, so the transaction is
+    /// correctly treated as never-committed.
+    pub torn_discarded: bool,
+}
 
 /// The in-memory log state.
 #[derive(Debug)]
@@ -99,17 +125,17 @@ impl Log {
         // 1. Write staged blocks into the log region.
         for (i, &bno) in self.pending.iter().enumerate() {
             assert!((i as u32) < self.size - 1);
-            dev.write_block(self.start + 1 + i as u32, &self.staged[&bno]);
+            write_retry(dev, self.start + 1 + i as u32, &self.staged[&bno]);
         }
         // 2. Write the header — the single atomic commit point.
-        dev.write_block(self.start, &self.encode_header());
+        write_retry(dev, self.start, &self.encode_header());
         // 3. Install to home locations.
         for &bno in &self.pending {
-            dev.write_block(bno, &self.staged[&bno]);
+            write_retry(dev, bno, &self.staged[&bno]);
         }
         // 4. Clear the header.
         let empty = [0u8; BSIZE];
-        dev.write_block(self.start, &empty);
+        write_retry(dev, self.start, &empty);
         self.pending.clear();
         self.staged.clear();
         self.commits += 1;
@@ -121,32 +147,97 @@ impl Log {
         for (i, &bno) in self.pending.iter().enumerate() {
             h[4 + i * 4..8 + i * 4].copy_from_slice(&bno.to_le_bytes());
         }
+        let sum = header_checksum(&h, self.pending.iter().map(|bno| &self.staged[bno]));
+        h[BSIZE - 8..].copy_from_slice(&sum.to_le_bytes());
         h
     }
 
     /// Replays a committed log found on `dev` (mount-time recovery).
-    /// Returns the number of blocks installed.
+    /// Returns the number of blocks installed; see [`Log::recover_scan`]
+    /// for the torn-header outcome.
     pub fn recover(start: u32, dev: &mut dyn BlockDevice) -> usize {
+        Self::recover_scan(start, dev).replayed
+    }
+
+    /// Mount-time recovery with a full outcome: a committed log is
+    /// installed to its home locations; a **torn** header (or torn log
+    /// slot) fails the checksum and is discarded — the interrupted
+    /// transaction never committed, so the pre-transaction state is the
+    /// correct surviving prefix.
+    pub fn recover_scan(start: u32, dev: &mut dyn BlockDevice) -> RecoverOutcome {
         let mut head = [0u8; BSIZE];
         dev.read_block(start, &mut head);
         let n = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
-        if n == 0 || n > LOG_CAPACITY {
-            return 0;
+        let empty = [0u8; BSIZE];
+        if n == 0 {
+            return RecoverOutcome::default();
         }
+        if n > LOG_CAPACITY {
+            // Count field itself is garbage: a torn header.
+            write_retry(dev, start, &empty);
+            return RecoverOutcome {
+                replayed: 0,
+                torn_discarded: true,
+            };
+        }
+        let mut slots = Vec::with_capacity(n);
         for i in 0..n {
-            let bno = u32::from_le_bytes(head[4 + i * 4..8 + i * 4].try_into().unwrap());
             let mut data = [0u8; BSIZE];
             dev.read_block(start + 1 + i as u32, &mut data);
-            dev.write_block(bno, &data);
+            slots.push(data);
         }
-        let empty = [0u8; BSIZE];
-        dev.write_block(start, &empty);
-        n
+        let stored = u64::from_le_bytes(head[BSIZE - 8..].try_into().unwrap());
+        if header_checksum(&head, slots.iter()) != stored {
+            write_retry(dev, start, &empty);
+            return RecoverOutcome {
+                replayed: 0,
+                torn_discarded: true,
+            };
+        }
+        for (i, data) in slots.iter().enumerate() {
+            let bno = u32::from_le_bytes(head[4 + i * 4..8 + i * 4].try_into().unwrap());
+            write_retry(dev, bno, data);
+        }
+        write_retry(dev, start, &empty);
+        RecoverOutcome {
+            replayed: n,
+            torn_discarded: false,
+        }
     }
 
     /// Blocks staged in the current transaction.
     pub fn staged_len(&self) -> usize {
         self.pending.len()
+    }
+}
+
+/// FNV-1a over the header's count + block list and the logged contents.
+/// The checksum field itself (last 8 bytes of the header) is excluded.
+fn header_checksum<'a>(head: &[u8; BSIZE], slots: impl Iterator<Item = &'a [u8; BSIZE]>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    let n = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+    eat(&head[..4 + 4 * n.min(LOG_CAPACITY)]);
+    for s in slots {
+        eat(&s[..]);
+    }
+    h
+}
+
+/// Writes with a bounded retry over transient device errors. If the
+/// device still refuses after [`WRITE_RETRIES`] attempts the write is
+/// abandoned — indistinguishable from power loss, and exactly what the
+/// recovery path is for.
+fn write_retry(dev: &mut dyn BlockDevice, bno: u32, data: &[u8; BSIZE]) {
+    for _ in 0..WRITE_RETRIES {
+        if dev.try_write_block(bno, data).is_ok() {
+            return;
+        }
     }
 }
 

@@ -1,0 +1,96 @@
+//! Crash-recovery property tests: power cut at an arbitrary point during
+//! commit, remount, and the surviving state is exactly a committed
+//! prefix of the transaction history.
+//!
+//! The workload appends fixed-size records to one file, one transaction
+//! per record, record `g` filled with the byte `g`. Whatever the crash
+//! point — mid log write, mid header write (torn), mid install, mid
+//! header clear — the remounted file must hold records `1..=k` intact
+//! for some `k` no larger than what was attempted: transactions apply
+//! atomically, in order, and never splice.
+
+use proptest::prelude::*;
+use sb_faultplane::{FaultHandle, FaultMix, FaultPoint};
+use sb_fs::{CrashDisk, FaultyDisk, FileSystem, RamDisk};
+
+/// Bytes per appended record.
+const REC: usize = 64;
+
+fn rec(g: u8) -> [u8; REC] {
+    [g; REC]
+}
+
+/// Formats a disk with `/f` created (in calm weather) and returns the
+/// raw image the crashy phase starts from.
+fn base_image() -> RamDisk {
+    let mut fs = FileSystem::mkfs(RamDisk::new(256), 16);
+    fs.create("/f").unwrap();
+    fs.into_device()
+}
+
+/// Remounts `disk` and asserts the committed-prefix property; returns
+/// the number of surviving records.
+fn surviving_prefix(disk: RamDisk, attempted: u8) -> u8 {
+    let mut fs = FileSystem::mount(disk).expect("remount after crash");
+    let f = fs
+        .open("/f")
+        .expect("the file was created before the crash");
+    let size = fs.size_of(f);
+    assert_eq!(size % REC, 0, "append atomicity broken: size {size}");
+    let k = size / REC;
+    assert!(k <= attempted as usize, "phantom records appeared");
+    let mut buf = vec![0u8; size];
+    fs.read_at(f, 0, &mut buf);
+    for (i, chunk) in buf.chunks(REC).enumerate() {
+        assert!(
+            chunk.iter().all(|&b| b == (i + 1) as u8),
+            "record {i} corrupted after recovery"
+        );
+    }
+    k as u8
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Power lost after an arbitrary number of device writes: the
+    /// remount recovers exactly a committed prefix.
+    #[test]
+    fn power_cut_leaves_committed_prefix(fuse in 0u64..160, ops in 1u8..10) {
+        let mut fs = FileSystem::mount(CrashDisk::new(base_image(), fuse)).unwrap();
+        let f = fs.open("/f").unwrap();
+        for g in 1..=ops {
+            fs.write_at(f, (g as usize - 1) * REC, &rec(g)).unwrap();
+        }
+        let survivor = fs.into_device().into_survivor();
+        let k = surviving_prefix(survivor, ops);
+        // A fuse generous enough to cover every write commits everything.
+        if fuse >= 160 {
+            prop_assert_eq!(k, ops);
+        }
+    }
+
+    /// The fault-plane disk — transient I/O errors, torn writes, power
+    /// loss — under arbitrary seeds: the remount still recovers exactly
+    /// a committed prefix, and the fault ledger closes with zero leaks
+    /// (the replay/discard at mount is the batched recovery for torn
+    /// and power-loss instances; bounded retries recover the rest).
+    #[test]
+    fn faulty_disk_recovers_committed_prefix(seed in 1u64..10_000, ops in 1u8..10) {
+        let mix = FaultMix::storage().with(FaultPoint::PowerLoss, 120);
+        let faults = FaultHandle::new(seed, mix);
+        let mut fs =
+            FileSystem::mount(FaultyDisk::new(base_image(), faults.clone())).unwrap();
+        let f = fs.open("/f").unwrap();
+        for g in 1..=ops {
+            fs.write_at(f, (g as usize - 1) * REC, &rec(g)).unwrap();
+        }
+        faults.disarm();
+        let survivor = fs.into_device().into_survivor();
+        surviving_prefix(survivor, ops);
+        faults.recover_all(FaultPoint::TornWrite);
+        faults.recover_all(FaultPoint::PowerLoss);
+        let r = faults.report();
+        prop_assert_eq!(r.leaked(), 0, "{}", r);
+    }
+}

@@ -317,6 +317,25 @@ impl Kernel {
         self.run_queues[core].push_back(tid);
     }
 
+    /// Kills `tid` (handler panic, security violation): the thread leaves
+    /// the scheduler's view and any core it was current on goes idle. Its
+    /// TCB and address space survive so a supervisor can revive it.
+    pub fn kill_thread(&mut self, tid: ThreadId) {
+        self.threads[tid].state = ThreadState::Dead;
+        let core = self.threads[tid].core;
+        if self.current[core] == Some(tid) {
+            self.current[core] = None;
+        }
+    }
+
+    /// Revives a dead thread (supervisor restart after a crash): the TCB
+    /// is reset to `Ready` so it can be scheduled again.
+    pub fn revive_thread(&mut self, tid: ThreadId) {
+        if self.threads[tid].state == ThreadState::Dead {
+            self.threads[tid].state = ThreadState::Ready;
+        }
+    }
+
     /// Picks and runs the next ready thread on `core`, charging the
     /// scheduler cost. Returns the scheduled thread.
     pub fn schedule(&mut self, core: CpuId) -> Option<ThreadId> {

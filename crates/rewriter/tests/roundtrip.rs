@@ -1,0 +1,110 @@
+//! Rewriter round-trip properties over generated corpora.
+//!
+//! For any generated code region: rewriting must leave **zero**
+//! `0F 01 D4` occurrences in the patched code and the rewrite page, keep
+//! the region length unchanged, preserve the instruction boundaries of
+//! every untouched instruction, and be idempotent (a second pass finds
+//! nothing to do).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use sb_rewriter::{
+    corpus,
+    rewrite::rewrite_code,
+    scan::{find_occurrences, instruction_boundaries},
+    VMFUNC_BYTES,
+};
+
+const CODE_BASE: u64 = 0x40_0000;
+const PAGE_BASE: u64 = 0x1000;
+
+/// Asserts the round-trip invariants; returns the rewritten code.
+fn roundtrip(code: &[u8]) -> Vec<u8> {
+    let out = rewrite_code(code, CODE_BASE, PAGE_BASE).expect("corpus must be rewritable");
+    assert_eq!(out.code.len(), code.len(), "patched region changed length");
+    assert!(
+        find_occurrences(&out.code).is_empty(),
+        "pattern survived in the code"
+    );
+    assert!(
+        find_occurrences(&out.rewrite_page).is_empty(),
+        "pattern survived in the rewrite page"
+    );
+
+    // Untouched instructions keep their boundaries: linear decode of the
+    // patched region must stop at every original boundary whose
+    // instruction bytes were not modified by a patch.
+    let changed: Vec<bool> = code.iter().zip(&out.code).map(|(a, b)| a != b).collect();
+    let new_bounds: HashSet<usize> = instruction_boundaries(&out.code)
+        .iter()
+        .map(|(s, _)| *s)
+        .collect();
+    for (start, insn) in instruction_boundaries(code) {
+        let len = insn.as_ref().map_or(1, |i| i.len);
+        if changed[start..start + len].iter().any(|&c| c) {
+            continue;
+        }
+        assert!(
+            new_bounds.contains(&start),
+            "untouched instruction at {start:#x} lost its boundary"
+        );
+    }
+
+    // Idempotence: a clean region rewrites to itself.
+    let again = rewrite_code(&out.code, CODE_BASE, PAGE_BASE).expect("second pass");
+    assert_eq!(again.code, out.code);
+    assert_eq!(again.stubs, 0);
+    assert_eq!(again.in_place, 0);
+    out.code
+}
+
+#[test]
+fn literal_vmfunc_is_scrubbed_in_place() {
+    // vmfunc; ret (+pad) — the C1 case becomes NOPs.
+    let mut code = VMFUNC_BYTES.to_vec();
+    code.push(0xc3);
+    code.extend_from_slice(&[0x90; 8]);
+    let rewritten = roundtrip(&code);
+    assert_eq!(&rewritten[..3], &[0x90, 0x90, 0x90]);
+}
+
+#[test]
+fn dense_injection_corpus_rewrites_clean() {
+    let code = corpus::generate(0x7e57_0001, 8 * 1024, 32);
+    assert!(
+        !find_occurrences(&code).is_empty(),
+        "a 32/KiB injection rate must produce occurrences"
+    );
+    roundtrip(&code);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary seeds, sizes and injection rates: the round-trip
+    /// invariants hold on every generated region.
+    #[test]
+    fn generated_corpora_roundtrip(
+        seed in any::<u64>(),
+        size in 256usize..2048,
+        inject in 0u64..40,
+    ) {
+        let code = corpus::generate(seed, size, inject);
+        roundtrip(&code);
+    }
+
+    /// Rewriting never invents the pattern: a clean region stays
+    /// byte-identical (no gratuitous patches).
+    #[test]
+    fn clean_regions_are_untouched(seed in any::<u64>(), size in 256usize..2048) {
+        let code = corpus::generate(seed, size, 0);
+        if !find_occurrences(&code).is_empty() {
+            // A chance occurrence in random bytes: not this test's case.
+            return Ok(());
+        }
+        let out = rewrite_code(&code, CODE_BASE, PAGE_BASE).unwrap();
+        prop_assert_eq!(out.code, code);
+        prop_assert!(out.rewrite_page.is_empty());
+    }
+}

@@ -108,6 +108,22 @@ impl EptpList {
         (idx, evicted)
     }
 
+    /// Forcibly evicts `root` from its slot (fault injection / a hostile
+    /// sibling filling the list). Pinned slots are immune. Returns whether
+    /// a slot was vacated; a later `VMFUNC` to `root` takes the fault +
+    /// reinstall path.
+    pub fn evict(&mut self, root: Hpa) -> bool {
+        match self.slots.iter().position(|s| *s == Some(root)) {
+            Some(idx) if idx >= self.pinned => {
+                self.slots[idx] = None;
+                self.stamps[idx] = 0;
+                self.evictions += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// The EPT root installed at `slot`.
     pub fn get(&self, slot: usize) -> Option<Hpa> {
         self.slots.get(slot).copied().flatten()

@@ -1,0 +1,172 @@
+//! Transport-agnostic chaos: a fault-injecting [`Engine`] wrapper.
+//!
+//! The SkyBridge engine injects handler panics and hangs *inside* the
+//! facility (`skybridge::SkyBridge::attach_faults`), where the real
+//! detection machinery lives. The trap-IPC engines have no such interior,
+//! so the chaos suite wraps them in [`FaultyEngine`]: the same
+//! [`FaultPoint::HandlerPanic`] / [`FaultPoint::HandlerHang`] schedule,
+//! applied at the serve boundary — a panic kills the worker's server until
+//! [`Engine::recover`] respawns it; a hang burns the budget and surfaces
+//! as a timeout. Detection and recovery accounting land in the same
+//! ledger, so the chaos invariants hold uniformly across personalities.
+
+use sb_faultplane::{FaultHandle, FaultPoint};
+use sb_sim::Cycles;
+
+use crate::engine::{Engine, Request, ServeError};
+
+/// A fault-injecting wrapper around any engine.
+pub struct FaultyEngine<E: Engine> {
+    inner: E,
+    faults: FaultHandle,
+    /// Worker `w`'s server died (injected panic) and awaits recovery.
+    dead: Vec<bool>,
+    /// Cycles an injected hang consumes before the forced return.
+    hang: Cycles,
+}
+
+impl<E: Engine> FaultyEngine<E> {
+    /// Wraps `inner`, injecting per `faults`. `hang` is the per-call
+    /// budget an injected hang burns before control is forced back.
+    pub fn new(inner: E, faults: FaultHandle, hang: Cycles) -> Self {
+        let workers = inner.workers();
+        FaultyEngine {
+            inner,
+            faults,
+            dead: vec![false; workers],
+            hang,
+        }
+    }
+
+    /// The shared fault plane.
+    pub fn faults(&self) -> &FaultHandle {
+        &self.faults
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Panic/hang interception shared by both serve paths. `Ok(())` means
+    /// "no injection — delegate".
+    fn intercept(&mut self, worker: usize) -> Result<(), ServeError> {
+        if self.dead[worker] {
+            // Still dead: keep refusing without opening new instances.
+            return Err(ServeError::Failed("server dead (injected crash)".into()));
+        }
+        if self.faults.fire(FaultPoint::HandlerPanic) {
+            self.dead[worker] = true;
+            self.faults.detected(FaultPoint::HandlerPanic);
+            return Err(ServeError::Failed("handler panicked (injected)".into()));
+        }
+        if self.faults.fire(FaultPoint::HandlerHang) {
+            // The hang spins until the watchdog budget forces a return;
+            // the forced return is the recovery.
+            let t = self.inner.now(worker);
+            self.inner.wait_until(worker, t.saturating_add(self.hang));
+            self.faults.recovered(FaultPoint::HandlerHang);
+            return Err(ServeError::Timeout { elapsed: self.hang });
+        }
+        Ok(())
+    }
+}
+
+impl<E: Engine> Engine for FaultyEngine<E> {
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn workers(&self) -> usize {
+        self.inner.workers()
+    }
+
+    fn now(&mut self, worker: usize) -> Cycles {
+        self.inner.now(worker)
+    }
+
+    fn wait_until(&mut self, worker: usize, time: Cycles) {
+        self.inner.wait_until(worker, time);
+    }
+
+    fn serve(&mut self, worker: usize, req: &Request) -> Result<(), ServeError> {
+        self.intercept(worker)?;
+        self.inner.serve(worker, req)
+    }
+
+    fn serve_with_reply(&mut self, worker: usize, req: &Request) -> Result<Vec<u8>, ServeError> {
+        self.intercept(worker)?;
+        self.inner.serve_with_reply(worker, req)
+    }
+
+    fn recover(&mut self, worker: usize) -> bool {
+        if self.dead[worker] {
+            self.dead[worker] = false;
+            // Respawn the transport underneath (fresh endpoint/threads)
+            // where the engine supports it; the wrapper-level revive is
+            // the recovery either way.
+            self.inner.recover(worker);
+            self.faults.recovered(FaultPoint::HandlerPanic);
+            return true;
+        }
+        self.inner.recover(worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sb_faultplane::FaultMix;
+
+    use super::*;
+    use crate::engine::FixedServiceEngine;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            arrival: 0,
+            key: id,
+            write: false,
+            payload: 16,
+            client: None,
+        }
+    }
+
+    #[test]
+    fn injected_panic_kills_until_recover() {
+        let h = FaultHandle::new(4, FaultMix::none().with(FaultPoint::HandlerPanic, 10_000));
+        let mut e = FaultyEngine::new(FixedServiceEngine::new(1, 100), h.clone(), 1_000);
+        assert!(matches!(e.serve(0, &req(0)), Err(ServeError::Failed(_))));
+        assert!(matches!(e.serve(0, &req(1)), Err(ServeError::Failed(_))));
+        assert_eq!(h.injected_at(FaultPoint::HandlerPanic), 1);
+        assert!(e.recover(0));
+        h.disarm();
+        e.serve(0, &req(2)).unwrap();
+        let r = h.report();
+        assert_eq!((r.injected(), r.leaked()), (1, 0), "{r}");
+    }
+
+    #[test]
+    fn injected_hang_times_out_and_recovers_in_place() {
+        let h = FaultHandle::new(4, FaultMix::none().with(FaultPoint::HandlerHang, 10_000));
+        let mut e = FaultyEngine::new(FixedServiceEngine::new(1, 100), h.clone(), 5_000);
+        let t0 = e.now(0);
+        match e.serve(0, &req(0)) {
+            Err(ServeError::Timeout { elapsed }) => assert_eq!(elapsed, 5_000),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(e.now(0) - t0, 5_000, "the hang burns real worker time");
+        let r = h.report();
+        assert_eq!((r.injected(), r.leaked()), (1, 0), "{r}");
+    }
+
+    #[test]
+    fn transparent_when_nothing_fires() {
+        let h = FaultHandle::new(4, FaultMix::none());
+        let mut e = FaultyEngine::new(FixedServiceEngine::new(2, 100), h.clone(), 1_000);
+        for i in 0..10 {
+            e.serve((i % 2) as usize, &req(i)).unwrap();
+        }
+        assert_eq!(h.report().injected(), 0);
+        assert!(!e.recover(0));
+    }
+}

@@ -11,6 +11,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use sb_faultplane::{FaultHandle, FaultPoint};
 use sb_sim::Cycles;
 
 use crate::{
@@ -19,6 +20,28 @@ use crate::{
     queue::{AdmissionPolicy, DispatchQueue},
     stats::RunStats,
 };
+
+/// How the dispatcher retries failed serves.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum re-attempts after the initial serve.
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `backoff_base << n` cycles (exponential,
+    /// spent as worker idle time).
+    pub backoff_base: Cycles,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: 1_000,
+        }
+    }
+}
+
+/// Longest injected deadline-storm window, in cycles.
+const STORM_WINDOW_MAX: Cycles = 20_000;
 
 /// Dispatcher knobs.
 #[derive(Debug, Clone)]
@@ -31,6 +54,13 @@ pub struct RuntimeConfig {
     /// before service starts is dropped (counted in `shed_deadline`)
     /// without consuming worker time.
     pub queue_deadline: Option<Cycles>,
+    /// Retry failed/timed-out serves with exponential backoff; a failure
+    /// (crashed server, broken binding) additionally runs the engine's
+    /// recovery path before the retry. `None` fails fast.
+    pub retry: Option<RetryPolicy>,
+    /// The chaos fault plane, for injected queue-deadline storms. `None`
+    /// (the default) never injects.
+    pub faults: Option<FaultHandle>,
 }
 
 impl Default for RuntimeConfig {
@@ -39,6 +69,8 @@ impl Default for RuntimeConfig {
             queue_capacity: 64,
             policy: AdmissionPolicy::Shed,
             queue_deadline: None,
+            retry: None,
+            faults: None,
         }
     }
 }
@@ -47,13 +79,60 @@ impl Default for RuntimeConfig {
 pub struct ServerRuntime<'a, E: Engine + ?Sized> {
     engine: &'a mut E,
     cfg: RuntimeConfig,
+    /// Active/past injected deadline storms as `[start, end]` windows of
+    /// arrival time: requests arriving inside one see their effective
+    /// queue deadline collapse to zero.
+    storms: Vec<(Cycles, Cycles)>,
 }
 
 impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
     /// Wraps `engine` with the dispatcher configuration.
     pub fn new(engine: &'a mut E, cfg: RuntimeConfig) -> Self {
         assert!(engine.workers() > 0);
-        ServerRuntime { engine, cfg }
+        ServerRuntime {
+            engine,
+            cfg,
+            storms: Vec::new(),
+        }
+    }
+
+    /// At each admission: maybe start a deadline storm at `t`. A storm is
+    /// detected the moment it starts (the collapsed deadline is the
+    /// dispatcher's own machinery) and recovered when the run's final
+    /// drain has flushed every stale request ([`RunStats::seal`] time).
+    fn maybe_storm(&mut self, t: Cycles) {
+        let Some(f) = &self.cfg.faults else { return };
+        if self.storms.iter().any(|&(s, e)| t >= s && t <= e) {
+            return; // One storm at a time.
+        }
+        if f.fire(FaultPoint::DeadlineStorm) {
+            let len = 1 + f.draw(STORM_WINDOW_MAX);
+            f.detected(FaultPoint::DeadlineStorm);
+            self.storms.push((t, t.saturating_add(len)));
+        }
+    }
+
+    /// The queue deadline in force for `req`: zero inside a storm window.
+    fn effective_deadline(&self, arrival: Cycles) -> Option<Cycles> {
+        if self
+            .storms
+            .iter()
+            .any(|&(s, e)| arrival >= s && arrival <= e)
+        {
+            return Some(0);
+        }
+        self.cfg.queue_deadline
+    }
+
+    /// Closes out a run: every storm window has passed and the queue has
+    /// drained, so outstanding storm instances are recovered.
+    fn settle_storms(&mut self) {
+        if let Some(f) = &self.cfg.faults {
+            if !self.storms.is_empty() {
+                f.recover_all(FaultPoint::DeadlineStorm);
+            }
+        }
+        self.storms.clear();
     }
 
     /// The earliest-free worker and its clock.
@@ -82,13 +161,12 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
         let start = self.engine.now(w);
         let client = req.client;
         let past_deadline = self
-            .cfg
-            .queue_deadline
+            .effective_deadline(req.arrival)
             .is_some_and(|d| start - req.arrival > d);
         if past_deadline {
             stats.shed_deadline += 1;
         } else {
-            match self.engine.serve(w, &req) {
+            match self.serve_with_retries(w, &req, stats) {
                 Ok(()) => {
                     let done = self.engine.now(w);
                     stats.completed += 1;
@@ -108,6 +186,41 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
         if let Some(c) = client {
             completions.push((c, self.engine.now(w)));
         }
+    }
+
+    /// One serve plus the configured retry policy: exponential backoff
+    /// (idle worker time) before each re-attempt, and — for failures, the
+    /// recoverable class (crashed server, broken binding) — the engine's
+    /// recovery path (revive + rebind / respawn) before retrying.
+    fn serve_with_retries(
+        &mut self,
+        w: usize,
+        req: &Request,
+        stats: &mut RunStats,
+    ) -> Result<(), ServeError> {
+        let mut last = match self.engine.serve(w, req) {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        let Some(policy) = self.cfg.retry.clone() else {
+            return Err(last);
+        };
+        for attempt in 0..policy.max_retries {
+            if let ServeError::Failed(_) = last {
+                if self.engine.recover(w) {
+                    stats.recoveries += 1;
+                }
+            }
+            let backoff = policy.backoff_base << attempt.min(32);
+            let t = self.engine.now(w);
+            self.engine.wait_until(w, t.saturating_add(backoff));
+            stats.retries += 1;
+            match self.engine.serve(w, req) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 
     /// Starts queued requests, earliest-free worker first, until no worker
@@ -177,6 +290,7 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
             clock = t;
             first.get_or_insert(t);
             stats.offered += 1;
+            self.maybe_storm(t);
             self.drain_until(&mut queue, t, &mut stats, &mut completions);
             if queue.is_full() {
                 match self.cfg.policy {
@@ -193,6 +307,7 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
             stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
         }
         self.drain_until(&mut queue, Cycles::MAX, &mut stats, &mut completions);
+        self.settle_storms();
         stats.start = first.unwrap_or(0);
         stats.end = (0..self.engine.workers())
             .map(|w| self.engine.now(w))
@@ -246,6 +361,7 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
             ready.pop();
             stats.offered += 1;
             remaining[c] -= 1;
+            self.maybe_storm(t);
             if queue.is_full() {
                 match self.cfg.policy {
                     AdmissionPolicy::Shed => {
@@ -263,6 +379,7 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
             queue.push(factory.make(t, Some(c)));
             stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
         }
+        self.settle_storms();
         stats.start = epoch;
         stats.end = (0..self.engine.workers())
             .map(|w| self.engine.now(w))
@@ -288,7 +405,7 @@ mod tests {
         RuntimeConfig {
             queue_capacity: capacity,
             policy,
-            queue_deadline: None,
+            ..RuntimeConfig::default()
         }
     }
 
@@ -346,6 +463,7 @@ mod tests {
                 queue_capacity: 16,
                 policy: AdmissionPolicy::Shed,
                 queue_deadline: Some(500),
+                ..RuntimeConfig::default()
             },
         );
         let s = rt.run_open_loop(vec![0, 1, 2, 3], &mut factory());
@@ -382,5 +500,89 @@ mod tests {
         let s = rt.run_closed_loop(8, 20, 0, &mut factory());
         assert!(s.shed_queue_full > 0);
         assert_conserved(&s);
+    }
+
+    #[test]
+    fn retry_policy_recovers_injected_crashes() {
+        use sb_faultplane::{FaultHandle, FaultMix, FaultPoint};
+
+        use crate::chaos::FaultyEngine;
+
+        let h = FaultHandle::new(0xc4a5, FaultMix::none().with(FaultPoint::HandlerPanic, 800));
+        let mut e = FaultyEngine::new(FixedServiceEngine::new(2, 100), h.clone(), 1_000);
+        let mut rt = ServerRuntime::new(
+            &mut e,
+            RuntimeConfig {
+                queue_capacity: 32,
+                retry: Some(RetryPolicy::default()),
+                ..RuntimeConfig::default()
+            },
+        );
+        let arrivals: Vec<Cycles> = (0..300).map(|i| i * 200).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_conserved(&s);
+        assert!(s.retries > 0, "an 8% crash rate over 300 serves must retry");
+        assert!(s.recoveries > 0, "crashed workers must be repaired");
+        assert!(
+            s.completed > s.offered - s.offered / 10,
+            "retry-with-recovery should complete nearly everything: {s:?}"
+        );
+        // Close any worker still dead at end-of-run, then audit the ledger.
+        h.disarm();
+        for w in 0..2 {
+            e.recover(w);
+        }
+        let r = h.report();
+        assert!(r.injected() > 0, "the mix must actually have fired");
+        assert_eq!(r.leaked(), 0, "{r}");
+    }
+
+    #[test]
+    fn retries_fail_fast_without_a_policy() {
+        use sb_faultplane::{FaultHandle, FaultMix, FaultPoint};
+
+        use crate::chaos::FaultyEngine;
+
+        // Crash on (nearly) every serve with no retry policy: failures
+        // surface directly and the run conserves through `failed`.
+        let h = FaultHandle::new(7, FaultMix::none().with(FaultPoint::HandlerPanic, 10_000));
+        let mut e = FaultyEngine::new(FixedServiceEngine::new(1, 100), h.clone(), 1_000);
+        let mut rt = ServerRuntime::new(&mut e, cfg(8, AdmissionPolicy::Shed));
+        let s = rt.run_open_loop(vec![0, 500, 1_000], &mut factory());
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.failed, 3);
+        assert_eq!(s.retries, 0);
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn deadline_storms_shed_and_settle_clean() {
+        use sb_faultplane::{FaultHandle, FaultMix, FaultPoint};
+
+        let h = FaultHandle::new(
+            0x5708_0001,
+            FaultMix::none().with(FaultPoint::DeadlineStorm, 2_500),
+        );
+        let mut e = FixedServiceEngine::new(1, 1_000);
+        let mut rt = ServerRuntime::new(
+            &mut e,
+            RuntimeConfig {
+                queue_capacity: 64,
+                // Generous in calm weather; storms collapse it to zero.
+                queue_deadline: Some(1_000_000),
+                faults: Some(h.clone()),
+                ..RuntimeConfig::default()
+            },
+        );
+        // 4x overload on one worker: every queued request waits, so any
+        // arrival inside a storm window is past its (zeroed) deadline.
+        let arrivals: Vec<Cycles> = (0..400).map(|i| i * 250).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_conserved(&s);
+        assert!(s.shed_deadline > 0, "storm windows must shed stale work");
+        assert!(s.completed > 0, "calm stretches still complete");
+        let r = h.report();
+        assert!(r.injected() > 0, "storms must actually start");
+        assert_eq!(r.leaked(), 0, "settle_storms closes every window: {r}");
     }
 }

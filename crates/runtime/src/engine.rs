@@ -111,6 +111,24 @@ pub trait Engine {
     /// Executes `req` to completion on worker `w`, advancing its clock by
     /// the full service time.
     fn serve(&mut self, worker: usize, req: &Request) -> Result<(), ServeError>;
+
+    /// Executes `req` and returns the server's reply bytes — the
+    /// differential tests compare these across personalities. The service
+    /// contract is echo: the reply equals the request's wire bytes. The
+    /// default serves and reconstructs the echo; engines with a real
+    /// return channel override it with the bytes that actually came back.
+    fn serve_with_reply(&mut self, worker: usize, req: &Request) -> Result<Vec<u8>, ServeError> {
+        self.serve(worker, req)?;
+        Ok(req.encode())
+    }
+
+    /// Attempts to repair worker `w`'s serving path after a
+    /// [`ServeError::Failed`] — revive a crashed server and rebind its
+    /// connection, respawn a dead endpoint. Returns whether anything was
+    /// repaired; the default has nothing to repair.
+    fn recover(&mut self, _worker: usize) -> bool {
+        false
+    }
 }
 
 /// A synthetic engine with a constant service time and no kernel

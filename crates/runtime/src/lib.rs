@@ -25,6 +25,7 @@
 //!   queue depth, shed counts, per-core utilization; serializable as JSON
 //!   rows through [`json::Json`] (the environment has no serde).
 
+pub mod chaos;
 pub mod dispatch;
 pub mod engine;
 pub mod json;
@@ -35,7 +36,8 @@ pub mod stats;
 pub mod trap_engine;
 
 pub use crate::{
-    dispatch::{RuntimeConfig, ServerRuntime},
+    chaos::FaultyEngine,
+    dispatch::{RetryPolicy, RuntimeConfig, ServerRuntime},
     engine::{Engine, FixedServiceEngine, Request, ServeError, ServiceSpec},
     json::Json,
     load::{PoissonArrivals, RequestFactory},

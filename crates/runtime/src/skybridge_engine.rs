@@ -9,6 +9,7 @@
 //! real `direct_server_call`: trampoline, VMFUNC, key check, handler in
 //! the server space on the migrated thread, VMFUNC back.
 
+use sb_faultplane::FaultHandle;
 use sb_mem::PAGE_SIZE;
 use sb_microkernel::{Kernel, KernelConfig, Personality, ThreadId};
 use sb_rewriter::corpus;
@@ -25,6 +26,9 @@ pub struct SkyBridgeEngine {
     server: ServerId,
     /// Worker `w`'s client thread, pinned to core `w`.
     clients: Vec<ThreadId>,
+    /// Whether worker `w` currently holds a connection slot (a rebind
+    /// that hits injected slot exhaustion leaves the worker unbound).
+    bound: Vec<bool>,
     label: String,
 }
 
@@ -66,7 +70,10 @@ impl SkyBridgeEngine {
                         k.user_read(ctx.caller, at, &mut line)?;
                     }
                     k.compute(ctx.caller, cpu);
-                    Ok(vec![0u8; req.len()])
+                    // Echo the request — the service contract every engine
+                    // implements, so the differential tests can compare
+                    // reply bytes across personalities.
+                    Ok(req.to_vec())
                 }),
             )
             .expect("server registration");
@@ -80,11 +87,13 @@ impl SkyBridgeEngine {
             k.run_thread(tid);
             clients.push(tid);
         }
+        let bound = vec![true; clients.len()];
         SkyBridgeEngine {
             k,
             sb,
             server,
             clients,
+            bound,
             label: "skybridge".to_string(),
         }
     }
@@ -106,6 +115,18 @@ impl SkyBridgeEngine {
     pub fn violations(&self) -> usize {
         self.sb.violations.len()
     }
+
+    /// Attaches a live fault plane to the underlying SkyBridge facility —
+    /// handler panics/hangs, key corruption, EPTP eviction, and slot
+    /// exhaustion all inject from it.
+    pub fn attach_faults(&mut self, faults: FaultHandle) {
+        self.sb.attach_faults(faults);
+    }
+
+    /// The facility's fault plane (report collection).
+    pub fn faults(&self) -> FaultHandle {
+        self.sb.faults().clone()
+    }
 }
 
 impl Engine for SkyBridgeEngine {
@@ -126,15 +147,50 @@ impl Engine for SkyBridgeEngine {
     }
 
     fn serve(&mut self, worker: usize, req: &Request) -> Result<(), ServeError> {
+        self.serve_with_reply(worker, req).map(|_| ())
+    }
+
+    fn serve_with_reply(&mut self, worker: usize, req: &Request) -> Result<Vec<u8>, ServeError> {
         let bytes = req.encode();
         match self
             .sb
             .direct_server_call(&mut self.k, self.clients[worker], self.server, &bytes)
         {
-            Ok(_) => Ok(()),
+            Ok((reply, _)) => Ok(reply),
             Err(SbError::Timeout { elapsed, .. }) => Err(ServeError::Timeout { elapsed }),
             Err(e) => Err(ServeError::Failed(e.to_string())),
         }
+    }
+
+    fn recover(&mut self, worker: usize) -> bool {
+        // The crash-recovery path: revive the dead server process, then
+        // rebind this worker's connection (unbind frees the slot so the
+        // rebind can't exhaust the connection space). A worker can also
+        // arrive here merely unbound — a previous rebind hit injected
+        // slot exhaustion — in which case recovery is just the rebind.
+        let dead = self.sb.server_dead(self.server);
+        if !dead && self.bound[worker] {
+            return false;
+        }
+        let tid = self.clients[worker];
+        let pid = self.k.threads[tid].process;
+        if self.bound[worker] {
+            self.sb.unbind_client(pid, self.server);
+            self.bound[worker] = false;
+        }
+        if dead {
+            self.sb.revive_server(&mut self.k, self.server);
+        }
+        if self
+            .sb
+            .register_client(&mut self.k, tid, self.server)
+            .is_err()
+        {
+            return false;
+        }
+        self.bound[worker] = true;
+        self.k.run_thread(tid);
+        true
     }
 }
 

@@ -25,6 +25,11 @@ pub struct RunStats {
     pub timed_out: u64,
     /// Requests that failed for any other reason.
     pub failed: u64,
+    /// Serve attempts re-issued after a failure (retry-with-backoff).
+    pub retries: u64,
+    /// Successful engine repairs (server revived / endpoint respawned)
+    /// performed between retry attempts.
+    pub recoveries: u64,
     /// First arrival time.
     pub start: Cycles,
     /// Latest worker clock after the drain.
@@ -50,6 +55,8 @@ impl RunStats {
             shed_deadline: 0,
             timed_out: 0,
             failed: 0,
+            retries: 0,
+            recoveries: 0,
             start: 0,
             end: 0,
             max_queue_depth: 0,
@@ -133,6 +140,8 @@ impl RunStats {
             .field("shed_deadline", self.shed_deadline)
             .field("timed_out", self.timed_out)
             .field("failed", self.failed)
+            .field("retries", self.retries)
+            .field("recoveries", self.recoveries)
             .field("window_cycles", self.window())
             .field("throughput_per_mcycle", self.throughput_per_mcycle())
             .field("latency_mean", self.mean())

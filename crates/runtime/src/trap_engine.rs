@@ -24,6 +24,7 @@ struct TrapWorker {
 pub struct TrapIpcEngine {
     /// The kernel (exposed for PMU access in benches).
     pub k: Kernel,
+    server_pid: usize,
     workers: Vec<TrapWorker>,
     cpu: Cycles,
     records: u64,
@@ -66,6 +67,7 @@ impl TrapIpcEngine {
         }
         TrapIpcEngine {
             k,
+            server_pid,
             workers: ws,
             cpu: spec.cpu,
             records: spec.records.max(1),
@@ -138,6 +140,40 @@ impl Engine for TrapIpcEngine {
         k.user_read(client, client_buf, &mut reply)
             .map_err(|e| fail(e.to_string()))?;
         Ok(())
+    }
+
+    fn serve_with_reply(&mut self, worker: usize, req: &Request) -> Result<Vec<u8>, ServeError> {
+        // The serve path already round-trips the bytes through the server's
+        // message buffer; read the client's buffer back out as the reply.
+        self.serve(worker, req)?;
+        let client = self.workers[worker].client;
+        let client_buf = self.k.threads[client].msg_buf;
+        let mut reply = vec![0u8; req.encode().len()];
+        self.k
+            .user_read(client, client_buf, &mut reply)
+            .map_err(|e| ServeError::Failed(e.to_string()))?;
+        Ok(reply)
+    }
+
+    fn recover(&mut self, worker: usize) -> bool {
+        // Supervisor restart: kill worker `w`'s server thread (if it is
+        // somehow still scheduled) and respawn it receive-blocked on a
+        // fresh endpoint, re-granting the client's send capability.
+        let w = &self.workers[worker];
+        let (old_server, client) = (w.server, w.client);
+        self.k.kill_thread(old_server);
+        let server_tid = self.k.create_thread(self.server_pid, worker);
+        let (ep, _recv_slot) = self.k.create_endpoint(self.server_pid);
+        self.k.server_recv(server_tid, ep);
+        let client_pid = self.k.threads[client].process;
+        let cap = self.k.grant_send(client_pid, ep);
+        self.k.run_thread(client);
+        self.workers[worker] = TrapWorker {
+            client,
+            server: server_tid,
+            cap,
+        };
+        true
     }
 }
 

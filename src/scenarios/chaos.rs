@@ -1,0 +1,311 @@
+//! The chaos scenario: seeds × fault mixes × IPC personalities.
+//!
+//! One chaos *cell* is a full serving run — the KV service of
+//! [`super::runtime`], open-loop Poisson arrivals, retry-with-backoff and
+//! engine recovery enabled — with a seeded [`FaultHandle`] wired into
+//! every layer that can fail:
+//!
+//! * the SkyBridge engine injects inside the facility itself (handler
+//!   panics and hangs, calling-key corruption, EPTP-slot eviction,
+//!   connection-slot exhaustion);
+//! * the trap engines inject at the serve boundary through
+//!   [`sb_runtime::FaultyEngine`] (panics, hangs);
+//! * the dispatcher injects queue-deadline storms.
+//!
+//! Each cell must terminate cleanly, conserve requests
+//! (`offered = completed + shed + timed_out + failed`), end with every
+//! worker serving again, and leak **zero** faults — every injected
+//! instance detected and recovered. A separate FS cell runs a
+//! transaction workload over a [`FaultyDisk`] (transient I/O errors,
+//! torn writes, power loss) and checks the committed-prefix property
+//! across the remount.
+
+use sb_faultplane::{FaultHandle, FaultMix, FaultPoint, FaultReport};
+use sb_fs::{log::Log, BlockDevice, FaultyDisk, RamDisk, BSIZE};
+use sb_runtime::{
+    Engine, FaultyEngine, Json, PoissonArrivals, RequestFactory, RetryPolicy, RunStats,
+    RuntimeConfig, ServerRuntime, SkyBridgeEngine, TrapIpcEngine,
+};
+
+use crate::scenarios::runtime::{ServingScenario, Transport};
+
+/// Workers (and cores) per chaos cell.
+pub const CHAOS_WORKERS: usize = 2;
+
+/// The DoS-timeout budget (§7) a chaos cell arms so injected handler
+/// hangs are forcibly recoverable. Generous: a healthy KV request
+/// finishes in a few thousand cycles.
+pub const HANG_BUDGET: u64 = 200_000;
+
+/// The fault mixes the chaos matrix sweeps for serving cells.
+pub fn serving_mixes() -> Vec<FaultMix> {
+    vec![
+        FaultMix::crashes(),
+        FaultMix::security(),
+        FaultMix::storms(),
+        FaultMix::everything(),
+    ]
+}
+
+/// The fault mixes the chaos matrix sweeps for file-system cells.
+pub fn fs_mixes() -> Vec<FaultMix> {
+    vec![
+        FaultMix::storage(),
+        FaultMix::storage()
+            .with(FaultPoint::PowerLoss, 60)
+            .named("storage+power"),
+    ]
+}
+
+/// One serving chaos cell's result.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The run's dispatcher statistics.
+    pub stats: RunStats,
+    /// The fault ledger roll-up. The suite asserts `report.leaked() == 0`.
+    pub report: FaultReport,
+}
+
+impl ChaosOutcome {
+    /// The conservation invariant: every offered request has exactly one
+    /// outcome.
+    pub fn conserved(&self) -> bool {
+        let s = &self.stats;
+        s.offered == s.completed + s.shed_queue_full + s.shed_deadline + s.timed_out + s.failed
+    }
+
+    /// The cell as a JSON row (`results/chaos.json`).
+    pub fn to_json(&self, mix: &str, seed: u64) -> Json {
+        let mut rows = Vec::new();
+        for r in &self.report.rows {
+            rows.push(
+                Json::obj()
+                    .field("point", r.point.name())
+                    .field("injected", r.injected)
+                    .field("detected", r.detected)
+                    .field("recovered", r.recovered)
+                    .field("leaked", r.leaked),
+            );
+        }
+        Json::obj()
+            .field("mix", mix)
+            .field("seed", seed)
+            .field("injected", self.report.injected())
+            .field("detected", self.report.detected())
+            .field("recovered", self.report.recovered())
+            .field("leaked", self.report.leaked())
+            .field("conserved", self.conserved())
+            .field("faults", Json::Arr(rows))
+            .field("run", self.stats.to_json())
+    }
+}
+
+/// Runs one serving chaos cell: `requests` Poisson arrivals against
+/// `transport` under `mix`, everything seeded by `seed`.
+pub fn run_chaos_cell(
+    transport: &Transport,
+    seed: u64,
+    mix: &FaultMix,
+    requests: u64,
+) -> ChaosOutcome {
+    let scenario = ServingScenario::Kv;
+    let mut spec = scenario.service_spec();
+    spec.timeout = Some(HANG_BUDGET);
+    let faults = FaultHandle::new(seed, mix.clone());
+
+    // Engines inject from the shared plane — the SkyBridge engine from
+    // inside the facility, the trap engines through the serve-boundary
+    // wrapper. Faults attach only after setup, so boot and registration
+    // run in calm weather.
+    let mut engine: Box<dyn Engine> = match transport {
+        Transport::SkyBridge => {
+            let mut e = SkyBridgeEngine::new(CHAOS_WORKERS, &spec);
+            e.attach_faults(faults.clone());
+            Box::new(e)
+        }
+        Transport::Trap(p) => Box::new(FaultyEngine::new(
+            TrapIpcEngine::new(p.clone(), CHAOS_WORKERS, &spec),
+            faults.clone(),
+            HANG_BUDGET,
+        )),
+    };
+
+    let cfg = RuntimeConfig {
+        queue_capacity: 64,
+        // Generous in calm weather; injected storms collapse it to zero.
+        queue_deadline: Some(4_000_000),
+        retry: Some(RetryPolicy::default()),
+        faults: Some(faults.clone()),
+        ..RuntimeConfig::default()
+    };
+    let mut factory = RequestFactory::new(scenario.workload(), scenario.payload());
+    let arrivals = PoissonArrivals::new(12_000.0, seed ^ 0xa55a).take(requests as usize);
+    let stats = ServerRuntime::new(engine.as_mut(), cfg).run_open_loop(arrivals, &mut factory);
+
+    // Quiesce: stop injecting, run every worker's recovery path (revive a
+    // still-dead server, rebind a still-unbound connection), then prove
+    // liveness with clean probe serves. A successful call is also the
+    // recovery event for a corrupted-key instance, so keep probing until
+    // none are outstanding.
+    faults.disarm();
+    for w in 0..CHAOS_WORKERS {
+        engine.recover(w);
+        let probe = factory.make(0, None);
+        engine
+            .serve(w, &probe)
+            .expect("every worker must serve cleanly after the chaos run");
+    }
+    let mut probes = 0;
+    while faults.outstanding(FaultPoint::KeyCorrupt) > 0 && probes < 16 {
+        let probe = factory.make(0, None);
+        let _ = engine.serve(probes % CHAOS_WORKERS, &probe);
+        probes += 1;
+    }
+
+    ChaosOutcome {
+        stats,
+        report: faults.report(),
+    }
+}
+
+/// First block of the FS cell's log region.
+const FS_LOG_START: u32 = 2;
+/// Blocks in the FS cell's log region.
+const FS_LOG_SIZE: u32 = 34;
+/// Home blocks each transaction rewrites.
+const FS_HOME: [u32; 3] = [100, 101, 102];
+
+/// One FS chaos cell's result.
+#[derive(Debug)]
+pub struct FsChaosOutcome {
+    /// Transactions attempted before the (possible) power loss.
+    pub attempted: u8,
+    /// Generation the surviving disk holds after remount recovery — the
+    /// committed prefix is transactions `1..=committed`.
+    pub committed: u8,
+    /// Whether the remount found and discarded a torn commit header.
+    pub torn_discarded: bool,
+    /// Blocks the remount replayed from a committed log.
+    pub replayed: usize,
+    /// The fault ledger roll-up.
+    pub report: FaultReport,
+}
+
+impl FsChaosOutcome {
+    /// The cell as a JSON row.
+    pub fn to_json(&self, mix: &str, seed: u64) -> Json {
+        Json::obj()
+            .field("mix", mix)
+            .field("seed", seed)
+            .field("attempted", self.attempted as u64)
+            .field("committed", self.committed as u64)
+            .field("torn_discarded", self.torn_discarded)
+            .field("replayed", self.replayed)
+            .field("injected", self.report.injected())
+            .field("leaked", self.report.leaked())
+    }
+}
+
+fn generation_block(g: u8) -> [u8; BSIZE] {
+    let mut b = [0u8; BSIZE];
+    b.fill(g);
+    b
+}
+
+/// Runs one FS chaos cell: `txns` write-ahead-logged transactions over a
+/// [`FaultyDisk`], then a remount on the surviving state.
+///
+/// Each transaction `g` rewrites the same three home blocks with the
+/// generation value `g`, so the committed-prefix property is directly
+/// observable: after remount every home block must hold one and the same
+/// generation `committed <= attempted` — transactions apply atomically,
+/// in order, and a crash never splices two generations together.
+///
+/// # Panics
+///
+/// Panics if the surviving state violates the committed-prefix property.
+pub fn run_fs_chaos(seed: u64, mix: &FaultMix, txns: u8) -> FsChaosOutcome {
+    let faults = FaultHandle::new(seed, mix.clone());
+    let mut disk = FaultyDisk::new(RamDisk::new(128), faults.clone());
+    let mut log = Log::new(FS_LOG_START, FS_LOG_SIZE);
+
+    let mut attempted = 0;
+    for g in 1..=txns {
+        if disk.dead {
+            break; // Power is gone; nothing more reaches the medium.
+        }
+        attempted = g;
+        log.begin_op();
+        for &bno in &FS_HOME {
+            log.write(bno, &generation_block(g));
+        }
+        log.end_op(&mut disk);
+    }
+
+    // Power returns: remount the surviving state and recover. The replay
+    // (or torn-header discard) is the batched recovery path for every
+    // outstanding torn-write and power-loss instance.
+    faults.disarm();
+    let mut survivor = disk.into_survivor();
+    let outcome = Log::recover_scan(FS_LOG_START, &mut survivor);
+    faults.recover_all(FaultPoint::TornWrite);
+    faults.recover_all(FaultPoint::PowerLoss);
+
+    let mut generations = [0u8; FS_HOME.len()];
+    for (i, &bno) in FS_HOME.iter().enumerate() {
+        let mut buf = [0u8; BSIZE];
+        survivor.read_block(bno, &mut buf);
+        assert!(
+            buf.iter().all(|&b| b == buf[0]),
+            "home block {bno} splices generations after recovery"
+        );
+        generations[i] = buf[0];
+    }
+    assert!(
+        generations.iter().all(|&g| g == generations[0]),
+        "recovery left a mix of generations: {generations:?}"
+    );
+    let committed = generations[0];
+    assert!(
+        committed <= attempted,
+        "a never-attempted generation {committed} materialized"
+    );
+
+    FsChaosOutcome {
+        attempted,
+        committed,
+        torn_discarded: outcome.torn_discarded,
+        replayed: outcome.replayed,
+        report: faults.report(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skybridge_cell_under_crashes_terminates_clean() {
+        let out = run_chaos_cell(
+            &Transport::SkyBridge,
+            0xc0de_0001,
+            &FaultMix::crashes(),
+            120,
+        );
+        assert!(out.conserved(), "{:?}", out.stats);
+        assert_eq!(out.report.leaked(), 0, "{}", out.report);
+        assert!(out.stats.completed > 0);
+    }
+
+    #[test]
+    fn fs_cell_holds_committed_prefix() {
+        let mixes = fs_mixes();
+        for seed in 0..24u64 {
+            for mix in &mixes {
+                // run_fs_chaos asserts the prefix property internally.
+                let out = run_fs_chaos(0xf5_0000 + seed, mix, 12);
+                assert_eq!(out.report.leaked(), 0, "seed {seed}: {}", out.report);
+            }
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Evaluation scenarios: the application topologies of the paper.
 
+pub mod chaos;
 pub mod kv;
 pub mod runtime;
 pub mod sqlite;

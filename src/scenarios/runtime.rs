@@ -166,6 +166,7 @@ mod tests {
             queue_capacity: 16,
             policy: AdmissionPolicy::Shed,
             queue_deadline: None,
+            ..RuntimeConfig::default()
         }
     }
 

@@ -16,6 +16,7 @@ fn shed_cfg(queue_capacity: usize) -> RuntimeConfig {
         queue_capacity,
         policy: AdmissionPolicy::Shed,
         queue_deadline: None,
+        ..RuntimeConfig::default()
     }
 }
 
@@ -196,6 +197,7 @@ proptest! {
             queue_capacity: capacity,
             policy: AdmissionPolicy::Block,
             queue_deadline: None,
+            ..RuntimeConfig::default()
         };
         let mut rt = ServerRuntime::new(&mut engine, cfg);
         let s = rt.run_open_loop(arrivals, &mut factory);
