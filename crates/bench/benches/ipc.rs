@@ -67,7 +67,13 @@ fn bench_skybridge(c: &mut Criterion) {
     let client = k.create_thread(cp, 0);
     let server_tid = k.create_thread(sp, 0);
     let server = sb
-        .register_server(&mut k, server_tid, 4, 64, Box::new(|_, _, _, _| Ok(vec![])))
+        .register_server(
+            &mut k,
+            server_tid,
+            4,
+            64,
+            Box::new(|_, _, _, _| Ok(vec![].into())),
+        )
         .unwrap();
     sb.register_client(&mut k, client, server).unwrap();
     k.run_thread(client);

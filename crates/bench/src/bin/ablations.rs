@@ -154,7 +154,13 @@ fn message_size_ablation() {
     let client = k.create_thread(cp, 0);
     let server_tid = k.create_thread(sp, 0);
     let server = sb
-        .register_server(&mut k, server_tid, 4, 64, Box::new(|_, _, _, _| Ok(vec![])))
+        .register_server(
+            &mut k,
+            server_tid,
+            4,
+            64,
+            Box::new(|_, _, _, _| Ok(vec![].into())),
+        )
         .unwrap();
     sb.register_client(&mut k, client, server).unwrap();
     k.run_thread(client);
@@ -244,7 +250,7 @@ fn eptp_lru_ablation() {
         let sp = k.create_process(&code);
         let tid = k.create_thread(sp, 0);
         let sid = sb
-            .register_server(&mut k, tid, 2, 64, Box::new(|_, _, _, _| Ok(vec![])))
+            .register_server(&mut k, tid, 2, 64, Box::new(|_, _, _, _| Ok(vec![].into())))
             .unwrap();
         sb.register_client(&mut k, client, sid).unwrap();
         servers.push(sid);

@@ -2,7 +2,7 @@
 //! file-system crash cells.
 //!
 //! Every serving cell is one open-loop run with retry-with-backoff and
-//! engine recovery enabled, faults injected per a seeded
+//! transport recovery enabled, faults injected per a seeded
 //! `sb_faultplane::FaultMix`; the bin prints the per-cell fault ledger
 //! (injected / detected / recovered / leaked) next to the serving
 //! outcome, and writes everything to `results/chaos.json`. A non-zero
@@ -15,10 +15,10 @@
 
 use sb_bench::{
     knob, print_table,
-    report::{write_json, Json},
+    report::{chaos_outcome_json, fs_chaos_json, write_json, Json},
 };
 use skybridge_repro::scenarios::chaos::{fs_mixes, run_chaos_cell, run_fs_chaos, serving_mixes};
-use skybridge_repro::scenarios::runtime::Transport;
+use skybridge_repro::scenarios::runtime::Backend;
 
 fn main() {
     let seeds = knob("SB_CHAOS_SEEDS", 3) as u64;
@@ -28,7 +28,7 @@ fn main() {
     let mut json_rows: Vec<Json> = Vec::new();
     let mut leaked_total = 0u64;
 
-    for transport in Transport::all() {
+    for transport in Backend::all() {
         let mut rows = Vec::new();
         for mix in serving_mixes() {
             let mut row = vec![mix.name.to_string()];
@@ -52,8 +52,7 @@ fn main() {
                     out.stats.failed,
                 ));
                 json_rows.push(
-                    out.to_json(mix.name, seed)
-                        .field("transport", transport.label()),
+                    chaos_outcome_json(&out, mix.name, seed).field("transport", transport.label()),
                 );
             }
             rows.push(row);
@@ -79,7 +78,7 @@ fn main() {
             lost += (out.committed < out.attempted) as u64;
             replays += (out.replayed > 0) as u64;
             leaked += out.report.leaked();
-            fs_json.push(out.to_json(mix.name, 0xf5ee_0000 + s));
+            fs_json.push(fs_chaos_json(&out, mix.name, 0xf5ee_0000 + s));
         }
         leaked_total += leaked;
         fs_rows.push(vec![

@@ -13,26 +13,26 @@
 
 use sb_bench::{
     knob, print_table,
-    report::{write_json, Json},
+    report::{run_stats_json, write_json, Json},
 };
-use sb_runtime::{AdmissionPolicy, Engine, RequestFactory, RuntimeConfig};
+use sb_runtime::{AdmissionPolicy, RequestFactory, RuntimeConfig, Transport};
 use skybridge_repro::scenarios::runtime::{
-    build_engine, ops_per_sec, run_open_loop, ServingScenario, Transport,
+    build_backend, ops_per_sec, run_open_loop, Backend, ServingScenario,
 };
 
-/// Mean service cycles of one request, measured on a warm worker.
-fn calibrate(engine: &mut dyn Engine, factory: &mut RequestFactory) -> f64 {
+/// Mean service cycles of one request, measured on a warm lane.
+fn calibrate(transport: &mut dyn Transport, factory: &mut RequestFactory) -> f64 {
     let (warm, n) = (64, 256);
     for _ in 0..warm {
-        let req = factory.make(engine.now(0), None);
-        engine.serve(0, &req).expect("calibration serve");
+        let req = factory.make(transport.now(0), None);
+        transport.call(0, &req).expect("calibration call");
     }
-    let t0 = engine.now(0);
+    let t0 = transport.now(0);
     for _ in 0..n {
-        let req = factory.make(engine.now(0), None);
-        engine.serve(0, &req).expect("calibration serve");
+        let req = factory.make(transport.now(0), None);
+        transport.call(0, &req).expect("calibration call");
     }
-    (engine.now(0) - t0) as f64 / n as f64
+    (transport.now(0) - t0) as f64 / n as f64
 }
 
 fn main() {
@@ -41,7 +41,7 @@ fn main() {
     let scenario = ServingScenario::Kv;
     let threads = [1usize, 2, 4, 8];
     let rhos = [0.5, 0.8, 1.0, 1.2, 1.5];
-    let cells = Transport::all().len() * threads.len() * rhos.len();
+    let cells = Backend::all().len() * threads.len() * rhos.len();
     println!(
         "runtime_scaling: {} cells x {requests} requests = {} total simulated requests",
         cells,
@@ -49,10 +49,10 @@ fn main() {
     );
 
     let mut json_rows: Vec<Json> = Vec::new();
-    for (ti, transport) in Transport::all().iter().enumerate() {
-        let mut cal_engine = build_engine(scenario, transport, 1);
+    for (ti, transport) in Backend::all().iter().enumerate() {
+        let mut cal_transport = build_backend(scenario, transport, 1);
         let mut cal_factory = RequestFactory::new(scenario.workload(), scenario.payload());
-        let svc = calibrate(cal_engine.as_mut(), &mut cal_factory);
+        let svc = calibrate(cal_transport.as_mut(), &mut cal_factory);
         let mut rows = Vec::new();
         for (wi, &workers) in threads.iter().enumerate() {
             let mut row = vec![format!("{} threads", workers)];
@@ -82,7 +82,7 @@ fn main() {
                         .field("mean_inter_arrival", mean_ia)
                         .field("offered_per_mcycle", 1e6 / mean_ia)
                         .field("ops_per_sec", ops_per_sec(&stats))
-                        .field("stats", stats.to_json()),
+                        .field("stats", run_stats_json(&stats)),
                 );
             }
             rows.push(row);

@@ -1,17 +1,219 @@
-//! Machine-readable benchmark output: JSON files under `results/`.
+//! Machine-readable benchmark output: the JSON value type, the row
+//! emitters for runtime/chaos results, and the `results/` file writer.
 //!
-//! Every bench binary that produces figures worth post-processing writes
-//! its rows here in addition to the human-readable table. The JSON values
-//! come from [`sb_runtime::Json`] (hand-rolled; the environment has no
-//! serde).
+//! This is the single JSON home of the workspace. The build environment
+//! is offline (no serde), so result files are emitted through the
+//! hand-rolled [`Json`] builder below: objects with ordered keys, arrays,
+//! strings, and numbers — exactly what the benches need. Measurement
+//! crates (`sb-runtime`, the scenario modules) stay serialization-free;
+//! their result structs are rendered to rows here.
 
 use std::{
-    fs,
+    fmt, fs,
     io::Write,
     path::{Path, PathBuf},
 };
 
-pub use sb_runtime::Json;
+use sb_runtime::RunStats;
+use skybridge_repro::scenarios::chaos::{ChaosOutcome, FsChaosOutcome};
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (integers print without a fraction).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds `key: value` to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("field() on a non-object"),
+        }
+        self
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    f.write_str("null")
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => escape(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// One runtime run as a JSON object (`results/*.json` rows).
+pub fn run_stats_json(s: &RunStats) -> Json {
+    Json::obj()
+        .field("label", s.label.as_str())
+        .field("workers", s.workers)
+        .field("offered", s.offered)
+        .field("completed", s.completed)
+        .field("shed_queue_full", s.shed_queue_full)
+        .field("shed_deadline", s.shed_deadline)
+        .field("timed_out", s.timed_out)
+        .field("failed", s.failed)
+        .field("retries", s.retries)
+        .field("recoveries", s.recoveries)
+        .field("bytes_copied", s.bytes_copied)
+        .field("window_cycles", s.window())
+        .field("throughput_per_mcycle", s.throughput_per_mcycle())
+        .field("latency_mean", s.mean())
+        .field("latency_p50", s.p50())
+        .field("latency_p95", s.p95())
+        .field("latency_p99", s.p99())
+        .field("max_queue_depth", s.max_queue_depth)
+        .field("utilization", s.utilization())
+}
+
+/// One serving chaos cell as a JSON row (`results/chaos.json`).
+pub fn chaos_outcome_json(out: &ChaosOutcome, mix: &str, seed: u64) -> Json {
+    let mut rows = Vec::new();
+    for r in &out.report.rows {
+        rows.push(
+            Json::obj()
+                .field("point", r.point.name())
+                .field("injected", r.injected)
+                .field("detected", r.detected)
+                .field("recovered", r.recovered)
+                .field("leaked", r.leaked),
+        );
+    }
+    Json::obj()
+        .field("mix", mix)
+        .field("seed", seed)
+        .field("injected", out.report.injected())
+        .field("detected", out.report.detected())
+        .field("recovered", out.report.recovered())
+        .field("leaked", out.report.leaked())
+        .field("conserved", out.conserved())
+        .field("faults", Json::Arr(rows))
+        .field("run", run_stats_json(&out.stats))
+}
+
+/// One FS chaos cell as a JSON row.
+pub fn fs_chaos_json(out: &FsChaosOutcome, mix: &str, seed: u64) -> Json {
+    Json::obj()
+        .field("mix", mix)
+        .field("seed", seed)
+        .field("attempted", out.attempted as u64)
+        .field("committed", out.committed as u64)
+        .field("torn_discarded", out.torn_discarded)
+        .field("replayed", out.replayed)
+        .field("injected", out.report.injected())
+        .field("leaked", out.report.leaked())
+}
 
 /// The output directory, overridable with `SB_RESULTS_DIR`.
 pub fn results_dir() -> PathBuf {
@@ -39,6 +241,49 @@ pub fn read_to_string(path: &Path) -> std::io::Result<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let j = Json::obj()
+            .field("name", "p50")
+            .field("cycles", 1234u64)
+            .field("ratio", 0.5)
+            .field("tags", vec!["a", "b"])
+            .field("ok", true);
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"p50","cycles":1234,"ratio":0.5,"tags":["a","b"],"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::Str("a\"b\\c\n".into()).to_string(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(3.25).to_string(), "3.25");
+    }
+
+    #[test]
+    fn run_stats_row_has_the_key_fields() {
+        let mut s = RunStats::new("sel4", 2);
+        s.offered = 10;
+        s.completed = 8;
+        s.shed_queue_full = 2;
+        s.bytes_copied = 704;
+        s.start = 0;
+        s.end = 1000;
+        s.latencies = vec![10, 20, 30];
+        s.seal();
+        let row = run_stats_json(&s).to_string();
+        assert!(row.contains("\"label\":\"sel4\""));
+        assert!(row.contains("\"shed_queue_full\":2"));
+        assert!(row.contains("\"bytes_copied\":704"));
+        assert!(row.contains("\"latency_p50\":20"));
+    }
 
     #[test]
     fn writes_and_reads_back() {

@@ -28,7 +28,30 @@ pub const REGISTER_ARGS_MAX: usize = 64;
 /// reply. It receives the kernel and SkyBridge handles so servers can
 /// perform nested `direct_server_call`s (the KV-store pipeline of Fig. 1).
 pub type Handler =
-    Box<dyn FnMut(&mut SkyBridge, &mut Kernel, HandlerCtx, &[u8]) -> Result<Vec<u8>, SbError>>;
+    Box<dyn FnMut(&mut SkyBridge, &mut Kernel, HandlerCtx, &[u8]) -> Result<HandlerReply, SbError>>;
+
+/// What a handler sends back.
+///
+/// The echo contract every serving personality implements needs no bytes
+/// at all: the reply *is* the request, already sitting in the shared
+/// buffer, so the return path serves it in place without materialising a
+/// `Vec`. Handlers with a real payload return [`HandlerReply::Bytes`]
+/// (a `Vec<u8>` converts via `.into()`).
+#[derive(Debug)]
+pub enum HandlerReply {
+    /// Reply with the request's own bytes, served in place from the
+    /// shared buffer — the zero-copy echo path.
+    Echo,
+    /// Explicit reply bytes, written into the caller-visible half of the
+    /// shared buffer (or returned in registers when small).
+    Bytes(Vec<u8>),
+}
+
+impl From<Vec<u8>> for HandlerReply {
+    fn from(v: Vec<u8>) -> Self {
+        HandlerReply::Bytes(v)
+    }
+}
 
 /// What a handler knows about the call it is serving.
 #[derive(Debug, Clone, Copy)]
@@ -475,6 +498,12 @@ impl SkyBridge {
     /// handler from `client_tid` without entering the kernel, and returns
     /// the reply bytes along with the Figure 7-style breakdown of the
     /// transit costs.
+    ///
+    /// Compatibility wrapper over [`SkyBridge::direct_server_call_raw`]
+    /// that materialises an echo reply into a fresh `Vec`. Scenario
+    /// drivers, examples and tests use it; the serving hot path
+    /// (`sb-runtime`'s transports) calls the raw form and reads the reply
+    /// in place.
     pub fn direct_server_call(
         &mut self,
         k: &mut Kernel,
@@ -482,6 +511,25 @@ impl SkyBridge {
         server: ServerId,
         request: &[u8],
     ) -> Result<(Vec<u8>, Breakdown), SbError> {
+        let (out, b) = self.direct_server_call_raw(k, client_tid, server, request)?;
+        Ok((out.unwrap_or_else(|| request.to_vec()), b))
+    }
+
+    /// The zero-copy `direct_server_call`: the request slice is written
+    /// once into the connection's shared buffer and served in place; the
+    /// server-space read, the reply write into the caller-visible half,
+    /// and the client's read-back are charge-only (identical simulated
+    /// translation and cache traffic, no host copies). Returns `None` for
+    /// an echo reply — the reply bytes are the request's, still in the
+    /// caller's staging buffer — or `Some(bytes)` when the handler
+    /// produced a real payload.
+    pub fn direct_server_call_raw(
+        &mut self,
+        k: &mut Kernel,
+        client_tid: ThreadId,
+        server: ServerId,
+        request: &[u8],
+    ) -> Result<(Option<Vec<u8>>, Breakdown), SbError> {
         let client_pid = k.threads[client_tid].process;
         let core = k.threads[client_tid].core;
         debug_assert_eq!(k.current_thread(core), Some(client_tid));
@@ -588,21 +636,21 @@ impl SkyBridge {
         k.user_exec(client_tid, handler_fn, handler_len)?;
         b.add(Component::Other, k.machine.cpu(core).tsc - t0);
 
-        // Read the request in the server space.
-        let req = if request.len() > REGISTER_ARGS_MAX {
-            let mut buf = vec![0u8; request.len()];
-            sb_mem::walk::read_bytes(
+        // Read the request in the server space — served in place: the
+        // payload already sits in the shared buffer (written once above),
+        // so this is charge-only (same translation and cache traffic as a
+        // real read) and the handler sees the caller's slice directly.
+        if request.len() > REGISTER_ARGS_MAX {
+            sb_mem::walk::touch_bytes(
                 &mut k.machine,
                 core,
                 &k.mem,
                 binding.shared_buf,
-                &mut buf,
+                request.len(),
+                sb_mem::walk::Access::Read,
                 true,
             )?;
-            buf
-        } else {
-            request.to_vec()
-        };
+        }
 
         // Injected handler panic: the server thread dies mid-request. The
         // Subkernel notices, marks the server dead, and bounces the caller
@@ -627,7 +675,7 @@ impl SkyBridge {
         };
         let handler_t0 = k.machine.cpu(core).tsc;
         let mut handler = self.handlers[server].take().expect("handler re-entered");
-        let result = handler(self, k, ctx, &req);
+        let result = handler(self, k, ctx, request);
         self.handlers[server] = Some(handler);
         // Injected handler hang: the handler spins past the DoS budget.
         // Only injectable when a timeout is configured — without one a
@@ -660,20 +708,39 @@ impl SkyBridge {
 
         // --- return path ---
         let t0 = k.machine.cpu(core).tsc;
-        if reply.len() > REGISTER_ARGS_MAX {
-            if reply.len() > layout::SB_SHARED_BUF_SIZE {
+        let reply_bytes = match reply {
+            HandlerReply::Echo => None,
+            HandlerReply::Bytes(v) => Some(v),
+        };
+        let reply_len = reply_bytes.as_deref().map_or(request.len(), <[u8]>::len);
+        if reply_len > REGISTER_ARGS_MAX {
+            if reply_len > layout::SB_SHARED_BUF_SIZE {
                 self.vmfunc_to(k, core, client_pid, return_root)?;
                 k.identity_record(core, return_identity);
                 return Err(SbError::MessageTooLarge);
             }
-            sb_mem::walk::write_bytes(
-                &mut k.machine,
-                core,
-                &mut k.mem,
-                binding.shared_buf,
-                &reply,
-                true,
-            )?;
+            match &reply_bytes {
+                // Echo: the reply bytes already occupy the caller-visible
+                // half of the shared buffer; the server's reply write is
+                // charge-only.
+                None => sb_mem::walk::touch_bytes(
+                    &mut k.machine,
+                    core,
+                    &k.mem,
+                    binding.shared_buf,
+                    reply_len,
+                    sb_mem::walk::Access::Write,
+                    true,
+                )?,
+                Some(v) => sb_mem::walk::write_bytes(
+                    &mut k.machine,
+                    core,
+                    &mut k.mem,
+                    binding.shared_buf,
+                    v,
+                    true,
+                )?,
+            }
         }
         k.machine.cpu_mut(core).advance(cost.trampoline_logic / 2);
         b.add(Component::Other, k.machine.cpu(core).tsc - t0);
@@ -696,13 +763,18 @@ impl SkyBridge {
             });
             return Err(SbError::BadClientKey);
         }
-        let out = if reply.len() > REGISTER_ARGS_MAX {
-            let mut buf = vec![0u8; reply.len()];
-            k.user_read(client_tid, binding.shared_buf, &mut buf)?;
-            buf
-        } else {
-            reply
-        };
+        // Large replies come back through the shared buffer; the read is
+        // charge-only since the bytes are already host-side (the caller's
+        // staged request for an echo, the handler's `Vec` otherwise).
+        if reply_len > REGISTER_ARGS_MAX {
+            k.user_touch(
+                client_tid,
+                binding.shared_buf,
+                reply_len,
+                sb_mem::walk::Access::Read,
+            )?;
+        }
+        let out = reply_bytes;
         b.add(Component::Other, k.machine.cpu(core).tsc - t0);
 
         if timed_out {

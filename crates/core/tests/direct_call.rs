@@ -57,7 +57,7 @@ fn rig() -> Rig {
                 .map_err(SbError::from)?;
                 let mut reply = req.to_vec();
                 reply.extend_from_slice(&heap);
-                Ok(reply)
+                Ok(reply.into())
             }),
         )
         .unwrap();
@@ -257,7 +257,7 @@ fn timeout_forces_control_back() {
             Box::new(|_, k, ctx: HandlerCtx, _req| {
                 // Spin for far longer than the budget.
                 k.compute(ctx.caller, 1_000_000);
-                Ok(Vec::new())
+                Ok(Vec::new().into())
             }),
         )
         .unwrap();
@@ -301,7 +301,7 @@ fn nested_calls_follow_the_thread_migration_chain() {
             Box::new(|_, _, _, req| {
                 let mut r = req.to_vec();
                 r.push(b'K');
-                Ok(r)
+                Ok(r.into())
             }),
         )
         .unwrap();
@@ -316,7 +316,7 @@ fn nested_calls_follow_the_thread_migration_chain() {
                 // thread.
                 let enc: Vec<u8> = req.iter().map(|b| b ^ 0x5a).collect();
                 let (reply, _) = sb.direct_server_call(k, ctx.caller, kv, &enc)?;
-                Ok(reply)
+                Ok(reply.into())
             }),
         )
         .unwrap();
@@ -360,7 +360,7 @@ fn identity_page_tracks_the_active_space_during_calls() {
             Box::new(move |_, k, ctx: HandlerCtx, _| {
                 let core = k.core_of(ctx.caller);
                 seen2.set(k.identity_current(core).unwrap());
-                Ok(Vec::new())
+                Ok(Vec::new().into())
             }),
         )
         .unwrap();
@@ -379,7 +379,13 @@ fn connections_are_bounded_by_registration() {
     let sp = k.create_process(&clean_code());
     let stid = k.create_thread(sp, 0);
     let server = sb
-        .register_server(&mut k, stid, 2, 64, Box::new(|_, _, _, _| Ok(vec![])))
+        .register_server(
+            &mut k,
+            stid,
+            2,
+            64,
+            Box::new(|_, _, _, _| Ok(vec![].into())),
+        )
         .unwrap();
     for i in 0..3 {
         let cp = k.create_process(&clean_code());

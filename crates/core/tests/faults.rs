@@ -31,7 +31,7 @@ fn rig(faults: FaultHandle) -> Rig {
             server_tid,
             8,
             128,
-            Box::new(|_, _, _: HandlerCtx, req| Ok(req.to_vec())),
+            Box::new(|_, _, _: HandlerCtx, _req| Ok(skybridge::HandlerReply::Echo)),
         )
         .unwrap();
     sb.register_client(&mut k, client, server).unwrap();

@@ -22,7 +22,7 @@ fn echo_server(k: &mut Kernel, sb: &mut SkyBridge, core: usize, connections: usi
         Box::new(|_, _, ctx, req| {
             let mut r = req.to_vec();
             r.push(ctx.connection as u8);
-            Ok(r)
+            Ok(r.into())
         }),
     )
     .unwrap()
@@ -108,7 +108,7 @@ fn handler_errors_propagate_and_restore_the_caller() {
                 if req.first() == Some(&0xEE) {
                     Err(SbError::NoSuchServer) // Arbitrary server-side error.
                 } else {
-                    Ok(vec![1])
+                    Ok(vec![1].into())
                 }
             }),
         )

@@ -334,10 +334,7 @@ mod tests {
         let mut buf = [0u8; BSIZE];
         d.read_block(2, &mut buf);
         assert!(buf[..4] == [0xff; 4], "at least the prefix landed");
-        assert!(
-            buf.contains(&0),
-            "the tail of the block must be torn off"
-        );
+        assert!(buf.contains(&0), "the tail of the block must be torn off");
         // Writes after death are silently dropped.
         d.write_block(3, &full);
         assert!(d.dropped >= 1);

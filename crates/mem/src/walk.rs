@@ -262,6 +262,23 @@ pub fn write_bytes(
     Ok(())
 }
 
+/// Charges `len` bytes of guest-virtual traffic at `gva` — identical
+/// translation, TLB and cache accounting to [`read_bytes`] /
+/// [`write_bytes`] — without moving any host bytes. The zero-copy call
+/// path uses this when the payload is already staged host-side and only
+/// the simulated cost of touching the shared buffer must be paid.
+pub fn touch_bytes(
+    m: &mut Machine,
+    core: CpuId,
+    mem: &HostMem,
+    gva: Gva,
+    len: usize,
+    access: Access,
+    user: bool,
+) -> Result<(), MemFault> {
+    for_each_line(m, core, mem, gva, len, access, user, |_, _, _, _| {})
+}
+
 /// Models executing `len` bytes of code at `gva`: fetches every overlapped
 /// line through the i-TLB and L1i.
 pub fn fetch_code(

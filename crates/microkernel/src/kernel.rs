@@ -527,6 +527,22 @@ impl Kernel {
         sb_mem::walk::write_bytes(&mut self.machine, core, &mut self.mem, gva, data, true)
     }
 
+    /// Charges user-memory traffic for the current thread — the same
+    /// translation and cache accounting as [`Kernel::user_read`] /
+    /// [`Kernel::user_write`] — without moving host bytes. The zero-copy
+    /// transport path uses this when the payload is already staged
+    /// host-side.
+    pub fn user_touch(
+        &mut self,
+        tid: ThreadId,
+        gva: Gva,
+        len: usize,
+        access: sb_mem::walk::Access,
+    ) -> Result<(), MemFault> {
+        let core = self.require_current(tid);
+        sb_mem::walk::touch_bytes(&mut self.machine, core, &self.mem, gva, len, access, true)
+    }
+
     /// Models the current thread executing `len` bytes of code at `gva`
     /// (instruction fetches through i-TLB and L1i).
     pub fn user_exec(&mut self, tid: ThreadId, gva: Gva, len: usize) -> Result<(), MemFault> {

@@ -1,11 +1,11 @@
-//! The serving loop: a discrete-event dispatcher over per-worker clocks.
+//! The serving loop: a discrete-event dispatcher over per-lane clocks.
 //!
 //! The runtime simulates an M/G/k server: arrivals (open-loop Poisson or
 //! closed-loop clients) enter one bounded [`DispatchQueue`]; the
-//! dispatcher starts each queued request on the earliest-free worker, in
+//! dispatcher starts each queued request on the earliest-free lane, in
 //! arrival order, never starting a request before everything that starts
-//! earlier in simulated time has been issued. Worker clocks are the
-//! engine's simulated cores, so service times (and their cache/TLB
+//! earlier in simulated time has been issued. Lane clocks are the
+//! transport's simulated cores, so service times (and their cache/TLB
 //! history) come out of the machine model, not a distribution.
 
 use std::cmp::Reverse;
@@ -13,21 +13,21 @@ use std::collections::BinaryHeap;
 
 use sb_faultplane::{FaultHandle, FaultPoint};
 use sb_sim::Cycles;
+use sb_transport::{CallError, Request, Transport};
 
 use crate::{
-    engine::{Engine, Request, ServeError},
     load::RequestFactory,
     queue::{AdmissionPolicy, DispatchQueue},
     stats::RunStats,
 };
 
-/// How the dispatcher retries failed serves.
+/// How the dispatcher retries failed calls.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
-    /// Maximum re-attempts after the initial serve.
+    /// Maximum re-attempts after the initial call.
     pub max_retries: u32,
     /// Backoff before retry `n` is `backoff_base << n` cycles (exponential,
-    /// spent as worker idle time).
+    /// spent as lane idle time).
     pub backoff_base: Cycles,
 }
 
@@ -46,16 +46,19 @@ const STORM_WINDOW_MAX: Cycles = 20_000;
 /// Dispatcher knobs.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Bound on admitted-but-unserved requests.
+    /// Bound on admitted-but-unserved requests. Zero is legal: under
+    /// [`AdmissionPolicy::Shed`] every arrival is rejected; under
+    /// [`AdmissionPolicy::Block`] arrivals rendezvous directly with the
+    /// earliest-free lane (no buffering).
     pub queue_capacity: usize,
     /// What happens to arrivals that find the queue full.
     pub policy: AdmissionPolicy,
     /// Optional bound on time spent queued: a request that waits longer
     /// before service starts is dropped (counted in `shed_deadline`)
-    /// without consuming worker time.
+    /// without consuming lane time.
     pub queue_deadline: Option<Cycles>,
-    /// Retry failed/timed-out serves with exponential backoff; a failure
-    /// (crashed server, broken binding) additionally runs the engine's
+    /// Retry failed/timed-out calls with exponential backoff; a failure
+    /// (crashed server, broken binding) additionally runs the transport's
     /// recovery path before the retry. `None` fails fast.
     pub retry: Option<RetryPolicy>,
     /// The chaos fault plane, for injected queue-deadline storms. `None`
@@ -75,9 +78,9 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// A dispatcher bound to an engine.
-pub struct ServerRuntime<'a, E: Engine + ?Sized> {
-    engine: &'a mut E,
+/// A dispatcher bound to a transport.
+pub struct ServerRuntime<'a, T: Transport + ?Sized> {
+    transport: &'a mut T,
     cfg: RuntimeConfig,
     /// Active/past injected deadline storms as `[start, end]` windows of
     /// arrival time: requests arriving inside one see their effective
@@ -85,12 +88,12 @@ pub struct ServerRuntime<'a, E: Engine + ?Sized> {
     storms: Vec<(Cycles, Cycles)>,
 }
 
-impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
-    /// Wraps `engine` with the dispatcher configuration.
-    pub fn new(engine: &'a mut E, cfg: RuntimeConfig) -> Self {
-        assert!(engine.workers() > 0);
+impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
+    /// Wraps `transport` with the dispatcher configuration.
+    pub fn new(transport: &'a mut T, cfg: RuntimeConfig) -> Self {
+        assert!(transport.lanes() > 0);
         ServerRuntime {
-            engine,
+            transport,
             cfg,
             storms: Vec::new(),
         }
@@ -135,30 +138,30 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
         self.storms.clear();
     }
 
-    /// The earliest-free worker and its clock.
-    fn min_worker(&mut self) -> (usize, Cycles) {
-        let mut best = (0, self.engine.now(0));
-        for w in 1..self.engine.workers() {
-            let t = self.engine.now(w);
+    /// The earliest-free lane and its clock.
+    fn min_lane(&mut self) -> (usize, Cycles) {
+        let mut best = (0, self.transport.now(0));
+        for l in 1..self.transport.lanes() {
+            let t = self.transport.now(l);
             if t < best.1 {
-                best = (w, t);
+                best = (l, t);
             }
         }
         best
     }
 
-    /// Runs `req` on worker `w` (idling the worker to the arrival first),
+    /// Runs `req` on lane `l` (idling the lane to the arrival first),
     /// applying the queue deadline and recording the outcome. Closed-loop
     /// completions are reported through `completions`.
     fn serve_one(
         &mut self,
-        w: usize,
+        l: usize,
         req: Request,
         stats: &mut RunStats,
         completions: &mut Vec<(usize, Cycles)>,
     ) {
-        self.engine.wait_until(w, req.arrival);
-        let start = self.engine.now(w);
+        self.transport.wait_until(l, req.arrival);
+        let start = self.transport.now(l);
         let client = req.client;
         let past_deadline = self
             .effective_deadline(req.arrival)
@@ -166,64 +169,65 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
         if past_deadline {
             stats.shed_deadline += 1;
         } else {
-            match self.serve_with_retries(w, &req, stats) {
+            match self.call_with_retries(l, &req, stats) {
                 Ok(()) => {
-                    let done = self.engine.now(w);
+                    let done = self.transport.now(l);
                     stats.completed += 1;
                     stats.latencies.push(done - req.arrival);
-                    stats.busy[w] += done - start;
+                    stats.busy[l] += done - start;
                 }
-                Err(ServeError::Timeout { .. }) => {
+                Err(CallError::Timeout { .. }) => {
                     stats.timed_out += 1;
-                    stats.busy[w] += self.engine.now(w) - start;
+                    stats.busy[l] += self.transport.now(l) - start;
                 }
-                Err(ServeError::Failed(_)) => {
+                Err(CallError::Failed(_)) => {
                     stats.failed += 1;
-                    stats.busy[w] += self.engine.now(w) - start;
+                    stats.busy[l] += self.transport.now(l) - start;
                 }
             }
         }
         if let Some(c) = client {
-            completions.push((c, self.engine.now(w)));
+            completions.push((c, self.transport.now(l)));
         }
     }
 
-    /// One serve plus the configured retry policy: exponential backoff
-    /// (idle worker time) before each re-attempt, and — for failures, the
-    /// recoverable class (crashed server, broken binding) — the engine's
-    /// recovery path (revive + rebind / respawn) before retrying.
-    fn serve_with_retries(
+    /// One call plus the configured retry policy: exponential backoff
+    /// (idle lane time) before each re-attempt, and — for failures, the
+    /// recoverable class (crashed server, broken binding) — the
+    /// transport's recovery path (revive + rebind / respawn) before
+    /// retrying.
+    fn call_with_retries(
         &mut self,
-        w: usize,
+        l: usize,
         req: &Request,
         stats: &mut RunStats,
-    ) -> Result<(), ServeError> {
-        let mut last = match self.engine.serve(w, req) {
-            Ok(()) => return Ok(()),
+    ) -> Result<(), CallError> {
+        let mut last = match self.transport.call(l, req) {
+            Ok(_) => return Ok(()),
             Err(e) => e,
         };
         let Some(policy) = self.cfg.retry.clone() else {
             return Err(last);
         };
         for attempt in 0..policy.max_retries {
-            if let ServeError::Failed(_) = last {
-                if self.engine.recover(w) {
+            if let CallError::Failed(_) = last {
+                if self.transport.recover(l) {
                     stats.recoveries += 1;
                 }
             }
             let backoff = policy.backoff_base << attempt.min(32);
-            let t = self.engine.now(w);
-            self.engine.wait_until(w, t.saturating_add(backoff));
+            let t = self.transport.now(l);
+            self.transport.wait_until(l, t.saturating_add(backoff));
             stats.retries += 1;
-            match self.engine.serve(w, req) {
-                Ok(()) => return Ok(()),
+            match self.transport.call(l, req) {
+                Ok(_) => return Ok(()),
                 Err(e) => last = e,
             }
         }
         Err(last)
     }
 
-    /// Starts queued requests, earliest-free worker first, until no worker
+    /// Starts queued requests, earliest-free lane first, until no lane
     /// frees up at or before `horizon` (so no service start is issued out
     /// of order with arrivals at the horizon).
     fn drain_until(
@@ -234,38 +238,60 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
         completions: &mut Vec<(usize, Cycles)>,
     ) {
         while !queue.is_empty() {
-            let (w, t) = self.min_worker();
+            let (l, t) = self.min_lane();
             if t > horizon {
                 break;
             }
             let req = queue.pop().expect("checked non-empty");
-            self.serve_one(w, req, stats, completions);
+            self.serve_one(l, req, stats, completions);
         }
     }
 
-    /// Frees one queue slot under the Block policy by force-running the
-    /// oldest queued request on the earliest-free worker.
-    fn block_until_slot(
+    /// Admits `req` under the configured policy, given a full queue.
+    /// Returns `true` when the request was consumed (shed or served
+    /// directly) and must not be queued by the caller.
+    fn admit_full(
         &mut self,
         queue: &mut DispatchQueue,
+        req: &mut Option<Request>,
         stats: &mut RunStats,
         completions: &mut Vec<(usize, Cycles)>,
-    ) {
-        while queue.is_full() {
-            let (w, _) = self.min_worker();
-            let req = queue.pop().expect("full queue is non-empty");
-            self.serve_one(w, req, stats, completions);
+    ) -> bool {
+        match self.cfg.policy {
+            AdmissionPolicy::Shed => {
+                stats.shed_queue_full += 1;
+                *req = None;
+                true
+            }
+            AdmissionPolicy::Block => {
+                if queue.capacity() == 0 {
+                    // No slot can ever free: the arrival rendezvouses
+                    // directly with the earliest-free lane.
+                    let (l, _) = self.min_lane();
+                    let r = req.take().expect("arrival present");
+                    self.serve_one(l, r, stats, completions);
+                    return true;
+                }
+                // Free one slot by force-running the oldest queued
+                // request on the earliest-free lane.
+                while queue.is_full() {
+                    let (l, _) = self.min_lane();
+                    let r = queue.pop().expect("full queue is non-empty");
+                    self.serve_one(l, r, stats, completions);
+                }
+                false
+            }
         }
     }
 
-    /// The instant the server is ready: the latest worker clock. Engine
+    /// The instant the server is ready: the latest lane clock. Transport
     /// setup (boot, registration, binary rewriting) runs on the same
-    /// simulated cores that serve requests, so worker clocks are well past
+    /// simulated cores that serve requests, so lane clocks are well past
     /// zero when a run starts; arrival times are offsets from this epoch,
     /// not from machine power-on.
     fn epoch(&mut self) -> Cycles {
-        (0..self.engine.workers())
-            .map(|w| self.engine.now(w))
+        (0..self.transport.lanes())
+            .map(|l| self.transport.now(l))
             .max()
             .unwrap_or(0)
     }
@@ -279,7 +305,8 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
     where
         I: IntoIterator<Item = Cycles>,
     {
-        let mut stats = RunStats::new(self.engine.label(), self.engine.workers());
+        let mut stats = RunStats::new(self.transport.label(), self.transport.lanes());
+        let copied_at_start = self.transport.bytes_copied();
         let mut queue = DispatchQueue::new(self.cfg.queue_capacity);
         let mut completions = Vec::new();
         let epoch = self.epoch();
@@ -293,26 +320,24 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
             self.maybe_storm(t);
             self.drain_until(&mut queue, t, &mut stats, &mut completions);
             if queue.is_full() {
-                match self.cfg.policy {
-                    AdmissionPolicy::Shed => {
-                        stats.shed_queue_full += 1;
-                        continue;
-                    }
-                    AdmissionPolicy::Block => {
-                        self.block_until_slot(&mut queue, &mut stats, &mut completions)
-                    }
+                let mut req = Some(factory.make(t, None));
+                if self.admit_full(&mut queue, &mut req, &mut stats, &mut completions) {
+                    continue;
                 }
+                queue.push(req.take().expect("not consumed"));
+            } else {
+                queue.push(factory.make(t, None));
             }
-            queue.push(factory.make(t, None));
             stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
         }
         self.drain_until(&mut queue, Cycles::MAX, &mut stats, &mut completions);
         self.settle_storms();
         stats.start = first.unwrap_or(0);
-        stats.end = (0..self.engine.workers())
-            .map(|w| self.engine.now(w))
+        stats.end = (0..self.transport.lanes())
+            .map(|l| self.transport.now(l))
             .max()
             .unwrap_or(0);
+        stats.bytes_copied = self.transport.bytes_copied() - copied_at_start;
         stats.seal();
         stats
     }
@@ -321,7 +346,7 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
     /// flight, issuing the next one `think` cycles after the previous
     /// completion, `ops_per_client` times. Offered load self-adjusts to
     /// service capacity, so queue-full shedding only appears when
-    /// `clients` exceeds `queue_capacity + workers`.
+    /// `clients` exceeds `queue_capacity + lanes`.
     pub fn run_closed_loop(
         &mut self,
         clients: usize,
@@ -330,7 +355,8 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
         factory: &mut RequestFactory,
     ) -> RunStats {
         assert!(clients > 0);
-        let mut stats = RunStats::new(self.engine.label(), self.engine.workers());
+        let mut stats = RunStats::new(self.transport.label(), self.transport.lanes());
+        let copied_at_start = self.transport.bytes_copied();
         let mut queue = DispatchQueue::new(self.cfg.queue_capacity);
         let mut completions: Vec<(usize, Cycles)> = Vec::new();
         let epoch = self.epoch();
@@ -363,28 +389,29 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
             remaining[c] -= 1;
             self.maybe_storm(t);
             if queue.is_full() {
-                match self.cfg.policy {
-                    AdmissionPolicy::Shed => {
-                        stats.shed_queue_full += 1;
-                        if remaining[c] > 0 {
-                            ready.push(Reverse((t.saturating_add(think.max(1)), c)));
-                        }
-                        continue;
+                let mut req = Some(factory.make(t, Some(c)));
+                if self.admit_full(&mut queue, &mut req, &mut stats, &mut completions) {
+                    if req.is_none()
+                        && matches!(self.cfg.policy, AdmissionPolicy::Shed)
+                        && remaining[c] > 0
+                    {
+                        ready.push(Reverse((t.saturating_add(think.max(1)), c)));
                     }
-                    AdmissionPolicy::Block => {
-                        self.block_until_slot(&mut queue, &mut stats, &mut completions)
-                    }
+                    continue;
                 }
+                queue.push(req.take().expect("not consumed"));
+            } else {
+                queue.push(factory.make(t, Some(c)));
             }
-            queue.push(factory.make(t, Some(c)));
             stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
         }
         self.settle_storms();
         stats.start = epoch;
-        stats.end = (0..self.engine.workers())
-            .map(|w| self.engine.now(w))
+        stats.end = (0..self.transport.lanes())
+            .map(|l| self.transport.now(l))
             .max()
             .unwrap_or(0);
+        stats.bytes_copied = self.transport.bytes_copied() - copied_at_start;
         stats.seal();
         stats
     }
@@ -392,10 +419,10 @@ impl<'a, E: Engine + ?Sized> ServerRuntime<'a, E> {
 
 #[cfg(test)]
 mod tests {
+    use sb_transport::FixedServiceTransport;
     use sb_ycsb::WorkloadSpec;
 
     use super::*;
-    use crate::engine::FixedServiceEngine;
 
     fn factory() -> RequestFactory {
         RequestFactory::new(WorkloadSpec::ycsb_a(1000, 64), 64)
@@ -420,19 +447,20 @@ mod tests {
 
     #[test]
     fn underload_completes_everything_with_flat_latency() {
-        let mut e = FixedServiceEngine::new(2, 100);
+        let mut e = FixedServiceTransport::new(2, 100);
         let mut rt = ServerRuntime::new(&mut e, cfg(16, AdmissionPolicy::Shed));
         let arrivals: Vec<Cycles> = (0..50).map(|i| i * 100).collect();
         let s = rt.run_open_loop(arrivals, &mut factory());
         assert_eq!(s.completed, 50);
         assert_eq!(s.shed(), 0);
         assert_eq!(s.p50(), 100, "no queueing at half load");
+        assert!(s.bytes_copied > 0, "completed calls meter their encode");
         assert_conserved(&s);
     }
 
     #[test]
     fn overload_sheds_and_respects_queue_bound() {
-        let mut e = FixedServiceEngine::new(1, 1000);
+        let mut e = FixedServiceTransport::new(1, 1000);
         let mut rt = ServerRuntime::new(&mut e, cfg(4, AdmissionPolicy::Shed));
         let arrivals: Vec<Cycles> = (0..200).map(|i| i * 10).collect();
         let s = rt.run_open_loop(arrivals, &mut factory());
@@ -444,7 +472,7 @@ mod tests {
 
     #[test]
     fn block_policy_never_sheds_but_latency_grows() {
-        let mut e = FixedServiceEngine::new(1, 1000);
+        let mut e = FixedServiceTransport::new(1, 1000);
         let mut rt = ServerRuntime::new(&mut e, cfg(4, AdmissionPolicy::Block));
         let arrivals: Vec<Cycles> = (0..100).map(|i| i * 10).collect();
         let s = rt.run_open_loop(arrivals, &mut factory());
@@ -456,7 +484,7 @@ mod tests {
 
     #[test]
     fn queue_deadline_drops_stale_requests() {
-        let mut e = FixedServiceEngine::new(1, 1000);
+        let mut e = FixedServiceTransport::new(1, 1000);
         let mut rt = ServerRuntime::new(
             &mut e,
             RuntimeConfig {
@@ -474,7 +502,7 @@ mod tests {
 
     #[test]
     fn closed_loop_self_paces_to_capacity() {
-        let mut e = FixedServiceEngine::new(2, 100);
+        let mut e = FixedServiceTransport::new(2, 100);
         let mut rt = ServerRuntime::new(&mut e, cfg(16, AdmissionPolicy::Shed));
         let s = rt.run_closed_loop(4, 50, 0, &mut factory());
         assert_eq!(s.offered, 200);
@@ -484,18 +512,18 @@ mod tests {
             0,
             "closed loop cannot overrun 16 slots with 4 clients"
         );
-        // 200 requests x 100 cycles over 2 workers ~ 10_000 cycles.
+        // 200 requests x 100 cycles over 2 lanes ~ 10_000 cycles.
         let tput = s.throughput_per_mcycle();
         assert!(
             (15_000.0..25_000.0).contains(&tput),
-            "closed-loop throughput {tput} should sit near 2 workers / 100 cycles"
+            "closed-loop throughput {tput} should sit near 2 lanes / 100 cycles"
         );
         assert_conserved(&s);
     }
 
     #[test]
     fn closed_loop_with_more_clients_than_slots_sheds() {
-        let mut e = FixedServiceEngine::new(1, 1000);
+        let mut e = FixedServiceTransport::new(1, 1000);
         let mut rt = ServerRuntime::new(&mut e, cfg(2, AdmissionPolicy::Shed));
         let s = rt.run_closed_loop(8, 20, 0, &mut factory());
         assert!(s.shed_queue_full > 0);
@@ -503,13 +531,90 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_shed_rejects_everything() {
+        let mut e = FixedServiceTransport::new(2, 100);
+        let mut rt = ServerRuntime::new(&mut e, cfg(0, AdmissionPolicy::Shed));
+        let s = rt.run_open_loop(vec![0, 100, 200, 300], &mut factory());
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.shed_queue_full, 4, "no buffer, no admission");
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn zero_capacity_block_rendezvouses_directly() {
+        let mut e = FixedServiceTransport::new(2, 100);
+        let mut rt = ServerRuntime::new(&mut e, cfg(0, AdmissionPolicy::Block));
+        let arrivals: Vec<Cycles> = (0..40).map(|i| i * 50).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_eq!(s.completed, 40, "every arrival is handed to a lane");
+        assert_eq!(s.shed(), 0);
+        assert_eq!(s.max_queue_depth, 0, "nothing is ever buffered");
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn zero_capacity_block_closed_loop_conserves() {
+        let mut e = FixedServiceTransport::new(1, 100);
+        let mut rt = ServerRuntime::new(&mut e, cfg(0, AdmissionPolicy::Block));
+        let s = rt.run_closed_loop(3, 10, 0, &mut factory());
+        assert_eq!(s.offered, 30);
+        assert_eq!(s.completed, 30);
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn capacity_one_serializes_under_both_policies() {
+        for policy in [AdmissionPolicy::Shed, AdmissionPolicy::Block] {
+            let mut e = FixedServiceTransport::new(1, 1000);
+            let mut rt = ServerRuntime::new(&mut e, cfg(1, policy));
+            let arrivals: Vec<Cycles> = (0..50).map(|i| i * 10).collect();
+            let s = rt.run_open_loop(arrivals, &mut factory());
+            assert!(s.max_queue_depth <= 1);
+            assert_conserved(&s);
+            match policy {
+                AdmissionPolicy::Shed => {
+                    assert!(s.shed_queue_full > 0, "one slot under 100x load sheds")
+                }
+                AdmissionPolicy::Block => {
+                    assert_eq!(s.shed_queue_full, 0);
+                    assert_eq!(s.completed, 50);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_races_admission() {
+        // Capacity 1 + a tight queue deadline: requests admitted into the
+        // single slot can expire before a lane frees. Conservation must
+        // hold and expired requests must burn no lane time.
+        let mut e = FixedServiceTransport::new(1, 10_000);
+        let mut rt = ServerRuntime::new(
+            &mut e,
+            RuntimeConfig {
+                queue_capacity: 1,
+                policy: AdmissionPolicy::Shed,
+                queue_deadline: Some(100),
+                ..RuntimeConfig::default()
+            },
+        );
+        let arrivals: Vec<Cycles> = (0..30).map(|i| i * 50).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_conserved(&s);
+        assert!(s.shed_deadline > 0, "queued requests must expire");
+        assert!(s.completed >= 1, "the first request always starts in time");
+        // Expired requests consume no service time: busy cycles must be
+        // exactly completed * service.
+        assert_eq!(s.busy[0], s.completed * 10_000);
+    }
+
+    #[test]
     fn retry_policy_recovers_injected_crashes() {
         use sb_faultplane::{FaultHandle, FaultMix, FaultPoint};
-
-        use crate::chaos::FaultyEngine;
+        use sb_transport::Faulty;
 
         let h = FaultHandle::new(0xc4a5, FaultMix::none().with(FaultPoint::HandlerPanic, 800));
-        let mut e = FaultyEngine::new(FixedServiceEngine::new(2, 100), h.clone(), 1_000);
+        let mut e = Faulty::new(FixedServiceTransport::new(2, 100), h.clone(), 1_000);
         let mut rt = ServerRuntime::new(
             &mut e,
             RuntimeConfig {
@@ -521,16 +626,16 @@ mod tests {
         let arrivals: Vec<Cycles> = (0..300).map(|i| i * 200).collect();
         let s = rt.run_open_loop(arrivals, &mut factory());
         assert_conserved(&s);
-        assert!(s.retries > 0, "an 8% crash rate over 300 serves must retry");
-        assert!(s.recoveries > 0, "crashed workers must be repaired");
+        assert!(s.retries > 0, "an 8% crash rate over 300 calls must retry");
+        assert!(s.recoveries > 0, "crashed lanes must be repaired");
         assert!(
             s.completed > s.offered - s.offered / 10,
             "retry-with-recovery should complete nearly everything: {s:?}"
         );
-        // Close any worker still dead at end-of-run, then audit the ledger.
+        // Close any lane still dead at end-of-run, then audit the ledger.
         h.disarm();
-        for w in 0..2 {
-            e.recover(w);
+        for l in 0..2 {
+            e.recover(l);
         }
         let r = h.report();
         assert!(r.injected() > 0, "the mix must actually have fired");
@@ -540,13 +645,12 @@ mod tests {
     #[test]
     fn retries_fail_fast_without_a_policy() {
         use sb_faultplane::{FaultHandle, FaultMix, FaultPoint};
+        use sb_transport::Faulty;
 
-        use crate::chaos::FaultyEngine;
-
-        // Crash on (nearly) every serve with no retry policy: failures
+        // Crash on (nearly) every call with no retry policy: failures
         // surface directly and the run conserves through `failed`.
         let h = FaultHandle::new(7, FaultMix::none().with(FaultPoint::HandlerPanic, 10_000));
-        let mut e = FaultyEngine::new(FixedServiceEngine::new(1, 100), h.clone(), 1_000);
+        let mut e = Faulty::new(FixedServiceTransport::new(1, 100), h.clone(), 1_000);
         let mut rt = ServerRuntime::new(&mut e, cfg(8, AdmissionPolicy::Shed));
         let s = rt.run_open_loop(vec![0, 500, 1_000], &mut factory());
         assert_eq!(s.completed, 0);
@@ -563,7 +667,7 @@ mod tests {
             0x5708_0001,
             FaultMix::none().with(FaultPoint::DeadlineStorm, 2_500),
         );
-        let mut e = FixedServiceEngine::new(1, 1_000);
+        let mut e = FixedServiceTransport::new(1, 1_000);
         let mut rt = ServerRuntime::new(
             &mut e,
             RuntimeConfig {
@@ -574,7 +678,7 @@ mod tests {
                 ..RuntimeConfig::default()
             },
         );
-        // 4x overload on one worker: every queued request waits, so any
+        // 4x overload on one lane: every queued request waits, so any
         // arrival inside a storm window is past its (zeroed) deadline.
         let arrivals: Vec<Cycles> = (0..400).map(|i| i * 250).collect();
         let s = rt.run_open_loop(arrivals, &mut factory());

@@ -7,13 +7,15 @@
 //!
 //! The pieces:
 //!
-//! * [`Engine`] — a serving backend owning per-worker simulated cores.
-//!   [`SkyBridgeEngine`] serves via `direct_server_call` (one connection
-//!   slot, and so one shared buffer, per worker thread — §4.4's
-//!   concurrency rule); [`TrapIpcEngine`] serves via `ipc_call` /
-//!   `ipc_reply` under a seL4/Fiasco.OC/Zircon personality;
-//!   [`FixedServiceEngine`] is the synthetic backend for dispatcher
-//!   tests.
+//! * [`Transport`] (from `sb-transport`) — `bind` / `call` / `reply` /
+//!   `recover` over per-lane simulated cores, with the zero-copy
+//!   [`sb_transport::wire`] message layout. [`SkyBridgeTransport`] serves
+//!   via `direct_server_call` (one connection slot, and so one shared
+//!   buffer, per server thread — §4.4's concurrency rule);
+//!   [`TrapIpcTransport`] serves via `ipc_call` / `ipc_reply` under a
+//!   seL4/Fiasco.OC/Zircon personality; `FixedServiceTransport` is the
+//!   synthetic backend for dispatcher tests, and [`Faulty`] wraps any of
+//!   them with the chaos fault plane.
 //! * [`ServerRuntime`] — a discrete-event dispatcher: one bounded
 //!   [`queue::DispatchQueue`] per server, admission control
 //!   ([`AdmissionPolicy::Shed`] vs [`AdmissionPolicy::Block`]), optional
@@ -22,27 +24,26 @@
 //! * [`PoissonArrivals`] / [`RequestFactory`] — open-loop Poisson and
 //!   closed-loop load generation over `sb-ycsb` key mixes.
 //! * [`RunStats`] — throughput, p50/p95/p99 latency in simulated cycles,
-//!   queue depth, shed counts, per-core utilization; serializable as JSON
-//!   rows through [`json::Json`] (the environment has no serde).
+//!   queue depth, shed counts, marshalling bytes copied, per-core
+//!   utilization (JSON serialization lives in `sb-bench`'s report
+//!   module).
 
-pub mod chaos;
 pub mod dispatch;
-pub mod engine;
-pub mod json;
 pub mod load;
 pub mod queue;
-pub mod skybridge_engine;
+pub mod service;
+pub mod sky;
 pub mod stats;
-pub mod trap_engine;
+pub mod trap;
+
+pub use sb_transport::{CallError, Faulty, FixedServiceTransport, Request, Transport};
 
 pub use crate::{
-    chaos::FaultyEngine,
     dispatch::{RetryPolicy, RuntimeConfig, ServerRuntime},
-    engine::{Engine, FixedServiceEngine, Request, ServeError, ServiceSpec},
-    json::Json,
     load::{PoissonArrivals, RequestFactory},
     queue::AdmissionPolicy,
-    skybridge_engine::SkyBridgeEngine,
+    service::ServiceSpec,
+    sky::SkyBridgeTransport,
     stats::RunStats,
-    trap_engine::TrapIpcEngine,
+    trap::TrapIpcTransport,
 };

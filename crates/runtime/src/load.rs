@@ -4,7 +4,7 @@ use rand::{rngs::SmallRng, Rng, SeedableRng};
 use sb_sim::Cycles;
 use sb_ycsb::{OpKind, Workload, WorkloadSpec};
 
-use crate::engine::Request;
+use sb_transport::Request;
 
 /// Turns a YCSB operation stream into [`Request`]s with a fixed wire
 /// payload.

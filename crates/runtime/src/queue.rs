@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use crate::engine::Request;
+use sb_transport::Request;
 
 /// What happens to an arrival that finds the queue full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +15,11 @@ pub enum AdmissionPolicy {
 }
 
 /// A bounded FIFO of admitted-but-unserved requests.
+///
+/// Capacity zero is a legal degenerate bound: the queue is permanently
+/// full-and-empty at once, and the dispatcher's admission policy decides
+/// what that means (shed everything, or rendezvous arrivals directly
+/// with a lane).
 #[derive(Debug)]
 pub struct DispatchQueue {
     items: VecDeque<Request>,
@@ -24,7 +29,6 @@ pub struct DispatchQueue {
 impl DispatchQueue {
     /// An empty queue holding at most `capacity` requests.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "queue capacity must be positive");
         DispatchQueue {
             items: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
@@ -104,5 +108,31 @@ mod tests {
         let mut q = DispatchQueue::new(1);
         q.push(req(1));
         q.push(req(2));
+    }
+
+    #[test]
+    fn zero_capacity_is_empty_and_full_at_once() {
+        let q = DispatchQueue::new(0);
+        assert!(q.is_empty());
+        assert!(q.is_full(), "no slot can ever be granted");
+        assert_eq!(q.capacity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "admission past the queue bound")]
+    fn zero_capacity_rejects_any_push() {
+        DispatchQueue::new(0).push(req(1));
+    }
+
+    #[test]
+    fn capacity_one_cycles_a_single_slot() {
+        let mut q = DispatchQueue::new(1);
+        for id in 0..5 {
+            assert!(!q.is_full());
+            q.push(req(id));
+            assert!(q.is_full());
+            assert_eq!(q.pop().unwrap().id, id);
+            assert!(q.is_empty());
+        }
     }
 }

@@ -2,15 +2,13 @@
 
 use sb_sim::Cycles;
 
-use crate::json::Json;
-
 /// Everything one runtime run measured. Latencies are client-observed:
 /// service completion minus arrival, so queueing delay is included.
 #[derive(Debug, Clone)]
 pub struct RunStats {
-    /// Engine label (personality / transport).
+    /// Transport label (personality).
     pub label: String,
-    /// Serving workers.
+    /// Serving lanes.
     pub workers: usize,
     /// Requests offered (arrivals generated).
     pub offered: u64,
@@ -25,18 +23,21 @@ pub struct RunStats {
     pub timed_out: u64,
     /// Requests that failed for any other reason.
     pub failed: u64,
-    /// Serve attempts re-issued after a failure (retry-with-backoff).
+    /// Call attempts re-issued after a failure (retry-with-backoff).
     pub retries: u64,
-    /// Successful engine repairs (server revived / endpoint respawned)
-    /// performed between retry attempts.
+    /// Successful transport repairs (server revived / endpoint
+    /// respawned) performed between retry attempts.
     pub recoveries: u64,
+    /// Marshalling bytes the transport physically moved during the run
+    /// (the copy meter's delta — what the zero-copy wire path minimises).
+    pub bytes_copied: u64,
     /// First arrival time.
     pub start: Cycles,
-    /// Latest worker clock after the drain.
+    /// Latest lane clock after the drain.
     pub end: Cycles,
     /// Largest queue depth observed at any admission.
     pub max_queue_depth: usize,
-    /// Busy (serving) cycles per worker.
+    /// Busy (serving) cycles per lane.
     pub busy: Vec<Cycles>,
     /// Completed-request latencies, sorted ascending once the run is
     /// sealed by the dispatcher.
@@ -44,7 +45,7 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    /// An empty record for `workers` workers under `label`.
+    /// An empty record for `workers` lanes under `label`.
     pub fn new(label: &str, workers: usize) -> Self {
         RunStats {
             label: label.to_string(),
@@ -57,6 +58,7 @@ impl RunStats {
             failed: 0,
             retries: 0,
             recoveries: 0,
+            bytes_copied: 0,
             start: 0,
             end: 0,
             max_queue_depth: 0,
@@ -76,14 +78,19 @@ impl RunStats {
         self.shed_queue_full + self.shed_deadline
     }
 
-    /// The `p`-th latency percentile (`p` in `[0, 100]`), or 0 when
-    /// nothing completed.
+    /// The `p`-th latency percentile. `p` is clamped into `[0, 100]`
+    /// (a NaN reads as 0); returns 0 when nothing completed, and the
+    /// sole sample when exactly one request completed.
     pub fn percentile(&self, p: f64) -> Cycles {
-        if self.latencies.is_empty() {
-            return 0;
+        let n = self.latencies.len();
+        match n {
+            0 => return 0,
+            1 => return self.latencies[0],
+            _ => {}
         }
-        let rank = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
-        self.latencies[rank.min(self.latencies.len() - 1)]
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
+        let rank = ((p / 100.0) * (n - 1) as f64).round() as usize;
+        self.latencies[rank.min(n - 1)]
     }
 
     /// Median latency.
@@ -123,33 +130,18 @@ impl RunStats {
         self.completed as f64 * 1e6 / w as f64
     }
 
-    /// Per-worker (core) utilization: busy cycles over the run window.
+    /// Mean marshalling bytes moved per completed request.
+    pub fn bytes_copied_per_completion(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.bytes_copied as f64 / self.completed as f64
+    }
+
+    /// Per-lane (core) utilization: busy cycles over the run window.
     pub fn utilization(&self) -> Vec<f64> {
         let w = self.window().max(1) as f64;
         self.busy.iter().map(|&b| b as f64 / w).collect()
-    }
-
-    /// The run as a JSON object (`results/*.json` rows).
-    pub fn to_json(&self) -> Json {
-        Json::obj()
-            .field("label", self.label.as_str())
-            .field("workers", self.workers)
-            .field("offered", self.offered)
-            .field("completed", self.completed)
-            .field("shed_queue_full", self.shed_queue_full)
-            .field("shed_deadline", self.shed_deadline)
-            .field("timed_out", self.timed_out)
-            .field("failed", self.failed)
-            .field("retries", self.retries)
-            .field("recoveries", self.recoveries)
-            .field("window_cycles", self.window())
-            .field("throughput_per_mcycle", self.throughput_per_mcycle())
-            .field("latency_mean", self.mean())
-            .field("latency_p50", self.p50())
-            .field("latency_p95", self.p95())
-            .field("latency_p99", self.p99())
-            .field("max_queue_depth", self.max_queue_depth)
-            .field("utilization", self.utilization())
     }
 }
 
@@ -174,23 +166,39 @@ mod tests {
     fn empty_run_is_all_zeroes() {
         let s = RunStats::new("t", 2);
         assert_eq!(s.p99(), 0);
+        assert_eq!(s.percentile(50.0), 0);
         assert_eq!(s.throughput_per_mcycle(), 0.0);
+        assert_eq!(s.bytes_copied_per_completion(), 0.0);
         assert_eq!(s.utilization(), vec![0.0, 0.0]);
     }
 
     #[test]
-    fn json_row_has_the_key_fields() {
-        let mut s = RunStats::new("sel4", 2);
-        s.offered = 10;
-        s.completed = 8;
-        s.shed_queue_full = 2;
-        s.start = 0;
-        s.end = 1000;
-        s.latencies = vec![10, 20, 30];
+    fn single_sample_is_every_percentile() {
+        let mut s = RunStats::new("t", 1);
+        s.latencies = vec![42];
+        s.completed = 1;
         s.seal();
-        let row = s.to_json().to_string();
-        assert!(row.contains("\"label\":\"sel4\""));
-        assert!(row.contains("\"shed_queue_full\":2"));
-        assert!(row.contains("\"latency_p50\":20"));
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), 42);
+        }
+        assert!((s.mean() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_percentiles_clamp() {
+        let mut s = RunStats::new("t", 1);
+        s.latencies = vec![1, 2, 3, 4, 5];
+        s.seal();
+        assert_eq!(s.percentile(-10.0), 1, "below 0 clamps to the minimum");
+        assert_eq!(s.percentile(250.0), 5, "above 100 clamps to the maximum");
+        assert_eq!(s.percentile(f64::NAN), 1, "NaN reads as the minimum");
+    }
+
+    #[test]
+    fn bytes_copied_averages_over_completions() {
+        let mut s = RunStats::new("t", 1);
+        s.completed = 4;
+        s.bytes_copied = 4 * 88;
+        assert!((s.bytes_copied_per_completion() - 88.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,177 @@
+//! The `Transport` trait: one serving surface for every IPC personality.
+//!
+//! A [`Transport`] owns a set of *lanes* — per-server-thread connections,
+//! each with its own shared buffer and its own simulated core clock
+//! (§4.4's rule that connections bound concurrency). The dispatcher, the
+//! retry/recovery machinery, the load generator, the chaos harness and
+//! the differential suite are all generic over this trait, so the four
+//! IPC personalities (SkyBridge direct server calls; seL4, Fiasco.OC and
+//! Zircon kernel IPC) differ only in how `call` crosses the protection
+//! boundary — never in marshalling, buffer handling or accounting.
+
+use sb_sim::Cycles;
+
+use crate::wire::Request;
+
+/// Why a call failed.
+#[derive(Debug, Clone)]
+pub enum CallError {
+    /// The handler overran the per-call budget; carries the handler's
+    /// elapsed simulated cycles.
+    Timeout {
+        /// Cycles the handler consumed before control was forced back.
+        elapsed: Cycles,
+    },
+    /// Any other failure (fault, broken binding, kernel error).
+    Failed(String),
+}
+
+/// A serving transport: per-lane clocks plus the ability to execute one
+/// call synchronously on one lane.
+///
+/// Lanes are indexed `0..lanes()`; each owns one simulated core, so
+/// transport time only moves forward per lane and the dispatcher can
+/// treat `now(lane)` as that lane's availability time.
+pub trait Transport {
+    /// Display label (personality).
+    fn label(&self) -> &str;
+
+    /// Number of serving lanes (worker connections).
+    fn lanes(&self) -> usize;
+
+    /// Lane `lane`'s current clock.
+    fn now(&mut self, lane: usize) -> Cycles;
+
+    /// Idles lane `lane` forward to at least `time`.
+    fn wait_until(&mut self, lane: usize, time: Cycles);
+
+    /// (Re-)establishes lane `lane`'s binding — rebind a dropped
+    /// connection, respawn a dead endpoint. Returns whether anything was
+    /// (re)bound; the default has nothing to bind.
+    fn bind(&mut self, _lane: usize) -> bool {
+        false
+    }
+
+    /// Executes one call to completion on `lane`: the request's wire
+    /// image is placed in the lane's shared buffer exactly once, served
+    /// in place, and the reply left in the caller-visible half. Advances
+    /// the lane's clock by the full service time and returns the reply
+    /// length.
+    fn call(&mut self, lane: usize, req: &Request) -> Result<usize, CallError>;
+
+    /// View of the last reply on `lane` — the caller-visible half of the
+    /// lane's buffer. Valid until the next `call` on the same lane.
+    fn reply(&self, lane: usize) -> &[u8];
+
+    /// Attempts to repair lane `lane`'s serving path after a
+    /// [`CallError::Failed`] — revive a crashed server, then rebind. The
+    /// default defers to [`Transport::bind`].
+    fn recover(&mut self, lane: usize) -> bool {
+        self.bind(lane)
+    }
+
+    /// Total bytes the transport's marshalling layer has physically
+    /// copied since construction (the `transport_hotpath` bench's
+    /// bytes-copied-per-call numerator).
+    fn bytes_copied(&self) -> u64 {
+        0
+    }
+}
+
+/// A synthetic transport with a constant service time and no kernel
+/// underneath — deterministic, cheap, fast enough for property tests
+/// over millions of arrivals.
+#[derive(Debug, Default)]
+pub struct FixedServiceTransport {
+    clocks: Vec<Cycles>,
+    lanes: Vec<crate::wire::Lane>,
+    meter: crate::wire::CopyMeter,
+    service: Cycles,
+    label: String,
+}
+
+impl FixedServiceTransport {
+    /// `lanes` parallel lanes, each serving any request in exactly
+    /// `service` cycles.
+    pub fn new(lanes: usize, service: Cycles) -> Self {
+        assert!(lanes > 0, "at least one lane");
+        FixedServiceTransport {
+            clocks: vec![0; lanes],
+            lanes: (0..lanes).map(|_| crate::wire::Lane::new()).collect(),
+            meter: crate::wire::CopyMeter::new(),
+            service,
+            label: format!("fixed:{service}"),
+        }
+    }
+}
+
+impl Transport for FixedServiceTransport {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn lanes(&self) -> usize {
+        self.clocks.len()
+    }
+
+    fn now(&mut self, lane: usize) -> Cycles {
+        self.clocks[lane]
+    }
+
+    fn wait_until(&mut self, lane: usize, time: Cycles) {
+        let c = &mut self.clocks[lane];
+        *c = (*c).max(time);
+    }
+
+    fn call(&mut self, lane: usize, req: &Request) -> Result<usize, CallError> {
+        self.lanes[lane].encode(req, 0, &self.meter);
+        self.clocks[lane] += self.service;
+        Ok(self.lanes[lane].reply().len())
+    }
+
+    fn reply(&self, lane: usize) -> &[u8] {
+        self.lanes[lane].reply()
+    }
+
+    fn bytes_copied(&self) -> u64 {
+        self.meter.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(key: u64, write: bool, payload: usize) -> Request {
+        Request {
+            id: 0,
+            arrival: 0,
+            key,
+            write,
+            payload,
+            client: None,
+        }
+    }
+
+    #[test]
+    fn fixed_transport_advances_per_lane() {
+        let mut t = FixedServiceTransport::new(2, 100);
+        t.call(0, &req(0, false, 16)).unwrap();
+        assert_eq!(t.now(0), 100);
+        assert_eq!(t.now(1), 0);
+        t.wait_until(1, 250);
+        assert_eq!(t.now(1), 250);
+        t.wait_until(1, 10); // Never moves backwards.
+        assert_eq!(t.now(1), 250);
+    }
+
+    #[test]
+    fn fixed_transport_replies_echo_in_place() {
+        let mut t = FixedServiceTransport::new(1, 10);
+        let r = req(0xfeed, true, 64);
+        let n = t.call(0, &r).unwrap();
+        assert_eq!(n, 64);
+        assert_eq!(t.reply(0), r.encode());
+        assert!(t.bytes_copied() > 0, "the single encode is metered");
+    }
+}

@@ -25,7 +25,7 @@ fn main() {
             victim_tid,
             4,
             128,
-            Box::new(|_, _, _, _| Ok(vec![])),
+            Box::new(|_, _, _, _| Ok(vec![].into())),
         )
         .unwrap();
 
@@ -63,7 +63,7 @@ fn main() {
             64,
             Box::new(|_, k, ctx, _| {
                 k.compute(ctx.caller, 10_000_000); // "deliberately waiting".
-                Ok(vec![])
+                Ok(vec![].into())
             }),
         )
         .unwrap();

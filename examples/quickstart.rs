@@ -34,7 +34,7 @@ fn main() {
             Box::new(|_sb, _k, _ctx, req| {
                 let mut reply = b"echo: ".to_vec();
                 reply.extend_from_slice(req);
-                Ok(reply)
+                Ok(reply.into())
             }),
         )
         .expect("server registration");

@@ -2,14 +2,14 @@
 //!
 //! One chaos *cell* is a full serving run — the KV service of
 //! [`super::runtime`], open-loop Poisson arrivals, retry-with-backoff and
-//! engine recovery enabled — with a seeded [`FaultHandle`] wired into
+//! transport recovery enabled — with a seeded [`FaultHandle`] wired into
 //! every layer that can fail:
 //!
-//! * the SkyBridge engine injects inside the facility itself (handler
+//! * the SkyBridge transport injects inside the facility itself (handler
 //!   panics and hangs, calling-key corruption, EPTP-slot eviction,
 //!   connection-slot exhaustion);
-//! * the trap engines inject at the serve boundary through
-//!   [`sb_runtime::FaultyEngine`] (panics, hangs);
+//! * the trap transports inject at the call boundary through
+//!   [`sb_runtime::Faulty`] (panics, hangs);
 //! * the dispatcher injects queue-deadline storms.
 //!
 //! Each cell must terminate cleanly, conserve requests
@@ -23,13 +23,13 @@
 use sb_faultplane::{FaultHandle, FaultMix, FaultPoint, FaultReport};
 use sb_fs::{log::Log, BlockDevice, FaultyDisk, RamDisk, BSIZE};
 use sb_runtime::{
-    Engine, FaultyEngine, Json, PoissonArrivals, RequestFactory, RetryPolicy, RunStats,
-    RuntimeConfig, ServerRuntime, SkyBridgeEngine, TrapIpcEngine,
+    Faulty, PoissonArrivals, RequestFactory, RetryPolicy, RunStats, RuntimeConfig, ServerRuntime,
+    SkyBridgeTransport, Transport, TrapIpcTransport,
 };
 
-use crate::scenarios::runtime::{ServingScenario, Transport};
+use crate::scenarios::runtime::{Backend, ServingScenario};
 
-/// Workers (and cores) per chaos cell.
+/// Lanes (and cores) per chaos cell.
 pub const CHAOS_WORKERS: usize = 2;
 
 /// The DoS-timeout budget (§7) a chaos cell arms so injected handler
@@ -73,58 +73,28 @@ impl ChaosOutcome {
         let s = &self.stats;
         s.offered == s.completed + s.shed_queue_full + s.shed_deadline + s.timed_out + s.failed
     }
-
-    /// The cell as a JSON row (`results/chaos.json`).
-    pub fn to_json(&self, mix: &str, seed: u64) -> Json {
-        let mut rows = Vec::new();
-        for r in &self.report.rows {
-            rows.push(
-                Json::obj()
-                    .field("point", r.point.name())
-                    .field("injected", r.injected)
-                    .field("detected", r.detected)
-                    .field("recovered", r.recovered)
-                    .field("leaked", r.leaked),
-            );
-        }
-        Json::obj()
-            .field("mix", mix)
-            .field("seed", seed)
-            .field("injected", self.report.injected())
-            .field("detected", self.report.detected())
-            .field("recovered", self.report.recovered())
-            .field("leaked", self.report.leaked())
-            .field("conserved", self.conserved())
-            .field("faults", Json::Arr(rows))
-            .field("run", self.stats.to_json())
-    }
 }
 
 /// Runs one serving chaos cell: `requests` Poisson arrivals against
 /// `transport` under `mix`, everything seeded by `seed`.
-pub fn run_chaos_cell(
-    transport: &Transport,
-    seed: u64,
-    mix: &FaultMix,
-    requests: u64,
-) -> ChaosOutcome {
+pub fn run_chaos_cell(backend: &Backend, seed: u64, mix: &FaultMix, requests: u64) -> ChaosOutcome {
     let scenario = ServingScenario::Kv;
     let mut spec = scenario.service_spec();
     spec.timeout = Some(HANG_BUDGET);
     let faults = FaultHandle::new(seed, mix.clone());
 
-    // Engines inject from the shared plane — the SkyBridge engine from
-    // inside the facility, the trap engines through the serve-boundary
-    // wrapper. Faults attach only after setup, so boot and registration
-    // run in calm weather.
-    let mut engine: Box<dyn Engine> = match transport {
-        Transport::SkyBridge => {
-            let mut e = SkyBridgeEngine::new(CHAOS_WORKERS, &spec);
-            e.attach_faults(faults.clone());
-            Box::new(e)
+    // Transports inject from the shared plane — the SkyBridge transport
+    // from inside the facility, the trap transports through the
+    // call-boundary wrapper. Faults attach only after setup, so boot and
+    // registration run in calm weather.
+    let mut engine: Box<dyn Transport> = match backend {
+        Backend::SkyBridge => {
+            let mut t = SkyBridgeTransport::new(CHAOS_WORKERS, &spec);
+            t.attach_faults(faults.clone());
+            Box::new(t)
         }
-        Transport::Trap(p) => Box::new(FaultyEngine::new(
-            TrapIpcEngine::new(p.clone(), CHAOS_WORKERS, &spec),
+        Backend::Trap(p) => Box::new(Faulty::new(
+            TrapIpcTransport::new(p.clone(), CHAOS_WORKERS, &spec),
             faults.clone(),
             HANG_BUDGET,
         )),
@@ -142,9 +112,9 @@ pub fn run_chaos_cell(
     let arrivals = PoissonArrivals::new(12_000.0, seed ^ 0xa55a).take(requests as usize);
     let stats = ServerRuntime::new(engine.as_mut(), cfg).run_open_loop(arrivals, &mut factory);
 
-    // Quiesce: stop injecting, run every worker's recovery path (revive a
+    // Quiesce: stop injecting, run every lane's recovery path (revive a
     // still-dead server, rebind a still-unbound connection), then prove
-    // liveness with clean probe serves. A successful call is also the
+    // liveness with clean probe calls. A successful call is also the
     // recovery event for a corrupted-key instance, so keep probing until
     // none are outstanding.
     faults.disarm();
@@ -152,13 +122,13 @@ pub fn run_chaos_cell(
         engine.recover(w);
         let probe = factory.make(0, None);
         engine
-            .serve(w, &probe)
-            .expect("every worker must serve cleanly after the chaos run");
+            .call(w, &probe)
+            .expect("every lane must serve cleanly after the chaos run");
     }
     let mut probes = 0;
     while faults.outstanding(FaultPoint::KeyCorrupt) > 0 && probes < 16 {
         let probe = factory.make(0, None);
-        let _ = engine.serve(probes % CHAOS_WORKERS, &probe);
+        let _ = engine.call(probes % CHAOS_WORKERS, &probe);
         probes += 1;
     }
 
@@ -189,21 +159,6 @@ pub struct FsChaosOutcome {
     pub replayed: usize,
     /// The fault ledger roll-up.
     pub report: FaultReport,
-}
-
-impl FsChaosOutcome {
-    /// The cell as a JSON row.
-    pub fn to_json(&self, mix: &str, seed: u64) -> Json {
-        Json::obj()
-            .field("mix", mix)
-            .field("seed", seed)
-            .field("attempted", self.attempted as u64)
-            .field("committed", self.committed as u64)
-            .field("torn_discarded", self.torn_discarded)
-            .field("replayed", self.replayed)
-            .field("injected", self.report.injected())
-            .field("leaked", self.report.leaked())
-    }
 }
 
 fn generation_block(g: u8) -> [u8; BSIZE] {
@@ -286,12 +241,7 @@ mod tests {
 
     #[test]
     fn skybridge_cell_under_crashes_terminates_clean() {
-        let out = run_chaos_cell(
-            &Transport::SkyBridge,
-            0xc0de_0001,
-            &FaultMix::crashes(),
-            120,
-        );
+        let out = run_chaos_cell(&Backend::SkyBridge, 0xc0de_0001, &FaultMix::crashes(), 120);
         assert!(out.conserved(), "{:?}", out.stats);
         assert_eq!(out.report.leaked(), 0, "{}", out.report);
         assert!(out.stats.completed > 0);

@@ -223,7 +223,7 @@ impl KvPipeline {
                         8,
                         2048,
                         Box::new(move |_sb, k, ctx, req| {
-                            Ok(kv_server_op(k, ctx.caller, &mut state.borrow_mut(), req))
+                            Ok(kv_server_op(k, ctx.caller, &mut state.borrow_mut(), req).into())
                         }),
                     )
                     .expect("kv registration");
@@ -237,7 +237,7 @@ impl KvPipeline {
                         Box::new(move |sb, k, ctx, req| {
                             let enc = enc_transform(k, ctx.caller, req);
                             let (reply, _) = sb.direct_server_call(k, ctx.caller, kv_id, &enc)?;
-                            Ok(enc_transform(k, ctx.caller, &reply))
+                            Ok(enc_transform(k, ctx.caller, &reply).into())
                         }),
                     )
                     .expect("enc registration");

@@ -4,46 +4,44 @@
 //! [`scenarios::sqlite`](crate::scenarios::sqlite) drive one client in a
 //! closed lock-step loop — right for latency figures, blind to queueing.
 //! This module runs the same two application shapes *as services* on the
-//! `sb-runtime` dispatcher: N worker threads pinned to simulated cores,
+//! `sb-runtime` dispatcher: N server threads pinned to simulated cores,
 //! one bounded dispatch queue with admission control, and an open-loop
 //! Poisson (or closed-loop) client population, so saturation, shedding,
-//! and tail latency become measurable per IPC transport.
+//! and tail latency become measurable per IPC backend.
 
 use sb_microkernel::Personality;
 use sb_runtime::{
-    Engine, PoissonArrivals, RequestFactory, RunStats, RuntimeConfig, ServerRuntime, ServiceSpec,
-    SkyBridgeEngine, TrapIpcEngine,
+    PoissonArrivals, RequestFactory, RunStats, RuntimeConfig, ServerRuntime, ServiceSpec,
+    SkyBridgeTransport, Transport, TrapIpcTransport,
 };
 use sb_ycsb::WorkloadSpec;
 
 use crate::scenarios::cycles_to_seconds;
 
-/// Which IPC transport serves the requests.
+/// Which IPC backend serves the requests. Each variant builds to one
+/// [`Transport`] implementation.
 #[derive(Debug, Clone)]
-pub enum Transport {
-    /// `direct_server_call` over VMFUNC (one connection per worker).
+pub enum Backend {
+    /// `direct_server_call` over VMFUNC (one connection per lane).
     SkyBridge,
     /// Synchronous kernel IPC under the given personality.
     Trap(Personality),
 }
 
-impl Transport {
-    /// Display label (matches the engine's).
+impl Backend {
+    /// Display label (matches the transport's).
     pub fn label(&self) -> &str {
         match self {
-            Transport::SkyBridge => "skybridge",
-            Transport::Trap(p) => p.name,
+            Backend::SkyBridge => "skybridge",
+            Backend::Trap(p) => p.name,
         }
     }
 
     /// The four personalities the scaling sweep compares: the three
     /// trap-based kernels, then SkyBridge.
-    pub fn all() -> Vec<Transport> {
-        let mut v: Vec<Transport> = Personality::all()
-            .into_iter()
-            .map(Transport::Trap)
-            .collect();
-        v.push(Transport::SkyBridge);
+    pub fn all() -> Vec<Backend> {
+        let mut v: Vec<Backend> = Personality::all().into_iter().map(Backend::Trap).collect();
+        v.push(Backend::SkyBridge);
         v
     }
 }
@@ -93,35 +91,35 @@ impl ServingScenario {
     }
 }
 
-/// Builds the serving engine for `transport` with `workers` worker
+/// Builds the serving transport for `backend` with `lanes` server
 /// threads, each pinned to its own simulated core.
-pub fn build_engine(
+pub fn build_backend(
     scenario: ServingScenario,
-    transport: &Transport,
-    workers: usize,
-) -> Box<dyn Engine> {
+    backend: &Backend,
+    lanes: usize,
+) -> Box<dyn Transport> {
     let spec = scenario.service_spec();
-    match transport {
-        Transport::SkyBridge => Box::new(SkyBridgeEngine::new(workers, &spec)),
-        Transport::Trap(p) => Box::new(TrapIpcEngine::new(p.clone(), workers, &spec)),
+    match backend {
+        Backend::SkyBridge => Box::new(SkyBridgeTransport::new(lanes, &spec)),
+        Backend::Trap(p) => Box::new(TrapIpcTransport::new(p.clone(), lanes, &spec)),
     }
 }
 
 /// One open-loop serving run: `requests` Poisson arrivals at a mean gap
-/// of `mean_inter_arrival` cycles against `workers` server threads.
+/// of `mean_inter_arrival` cycles against `lanes` server threads.
 pub fn run_open_loop(
     scenario: ServingScenario,
-    transport: &Transport,
-    workers: usize,
+    backend: &Backend,
+    lanes: usize,
     runtime: RuntimeConfig,
     mean_inter_arrival: f64,
     requests: u64,
     seed: u64,
 ) -> RunStats {
-    let mut engine = build_engine(scenario, transport, workers);
+    let mut transport = build_backend(scenario, backend, lanes);
     let mut factory = RequestFactory::new(scenario.workload(), scenario.payload());
     let arrivals = PoissonArrivals::new(mean_inter_arrival, seed).take(requests as usize);
-    ServerRuntime::new(engine.as_mut(), runtime).run_open_loop(arrivals, &mut factory)
+    ServerRuntime::new(transport.as_mut(), runtime).run_open_loop(arrivals, &mut factory)
 }
 
 /// One closed-loop serving run: `clients` issuers, one in-flight request
@@ -129,16 +127,16 @@ pub fn run_open_loop(
 /// and reissue.
 pub fn run_closed_loop(
     scenario: ServingScenario,
-    transport: &Transport,
-    workers: usize,
+    backend: &Backend,
+    lanes: usize,
     runtime: RuntimeConfig,
     clients: usize,
     ops_per_client: u64,
     think: u64,
 ) -> RunStats {
-    let mut engine = build_engine(scenario, transport, workers);
+    let mut transport = build_backend(scenario, backend, lanes);
     let mut factory = RequestFactory::new(scenario.workload(), scenario.payload());
-    ServerRuntime::new(engine.as_mut(), runtime).run_closed_loop(
+    ServerRuntime::new(transport.as_mut(), runtime).run_closed_loop(
         clients,
         ops_per_client,
         think,
@@ -172,26 +170,27 @@ mod tests {
 
     #[test]
     fn kv_open_loop_completes_under_light_load() {
-        for transport in [Transport::SkyBridge, Transport::Trap(Personality::sel4())] {
+        for backend in [Backend::SkyBridge, Backend::Trap(Personality::sel4())] {
             let s = run_open_loop(
                 ServingScenario::Kv,
-                &transport,
+                &backend,
                 2,
                 cfg(),
                 60_000.0, // ~17 req/Mcycle: far below capacity.
                 120,
                 7,
             );
-            assert_eq!(s.completed, 120, "{}: all served", transport.label());
+            assert_eq!(s.completed, 120, "{}: all served", backend.label());
             assert_eq!(s.shed(), 0);
             assert!(s.p99() > 0);
             assert!(ops_per_sec(&s) > 0.0);
+            assert!(s.bytes_copied > 0, "the copy meter must see the encodes");
         }
     }
 
     #[test]
     fn minidb_costs_more_per_op_than_kv() {
-        let t = Transport::SkyBridge;
+        let t = Backend::SkyBridge;
         let kv = run_open_loop(ServingScenario::Kv, &t, 1, cfg(), 60_000.0, 64, 7);
         let db = run_open_loop(ServingScenario::Minidb, &t, 1, cfg(), 60_000.0, 64, 7);
         assert!(db.p50() > kv.p50(), "minidb ops are heavier");
@@ -201,7 +200,7 @@ mod tests {
     fn closed_loop_serving_conserves_requests() {
         let s = run_closed_loop(
             ServingScenario::Kv,
-            &Transport::Trap(Personality::zircon()),
+            &Backend::Trap(Personality::zircon()),
             2,
             cfg(),
             4,

@@ -683,13 +683,13 @@ fn pass_through(
     _k: &mut Kernel,
     _ctx: skybridge::api::HandlerCtx,
     req: &[u8],
-) -> Result<Vec<u8>, skybridge::SbError> {
+) -> Result<skybridge::HandlerReply, skybridge::SbError> {
     let n = if req.len() >= 4 {
         u32::from_le_bytes(req[..4].try_into().unwrap()) as usize
     } else {
         0
     };
-    Ok(vec![0u8; n.min(MSG_MAX)])
+    Ok(vec![0u8; n.min(MSG_MAX)].into())
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use sb_faultplane::FaultPoint;
 use skybridge_repro::scenarios::chaos::{fs_mixes, run_chaos_cell, run_fs_chaos, serving_mixes};
-use skybridge_repro::scenarios::runtime::Transport;
+use skybridge_repro::scenarios::runtime::Backend;
 
 const SEEDS: [u64; 2] = [0x5eed_c401, 0x5eed_c402];
 const REQUESTS: u64 = 120;
@@ -18,7 +18,7 @@ const REQUESTS: u64 = 120;
 #[test]
 fn chaos_matrix_conserves_and_leaks_nothing() {
     let mut total_injected = 0;
-    for transport in Transport::all() {
+    for transport in Backend::all() {
         for mix in serving_mixes() {
             for seed in SEEDS {
                 let out = run_chaos_cell(&transport, seed, &mix, REQUESTS);
@@ -57,8 +57,8 @@ fn chaos_cells_are_deterministic() {
         .into_iter()
         .next()
         .unwrap();
-    let a = run_chaos_cell(&Transport::SkyBridge, 0xd07, &mix, 80);
-    let b = run_chaos_cell(&Transport::SkyBridge, 0xd07, &mix, 80);
+    let a = run_chaos_cell(&Backend::SkyBridge, 0xd07, &mix, 80);
+    let b = run_chaos_cell(&Backend::SkyBridge, 0xd07, &mix, 80);
     assert_eq!(a.stats.completed, b.stats.completed);
     assert_eq!(a.stats.failed, b.stats.failed);
     assert_eq!(a.stats.retries, b.stats.retries);
@@ -77,7 +77,7 @@ fn storm_cells_exercise_deadline_collapse() {
         .unwrap();
     let mut injected = 0;
     for seed in 0..6u64 {
-        let out = run_chaos_cell(&Transport::SkyBridge, 0x5709_0000 + seed, &storms, 200);
+        let out = run_chaos_cell(&Backend::SkyBridge, 0x5709_0000 + seed, &storms, 200);
         assert_eq!(out.report.leaked(), 0, "{}", out.report);
         injected += out
             .report

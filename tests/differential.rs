@@ -1,22 +1,31 @@
 //! Differential testing across the four IPC personalities.
 //!
-//! The serving engines implement one service contract — echo: the reply
-//! equals the request's wire bytes — over four transports (seL4,
+//! The transports implement one service contract — echo: the reply
+//! equals the request's payload bytes — over four personalities (seL4,
 //! Fiasco.OC, Zircon kernel IPC, SkyBridge direct server calls). Feeding
 //! the *same* request trace through all four must yield byte-identical
 //! payloads and identical completion counts; any divergence means a
 //! transport corrupted, dropped, or reordered a message.
 
 use proptest::prelude::*;
-use sb_runtime::{Engine, Request, RequestFactory, RuntimeConfig, ServerRuntime};
+use sb_runtime::{Request, RequestFactory, RuntimeConfig, ServerRuntime, Transport};
 use sb_ycsb::WorkloadSpec;
-use skybridge_repro::scenarios::runtime::{build_engine, ServingScenario, Transport};
+use skybridge_repro::scenarios::runtime::{build_backend, Backend, ServingScenario};
 
-fn engines(workers: usize) -> Vec<Box<dyn Engine>> {
-    Transport::all()
+fn transports(workers: usize) -> Vec<Box<dyn Transport>> {
+    Backend::all()
         .iter()
-        .map(|t| build_engine(ServingScenario::Kv, t, workers))
+        .map(|t| build_backend(ServingScenario::Kv, t, workers))
         .collect()
+}
+
+/// One call through `t`, returning the reply bytes (owned, for
+/// cross-transport comparison — the transport itself served them in
+/// place).
+fn call_for_reply(t: &mut dyn Transport, w: usize, r: &Request) -> Vec<u8> {
+    t.call(w, r)
+        .unwrap_or_else(|err| panic!("{}: call failed: {err:?}", t.label()));
+    t.reply(w).to_vec()
 }
 
 fn req(id: u64, key: u64, write: bool, payload: usize) -> Request {
@@ -34,7 +43,7 @@ fn req(id: u64, key: u64, write: bool, payload: usize) -> Request {
 /// across all four and equal the echo of the request.
 #[test]
 fn fixed_trace_replies_are_byte_identical() {
-    let mut es = engines(2);
+    let mut es = transports(2);
     let trace: Vec<Request> = (0..48)
         .map(|i| req(i, i * 7 + 3, i % 3 == 0, 16 + (i as usize % 4) * 48))
         .collect();
@@ -42,9 +51,7 @@ fn fixed_trace_replies_are_byte_identical() {
         let w = (r.id % 2) as usize;
         let mut replies = Vec::new();
         for e in es.iter_mut() {
-            let reply = e
-                .serve_with_reply(w, r)
-                .unwrap_or_else(|err| panic!("{}: serve failed: {err:?}", e.label()));
+            let reply = call_for_reply(e.as_mut(), w, r);
             assert_eq!(
                 reply,
                 r.encode(),
@@ -67,8 +74,8 @@ fn fixed_trace_replies_are_byte_identical() {
 fn same_trace_same_completion_counts() {
     let arrivals: Vec<u64> = (0..120u64).map(|i| i * 9_000).collect();
     let mut counts = Vec::new();
-    for t in Transport::all() {
-        let mut e = build_engine(ServingScenario::Kv, &t, 2);
+    for t in Backend::all() {
+        let mut e = build_backend(ServingScenario::Kv, &t, 2);
         let mut factory = RequestFactory::new(WorkloadSpec::ycsb_a(10_000, 64), 64);
         let s = ServerRuntime::new(e.as_mut(), RuntimeConfig::default())
             .run_open_loop(arrivals.clone(), &mut factory);
@@ -90,13 +97,13 @@ fn same_trace_same_completion_counts() {
 }
 
 /// The DoS-timeout budget surfaces identically: with an impossible
-/// budget, SkyBridge times every request out; the trap engines (which
+/// budget, SkyBridge times every request out; the trap transports (which
 /// have no per-call budget machinery) are unaffected. This asymmetry is
 /// the paper's §7 design, so the differential check here is that the
 /// *request bytes* still match wherever a reply exists.
 #[test]
 fn replies_agree_even_when_payloads_vary_per_worker() {
-    let mut es = engines(2);
+    let mut es = transports(2);
     for (i, payload) in [9usize, 64, 200, 256].iter().enumerate() {
         for w in 0..2 {
             let r = req(
@@ -107,7 +114,7 @@ fn replies_agree_even_when_payloads_vary_per_worker() {
             );
             let mut replies = Vec::new();
             for e in es.iter_mut() {
-                replies.push(e.serve_with_reply(w, &r).expect("serve"));
+                replies.push(call_for_reply(e.as_mut(), w, &r));
             }
             assert!(
                 replies.windows(2).all(|p| p[0] == p[1]),
@@ -130,12 +137,12 @@ proptest! {
             1..24,
         ),
     ) {
-        let mut es = engines(2);
+        let mut es = transports(2);
         for (i, (key, write, payload, worker)) in ops.iter().enumerate() {
             let r = req(i as u64, *key, *write, *payload);
             let mut replies = Vec::new();
             for e in es.iter_mut() {
-                let reply = e.serve_with_reply(*worker, &r).expect("serve");
+                let reply = call_for_reply(e.as_mut(), *worker, &r);
                 prop_assert_eq!(&reply, &r.encode(), "echo contract broken");
                 replies.push(reply);
             }

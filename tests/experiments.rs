@@ -117,7 +117,13 @@ fn figure7_skybridge_bar_is_396ish_for_all_kernels() {
         let client = k.create_thread(cp, 0);
         let stid = k.create_thread(sp, 0);
         let server = sb
-            .register_server(&mut k, stid, 2, 64, Box::new(|_, _, _, _| Ok(vec![])))
+            .register_server(
+                &mut k,
+                stid,
+                2,
+                64,
+                Box::new(|_, _, _, _| Ok(vec![].into())),
+            )
             .unwrap();
         sb.register_client(&mut k, client, server).unwrap();
         k.run_thread(client);

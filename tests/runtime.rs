@@ -4,12 +4,12 @@
 use proptest::prelude::*;
 use sb_microkernel::Personality;
 use sb_runtime::{
-    AdmissionPolicy, Engine, FixedServiceEngine, Request, RequestFactory, RuntimeConfig,
-    ServeError, ServerRuntime, ServiceSpec, SkyBridgeEngine,
+    AdmissionPolicy, CallError, FixedServiceTransport, Request, RequestFactory, RuntimeConfig,
+    ServerRuntime, ServiceSpec, SkyBridgeTransport, Transport,
 };
 use sb_ycsb::WorkloadSpec;
 use skybridge::SbError;
-use skybridge_repro::scenarios::runtime::{run_open_loop, ServingScenario, Transport};
+use skybridge_repro::scenarios::runtime::{run_open_loop, Backend, ServingScenario};
 
 fn shed_cfg(queue_capacity: usize) -> RuntimeConfig {
     RuntimeConfig {
@@ -23,7 +23,7 @@ fn shed_cfg(queue_capacity: usize) -> RuntimeConfig {
 /// Walks an ascending geometric ladder of offered rates (20% steps,
 /// shared across transports) and returns the first rate, in requests per
 /// Mcycle, at which the runtime sheds.
-fn first_shed_rate(transport: &Transport) -> f64 {
+fn first_shed_rate(transport: &Backend) -> f64 {
     let workers = 2;
     let requests = 600;
     let mut mean_ia = 16_384.0;
@@ -59,10 +59,10 @@ fn first_shed_rate(transport: &Transport) -> f64 {
 /// the same workload, and the same worker count.
 #[test]
 fn skybridge_saturates_after_every_trap_kernel() {
-    let sky = first_shed_rate(&Transport::SkyBridge);
+    let sky = first_shed_rate(&Backend::SkyBridge);
     for p in Personality::all() {
         let name = p.name;
-        let trap = first_shed_rate(&Transport::Trap(p));
+        let trap = first_shed_rate(&Backend::Trap(p));
         assert!(
             sky > trap,
             "SkyBridge first shed at {sky:.1}/Mcycle must exceed {name}'s {trap:.1}/Mcycle"
@@ -76,7 +76,7 @@ fn skybridge_saturates_after_every_trap_kernel() {
 /// panic — and must not corrupt the already-bound workers.
 #[test]
 fn shared_buffer_exhaustion_fails_cleanly() {
-    let mut e = SkyBridgeEngine::new(3, &ServiceSpec::default());
+    let mut e = SkyBridgeTransport::new(3, &ServiceSpec::default());
     for attempt in 0..3 {
         match e.try_extra_client() {
             Err(SbError::NoFreeConnection) => {}
@@ -93,7 +93,7 @@ fn shared_buffer_exhaustion_fails_cleanly() {
             payload: 64,
             client: None,
         };
-        e.serve(w, &req).expect("existing connections unharmed");
+        e.call(w, &req).expect("existing connections unharmed");
     }
 }
 
@@ -102,7 +102,7 @@ fn shared_buffer_exhaustion_fails_cleanly() {
 /// slots, so buffer exhaustion cannot be triggered from the arrival side.
 #[test]
 fn burst_deeper_than_worker_pool_queues_without_errors() {
-    let transport = Transport::SkyBridge;
+    let transport = Backend::SkyBridge;
     let s = run_open_loop(
         ServingScenario::Kv,
         &transport,
@@ -125,7 +125,7 @@ fn dos_timeout_budget_counts_as_timed_out() {
         timeout: Some(1),
         ..ServiceSpec::default()
     };
-    let mut e = SkyBridgeEngine::new(1, &spec);
+    let mut e = SkyBridgeTransport::new(1, &spec);
     let req = Request {
         id: 0,
         arrival: 0,
@@ -134,8 +134,8 @@ fn dos_timeout_budget_counts_as_timed_out() {
         payload: 64,
         client: None,
     };
-    match e.serve(0, &req) {
-        Err(ServeError::Timeout { elapsed }) => assert!(elapsed > 1),
+    match e.call(0, &req) {
+        Err(CallError::Timeout { elapsed }) => assert!(elapsed > 1),
         other => panic!("expected timeout, got {other:?}"),
     }
     let mut factory = RequestFactory::new(WorkloadSpec::ycsb_a(1000, 64), 64);
@@ -164,7 +164,7 @@ proptest! {
             })
             .collect();
         let offered = arrivals.len() as u64;
-        let mut engine = FixedServiceEngine::new(workers, service);
+        let mut engine = FixedServiceTransport::new(workers, service);
         let mut factory = RequestFactory::new(WorkloadSpec::ycsb_a(1_000, 64), 64);
         let mut rt = ServerRuntime::new(&mut engine, shed_cfg(capacity));
         let s = rt.run_open_loop(arrivals, &mut factory);
@@ -191,7 +191,7 @@ proptest! {
             })
             .collect();
         let offered = arrivals.len() as u64;
-        let mut engine = FixedServiceEngine::new(1, service);
+        let mut engine = FixedServiceTransport::new(1, service);
         let mut factory = RequestFactory::new(WorkloadSpec::ycsb_a(1_000, 64), 64);
         let cfg = RuntimeConfig {
             queue_capacity: capacity,

@@ -30,7 +30,7 @@ fn world() -> World {
             victim_tid,
             8,
             128,
-            Box::new(|_, _, _, req| Ok(req.to_vec())),
+            Box::new(|_, _, _, _req| Ok(skybridge::HandlerReply::Echo)),
         )
         .unwrap();
     let cp = k.create_process(&sb_rewriter::corpus::generate(4, 4096, 0));
@@ -119,7 +119,7 @@ fn dos_timeout_returns_control() {
             64,
             Box::new(|_, k, ctx, _| {
                 k.compute(ctx.caller, 5_000_000);
-                Ok(vec![])
+                Ok(vec![].into())
             }),
         )
         .unwrap();
@@ -186,7 +186,7 @@ fn identity_page_resolves_misidentification() {
             Box::new(move |_, k, ctx, _| {
                 let core = k.core_of(ctx.caller);
                 probe_seen.set(k.identity_current(core).unwrap());
-                Ok(vec![])
+                Ok(vec![].into())
             }),
         )
         .unwrap();
