@@ -41,6 +41,14 @@ fn main() {
                     transport.label(),
                     mix.name
                 );
+                assert!(
+                    out.trace_matches_ledger(),
+                    "{}/{}/{seed:#x}: trace counters {:?} disagree with the ledger {}",
+                    transport.label(),
+                    mix.name,
+                    out.trace,
+                    out.report
+                );
                 leaked_total += out.report.leaked();
                 row.push(format!(
                     "inj={} rec={} leak={} done={} shed={} fail={}",

@@ -10,11 +10,18 @@
 //!
 //! Defaults simulate ~1.04M requests (80 cells × 13,000); `SB_REQUESTS`
 //! scales the per-cell count.
+//!
+//! Set `SB_TRACE=1` (or `SB_TRACE=<backend label>`, e.g.
+//! `SB_TRACE=fiasco`) to additionally run one traced cell with a live
+//! recorder and dump `results/runtime_scaling_trace.json` — a Chrome
+//! trace-event file: open <https://ui.perfetto.dev> and drag it in, or
+//! load it at `chrome://tracing`.
 
 use sb_bench::{
     knob, print_table,
-    report::{run_stats_json, write_json, Json},
+    report::{run_stats_json, write_json, write_raw, Json},
 };
+use sb_observe::{chrome_trace, Recorder};
 use sb_runtime::{AdmissionPolicy, RequestFactory, RuntimeConfig, Transport};
 use skybridge_repro::scenarios::runtime::{
     build_backend, ops_per_sec, run_open_loop, Backend, ServingScenario,
@@ -33,6 +40,61 @@ fn calibrate(transport: &mut dyn Transport, factory: &mut RequestFactory) -> f64
         transport.call(0, &req).expect("calibration call");
     }
     (transport.now(0) - t0) as f64 / n as f64
+}
+
+/// `SB_TRACE` mode: one fully traced cell whose Chrome trace goes to
+/// `results/runtime_scaling_trace.json` for Perfetto. Uses a ring much
+/// larger than the always-on default so a whole cell fits without
+/// overwrites (and reports how many events were dropped if not).
+fn dump_trace(which: &str, requests: u64, capacity: usize) {
+    let which = which.to_ascii_lowercase();
+    let backend = Backend::all()
+        .into_iter()
+        .find(|b| b.label().to_ascii_lowercase().starts_with(&which))
+        .unwrap_or(Backend::SkyBridge);
+    let recorder = Recorder::new(knob("SB_TRACE_RING", 1 << 15));
+    let cfg = RuntimeConfig {
+        queue_capacity: capacity,
+        policy: AdmissionPolicy::Shed,
+        queue_deadline: None,
+        recorder: recorder.clone(),
+        ..RuntimeConfig::default()
+    };
+    let mut cal = build_backend(ServingScenario::Kv, &backend, 1);
+    let mut cal_factory = RequestFactory::new(
+        ServingScenario::Kv.workload(),
+        ServingScenario::Kv.payload(),
+    );
+    let svc = calibrate(cal.as_mut(), &mut cal_factory);
+    let workers = 4;
+    let traced = requests.min(2_000);
+    let stats = run_open_loop(
+        ServingScenario::Kv,
+        &backend,
+        workers,
+        cfg,
+        svc / (workers as f64 * 0.8),
+        traced,
+        0x7a_ced0_5eed,
+    );
+    let trace = chrome_trace(&recorder);
+    match write_raw("runtime_scaling_trace.json", &trace.json) {
+        Ok(path) => {
+            println!(
+                "\ntraced kv/ycsb-a on {} ({} requests, {} events{}):\n  open https://ui.perfetto.dev and drag in {}",
+                backend.label(),
+                stats.completed,
+                trace.events,
+                if trace.truncated {
+                    format!(", ring overwrote {} — raise SB_TRACE_RING", trace.dropped)
+                } else {
+                    String::new()
+                },
+                path.display()
+            );
+        }
+        Err(e) => eprintln!("\ncould not write trace: {e}"),
+    }
 }
 
 fn main() {
@@ -114,4 +176,8 @@ fn main() {
          offered load sits above each trap-based kernel's, and p99 blows\n\
          up past rho = 1.0 while the Shed policy bounds queue depth."
     );
+
+    if let Ok(which) = std::env::var("SB_TRACE") {
+        dump_trace(&which, requests, capacity);
+    }
 }

@@ -1,0 +1,310 @@
+//! The tracing tax: host ns per call with tracing absent, attached but
+//! disabled, and fully enabled — plus the phase-attribution consistency
+//! check (the software Figure 7 must decompose end-to-end cycles).
+//!
+//! Three modes per kernel-backed transport, all measured on the same
+//! transport instance (separate instances differ by several percent
+//! from allocation layout alone) by swapping the attached recorder:
+//!
+//! * `baseline` — the constructor-default off recorder (the state every
+//!   transport is born with).
+//! * `disabled` — a [`Recorder::off`] attached explicitly to every
+//!   hook: each emit is one flag read, which must cost (statistically)
+//!   nothing, and the attach itself must be free.
+//! * `enabled` — a live recorder capturing every span of every call.
+//!
+//! Each mode runs `SB_REPS` timed repetitions, interleaved and with the
+//! order alternating every round so slow host drift cancels, keeping
+//! the fastest (min-of-N filters scheduler noise); a gate breach earns
+//! one full re-measurement pass with the minima carried over, so a
+//! one-off host spike can't fail CI but a real regression still does.
+//! Gates, all CI-enforced:
+//!
+//! 1. `disabled` within 5% of `baseline` — attached-but-off is free;
+//! 2. `enabled` within 5% of `disabled` — the always-on tax is bounded;
+//! 3. the in-call phase self-times decompose end-to-end cycles within
+//!    5% (they are equal by construction; the gate catches regressions
+//!    in the emit sites, e.g. a dropped or double-counted span);
+//! 4. the Chrome trace export of the profiled run is valid JSON.
+//!
+//! Results go to `results/trace_overhead.json`, including the per-phase
+//! cycle breakdown and a PMU metrics snapshot through the registry.
+//!
+//! Knobs: `SB_CALLS` (timed calls per rep, default 4,000), `SB_REPS`
+//! (repetitions per mode, default 7), `SB_RING` (enabled-mode ring
+//! capacity in events, default [`sb_observe::DEFAULT_RING_CAPACITY`]).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sb_bench::{
+    knob, print_table,
+    report::{snapshot_json, write_json, Json},
+};
+use sb_microkernel::Personality;
+use sb_observe::{attribute, chrome_trace, validate_json, Recorder, Registry, SpanKind};
+use sb_runtime::{RequestFactory, ServiceSpec, SkyBridgeTransport, Transport, TrapIpcTransport};
+use sb_ycsb::WorkloadSpec;
+
+/// Host-noise guard on the two overhead gates: 5% relative.
+const OVERHEAD_BUDGET: f64 = 0.05;
+/// Tolerance on the phase-decomposition identity.
+const PHASE_TOLERANCE: f64 = 0.05;
+
+fn factory() -> RequestFactory {
+    RequestFactory::new(WorkloadSpec::ycsb_a(10_000, 64), 64)
+}
+
+/// One timed repetition: `calls` requests through lane 0, returning
+/// host ns per call.
+fn rep(t: &mut dyn Transport, calls: u64) -> f64 {
+    let mut f = factory();
+    let wall = Instant::now();
+    for _ in 0..calls {
+        let r = f.make(t.now(0), None);
+        t.call(0, &r).expect("call");
+        black_box(t.reply(0));
+    }
+    wall.elapsed().as_nanos() as f64 / calls as f64
+}
+
+/// Warm-up: populate caches, TLBs and lane allocations.
+fn warm(t: &mut dyn Transport) {
+    let mut f = factory();
+    for _ in 0..256 {
+        let r = f.make(t.now(0), None);
+        t.call(0, &r).expect("warm call");
+    }
+}
+
+struct TransportResult {
+    name: &'static str,
+    baseline_ns: f64,
+    disabled_ns: f64,
+    enabled_ns: f64,
+    phases: Json,
+    phase_ratio: f64,
+    trace_events: u64,
+    trace_valid: bool,
+    failures: Vec<String>,
+}
+
+fn build(name: &str, spec: &ServiceSpec) -> Box<dyn Transport> {
+    match name {
+        "skybridge" => Box::new(SkyBridgeTransport::new(1, spec)),
+        _ => Box::new(TrapIpcTransport::new(Personality::sel4(), 1, spec)),
+    }
+}
+
+fn run_transport(name: &'static str, calls: u64, reps: u64) -> TransportResult {
+    let spec = ServiceSpec::default();
+    let mut failures = Vec::new();
+
+    // All three modes run on ONE transport instance, swapping only the
+    // attached recorder between repetitions: separate instances differ
+    // by several percent from allocation layout alone, which would
+    // drown the quantity under test. `baseline` is a transport whose
+    // recorder is the constructor-default off handle, `disabled` an
+    // explicitly attached off recorder (the attach must be free), and
+    // `enabled` the live ring. Repetitions interleave with the order
+    // alternating every round so slow host drift cancels; min-of-N
+    // filters the jitter on top.
+    let recorder = Recorder::new(knob("SB_RING", sb_observe::DEFAULT_RING_CAPACITY));
+    let modes: [Recorder; 3] = [Recorder::off(), Recorder::off(), recorder.clone()];
+    let mut t = build(name, &spec);
+    warm(t.as_mut());
+    // Min-of-N only ever over-reports a cost (noise inflates a minimum,
+    // never deflates it), so on a gate breach one full re-measurement
+    // pass is sound: the minima carry across passes and a genuine
+    // regression fails both, while a one-off scheduler spike doesn't.
+    let mut ns = [f64::INFINITY; 3];
+    for pass in 0..2 {
+        for i in 0..reps {
+            for j in 0..3usize {
+                let m = if i % 2 == 0 { j } else { 2 - j };
+                t.attach_recorder(modes[m].clone());
+                ns[m] = ns[m].min(rep(t.as_mut(), calls));
+            }
+        }
+        let within_budget = |cost: f64, base: f64| cost <= base * (1.0 + OVERHEAD_BUDGET);
+        if within_budget(ns[1], ns[0]) && within_budget(ns[2], ns[1]) {
+            break;
+        }
+        if pass == 0 {
+            eprintln!("note: {name}: gate breached on pass 1, re-measuring");
+        }
+    }
+    let [baseline_ns, disabled_ns, enabled_ns] = ns;
+    t.attach_recorder(recorder.clone());
+
+    if disabled_ns > baseline_ns * (1.0 + OVERHEAD_BUDGET) {
+        failures.push(format!(
+            "{name}: disabled recorder costs {disabled_ns:.0} ns/call vs {baseline_ns:.0} baseline"
+        ));
+    }
+    if enabled_ns > disabled_ns * (1.0 + OVERHEAD_BUDGET) {
+        failures.push(format!(
+            "{name}: enabled tracing costs {enabled_ns:.0} ns/call vs {disabled_ns:.0} disabled \
+             (budget {:.0}%)",
+            OVERHEAD_BUDGET * 100.0
+        ));
+    }
+
+    // Phase attribution on a fresh, non-wrapping capture: the timed loop
+    // overwrote the ring many times over, so profile a short run the
+    // ring holds completely (a call emits at most ~12 events).
+    recorder.clear();
+    let profiled = (recorder.capacity() / 16).clamp(32, 512) as u64;
+    let mut f = factory();
+    for _ in 0..profiled {
+        let r = f.make(t.now(0), None);
+        t.call(0, &r).expect("profiled call");
+    }
+    let by_lane: Vec<_> = (0..recorder.lane_count())
+        .map(|l| recorder.events(l))
+        .collect();
+    let prof = attribute(&by_lane);
+    let phase_ratio = if prof.end_to_end == 0 {
+        0.0
+    } else {
+        prof.in_call_total() as f64 / prof.end_to_end as f64
+    };
+    if (phase_ratio - 1.0).abs() > PHASE_TOLERANCE {
+        failures.push(format!(
+            "{name}: phase self-times cover {:.1}% of end-to-end cycles",
+            phase_ratio * 100.0
+        ));
+    }
+    if prof.unmatched > 0 || prof.unclosed > 0 {
+        failures.push(format!(
+            "{name}: malformed span stream ({} unmatched, {} unclosed)",
+            prof.unmatched, prof.unclosed
+        ));
+    }
+
+    let trace = chrome_trace(&recorder);
+    let trace_valid = validate_json(&trace.json).is_ok() && !trace.truncated;
+    if !trace_valid {
+        failures.push(format!(
+            "{name}: chrome trace export invalid or truncated ({} dropped)",
+            trace.dropped
+        ));
+    }
+
+    let mut phases = Vec::new();
+    for kind in SpanKind::ALL {
+        let cycles = prof.get(kind);
+        if cycles > 0 {
+            phases.push(
+                Json::obj()
+                    .field("phase", kind.name())
+                    .field("cycles_per_call", prof.per_call(kind)),
+            );
+        }
+    }
+    let phases = Json::obj()
+        .field("calls", prof.calls)
+        .field(
+            "end_to_end_cycles_per_call",
+            prof.end_to_end as f64 / prof.calls.max(1) as f64,
+        )
+        .field("breakdown", Json::Arr(phases));
+
+    TransportResult {
+        name,
+        baseline_ns,
+        disabled_ns,
+        enabled_ns,
+        phases,
+        phase_ratio,
+        trace_events: trace.events,
+        trace_valid,
+        failures,
+    }
+}
+
+fn main() {
+    let calls = knob("SB_CALLS", 4_000) as u64;
+    let reps = knob("SB_REPS", 7) as u64;
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for name in ["skybridge", "sel4-trap"] {
+        let r = run_transport(name, calls, reps);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.0}", r.baseline_ns),
+            format!("{:.0}", r.disabled_ns),
+            format!("{:.0}", r.enabled_ns),
+            format!("{:+.1}%", (r.enabled_ns / r.disabled_ns - 1.0) * 100.0),
+            format!("{:.1}%", r.phase_ratio * 100.0),
+        ]);
+        json_rows.push(
+            Json::obj()
+                .field("transport", r.name)
+                .field("calls", calls)
+                .field("reps", reps)
+                .field("baseline_ns_per_call", r.baseline_ns)
+                .field("disabled_ns_per_call", r.disabled_ns)
+                .field("enabled_ns_per_call", r.enabled_ns)
+                .field("enabled_overhead", r.enabled_ns / r.disabled_ns - 1.0)
+                .field("disabled_overhead", r.disabled_ns / r.baseline_ns - 1.0)
+                .field("phase_sum_over_end_to_end", r.phase_ratio)
+                .field("trace_events", r.trace_events)
+                .field("trace_valid_json", r.trace_valid)
+                .field("profile", r.phases),
+        );
+        failures.extend(r.failures);
+    }
+    print_table(
+        &format!("tracing tax ({calls} calls/rep, best of {reps})"),
+        &[
+            "transport",
+            "baseline ns",
+            "disabled ns",
+            "enabled ns",
+            "enabled tax",
+            "phase cover",
+        ],
+        &rows,
+    );
+
+    // The metrics side of the exporter story: surface the simulated
+    // PMU of one traced SkyBridge run through the registry.
+    let spec = ServiceSpec::default();
+    let mut sky = SkyBridgeTransport::new(1, &spec);
+    sky.attach_recorder(Recorder::new(1 << 14));
+    let mut f = factory();
+    let mut reg = Registry::new();
+    let before = {
+        reg.record_pmu("cpu0", &sky.k.machine.cpu(0).pmu);
+        reg.snapshot()
+    };
+    for _ in 0..256 {
+        let r = f.make(sky.now(0), None);
+        sky.call(0, &r).expect("pmu run call");
+    }
+    reg.record_pmu("cpu0", &sky.k.machine.cpu(0).pmu);
+    let pmu = reg.snapshot().diff(&before);
+
+    let doc = Json::obj()
+        .field("bench", "trace_overhead")
+        .field("overhead_budget", OVERHEAD_BUDGET)
+        .field("phase_tolerance", PHASE_TOLERANCE)
+        .field("rows", Json::Arr(json_rows))
+        .field("pmu_delta", snapshot_json(&pmu));
+    match write_json("trace_overhead", &doc) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write results JSON: {e}"),
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("tracing tax within budget; phases decompose end-to-end; exports valid");
+}

@@ -14,6 +14,7 @@ use std::{
     path::{Path, PathBuf},
 };
 
+use sb_observe::Snapshot;
 use sb_runtime::RunStats;
 use skybridge_repro::scenarios::chaos::{ChaosOutcome, FsChaosOutcome};
 
@@ -198,6 +199,10 @@ pub fn chaos_outcome_json(out: &ChaosOutcome, mix: &str, seed: u64) -> Json {
         .field("recovered", out.report.recovered())
         .field("leaked", out.report.leaked())
         .field("conserved", out.conserved())
+        .field("trace_injected", out.trace.injected())
+        .field("trace_detected", out.trace.detected)
+        .field("trace_recovered", out.trace.recovered)
+        .field("trace_matches_ledger", out.trace_matches_ledger())
         .field("faults", Json::Arr(rows))
         .field("run", run_stats_json(&out.stats))
 }
@@ -215,6 +220,37 @@ pub fn fs_chaos_json(out: &FsChaosOutcome, mix: &str, seed: u64) -> Json {
         .field("leaked", out.report.leaked())
 }
 
+/// A metrics [`Snapshot`] as a JSON object: counters and gauges as flat
+/// maps, histograms as fixed-quantile summaries.
+pub fn snapshot_json(s: &Snapshot) -> Json {
+    let mut counters = Vec::new();
+    for (k, &v) in &s.counters {
+        counters.push(Json::obj().field("name", k.as_str()).field("value", v));
+    }
+    let mut gauges = Vec::new();
+    for (k, &v) in &s.gauges {
+        gauges.push(Json::obj().field("name", k.as_str()).field("value", v));
+    }
+    let mut hists = Vec::new();
+    for (k, h) in &s.histograms {
+        hists.push(
+            Json::obj()
+                .field("name", k.as_str())
+                .field("count", h.count)
+                .field("mean", h.mean)
+                .field("min", h.min)
+                .field("p50", h.p50)
+                .field("p95", h.p95)
+                .field("p99", h.p99)
+                .field("max", h.max),
+        );
+    }
+    Json::obj()
+        .field("counters", Json::Arr(counters))
+        .field("gauges", Json::Arr(gauges))
+        .field("histograms", Json::Arr(hists))
+}
+
 /// The output directory, overridable with `SB_RESULTS_DIR`.
 pub fn results_dir() -> PathBuf {
     std::env::var("SB_RESULTS_DIR")
@@ -230,6 +266,16 @@ pub fn write_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
     let path = dir.join(format!("{name}.json"));
     let mut f = fs::File::create(&path)?;
     writeln!(f, "{value}")?;
+    Ok(path)
+}
+
+/// Writes pre-serialized `contents` to `results/<name>` verbatim —
+/// for exports that are already strings, like a Chrome trace.
+pub fn write_raw(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, contents)?;
     Ok(path)
 }
 
@@ -276,7 +322,7 @@ mod tests {
         s.bytes_copied = 704;
         s.start = 0;
         s.end = 1000;
-        s.latencies = vec![10, 20, 30];
+        s.latencies = vec![10, 20, 30].into();
         s.seal();
         let row = run_stats_json(&s).to_string();
         assert!(row.contains("\"label\":\"sel4\""));

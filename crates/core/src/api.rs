@@ -9,6 +9,7 @@ use sb_microkernel::{
     ipc::{Breakdown, Component},
     layout, Kernel, ProcessId, ThreadId,
 };
+use sb_observe::{Recorder, SpanKind};
 use sb_rewriter::rewrite::rewrite_code;
 use sb_rootkernel::EptpList;
 use sb_sim::Cycles;
@@ -88,6 +89,10 @@ pub struct SkyBridge {
     /// The chaos fault plane. Defaults to an all-zero mix, i.e. no
     /// injection; [`SkyBridge::attach_faults`] swaps in a live one.
     faults: FaultHandle,
+    /// Trace recorder. Defaults to off (a flag check per emit site);
+    /// [`SkyBridge::set_recorder`] swaps in a live one. Spans land on
+    /// recorder lane = the calling thread's core.
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for SkyBridge {
@@ -115,7 +120,14 @@ impl SkyBridge {
             rng: SmallRng::seed_from_u64(0x5b_1d9e),
             call_count: 0,
             faults: FaultHandle::new(0, FaultMix::none()),
+            recorder: Recorder::off(),
         }
+    }
+
+    /// Attaches a trace recorder; phase spans (trampoline / switch /
+    /// handler / marshal) are emitted on lane = calling core.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Attaches a live fault plane (chaos runs). Without this call the
@@ -585,9 +597,22 @@ impl SkyBridge {
             self.servers[server].handler_fn.0,
             "function list must name the registered handler"
         );
-        // Large arguments go through the shared buffer.
+        // Large arguments go through the shared buffer. The copy is its
+        // own Marshal span; the entry Trampoline span ends where the
+        // copy starts (the spans are flat siblings, never nested, so the
+        // phase fold charges each its own cycles exactly once).
+        let t_marshal = k.machine.cpu(core).tsc;
+        self.recorder
+            .span(core, SpanKind::Trampoline, t0, t_marshal, 0);
         if request.len() > REGISTER_ARGS_MAX {
             k.user_write(client_tid, binding.shared_buf, request)?;
+            self.recorder.span(
+                core,
+                SpanKind::Marshal,
+                t_marshal,
+                k.machine.cpu(core).tsc,
+                0,
+            );
         }
         b.add(Component::Other, k.machine.cpu(core).tsc - t0);
 
@@ -596,7 +621,10 @@ impl SkyBridge {
         b.add(Component::Vmfunc, cost.vmfunc);
 
         // --- server side: identity, stack, key check, handler ---
-        let t0 = k.machine.cpu(core).tsc;
+        // Everything between the two VMFUNCs is the Handler span: key
+        // check, handler body, and the reply write into the shared
+        // buffer.
+        let t_srv = k.machine.cpu(core).tsc;
         k.identity_record(core, server_pid);
         k.machine.cpu_mut(core).advance(cost.trampoline_logic / 2);
         // Key check against the server's table (a real read of server
@@ -625,6 +653,8 @@ impl SkyBridge {
                 client: client_pid,
                 server,
             });
+            self.recorder
+                .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
             self.vmfunc_to(k, core, client_pid, return_root)?;
             k.identity_record(core, return_identity);
             return Err(SbError::BadServerKey);
@@ -634,7 +664,7 @@ impl SkyBridge {
         // remap into the *server's* page table.
         let handler_fn = self.servers[server].handler_fn;
         k.user_exec(client_tid, handler_fn, handler_len)?;
-        b.add(Component::Other, k.machine.cpu(core).tsc - t0);
+        b.add(Component::Other, k.machine.cpu(core).tsc - t_srv);
 
         // Read the request in the server space — served in place: the
         // payload already sits in the shared buffer (written once above),
@@ -660,6 +690,8 @@ impl SkyBridge {
             k.kill_thread(self.servers[server].thread);
             self.violations.push(Violation::ServerCrash { server });
             self.faults.detected(FaultPoint::HandlerPanic);
+            self.recorder
+                .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
             self.vmfunc_to(k, core, client_pid, return_root)?;
             k.identity_record(core, return_identity);
             return Err(SbError::ServerDead { server });
@@ -696,6 +728,8 @@ impl SkyBridge {
         let reply = match result {
             Ok(r) => r,
             Err(e) => {
+                self.recorder
+                    .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
                 self.vmfunc_to(k, core, client_pid, return_root)?;
                 k.identity_record(core, return_identity);
                 return Err(e);
@@ -715,6 +749,8 @@ impl SkyBridge {
         let reply_len = reply_bytes.as_deref().map_or(request.len(), <[u8]>::len);
         if reply_len > REGISTER_ARGS_MAX {
             if reply_len > layout::SB_SHARED_BUF_SIZE {
+                self.recorder
+                    .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
                 self.vmfunc_to(k, core, client_pid, return_root)?;
                 k.identity_record(core, return_identity);
                 return Err(SbError::MessageTooLarge);
@@ -744,6 +780,8 @@ impl SkyBridge {
         }
         k.machine.cpu_mut(core).advance(cost.trampoline_logic / 2);
         b.add(Component::Other, k.machine.cpu(core).tsc - t0);
+        self.recorder
+            .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
 
         self.vmfunc_to(k, core, client_pid, return_root)?;
         b.add(Component::Vmfunc, cost.vmfunc);
@@ -761,11 +799,18 @@ impl SkyBridge {
                 client: client_pid,
                 server,
             });
+            self.recorder
+                .span(core, SpanKind::Trampoline, t0, k.machine.cpu(core).tsc, 0);
             return Err(SbError::BadClientKey);
         }
         // Large replies come back through the shared buffer; the read is
         // charge-only since the bytes are already host-side (the caller's
-        // staged request for an echo, the handler's `Vec` otherwise).
+        // staged request for an echo, the handler's `Vec` otherwise). As
+        // on entry, the read-back is a Marshal span flat after the return
+        // Trampoline span.
+        let t_read = k.machine.cpu(core).tsc;
+        self.recorder
+            .span(core, SpanKind::Trampoline, t0, t_read, 0);
         if reply_len > REGISTER_ARGS_MAX {
             k.user_touch(
                 client_tid,
@@ -773,6 +818,8 @@ impl SkyBridge {
                 reply_len,
                 sb_mem::walk::Access::Read,
             )?;
+            self.recorder
+                .span(core, SpanKind::Marshal, t_read, k.machine.cpu(core).tsc, 0);
         }
         let out = reply_bytes;
         b.add(Component::Other, k.machine.cpu(core).tsc - t0);
@@ -794,8 +841,23 @@ impl SkyBridge {
 
     /// Executes `VMFUNC` to the binding EPT, handling the LRU-evicted-slot
     /// fault path (§10 extension): a stale slot exits to the Rootkernel,
-    /// which reinstalls the root and retries.
+    /// which reinstalls the root and retries. Each switch — including the
+    /// fault + reinstall path's extra cycles — is one `Switch` span.
     fn vmfunc_to(
+        &mut self,
+        k: &mut Kernel,
+        core: usize,
+        pid: ProcessId,
+        root: Hpa,
+    ) -> Result<(), SbError> {
+        let t0 = k.machine.cpu(core).tsc;
+        let out = self.vmfunc_to_inner(k, core, pid, root);
+        self.recorder
+            .span(core, SpanKind::Switch, t0, k.machine.cpu(core).tsc, 0);
+        out
+    }
+
+    fn vmfunc_to_inner(
         &mut self,
         k: &mut Kernel,
         core: usize,

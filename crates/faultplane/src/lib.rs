@@ -191,6 +191,41 @@ struct FaultInstance {
     recovered: bool,
 }
 
+/// A ledger transition an observer is notified of. Each instance passes
+/// `Fired` exactly once, then either `Rescinded` (erased — it never
+/// misbehaved) or `Detected`/`Recovered` at most once each, exactly when
+/// the corresponding ledger flag flips — so an observer's per-stage
+/// counts always equal the ledger roll-up's totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStage {
+    /// An instance was opened.
+    Fired,
+    /// The newest unresolved instance was erased.
+    Rescinded,
+    /// An instance's detected flag flipped.
+    Detected,
+    /// An instance's recovered flag flipped.
+    Recovered,
+}
+
+/// A callback observing ledger transitions (the tracing bridge: the
+/// chaos harness points this at `sb-observe`'s recorder without this
+/// crate depending on it).
+pub struct FaultObserver(Box<dyn FnMut(FaultPoint, FaultStage)>);
+
+impl FaultObserver {
+    /// Wraps `f` as an observer.
+    pub fn new(f: impl FnMut(FaultPoint, FaultStage) + 'static) -> Self {
+        FaultObserver(Box::new(f))
+    }
+}
+
+impl std::fmt::Debug for FaultObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FaultObserver(..)")
+    }
+}
+
 /// The injector: a seeded RNG, a mix of rates, and the instance ledger.
 #[derive(Debug)]
 pub struct FaultPlane {
@@ -200,6 +235,8 @@ pub struct FaultPlane {
     instances: Vec<FaultInstance>,
     /// When false, `fire` never injects (a run's warm-up window).
     armed: bool,
+    /// Notified on every ledger transition.
+    observer: Option<FaultObserver>,
 }
 
 impl FaultPlane {
@@ -210,6 +247,20 @@ impl FaultPlane {
             rng: seed | 1,
             instances: Vec::new(),
             armed: true,
+            observer: None,
+        }
+    }
+
+    /// Installs `observer` (replacing any previous one). Observation
+    /// never affects the injection schedule — the RNG stream and the
+    /// ledger are byte-identical with or without one.
+    pub fn set_observer(&mut self, observer: FaultObserver) {
+        self.observer = Some(observer);
+    }
+
+    fn notify(&mut self, point: FaultPoint, stage: FaultStage) {
+        if let Some(obs) = self.observer.as_mut() {
+            (obs.0)(point, stage);
         }
     }
 
@@ -240,6 +291,7 @@ impl FaultPlane {
                 detected: false,
                 recovered: false,
             });
+            self.notify(point, FaultStage::Fired);
             true
         } else {
             false
@@ -269,12 +321,13 @@ impl FaultPlane {
     /// system *observed* the fault (an error surfaced, a violation was
     /// recorded, a timeout tripped).
     pub fn detected(&mut self, point: FaultPoint) {
-        if let Some(i) = self
+        if let Some(idx) = self
             .instances
-            .iter_mut()
-            .find(|i| i.point == point && !i.detected)
+            .iter()
+            .position(|i| i.point == point && !i.detected)
         {
-            i.detected = true;
+            self.instances[idx].detected = true;
+            self.notify(point, FaultStage::Detected);
         }
     }
 
@@ -282,13 +335,18 @@ impl FaultPlane {
     /// recovery path completed (retry succeeded, connection rebound,
     /// log replayed). Implies detection.
     pub fn recovered(&mut self, point: FaultPoint) {
-        if let Some(i) = self
+        if let Some(idx) = self
             .instances
-            .iter_mut()
-            .find(|i| i.point == point && !i.recovered)
+            .iter()
+            .position(|i| i.point == point && !i.recovered)
         {
-            i.recovered = true;
-            i.detected = true;
+            let newly_detected = !self.instances[idx].detected;
+            self.instances[idx].recovered = true;
+            self.instances[idx].detected = true;
+            if newly_detected {
+                self.notify(point, FaultStage::Detected);
+            }
+            self.notify(point, FaultStage::Recovered);
         }
     }
 
@@ -302,6 +360,7 @@ impl FaultPlane {
             .rposition(|i| i.point == point && !i.detected && !i.recovered)
         {
             self.instances.remove(idx);
+            self.notify(point, FaultStage::Rescinded);
         }
     }
 
@@ -310,13 +369,25 @@ impl FaultPlane {
     /// reinstall at context switch, a log replay at remount) and heal all
     /// outstanding damage of that kind at once.
     pub fn recover_all(&mut self, point: FaultPoint) {
+        let mut newly_detected = 0u64;
+        let mut newly_recovered = 0u64;
         for i in self
             .instances
             .iter_mut()
             .filter(|i| i.point == point && !i.recovered)
         {
+            if !i.detected {
+                newly_detected += 1;
+            }
             i.recovered = true;
             i.detected = true;
+            newly_recovered += 1;
+        }
+        for _ in 0..newly_detected {
+            self.notify(point, FaultStage::Detected);
+        }
+        for _ in 0..newly_recovered {
+            self.notify(point, FaultStage::Recovered);
         }
     }
 
@@ -489,6 +560,11 @@ impl FaultHandle {
     pub fn report(&self) -> FaultReport {
         self.0.borrow().report()
     }
+
+    /// See [`FaultPlane::set_observer`].
+    pub fn set_observer(&self, observer: FaultObserver) {
+        self.0.borrow_mut().set_observer(observer);
+    }
 }
 
 #[cfg(test)]
@@ -558,6 +634,75 @@ mod tests {
         h2.recovered(FaultPoint::KeyCorrupt);
         assert_eq!(h.report().recovered(), 1);
         assert_eq!(h.report().leaked(), 0);
+    }
+
+    #[test]
+    fn observer_counts_match_the_ledger() {
+        use std::cell::RefCell;
+        use std::collections::BTreeMap;
+        use std::rc::Rc;
+
+        let counts: Rc<RefCell<BTreeMap<(&'static str, u8), u64>>> =
+            Rc::new(RefCell::new(BTreeMap::new()));
+        let sink = counts.clone();
+        let mix = FaultMix::none()
+            .with(FaultPoint::EptpEvict, 10_000)
+            .with(FaultPoint::HandlerPanic, 10_000);
+        let mut p = FaultPlane::new(11, mix);
+        p.set_observer(FaultObserver::new(move |point, stage| {
+            let key = (
+                point.name(),
+                match stage {
+                    FaultStage::Fired => 0,
+                    FaultStage::Rescinded => 1,
+                    FaultStage::Detected => 2,
+                    FaultStage::Recovered => 3,
+                },
+            );
+            *sink.borrow_mut().entry(key).or_insert(0) += 1;
+        }));
+
+        for _ in 0..4 {
+            assert!(p.fire(FaultPoint::EptpEvict));
+        }
+        assert!(p.fire(FaultPoint::HandlerPanic));
+        p.rescind(FaultPoint::EptpEvict); // One never misbehaved.
+        p.detected(FaultPoint::EptpEvict);
+        p.recover_all(FaultPoint::EptpEvict); // Recovers 3, detects 2 more.
+        p.recovered(FaultPoint::HandlerPanic); // Standalone: implies detection.
+
+        let c = counts.borrow();
+        let get = |name, stage| c.get(&(name, stage)).copied().unwrap_or(0);
+        let r = p.report();
+        // Fired minus rescinded equals what the ledger kept.
+        assert_eq!(
+            get("eptp_evict", 0) + get("handler_panic", 0)
+                - get("eptp_evict", 1)
+                - get("handler_panic", 1),
+            r.injected()
+        );
+        assert_eq!(get("eptp_evict", 2) + get("handler_panic", 2), r.detected());
+        assert_eq!(
+            get("eptp_evict", 3) + get("handler_panic", 3),
+            r.recovered()
+        );
+        assert_eq!(get("eptp_evict", 1), 1);
+        assert_eq!(r.leaked(), 0);
+    }
+
+    #[test]
+    fn observer_does_not_perturb_the_schedule() {
+        let mix = FaultMix::everything();
+        let mut plain = FaultPlane::new(21, mix.clone());
+        let mut observed = FaultPlane::new(21, mix);
+        observed.set_observer(FaultObserver::new(|_, _| {}));
+        let a: Vec<bool> = (0..300)
+            .map(|_| plain.fire(FaultPoint::TornWrite))
+            .collect();
+        let b: Vec<bool> = (0..300)
+            .map(|_| observed.fire(FaultPoint::TornWrite))
+            .collect();
+        assert_eq!(a, b, "observation must not shift the RNG stream");
     }
 
     #[test]

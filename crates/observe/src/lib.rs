@@ -1,0 +1,41 @@
+//! `sb-observe`: always-on tracing, metrics, and phase-level profiling
+//! for the SkyBridge IPC stack.
+//!
+//! The paper's evaluation attributes SkyBridge's win by decomposing a
+//! call into phases (trampoline, EPTP switch, handler — Table 3 and
+//! Figure 7). This crate makes that decomposition a property of *every*
+//! run, not just the dedicated bench:
+//!
+//! * [`Recorder`] + [`EventRing`] — per-lane fixed-capacity rings of
+//!   typed [`Event`]s (call/phase spans, queue admit/shed/deadline,
+//!   retry/backoff, fault lifecycle), timestamped by the transport's
+//!   per-lane simulated-cycle clocks. The emit path is a flag check plus
+//!   a slot write; with the `trace` feature off it compiles to nothing.
+//! * [`Registry`] — named counters, gauges, and [`Log2Histogram`]s with
+//!   a [`Snapshot`] diff API, plus a bridge surfacing `sim`'s
+//!   [`sb_sim::Pmu`] counters per run.
+//! * [`phase::attribute`] — folds a recorded run's spans into a
+//!   trampoline / switch / marshal / queue-wait / handler cycle
+//!   breakdown ([`PhaseProfile`]), a software Figure 7.
+//! * [`export::chrome_trace`] — Chrome trace-event JSON loadable in
+//!   Perfetto, with explicit truncation accounting when a ring
+//!   overwrote events.
+//!
+//! The crate depends only on `sb-sim`, so every layer of the stack —
+//! transports, the SkyBridge core, the dispatcher, the chaos harness —
+//! can hold a [`Recorder`] clone without dependency cycles.
+
+pub mod export;
+pub mod hist;
+pub mod metrics;
+pub mod phase;
+pub mod ring;
+
+pub use export::{chrome_trace, validate_json, validate_recorder_nesting, ChromeTrace};
+pub use hist::{Log2Histogram, HIST_RELATIVE_ERROR};
+pub use metrics::{HistSummary, Registry, Snapshot};
+pub use phase::{attribute, validate_nesting, PhaseProfile};
+pub use ring::{
+    Event, EventKind, EventRing, FaultCounts, FaultEvent, FaultStage, InstantKind, Recorder,
+    SpanKind, DEFAULT_RING_CAPACITY,
+};

@@ -12,6 +12,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use sb_faultplane::{FaultHandle, FaultPoint};
+use sb_observe::{InstantKind, Recorder, SpanKind};
 use sb_sim::Cycles;
 use sb_transport::{CallError, Request, Transport};
 
@@ -64,6 +65,13 @@ pub struct RuntimeConfig {
     /// The chaos fault plane, for injected queue-deadline storms. `None`
     /// (the default) never injects.
     pub faults: Option<FaultHandle>,
+    /// Trace recorder. The default is off (every emit site reduces to a
+    /// flag check); pass `Recorder::new(..)` to trace a run. The
+    /// dispatcher attaches it to the transport on construction, emits
+    /// queue-wait spans on the serving lane, and admission/shed/retry
+    /// instants on pseudo-lane `transport.lanes()` (the queue itself has
+    /// no core).
+    pub recorder: Recorder,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +82,7 @@ impl Default for RuntimeConfig {
             queue_deadline: None,
             retry: None,
             faults: None,
+            recorder: Recorder::off(),
         }
     }
 }
@@ -89,9 +98,12 @@ pub struct ServerRuntime<'a, T: Transport + ?Sized> {
 }
 
 impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
-    /// Wraps `transport` with the dispatcher configuration.
+    /// Wraps `transport` with the dispatcher configuration, handing the
+    /// configured recorder down so call-path spans and dispatcher events
+    /// land in the same trace.
     pub fn new(transport: &'a mut T, cfg: RuntimeConfig) -> Self {
         assert!(transport.lanes() > 0);
+        transport.attach_recorder(cfg.recorder.clone());
         ServerRuntime {
             transport,
             cfg,
@@ -163,11 +175,21 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
         self.transport.wait_until(l, req.arrival);
         let start = self.transport.now(l);
         let client = req.client;
+        if start > req.arrival {
+            // Time between arrival and service start is queueing delay —
+            // recorded against the serving lane, outside the call span.
+            self.cfg
+                .recorder
+                .span(l, SpanKind::QueueWait, req.arrival, start, req.id);
+        }
         let past_deadline = self
             .effective_deadline(req.arrival)
             .is_some_and(|d| start - req.arrival > d);
         if past_deadline {
             stats.shed_deadline += 1;
+            self.cfg
+                .recorder
+                .instant(l, InstantKind::ShedDeadline, start, req.id);
         } else {
             match self.call_with_retries(l, &req, stats) {
                 Ok(()) => {
@@ -213,11 +235,22 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
             if let CallError::Failed(_) = last {
                 if self.transport.recover(l) {
                     stats.recoveries += 1;
+                    let t = self.transport.now(l);
+                    self.cfg
+                        .recorder
+                        .instant(l, InstantKind::Recovery, t, req.id);
                 }
             }
             let backoff = policy.backoff_base << attempt.min(32);
             let t = self.transport.now(l);
             self.transport.wait_until(l, t.saturating_add(backoff));
+            let woke = self.transport.now(l);
+            self.cfg
+                .recorder
+                .span(l, SpanKind::Backoff, t, woke, req.id);
+            self.cfg
+                .recorder
+                .instant(l, InstantKind::Retry, woke, req.id);
             stats.retries += 1;
             match self.transport.call(l, req) {
                 Ok(_) => return Ok(()),
@@ -260,6 +293,14 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
         match self.cfg.policy {
             AdmissionPolicy::Shed => {
                 stats.shed_queue_full += 1;
+                if let Some(r) = req.as_ref() {
+                    self.cfg.recorder.instant(
+                        self.transport.lanes(),
+                        InstantKind::ShedQueueFull,
+                        r.arrival,
+                        r.id,
+                    );
+                }
                 *req = None;
                 true
             }
@@ -282,6 +323,19 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                 false
             }
         }
+    }
+
+    /// Queues `req`, stamping the admission on the dispatcher's
+    /// pseudo-lane (`transport.lanes()` — the queue has no core of its
+    /// own).
+    fn admit(&mut self, queue: &mut DispatchQueue, req: Request) {
+        self.cfg.recorder.instant(
+            self.transport.lanes(),
+            InstantKind::QueueAdmit,
+            req.arrival,
+            req.id,
+        );
+        queue.push(req);
     }
 
     /// The instant the server is ready: the latest lane clock. Transport
@@ -324,9 +378,11 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                 if self.admit_full(&mut queue, &mut req, &mut stats, &mut completions) {
                     continue;
                 }
-                queue.push(req.take().expect("not consumed"));
+                let r = req.take().expect("not consumed");
+                self.admit(&mut queue, r);
             } else {
-                queue.push(factory.make(t, None));
+                let r = factory.make(t, None);
+                self.admit(&mut queue, r);
             }
             stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
         }
@@ -399,9 +455,11 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                     }
                     continue;
                 }
-                queue.push(req.take().expect("not consumed"));
+                let r = req.take().expect("not consumed");
+                self.admit(&mut queue, r);
             } else {
-                queue.push(factory.make(t, Some(c)));
+                let r = factory.make(t, Some(c));
+                self.admit(&mut queue, r);
             }
             stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
         }

@@ -36,6 +36,7 @@ pub mod sky;
 pub mod stats;
 pub mod trap;
 
+pub use sb_observe::Recorder;
 pub use sb_transport::{CallError, Faulty, FixedServiceTransport, Request, Transport};
 
 pub use crate::{
@@ -44,6 +45,6 @@ pub use crate::{
     queue::AdmissionPolicy,
     service::ServiceSpec,
     sky::SkyBridgeTransport,
-    stats::RunStats,
+    stats::{LatencyTrack, RunStats, EXACT_LATENCY_CAP},
     trap::TrapIpcTransport,
 };

@@ -19,6 +19,7 @@
 use sb_faultplane::FaultHandle;
 use sb_mem::PAGE_SIZE;
 use sb_microkernel::{Kernel, KernelConfig, Personality, ThreadId};
+use sb_observe::{Recorder, SpanKind};
 use sb_rewriter::corpus;
 use sb_sim::Cycles;
 use sb_transport::{
@@ -44,6 +45,7 @@ pub struct SkyBridgeTransport {
     lanes: Vec<Lane>,
     meter: CopyMeter,
     label: String,
+    recorder: Recorder,
 }
 
 impl SkyBridgeTransport {
@@ -111,6 +113,7 @@ impl SkyBridgeTransport {
             bound,
             meter: CopyMeter::new(),
             label: "skybridge".to_string(),
+            recorder: Recorder::off(),
         }
     }
 
@@ -187,13 +190,17 @@ impl Transport for SkyBridgeTransport {
         // lane's staging buffer. The header's small args ride the
         // register image (the trampoline's registers); the payload is
         // written once into the shared buffer and served in place.
+        self.recorder
+            .begin(lane, SpanKind::Call, self.k.machine.cpu(lane).tsc, req.id);
         let deadline = self.sb.timeout.map_or(0, |t| req.arrival.saturating_add(t));
         self.lanes[lane].encode(req, deadline, &self.meter);
         let payload = self.lanes[lane].reply();
-        match self
-            .sb
-            .direct_server_call_raw(&mut self.k, self.clients[lane], self.server, payload)
-        {
+        let out = match self.sb.direct_server_call_raw(
+            &mut self.k,
+            self.clients[lane],
+            self.server,
+            payload,
+        ) {
             // Echo served in place: the reply is the lane's payload half.
             Ok((None, _)) => Ok(payload.len()),
             Ok((Some(v), _)) => {
@@ -206,7 +213,10 @@ impl Transport for SkyBridgeTransport {
             }
             Err(SbError::Timeout { elapsed, .. }) => Err(CallError::Timeout { elapsed }),
             Err(e) => Err(CallError::Failed(e.to_string())),
-        }
+        };
+        self.recorder
+            .end(lane, SpanKind::Call, self.k.machine.cpu(lane).tsc, req.id);
+        out
     }
 
     fn reply(&self, lane: usize) -> &[u8] {
@@ -234,6 +244,13 @@ impl Transport for SkyBridgeTransport {
 
     fn bytes_copied(&self) -> u64 {
         self.meter.total()
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        // The facility emits the interior phase spans (trampoline /
+        // switch / handler); the transport wraps them in the Call span.
+        self.sb.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 }
 

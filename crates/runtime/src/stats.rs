@@ -1,6 +1,90 @@
 //! Run statistics: latency percentiles, throughput, shedding, utilization.
 
+use sb_observe::Log2Histogram;
 use sb_sim::Cycles;
+
+/// How many latency samples [`LatencyTrack`] keeps verbatim before
+/// percentiles switch to the bounded histogram.
+pub const EXACT_LATENCY_CAP: usize = 1 << 16;
+
+/// Completed-request latencies with bounded memory.
+///
+/// The first [`EXACT_LATENCY_CAP`] samples are kept verbatim, so short
+/// runs (every test, most benches) read *exact* percentiles. Every
+/// sample additionally lands in a log₂ histogram with exact
+/// count/sum/min/max; once a run outgrows the cap, percentiles come
+/// from the histogram instead — worst-case relative error
+/// [`sb_observe::HIST_RELATIVE_ERROR`] (1/16 ≈ 6.25%, one sub-bucket) —
+/// and memory stays fixed no matter how long the run is. The mean is
+/// exact in both modes.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyTrack {
+    exact: Vec<Cycles>,
+    hist: Log2Histogram,
+}
+
+impl LatencyTrack {
+    /// Records one latency sample.
+    pub fn push(&mut self, v: Cycles) {
+        if self.exact.len() < EXACT_LATENCY_CAP {
+            self.exact.push(v);
+        }
+        self.hist.record(v);
+    }
+
+    /// Samples recorded (all of them, not just the exact prefix).
+    pub fn len(&self) -> usize {
+        self.hist.count() as usize
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hist.is_empty()
+    }
+
+    /// Whether percentiles are exact (the run fit the verbatim cap).
+    pub fn is_exact(&self) -> bool {
+        self.hist.count() as usize <= self.exact.len()
+    }
+
+    /// Sorts the exact prefix; call once before reading percentiles.
+    pub fn seal(&mut self) {
+        self.exact.sort_unstable();
+    }
+
+    /// Nearest-rank percentile. `p` is clamped into `[0, 100]` (NaN
+    /// reads as 0); 0 when empty, the sole sample when `len() == 1`.
+    /// Exact below the cap, histogram-resolved (≤ 6.25% high) above it.
+    pub fn percentile(&self, p: f64) -> Cycles {
+        if !self.is_exact() {
+            return self.hist.percentile(p);
+        }
+        let n = self.exact.len();
+        match n {
+            0 => return 0,
+            1 => return self.exact[0],
+            _ => {}
+        }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
+        let rank = ((p / 100.0) * (n - 1) as f64).round() as usize;
+        self.exact[rank.min(n - 1)]
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.hist.mean()
+    }
+}
+
+impl From<Vec<Cycles>> for LatencyTrack {
+    fn from(v: Vec<Cycles>) -> Self {
+        let mut t = LatencyTrack::default();
+        for x in v {
+            t.push(x);
+        }
+        t
+    }
+}
 
 /// Everything one runtime run measured. Latencies are client-observed:
 /// service completion minus arrival, so queueing delay is included.
@@ -39,9 +123,10 @@ pub struct RunStats {
     pub max_queue_depth: usize,
     /// Busy (serving) cycles per lane.
     pub busy: Vec<Cycles>,
-    /// Completed-request latencies, sorted ascending once the run is
-    /// sealed by the dispatcher.
-    pub latencies: Vec<Cycles>,
+    /// Completed-request latencies (exact up to [`EXACT_LATENCY_CAP`]
+    /// samples, bounded histogram beyond), sealed once by the
+    /// dispatcher at end of run.
+    pub latencies: LatencyTrack,
 }
 
 impl RunStats {
@@ -63,14 +148,14 @@ impl RunStats {
             end: 0,
             max_queue_depth: 0,
             busy: vec![0; workers],
-            latencies: Vec::new(),
+            latencies: LatencyTrack::default(),
         }
     }
 
     /// Sorts latencies; the dispatcher calls this once at the end of a
     /// run, before percentiles are read.
     pub fn seal(&mut self) {
-        self.latencies.sort_unstable();
+        self.latencies.seal();
     }
 
     /// Requests shed for any reason (queue-full plus deadline).
@@ -80,17 +165,11 @@ impl RunStats {
 
     /// The `p`-th latency percentile. `p` is clamped into `[0, 100]`
     /// (a NaN reads as 0); returns 0 when nothing completed, and the
-    /// sole sample when exactly one request completed.
+    /// sole sample when exactly one request completed. Exact for runs
+    /// within [`EXACT_LATENCY_CAP`] completions, histogram-resolved
+    /// (within one log₂ sub-bucket, ≤ 6.25%) beyond.
     pub fn percentile(&self, p: f64) -> Cycles {
-        let n = self.latencies.len();
-        match n {
-            0 => return 0,
-            1 => return self.latencies[0],
-            _ => {}
-        }
-        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
-        let rank = ((p / 100.0) * (n - 1) as f64).round() as usize;
-        self.latencies[rank.min(n - 1)]
+        self.latencies.percentile(p)
     }
 
     /// Median latency.
@@ -108,12 +187,9 @@ impl RunStats {
         self.percentile(99.0)
     }
 
-    /// Mean latency.
+    /// Mean latency (exact in both latency-track modes).
     pub fn mean(&self) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        self.latencies.iter().sum::<Cycles>() as f64 / self.latencies.len() as f64
+        self.latencies.mean()
     }
 
     /// The measured run window in cycles.
@@ -152,7 +228,7 @@ mod tests {
     #[test]
     fn percentiles_on_known_data() {
         let mut s = RunStats::new("t", 1);
-        s.latencies = (0..100).rev().collect();
+        s.latencies = (0..100).rev().collect::<Vec<Cycles>>().into();
         s.completed = 100;
         s.seal();
         assert_eq!(s.p50(), 50);
@@ -175,7 +251,7 @@ mod tests {
     #[test]
     fn single_sample_is_every_percentile() {
         let mut s = RunStats::new("t", 1);
-        s.latencies = vec![42];
+        s.latencies = vec![42].into();
         s.completed = 1;
         s.seal();
         for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
@@ -187,11 +263,54 @@ mod tests {
     #[test]
     fn out_of_range_percentiles_clamp() {
         let mut s = RunStats::new("t", 1);
-        s.latencies = vec![1, 2, 3, 4, 5];
+        s.latencies = vec![1, 2, 3, 4, 5].into();
         s.seal();
         assert_eq!(s.percentile(-10.0), 1, "below 0 clamps to the minimum");
         assert_eq!(s.percentile(250.0), 5, "above 100 clamps to the maximum");
         assert_eq!(s.percentile(f64::NAN), 1, "NaN reads as the minimum");
+    }
+
+    #[test]
+    fn latency_track_degrades_gracefully_past_the_cap() {
+        use sb_observe::HIST_RELATIVE_ERROR;
+
+        let mut t = LatencyTrack::default();
+        let n = EXACT_LATENCY_CAP + 10_000;
+        let mut exact: Vec<Cycles> = Vec::with_capacity(n);
+        let mut v: u64 = 5;
+        for _ in 0..n {
+            t.push(v);
+            exact.push(v);
+            v = (v * 48_271) % 2_147_483_647; // Lehmer stream, wide range.
+        }
+        t.seal();
+        exact.sort_unstable();
+        assert!(!t.is_exact(), "past the cap the track is histogram-only");
+        assert_eq!(t.len(), n, "the count still sees every sample");
+        let truth_mean = exact.iter().sum::<Cycles>() as f64 / n as f64;
+        assert!((t.mean() - truth_mean).abs() < 1e-6, "mean stays exact");
+        for p in [50.0, 95.0, 99.0] {
+            let rank = ((p / 100.0) * (n - 1) as f64).round() as usize;
+            let truth = exact[rank] as f64;
+            let got = t.percentile(p) as f64;
+            assert!(
+                (got - truth).abs() / truth <= HIST_RELATIVE_ERROR + 1e-12,
+                "p{p}: {got} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_track_is_exact_under_the_cap() {
+        let mut t = LatencyTrack::default();
+        for v in [30u64, 10, 20] {
+            t.push(v);
+        }
+        t.seal();
+        assert!(t.is_exact());
+        assert_eq!(t.percentile(0.0), 10);
+        assert_eq!(t.percentile(50.0), 20);
+        assert_eq!(t.percentile(100.0), 30);
     }
 
     #[test]

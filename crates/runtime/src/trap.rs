@@ -16,6 +16,7 @@
 
 use sb_mem::{walk::Access, PAGE_SIZE};
 use sb_microkernel::{layout, Kernel, KernelConfig, Personality, ThreadId};
+use sb_observe::{Recorder, SpanKind};
 use sb_rewriter::corpus;
 use sb_sim::Cycles;
 use sb_transport::{
@@ -43,6 +44,7 @@ pub struct TrapIpcTransport {
     records: u64,
     footprint: usize,
     label: String,
+    recorder: Recorder,
 }
 
 impl TrapIpcTransport {
@@ -88,28 +90,14 @@ impl TrapIpcTransport {
             records: spec.records.max(1),
             footprint: spec.footprint,
             label,
+            recorder: Recorder::off(),
         }
     }
-}
 
-impl Transport for TrapIpcTransport {
-    fn label(&self) -> &str {
-        &self.label
-    }
-
-    fn lanes(&self) -> usize {
-        self.workers.len()
-    }
-
-    fn now(&mut self, lane: usize) -> Cycles {
-        self.k.machine.cpu(lane).tsc
-    }
-
-    fn wait_until(&mut self, lane: usize, time: Cycles) {
-        self.k.machine.wait_until(lane, time);
-    }
-
-    fn call(&mut self, lane: usize, req: &Request) -> Result<usize, CallError> {
+    /// The instrumented call body. Phase spans are emitted post-hoc (a
+    /// complete span only once its section finished), so an error `?`
+    /// simply leaves that section's span out — never half-open.
+    fn call_inner(&mut self, lane: usize, req: &Request) -> Result<usize, CallError> {
         let TrapWorker {
             client,
             server,
@@ -120,6 +108,7 @@ impl Transport for TrapIpcTransport {
         // One marshalling write per call: the full wire image into the
         // lane's staging buffer (kernel IPC has no register channel, so
         // the header travels in the message too).
+        let t0 = self.k.machine.cpu(lane).tsc;
         let wire_len = {
             let wire = self.lanes[lane].encode(req, 0, &self.meter);
             let k = &mut self.k;
@@ -130,14 +119,32 @@ impl Transport for TrapIpcTransport {
                 .map_err(|e| fail(e.to_string()))?;
             wire.len()
         };
-        let k = &mut self.k;
-        k.ipc_call(client, cap, wire_len)
+        self.recorder.span(
+            lane,
+            SpanKind::Marshal,
+            t0,
+            self.k.machine.cpu(lane).tsc,
+            req.id,
+        );
+
+        let t0 = self.k.machine.cpu(lane).tsc;
+        self.k
+            .ipc_call(client, cap, wire_len)
             .map_err(|e| fail(format!("{e:?}")))?;
+        self.recorder.span(
+            lane,
+            SpanKind::KernelIpc,
+            t0,
+            self.k.machine.cpu(lane).tsc,
+            req.id,
+        );
 
         // Server side (the server thread is now current on this core):
         // fetch the handler's code, parse the message in place — the
         // bytes already sit in the lane's staging image, so the server
         // read is charge-only — touch the record, compute.
+        let t0 = self.k.machine.cpu(lane).tsc;
+        let k = &mut self.k;
         let server_buf = k.threads[server].msg_buf;
         k.user_exec(server, layout::CODE_BASE, self.footprint)
             .map_err(|e| fail(e.to_string()))?;
@@ -160,17 +167,72 @@ impl Transport for TrapIpcTransport {
         // client's read-back are charge-only.
         k.user_touch(server, server_buf, wire_len, Access::Write)
             .map_err(|e| fail(e.to_string()))?;
-        k.ipc_reply(server, client, wire_len)
+        let reply_len = payload.len();
+        self.recorder.span(
+            lane,
+            SpanKind::Handler,
+            t0,
+            self.k.machine.cpu(lane).tsc,
+            req.id,
+        );
+
+        let t0 = self.k.machine.cpu(lane).tsc;
+        self.k
+            .ipc_reply(server, client, wire_len)
             .map_err(|e| fail(format!("{e:?}")))?;
-        let client_buf = k.threads[client].msg_buf;
-        k.user_touch(
-            client,
-            client_buf.add(WIRE_HEADER_LEN as u64),
-            payload.len(),
-            Access::Read,
-        )
-        .map_err(|e| fail(e.to_string()))?;
-        Ok(payload.len())
+        self.recorder.span(
+            lane,
+            SpanKind::KernelIpc,
+            t0,
+            self.k.machine.cpu(lane).tsc,
+            req.id,
+        );
+
+        let t0 = self.k.machine.cpu(lane).tsc;
+        let client_buf = self.k.threads[client].msg_buf;
+        self.k
+            .user_touch(
+                client,
+                client_buf.add(WIRE_HEADER_LEN as u64),
+                reply_len,
+                Access::Read,
+            )
+            .map_err(|e| fail(e.to_string()))?;
+        self.recorder.span(
+            lane,
+            SpanKind::Marshal,
+            t0,
+            self.k.machine.cpu(lane).tsc,
+            req.id,
+        );
+        Ok(reply_len)
+    }
+}
+
+impl Transport for TrapIpcTransport {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn lanes(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn now(&mut self, lane: usize) -> Cycles {
+        self.k.machine.cpu(lane).tsc
+    }
+
+    fn wait_until(&mut self, lane: usize, time: Cycles) {
+        self.k.machine.wait_until(lane, time);
+    }
+
+    fn call(&mut self, lane: usize, req: &Request) -> Result<usize, CallError> {
+        self.recorder
+            .begin(lane, SpanKind::Call, self.k.machine.cpu(lane).tsc, req.id);
+        let out = self.call_inner(lane, req);
+        self.recorder
+            .end(lane, SpanKind::Call, self.k.machine.cpu(lane).tsc, req.id);
+        out
     }
 
     fn reply(&self, lane: usize) -> &[u8] {
@@ -200,6 +262,10 @@ impl Transport for TrapIpcTransport {
 
     fn bytes_copied(&self) -> u64 {
         self.meter.total()
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 }
 

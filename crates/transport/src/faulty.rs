@@ -120,6 +120,10 @@ impl<T: Transport> Transport for Faulty<T> {
     fn bytes_copied(&self) -> u64 {
         self.inner.bytes_copied()
     }
+
+    fn attach_recorder(&mut self, recorder: sb_observe::Recorder) {
+        self.inner.attach_recorder(recorder);
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! Zircon kernel IPC) differ only in how `call` crosses the protection
 //! boundary — never in marshalling, buffer handling or accounting.
 
+use sb_observe::{Recorder, SpanKind};
 use sb_sim::Cycles;
 
 use crate::wire::Request;
@@ -76,6 +77,12 @@ pub trait Transport {
     fn bytes_copied(&self) -> u64 {
         0
     }
+
+    /// Hands the transport a [`Recorder`] to emit trace events into
+    /// (lane `n` of the transport maps to recorder lane `n`). The
+    /// default ignores it — a transport without instrumentation still
+    /// satisfies the trait.
+    fn attach_recorder(&mut self, _recorder: Recorder) {}
 }
 
 /// A synthetic transport with a constant service time and no kernel
@@ -88,6 +95,7 @@ pub struct FixedServiceTransport {
     meter: crate::wire::CopyMeter,
     service: Cycles,
     label: String,
+    recorder: Recorder,
 }
 
 impl FixedServiceTransport {
@@ -101,6 +109,7 @@ impl FixedServiceTransport {
             meter: crate::wire::CopyMeter::new(),
             service,
             label: format!("fixed:{service}"),
+            recorder: Recorder::off(),
         }
     }
 }
@@ -124,8 +133,11 @@ impl Transport for FixedServiceTransport {
     }
 
     fn call(&mut self, lane: usize, req: &Request) -> Result<usize, CallError> {
+        let t0 = self.clocks[lane];
         self.lanes[lane].encode(req, 0, &self.meter);
         self.clocks[lane] += self.service;
+        self.recorder
+            .span(lane, SpanKind::Call, t0, self.clocks[lane], req.id);
         Ok(self.lanes[lane].reply().len())
     }
 
@@ -135,6 +147,10 @@ impl Transport for FixedServiceTransport {
 
     fn bytes_copied(&self) -> u64 {
         self.meter.total()
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 }
 

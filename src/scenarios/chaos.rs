@@ -20,8 +20,9 @@
 //! torn writes, power loss) and checks the committed-prefix property
 //! across the remount.
 
-use sb_faultplane::{FaultHandle, FaultMix, FaultPoint, FaultReport};
+use sb_faultplane::{FaultHandle, FaultMix, FaultObserver, FaultPoint, FaultReport, FaultStage};
 use sb_fs::{log::Log, BlockDevice, FaultyDisk, RamDisk, BSIZE};
+use sb_observe::{FaultCounts, Recorder, DEFAULT_RING_CAPACITY};
 use sb_runtime::{
     Faulty, PoissonArrivals, RequestFactory, RetryPolicy, RunStats, RuntimeConfig, ServerRuntime,
     SkyBridgeTransport, Transport, TrapIpcTransport,
@@ -64,6 +65,11 @@ pub struct ChaosOutcome {
     pub stats: RunStats,
     /// The fault ledger roll-up. The suite asserts `report.leaked() == 0`.
     pub report: FaultReport,
+    /// The trace-side fault counters: every ledger transition is
+    /// mirrored into the cell's recorder through the observer bridge, so
+    /// these must agree with [`ChaosOutcome::report`] exactly — the
+    /// two-source zero-leak check.
+    pub trace: FaultCounts,
 }
 
 impl ChaosOutcome {
@@ -72,6 +78,16 @@ impl ChaosOutcome {
     pub fn conserved(&self) -> bool {
         let s = &self.stats;
         s.offered == s.completed + s.shed_queue_full + s.shed_deadline + s.timed_out + s.failed
+    }
+
+    /// The two-source check: the trace stream's fault counters must
+    /// equal the ledger roll-up stage by stage. The ledger and the
+    /// recorder count independently (flag flips vs observer events), so
+    /// agreement means no transition was dropped by either side.
+    pub fn trace_matches_ledger(&self) -> bool {
+        self.trace.injected() == self.report.injected()
+            && self.trace.detected == self.report.detected()
+            && self.trace.recovered == self.report.recovered()
     }
 }
 
@@ -82,6 +98,26 @@ pub fn run_chaos_cell(backend: &Backend, seed: u64, mix: &FaultMix, requests: u6
     let mut spec = scenario.service_spec();
     spec.timeout = Some(HANG_BUDGET);
     let faults = FaultHandle::new(seed, mix.clone());
+
+    // The cell runs with tracing on: phase spans from the transport,
+    // queue events from the dispatcher, and — through the observer
+    // bridge — one trace event per ledger transition, counted
+    // independently of the ledger for the two-source check.
+    let recorder = Recorder::new(DEFAULT_RING_CAPACITY);
+    {
+        let rec = recorder.clone();
+        faults.set_observer(FaultObserver::new(move |point, stage| {
+            rec.fault(
+                point.name(),
+                match stage {
+                    FaultStage::Fired => sb_observe::FaultStage::Fired,
+                    FaultStage::Rescinded => sb_observe::FaultStage::Rescinded,
+                    FaultStage::Detected => sb_observe::FaultStage::Detected,
+                    FaultStage::Recovered => sb_observe::FaultStage::Recovered,
+                },
+            );
+        }));
+    }
 
     // Transports inject from the shared plane — the SkyBridge transport
     // from inside the facility, the trap transports through the
@@ -106,6 +142,7 @@ pub fn run_chaos_cell(backend: &Backend, seed: u64, mix: &FaultMix, requests: u6
         queue_deadline: Some(4_000_000),
         retry: Some(RetryPolicy::default()),
         faults: Some(faults.clone()),
+        recorder: recorder.clone(),
         ..RuntimeConfig::default()
     };
     let mut factory = RequestFactory::new(scenario.workload(), scenario.payload());
@@ -135,6 +172,7 @@ pub fn run_chaos_cell(backend: &Backend, seed: u64, mix: &FaultMix, requests: u6
     ChaosOutcome {
         stats,
         report: faults.report(),
+        trace: recorder.fault_counts(),
     }
 }
 
@@ -244,6 +282,12 @@ mod tests {
         let out = run_chaos_cell(&Backend::SkyBridge, 0xc0de_0001, &FaultMix::crashes(), 120);
         assert!(out.conserved(), "{:?}", out.stats);
         assert_eq!(out.report.leaked(), 0, "{}", out.report);
+        assert!(
+            out.trace_matches_ledger(),
+            "trace {:?} disagrees with ledger {}",
+            out.trace,
+            out.report
+        );
         assert!(out.stats.completed > 0);
     }
 

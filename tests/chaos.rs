@@ -36,6 +36,12 @@ fn chaos_matrix_conserves_and_leaks_nothing() {
                     out.report
                 );
                 assert!(
+                    out.trace_matches_ledger(),
+                    "{label}: trace counters {:?} disagree with the ledger {}",
+                    out.trace,
+                    out.report
+                );
+                assert!(
                     out.stats.completed > 0,
                     "{label}: the run must still make progress"
                 );

@@ -1,0 +1,176 @@
+//! Observability integration: the trace stream every transport emits
+//! must be *well-formed* (spans nest, exports parse) and *truthful*
+//! (phase cycles live inside the calls they describe, queue events match
+//! the dispatcher's accounting, ring overwrite is surfaced — never
+//! silent).
+
+use proptest::prelude::*;
+use sb_observe::{
+    attribute, chrome_trace, validate_json, validate_recorder_nesting, EventKind, InstantKind,
+    Recorder, SpanKind,
+};
+use sb_runtime::{Request, RuntimeConfig};
+use skybridge_repro::scenarios::runtime::{build_backend, Backend, ServingScenario};
+
+fn req(id: u64, key: u64, write: bool) -> Request {
+    Request {
+        id,
+        arrival: 0,
+        key,
+        write,
+        payload: 64,
+        client: None,
+    }
+}
+
+/// Drives `calls` requests straight at `backend`'s transport (no
+/// dispatcher) with tracing on and returns the recorder.
+fn trace_calls(backend: &Backend, lanes: usize, keys: &[u64]) -> Recorder {
+    let recorder = Recorder::new(1 << 14);
+    let mut t = build_backend(ServingScenario::Kv, backend, lanes);
+    t.attach_recorder(recorder.clone());
+    for (i, &k) in keys.iter().enumerate() {
+        let lane = i % lanes;
+        t.call(lane, &req(i as u64, k, k % 2 == 0)).unwrap();
+    }
+    recorder
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Span nesting is well-formed on every personality for arbitrary
+    /// key sequences: every End matches the innermost open Begin of its
+    /// kind and no span is left open once the lane goes idle.
+    #[test]
+    fn spans_nest_on_every_personality(
+        keys in proptest::collection::vec(0u64..10_000, 1..24),
+    ) {
+        for backend in Backend::all() {
+            let rec = trace_calls(&backend, 2, &keys);
+            let spans = validate_recorder_nesting(&rec)
+                .unwrap_or_else(|e| panic!("{}: {e}", backend.label()));
+            prop_assert!(
+                spans >= keys.len() as u64,
+                "{}: at least one span per call, got {spans} for {} calls",
+                backend.label(),
+                keys.len()
+            );
+        }
+    }
+}
+
+/// Phase attribution tells the truth: every personality's attributed
+/// phase cycles sit inside the Call spans that contain them, and the
+/// phases the paper's Figure 7 decomposes (trampoline / switch / handler
+/// for SkyBridge, kernel IPC for the traps) actually show up.
+#[test]
+fn phases_fit_inside_their_calls() {
+    let keys: Vec<u64> = (0..32).collect();
+    for backend in Backend::all() {
+        let rec = trace_calls(&backend, 1, &keys);
+        let by_lane: Vec<_> = (0..rec.lane_count()).map(|l| rec.events(l)).collect();
+        let prof = attribute(&by_lane);
+        let label = backend.label();
+        assert_eq!(
+            prof.calls,
+            keys.len() as u64,
+            "{label}: one Call span per call"
+        );
+        assert_eq!(prof.unmatched, 0, "{label}: no dangling begin/end");
+        assert_eq!(
+            prof.in_call_total(),
+            prof.end_to_end,
+            "{label}: in-call phase self-times must decompose end-to-end exactly"
+        );
+        match backend {
+            Backend::SkyBridge => {
+                for k in [SpanKind::Trampoline, SpanKind::Switch, SpanKind::Handler] {
+                    assert!(prof.get(k) > 0, "{label}: {} cycles missing", k.name());
+                }
+            }
+            Backend::Trap(_) => {
+                for k in [SpanKind::KernelIpc, SpanKind::Marshal, SpanKind::Handler] {
+                    assert!(prof.get(k) > 0, "{label}: {} cycles missing", k.name());
+                }
+            }
+        }
+    }
+}
+
+/// A dispatcher run under tracing emits the queue-side events — one
+/// admit instant per queued arrival on the queue's pseudo-lane — and the
+/// whole stream still exports as valid, well-nested Chrome trace JSON.
+#[test]
+fn dispatcher_runs_export_clean_traces() {
+    let recorder = Recorder::new(1 << 15);
+    let cfg = RuntimeConfig {
+        queue_capacity: 32,
+        recorder: recorder.clone(),
+        ..RuntimeConfig::default()
+    };
+    let stats = skybridge_repro::scenarios::runtime::run_open_loop(
+        ServingScenario::Kv,
+        &Backend::SkyBridge,
+        2,
+        cfg,
+        9_000.0,
+        160,
+        0x000b_5e41,
+    );
+    assert!(stats.completed > 0);
+
+    validate_recorder_nesting(&recorder).expect("dispatcher trace must nest");
+    let pseudo = 2; // Queue events land on lane index `transport.lanes()`.
+    let admits = recorder
+        .events(pseudo)
+        .iter()
+        .filter(|e| e.kind == EventKind::Instant(InstantKind::QueueAdmit))
+        .count() as u64;
+    assert_eq!(
+        admits,
+        stats.offered - stats.shed_queue_full,
+        "one admit instant per queued arrival"
+    );
+
+    let trace = chrome_trace(&recorder);
+    assert!(!trace.truncated, "this run fits the ring");
+    assert!(trace.events > 0);
+    assert_eq!(trace.unmatched, 0);
+    validate_json(&trace.json).expect("chrome trace must be valid JSON");
+}
+
+/// Ring overwrite is loud, not silent: a deliberately tiny ring drops
+/// events, the recorder's drop counter sees them, and the export both
+/// flags the truncation and still produces valid JSON.
+#[test]
+fn ring_overwrite_is_surfaced_by_the_export() {
+    let recorder = Recorder::new(64);
+    let mut t = build_backend(ServingScenario::Kv, &Backend::SkyBridge, 1);
+    t.attach_recorder(recorder.clone());
+    for i in 0..200u64 {
+        t.call(0, &req(i, i, i % 2 == 0)).unwrap();
+    }
+    assert!(
+        recorder.dropped() > 0,
+        "200 calls must overflow a 64-slot ring"
+    );
+    let trace = chrome_trace(&recorder);
+    assert!(trace.truncated, "the export must admit it lost events");
+    assert_eq!(trace.dropped, recorder.dropped());
+    validate_json(&trace.json).expect("a truncated trace is still valid JSON");
+}
+
+/// A disabled recorder attached to a transport records nothing — the
+/// always-on hooks really are free to turn off.
+#[test]
+fn disabled_recorder_records_nothing() {
+    let recorder = Recorder::off();
+    let mut t = build_backend(ServingScenario::Kv, &Backend::SkyBridge, 1);
+    t.attach_recorder(recorder.clone());
+    for i in 0..8u64 {
+        t.call(0, &req(i, i, false)).unwrap();
+    }
+    assert_eq!(recorder.recorded(), 0);
+    assert_eq!(recorder.dropped(), 0);
+}
