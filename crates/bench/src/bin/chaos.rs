@@ -1,13 +1,16 @@
 //! The chaos sweep: seeds × fault mixes × IPC personalities, plus the
-//! file-system crash cells.
+//! file-system crash cells and the flight-recorder drill.
 //!
 //! Every serving cell is one open-loop run with retry-with-backoff and
 //! transport recovery enabled, faults injected per a seeded
 //! `sb_faultplane::FaultMix`; the bin prints the per-cell fault ledger
 //! (injected / detected / recovered / leaked) next to the serving
-//! outcome, and writes everything to `results/chaos.json`. A non-zero
-//! leak count anywhere is a failure — the process exits non-zero so CI
-//! can gate on it.
+//! outcome, and writes everything to `results/chaos.json`. Cells run
+//! with the sentinel armed: an unrecovered fault or SLO breach must
+//! produce a postmortem bundle under `results/postmortem/`, and the
+//! drill cell proves the recorder fires end-to-end by leaking a fault on
+//! purpose. The process exits non-zero on any leak, on an incident
+//! without a bundle, or on a drill bundle that fails schema validation.
 //!
 //! Knobs: `SB_CHAOS_SEEDS` (seeds per cell, default 3), `SB_REQUESTS`
 //! (arrivals per serving cell, default 400), `SB_FS_SEEDS` (seeds per FS
@@ -15,18 +18,24 @@
 
 use sb_bench::{
     knob, print_table,
-    report::{chaos_outcome_json, fs_chaos_json, write_json, Json},
+    report::{chaos_outcome_json, fs_chaos_json, results_dir, write_json, Json},
 };
-use skybridge_repro::scenarios::chaos::{fs_mixes, run_chaos_cell, run_fs_chaos, serving_mixes};
+use sb_sentinel::PostmortemSpec;
+use skybridge_repro::scenarios::chaos::{
+    fs_mixes, run_chaos_cell_watched, run_fs_chaos, run_postmortem_drill, serving_mixes,
+};
 use skybridge_repro::scenarios::runtime::Backend;
 
 fn main() {
     let seeds = knob("SB_CHAOS_SEEDS", 3) as u64;
     let requests = knob("SB_REQUESTS", 400) as u64;
     let fs_seeds = knob("SB_FS_SEEDS", 64) as u64;
+    let flight = PostmortemSpec::in_dir(results_dir().join("postmortem"));
 
     let mut json_rows: Vec<Json> = Vec::new();
     let mut leaked_total = 0u64;
+    let mut incidents = 0u64;
+    let mut missing_bundles = 0u64;
 
     for transport in Backend::all() {
         let mut rows = Vec::new();
@@ -34,7 +43,7 @@ fn main() {
             let mut row = vec![mix.name.to_string()];
             for s in 0..seeds {
                 let seed = 0xc4a0_5000 + s;
-                let out = run_chaos_cell(&transport, seed, &mix, requests);
+                let out = run_chaos_cell_watched(&transport, seed, &mix, requests, &flight);
                 assert!(
                     out.conserved(),
                     "{}/{}/{seed:#x}: conservation violated",
@@ -50,14 +59,37 @@ fn main() {
                     out.report
                 );
                 leaked_total += out.report.leaked();
+                // The sentinel contract: every incident gets a bundle.
+                if out.report.unrecovered() > 0 || out.slo.breached() {
+                    incidents += 1;
+                    if out.postmortem.is_none() {
+                        missing_bundles += 1;
+                        eprintln!(
+                            "MISSING BUNDLE: {}/{}/{seed:#x} tripped the sentinel \
+                             but wrote no postmortem",
+                            transport.label(),
+                            mix.name
+                        );
+                    }
+                }
+                if let Some(r) = &out.postmortem {
+                    println!(
+                        "postmortem: {} ({} events, {} clipped, {} overwritten)",
+                        r.path.display(),
+                        r.included_events,
+                        r.truncated_events,
+                        r.ring_dropped
+                    );
+                }
                 row.push(format!(
-                    "inj={} rec={} leak={} done={} shed={} fail={}",
+                    "inj={} rec={} leak={} done={} shed={} fail={} slo={}",
                     out.report.injected(),
                     out.report.recovered(),
                     out.report.leaked(),
                     out.stats.completed,
                     out.stats.shed(),
                     out.stats.failed,
+                    if out.slo.breached() { "BREACH" } else { "ok" },
                 ));
                 json_rows.push(
                     chaos_outcome_json(&out, mix.name, seed).field("transport", transport.label()),
@@ -111,11 +143,51 @@ fn main() {
         &fs_rows,
     );
 
+    // The flight-recorder drill: leak a fault on purpose and demand a
+    // schema-clean bundle. Its deliberate leak does not count against
+    // the suite's zero-leak gate.
+    let drill = run_postmortem_drill(&Backend::SkyBridge, 0xd811_0001, 120, &flight);
+    let drill_json = match &drill.postmortem {
+        Some(r) => {
+            let body = std::fs::read_to_string(&r.path)
+                .unwrap_or_else(|e| panic!("drill bundle {} unreadable: {e}", r.path.display()));
+            if let Err(e) = sb_observe::validate_json(&body) {
+                eprintln!(
+                    "FAIL: drill bundle {} is not valid JSON: {e}",
+                    r.path.display()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "flight-recorder drill: {} ({} events, {} clipped, {} overwritten)",
+                r.path.display(),
+                r.included_events,
+                r.truncated_events,
+                r.ring_dropped
+            );
+            Json::obj()
+                .field("path", r.path.display().to_string())
+                .field("included_events", r.included_events)
+                .field("truncated_events", r.truncated_events)
+                .field("ring_dropped", r.ring_dropped)
+        }
+        None => {
+            eprintln!(
+                "FAIL: the drill leaked {} fault(s) but the flight recorder wrote no bundle",
+                drill.report.unrecovered()
+            );
+            std::process::exit(1);
+        }
+    };
+
     let doc = Json::obj()
         .field("bench", "chaos")
         .field("requests_per_cell", requests)
         .field("seeds_per_cell", seeds)
         .field("leaked_total", leaked_total)
+        .field("incidents", incidents)
+        .field("missing_bundles", missing_bundles)
+        .field("drill", drill_json)
         .field("serving_cells", Json::Arr(json_rows))
         .field("fs_cells", Json::Arr(fs_json));
     match write_json("chaos", &doc) {
@@ -127,5 +199,10 @@ fn main() {
         eprintln!("FAIL: {leaked_total} faults leaked (injected but never detected/recovered)");
         std::process::exit(1);
     }
+    if missing_bundles > 0 {
+        eprintln!("FAIL: {missing_bundles} incident(s) fired without a postmortem bundle");
+        std::process::exit(1);
+    }
     println!("all injected faults detected and recovered; zero leaks");
+    println!("sentinel: {incidents} incident(s), every one with a postmortem bundle");
 }

@@ -43,7 +43,9 @@ fn calibrate(transport: &mut dyn Transport, factory: &mut RequestFactory) -> f64
 }
 
 /// `SB_TRACE` mode: one fully traced cell whose Chrome trace goes to
-/// `results/runtime_scaling_trace.json` for Perfetto. Uses a ring much
+/// `results/traces/runtime_scaling_trace.json` for Perfetto (the
+/// `traces/` subtree is scratch output and stays untracked; a small
+/// checked-in sample lives at `results/sample_trace.json`). Uses a ring much
 /// larger than the always-on default so a whole cell fits without
 /// overwrites (and reports how many events were dropped if not).
 fn dump_trace(which: &str, requests: u64, capacity: usize) {
@@ -78,7 +80,7 @@ fn dump_trace(which: &str, requests: u64, capacity: usize) {
         0x7a_ced0_5eed,
     );
     let trace = chrome_trace(&recorder);
-    match write_raw("runtime_scaling_trace.json", &trace.json) {
+    match write_raw("traces/runtime_scaling_trace.json", &trace.json) {
         Ok(path) => {
             println!(
                 "\ntraced kv/ycsb-a on {} ({} requests, {} events{}):\n  open https://ui.perfetto.dev and drag in {}",

@@ -191,6 +191,20 @@ pub fn chaos_outcome_json(out: &ChaosOutcome, mix: &str, seed: u64) -> Json {
                 .field("leaked", r.leaked),
         );
     }
+    let slo = Json::obj()
+        .field("good", out.slo.good)
+        .field("bad", out.slo.bad)
+        .field("fast_burn", out.slo.fast_burn)
+        .field("slow_burn", out.slo.slow_burn)
+        .field("breaches", out.slo.breaches)
+        .field("breached", out.slo.breached());
+    let postmortem = out.postmortem.as_ref().map_or(Json::Null, |r| {
+        Json::obj()
+            .field("path", r.path.display().to_string())
+            .field("included_events", r.included_events)
+            .field("truncated_events", r.truncated_events)
+            .field("ring_dropped", r.ring_dropped)
+    });
     Json::obj()
         .field("mix", mix)
         .field("seed", seed)
@@ -198,11 +212,14 @@ pub fn chaos_outcome_json(out: &ChaosOutcome, mix: &str, seed: u64) -> Json {
         .field("detected", out.report.detected())
         .field("recovered", out.report.recovered())
         .field("leaked", out.report.leaked())
+        .field("unrecovered", out.report.unrecovered())
         .field("conserved", out.conserved())
         .field("trace_injected", out.trace.injected())
         .field("trace_detected", out.trace.detected)
         .field("trace_recovered", out.trace.recovered)
         .field("trace_matches_ledger", out.trace_matches_ledger())
+        .field("slo", slo)
+        .field("postmortem", postmortem)
         .field("faults", Json::Arr(rows))
         .field("run", run_stats_json(&out.stats))
 }
@@ -270,11 +287,13 @@ pub fn write_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
 }
 
 /// Writes pre-serialized `contents` to `results/<name>` verbatim —
-/// for exports that are already strings, like a Chrome trace.
+/// for exports that are already strings, like a Chrome trace. `name`
+/// may carry subdirectories (`traces/foo.json`); they are created.
 pub fn write_raw(name: &str, contents: &str) -> std::io::Result<PathBuf> {
-    let dir = results_dir();
-    fs::create_dir_all(&dir)?;
-    let path = dir.join(name);
+    let path = results_dir().join(name);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
     fs::write(&path, contents)?;
     Ok(path)
 }

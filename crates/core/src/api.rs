@@ -93,6 +93,12 @@ pub struct SkyBridge {
     /// [`SkyBridge::set_recorder`] swaps in a live one. Spans land on
     /// recorder lane = the calling thread's core.
     recorder: Recorder,
+    /// The request-scoped trace id every emitted span carries — the
+    /// wire `corr` of the call currently in flight. The transport stamps
+    /// it before issuing the call; nested `direct_server_call`s made by
+    /// handlers on the migrated thread deliberately inherit it, so a
+    /// whole client→db→fs chain assembles under one id.
+    trace_corr: u64,
 }
 
 impl std::fmt::Debug for SkyBridge {
@@ -121,6 +127,7 @@ impl SkyBridge {
             call_count: 0,
             faults: FaultHandle::new(0, FaultMix::none()),
             recorder: Recorder::off(),
+            trace_corr: 0,
         }
     }
 
@@ -128,6 +135,20 @@ impl SkyBridge {
     /// handler / marshal) are emitted on lane = calling core.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    /// Stamps the trace id (wire `corr`) the next call's spans carry.
+    /// Call sites that drive `direct_server_call` directly (tests,
+    /// examples) may skip this and keep the previous id; the transports
+    /// stamp it per request. Nested calls inherit the stamped id — the
+    /// root of the chain owns the whole trace.
+    pub fn set_trace_corr(&mut self, corr: u64) {
+        self.trace_corr = corr;
+    }
+
+    /// The currently stamped trace id.
+    pub fn trace_corr(&self) -> u64 {
+        self.trace_corr
     }
 
     /// Attaches a live fault plane (chaos runs). Without this call the
@@ -565,6 +586,10 @@ impl SkyBridge {
         let handler_len = self.servers[server].handler_len;
         let mut b = Breakdown::new();
         let cost = k.machine.cost.clone();
+        // The request-scoped trace id for every span of this call —
+        // including the nested calls a handler makes, which run on the
+        // same facility and see the same stamp.
+        let corr = self.trace_corr;
         // Nested calls (a server calling a further server on the migrated
         // thread) must return to the EPT and identity that were active at
         // entry — not unconditionally to the client's own EPT.
@@ -603,7 +628,7 @@ impl SkyBridge {
         // phase fold charges each its own cycles exactly once).
         let t_marshal = k.machine.cpu(core).tsc;
         self.recorder
-            .span(core, SpanKind::Trampoline, t0, t_marshal, 0);
+            .span(core, SpanKind::Trampoline, t0, t_marshal, corr);
         if request.len() > REGISTER_ARGS_MAX {
             k.user_write(client_tid, binding.shared_buf, request)?;
             self.recorder.span(
@@ -611,7 +636,7 @@ impl SkyBridge {
                 SpanKind::Marshal,
                 t_marshal,
                 k.machine.cpu(core).tsc,
-                0,
+                corr,
             );
         }
         b.add(Component::Other, k.machine.cpu(core).tsc - t0);
@@ -653,8 +678,13 @@ impl SkyBridge {
                 client: client_pid,
                 server,
             });
-            self.recorder
-                .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
+            self.recorder.span(
+                core,
+                SpanKind::Handler,
+                t_srv,
+                k.machine.cpu(core).tsc,
+                corr,
+            );
             self.vmfunc_to(k, core, client_pid, return_root)?;
             k.identity_record(core, return_identity);
             return Err(SbError::BadServerKey);
@@ -690,8 +720,13 @@ impl SkyBridge {
             k.kill_thread(self.servers[server].thread);
             self.violations.push(Violation::ServerCrash { server });
             self.faults.detected(FaultPoint::HandlerPanic);
-            self.recorder
-                .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
+            self.recorder.span(
+                core,
+                SpanKind::Handler,
+                t_srv,
+                k.machine.cpu(core).tsc,
+                corr,
+            );
             self.vmfunc_to(k, core, client_pid, return_root)?;
             k.identity_record(core, return_identity);
             return Err(SbError::ServerDead { server });
@@ -728,8 +763,13 @@ impl SkyBridge {
         let reply = match result {
             Ok(r) => r,
             Err(e) => {
-                self.recorder
-                    .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
+                self.recorder.span(
+                    core,
+                    SpanKind::Handler,
+                    t_srv,
+                    k.machine.cpu(core).tsc,
+                    corr,
+                );
                 self.vmfunc_to(k, core, client_pid, return_root)?;
                 k.identity_record(core, return_identity);
                 return Err(e);
@@ -749,8 +789,13 @@ impl SkyBridge {
         let reply_len = reply_bytes.as_deref().map_or(request.len(), <[u8]>::len);
         if reply_len > REGISTER_ARGS_MAX {
             if reply_len > layout::SB_SHARED_BUF_SIZE {
-                self.recorder
-                    .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
+                self.recorder.span(
+                    core,
+                    SpanKind::Handler,
+                    t_srv,
+                    k.machine.cpu(core).tsc,
+                    corr,
+                );
                 self.vmfunc_to(k, core, client_pid, return_root)?;
                 k.identity_record(core, return_identity);
                 return Err(SbError::MessageTooLarge);
@@ -780,8 +825,13 @@ impl SkyBridge {
         }
         k.machine.cpu_mut(core).advance(cost.trampoline_logic / 2);
         b.add(Component::Other, k.machine.cpu(core).tsc - t0);
-        self.recorder
-            .span(core, SpanKind::Handler, t_srv, k.machine.cpu(core).tsc, 0);
+        self.recorder.span(
+            core,
+            SpanKind::Handler,
+            t_srv,
+            k.machine.cpu(core).tsc,
+            corr,
+        );
 
         self.vmfunc_to(k, core, client_pid, return_root)?;
         b.add(Component::Vmfunc, cost.vmfunc);
@@ -799,8 +849,13 @@ impl SkyBridge {
                 client: client_pid,
                 server,
             });
-            self.recorder
-                .span(core, SpanKind::Trampoline, t0, k.machine.cpu(core).tsc, 0);
+            self.recorder.span(
+                core,
+                SpanKind::Trampoline,
+                t0,
+                k.machine.cpu(core).tsc,
+                corr,
+            );
             return Err(SbError::BadClientKey);
         }
         // Large replies come back through the shared buffer; the read is
@@ -810,7 +865,7 @@ impl SkyBridge {
         // Trampoline span.
         let t_read = k.machine.cpu(core).tsc;
         self.recorder
-            .span(core, SpanKind::Trampoline, t0, t_read, 0);
+            .span(core, SpanKind::Trampoline, t0, t_read, corr);
         if reply_len > REGISTER_ARGS_MAX {
             k.user_touch(
                 client_tid,
@@ -818,8 +873,13 @@ impl SkyBridge {
                 reply_len,
                 sb_mem::walk::Access::Read,
             )?;
-            self.recorder
-                .span(core, SpanKind::Marshal, t_read, k.machine.cpu(core).tsc, 0);
+            self.recorder.span(
+                core,
+                SpanKind::Marshal,
+                t_read,
+                k.machine.cpu(core).tsc,
+                corr,
+            );
         }
         let out = reply_bytes;
         b.add(Component::Other, k.machine.cpu(core).tsc - t0);
@@ -852,8 +912,9 @@ impl SkyBridge {
     ) -> Result<(), SbError> {
         let t0 = k.machine.cpu(core).tsc;
         let out = self.vmfunc_to_inner(k, core, pid, root);
+        let corr = self.trace_corr;
         self.recorder
-            .span(core, SpanKind::Switch, t0, k.machine.cpu(core).tsc, 0);
+            .span(core, SpanKind::Switch, t0, k.machine.cpu(core).tsc, corr);
         out
     }
 

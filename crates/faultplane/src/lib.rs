@@ -471,6 +471,17 @@ impl FaultReport {
     pub fn leaked(&self) -> u64 {
         self.rows.iter().map(|r| r.leaked).sum()
     }
+
+    /// Total faults injected but never recovered: detected-but-stuck
+    /// instances plus silent leaks. The flight recorder triggers on
+    /// this — a fault somebody noticed but nobody repaired is still an
+    /// incident worth a postmortem.
+    pub fn unrecovered(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.injected.saturating_sub(r.recovered))
+            .sum()
+    }
 }
 
 impl std::fmt::Display for FaultReport {

@@ -501,6 +501,17 @@ impl Recorder {
         self.inner.global.borrow().iter().copied().collect()
     }
 
+    /// Events lane `lane` alone lost to ring overwrite (0 for an unused
+    /// lane). Assemblers use this to tell *which* track was truncated,
+    /// not just that some track was.
+    pub fn lane_dropped(&self, lane: usize) -> u64 {
+        self.inner
+            .lanes
+            .borrow()
+            .get(lane)
+            .map_or(0, EventRing::dropped)
+    }
+
     /// Total events lost to ring overwrite, across every track.
     pub fn dropped(&self) -> u64 {
         let lanes = self.inner.lanes.borrow();

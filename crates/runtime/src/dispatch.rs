@@ -13,6 +13,7 @@ use std::collections::BinaryHeap;
 
 use sb_faultplane::{FaultHandle, FaultPoint};
 use sb_observe::{InstantKind, Recorder, SpanKind};
+use sb_sentinel::SloHandle;
 use sb_sim::Cycles;
 use sb_transport::{CallError, Request, Transport};
 
@@ -72,6 +73,11 @@ pub struct RuntimeConfig {
     /// instants on pseudo-lane `transport.lanes()` (the queue itself has
     /// no core).
     pub recorder: Recorder,
+    /// Online SLO health tracking. `None` (the default) evaluates
+    /// nothing; pass an [`SloHandle`] and the dispatcher records every
+    /// outcome — completions with their arrival-to-done latency, and
+    /// failures/timeouts/sheds as errors — as it happens.
+    pub slo: Option<SloHandle>,
 }
 
 impl Default for RuntimeConfig {
@@ -83,6 +89,7 @@ impl Default for RuntimeConfig {
             retry: None,
             faults: None,
             recorder: Recorder::off(),
+            slo: None,
         }
     }
 }
@@ -190,6 +197,9 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
             self.cfg
                 .recorder
                 .instant(l, InstantKind::ShedDeadline, start, req.id);
+            if let Some(slo) = &self.cfg.slo {
+                slo.error(start);
+            }
         } else {
             match self.call_with_retries(l, &req, stats) {
                 Ok(()) => {
@@ -197,14 +207,23 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                     stats.completed += 1;
                     stats.latencies.push(done - req.arrival);
                     stats.busy[l] += done - start;
+                    if let Some(slo) = &self.cfg.slo {
+                        slo.complete(done, done - req.arrival);
+                    }
                 }
                 Err(CallError::Timeout { .. }) => {
                     stats.timed_out += 1;
                     stats.busy[l] += self.transport.now(l) - start;
+                    if let Some(slo) = &self.cfg.slo {
+                        slo.error(self.transport.now(l));
+                    }
                 }
-                Err(CallError::Failed(_)) => {
+                Err(CallError::Failed(_) | CallError::CorrMismatch { .. }) => {
                     stats.failed += 1;
                     stats.busy[l] += self.transport.now(l) - start;
+                    if let Some(slo) = &self.cfg.slo {
+                        slo.error(self.transport.now(l));
+                    }
                 }
             }
         }
@@ -232,14 +251,17 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
             return Err(last);
         };
         for attempt in 0..policy.max_retries {
-            if let CallError::Failed(_) = last {
-                if self.transport.recover(l) {
-                    stats.recoveries += 1;
-                    let t = self.transport.now(l);
-                    self.cfg
-                        .recorder
-                        .instant(l, InstantKind::Recovery, t, req.id);
-                }
+            // A correlation mismatch means the lane holds a stale reply:
+            // the serving path is suspect, so it takes the same
+            // recover-then-retry route as an outright failure.
+            if matches!(last, CallError::Failed(_) | CallError::CorrMismatch { .. })
+                && self.transport.recover(l)
+            {
+                stats.recoveries += 1;
+                let t = self.transport.now(l);
+                self.cfg
+                    .recorder
+                    .instant(l, InstantKind::Recovery, t, req.id);
             }
             let backoff = policy.backoff_base << attempt.min(32);
             let t = self.transport.now(l);
@@ -300,6 +322,9 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                         r.arrival,
                         r.id,
                     );
+                    if let Some(slo) = &self.cfg.slo {
+                        slo.error(r.arrival);
+                    }
                 }
                 *req = None;
                 true
@@ -715,6 +740,42 @@ mod tests {
         assert_eq!(s.failed, 3);
         assert_eq!(s.retries, 0);
         assert_conserved(&s);
+    }
+
+    #[test]
+    fn slo_tracker_sees_every_outcome_class() {
+        use sb_sentinel::{SloHandle, SloSpec};
+
+        // One slow lane, a tiny queue, and a queue deadline: the run
+        // produces completions, queue-full sheds, and deadline sheds —
+        // all of which must land in the tracker.
+        let slo = SloHandle::new(SloSpec {
+            latency_objective: 1_500,
+            ..SloSpec::default()
+        });
+        let mut e = FixedServiceTransport::new(1, 1_000);
+        let mut rt = ServerRuntime::new(
+            &mut e,
+            RuntimeConfig {
+                queue_capacity: 2,
+                policy: AdmissionPolicy::Shed,
+                queue_deadline: Some(5_000),
+                slo: Some(slo.clone()),
+                ..RuntimeConfig::default()
+            },
+        );
+        let arrivals: Vec<Cycles> = (0..100).map(|i| i * 100).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_conserved(&s);
+        let h = slo.health();
+        assert_eq!(
+            h.good + h.bad,
+            s.offered,
+            "every offered request reaches the tracker: {h:?} vs {s:?}"
+        );
+        assert!(h.bad >= s.shed(), "sheds are never good");
+        // The sustained overload must trip the burn-rate breach.
+        assert!(slo.breached(), "90% sheds must breach: {h:?}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod stats;
 pub mod trap;
 
 pub use sb_observe::Recorder;
+pub use sb_sentinel::{SloHandle, SloSpec};
 pub use sb_transport::{CallError, Faulty, FixedServiceTransport, Request, Transport};
 
 pub use crate::{

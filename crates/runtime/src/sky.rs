@@ -23,6 +23,7 @@ use sb_observe::{Recorder, SpanKind};
 use sb_rewriter::corpus;
 use sb_sim::Cycles;
 use sb_transport::{
+    verify_reply_corr,
     wire::{Lane, OP_TAG_OFFSET},
     CallError, CopyMeter, Request, Transport,
 };
@@ -46,6 +47,7 @@ pub struct SkyBridgeTransport {
     meter: CopyMeter,
     label: String,
     recorder: Recorder,
+    poison: Option<(usize, u64)>,
 }
 
 impl SkyBridgeTransport {
@@ -114,7 +116,15 @@ impl SkyBridgeTransport {
             meter: CopyMeter::new(),
             label: "skybridge".to_string(),
             recorder: Recorder::off(),
+            poison: None,
         }
+    }
+
+    /// Restamps the *next* call's reply header on `lane` with a stale
+    /// correlation id — the injection seam for proving `call` refuses a
+    /// reply that answers a different request.
+    pub fn poison_next_reply_corr(&mut self, lane: usize, corr: u64) {
+        self.poison = Some((lane, corr));
     }
 
     /// Attempts to bind one more client process beyond the per-lane
@@ -194,6 +204,10 @@ impl Transport for SkyBridgeTransport {
             .begin(lane, SpanKind::Call, self.k.machine.cpu(lane).tsc, req.id);
         let deadline = self.sb.timeout.map_or(0, |t| req.arrival.saturating_add(t));
         self.lanes[lane].encode(req, deadline, &self.meter);
+        // Stamp the facility's trace id: every interior span of this
+        // call — and of any nested call a handler makes — carries the
+        // wire corr, so span trees assemble per request.
+        self.sb.set_trace_corr(req.id);
         let payload = self.lanes[lane].reply();
         let out = match self.sb.direct_server_call_raw(
             &mut self.k,
@@ -214,6 +228,15 @@ impl Transport for SkyBridgeTransport {
             Err(SbError::Timeout { elapsed, .. }) => Err(CallError::Timeout { elapsed }),
             Err(e) => Err(CallError::Failed(e.to_string())),
         };
+        if let Some((l, corr)) = self.poison {
+            if l == lane {
+                self.lanes[lane].set_reply_corr(corr);
+                self.poison = None;
+            }
+        }
+        // Refuse a reply that answers a different request: the lane's
+        // header corr must still be the outstanding call's id.
+        let out = out.and_then(|n| verify_reply_corr(&self.lanes[lane], req.id).map(|()| n));
         self.recorder
             .end(lane, SpanKind::Call, self.k.machine.cpu(lane).tsc, req.id);
         out
@@ -251,6 +274,10 @@ impl Transport for SkyBridgeTransport {
         // switch / handler); the transport wraps them in the Call span.
         self.sb.set_recorder(recorder.clone());
         self.recorder = recorder;
+    }
+
+    fn pmu(&self) -> Option<sb_sim::Pmu> {
+        Some(self.k.machine.pmu_total())
     }
 }
 
@@ -300,6 +327,20 @@ mod tests {
             t.try_extra_client(),
             Err(SbError::NoFreeConnection)
         ));
+    }
+
+    #[test]
+    fn stale_reply_corr_is_refused() {
+        let mut t = SkyBridgeTransport::new(1, &ServiceSpec::default());
+        t.poison_next_reply_corr(0, 99);
+        match t.call(0, &mk(1, 7, false)) {
+            Err(CallError::CorrMismatch { expected, got }) => {
+                assert_eq!((expected, got), (1, 99));
+            }
+            other => panic!("expected CorrMismatch, got {other:?}"),
+        }
+        // The lane heals on the next encode.
+        assert_eq!(t.call(0, &mk(2, 7, false)).unwrap(), 64);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use sb_observe::{Recorder, SpanKind};
 use sb_rewriter::corpus;
 use sb_sim::Cycles;
 use sb_transport::{
+    verify_reply_corr,
     wire::{Lane, WIRE_HEADER_LEN},
     CallError, CopyMeter, Request, Transport,
 };
@@ -45,6 +46,7 @@ pub struct TrapIpcTransport {
     footprint: usize,
     label: String,
     recorder: Recorder,
+    poison: Option<(usize, u64)>,
 }
 
 impl TrapIpcTransport {
@@ -91,7 +93,15 @@ impl TrapIpcTransport {
             footprint: spec.footprint,
             label,
             recorder: Recorder::off(),
+            poison: None,
         }
+    }
+
+    /// Restamps the *next* call's reply header on `lane` with a stale
+    /// correlation id — the injection seam for proving `call` refuses a
+    /// reply that answers a different request.
+    pub fn poison_next_reply_corr(&mut self, lane: usize, corr: u64) {
+        self.poison = Some((lane, corr));
     }
 
     /// The instrumented call body. Phase spans are emitted post-hoc (a
@@ -230,6 +240,15 @@ impl Transport for TrapIpcTransport {
         self.recorder
             .begin(lane, SpanKind::Call, self.k.machine.cpu(lane).tsc, req.id);
         let out = self.call_inner(lane, req);
+        if let Some((l, corr)) = self.poison {
+            if l == lane {
+                self.lanes[lane].set_reply_corr(corr);
+                self.poison = None;
+            }
+        }
+        // Refuse a reply that answers a different request: the lane's
+        // header corr must still be the outstanding call's id.
+        let out = out.and_then(|n| verify_reply_corr(&self.lanes[lane], req.id).map(|()| n));
         self.recorder
             .end(lane, SpanKind::Call, self.k.machine.cpu(lane).tsc, req.id);
         out
@@ -267,6 +286,10 @@ impl Transport for TrapIpcTransport {
     fn attach_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
     }
+
+    fn pmu(&self) -> Option<sb_sim::Pmu> {
+        Some(self.k.machine.pmu_total())
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +317,26 @@ mod tests {
             assert_eq!(t.reply(1), req(9, false).encode(), "echo contract");
             assert!(t.now(1) > t0);
             assert_eq!(t.now(0), w0, "lane 0 untouched");
+        }
+    }
+
+    #[test]
+    fn stale_reply_corr_is_refused_on_every_personality() {
+        for p in Personality::all() {
+            let mut t = TrapIpcTransport::new(p, 1, &ServiceSpec::default());
+            let label = t.label().to_string();
+            t.poison_next_reply_corr(0, 3);
+            let r = Request {
+                id: 8,
+                ..req(1, false)
+            };
+            match t.call(0, &r) {
+                Err(CallError::CorrMismatch { expected, got }) => {
+                    assert_eq!((expected, got), (8, 3), "{label}");
+                }
+                other => panic!("{label}: expected CorrMismatch, got {other:?}"),
+            }
+            assert_eq!(t.call(0, &r).unwrap(), 64, "{label}: lane heals");
         }
     }
 

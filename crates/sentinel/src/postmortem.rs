@@ -1,0 +1,528 @@
+//! The flight recorder: self-contained JSON postmortem bundles.
+//!
+//! When an SLO breach or an unrecovered fault fires, the stack's recent
+//! state — per-lane event rings, a metrics [`Snapshot`] (typically a
+//! diff over the incident region), PMU counters, the fault-plane
+//! ledger, and the SLO tracker's health — is snapshotted into one JSON
+//! file under `results/postmortem/`. The bundle carries explicit
+//! truncation accounting: how many events each lane held, how many the
+//! per-lane budget kept, and how many the rings had already overwritten
+//! — so a reader can never mistake a clipped capture for the whole
+//! story.
+//!
+//! The emitter is a deliberately tiny JSON renderer (the simulation's
+//! dependency floor excludes serde); `sb-observe`'s `validate_json` is
+//! the schema-side check the test suite holds bundles against.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use sb_faultplane::FaultReport;
+use sb_observe::{EventKind, Recorder, Snapshot};
+use sb_sim::Pmu;
+
+use crate::slo::SloHealth;
+
+/// Bundle schema identifier, bumped on incompatible layout changes.
+pub const SCHEMA: &str = "sb-postmortem-v1";
+
+/// A minimal JSON value for bundle rendering.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, printed fraction-free.
+    U64(u64),
+    /// A float; non-finite values render as `null`.
+    F64(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, for builder-style construction.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` (objects only).
+    pub fn field(mut self, key: &str, value: Json) -> Json {
+        if let Json::Obj(fields) = &mut self {
+            fields.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            Json::F64(_) => out.push_str("null"),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Where and how large bundles are written.
+#[derive(Debug, Clone)]
+pub struct PostmortemSpec {
+    /// Output directory (created on demand).
+    pub dir: PathBuf,
+    /// Newest events kept per lane; older held events are clipped and
+    /// counted in the bundle's truncation block.
+    pub max_events_per_lane: usize,
+}
+
+impl Default for PostmortemSpec {
+    fn default() -> Self {
+        PostmortemSpec {
+            dir: PathBuf::from("results/postmortem"),
+            max_events_per_lane: 512,
+        }
+    }
+}
+
+impl PostmortemSpec {
+    /// A spec writing under `dir` with the default event budget.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        PostmortemSpec {
+            dir: dir.into(),
+            ..PostmortemSpec::default()
+        }
+    }
+}
+
+/// Everything a bundle can capture; absent pieces render as `null`.
+#[derive(Default)]
+pub struct PostmortemInput<'a> {
+    /// Why the flight recorder fired ("slo_breach", "fault_leak", ...).
+    pub reason: &'a str,
+    /// Bundle identity — becomes the file name, so keep it filesystem
+    /// safe (non `[A-Za-z0-9_.-]` characters are replaced).
+    pub tag: &'a str,
+    /// The event rings to snapshot.
+    pub recorder: Option<&'a Recorder>,
+    /// A metrics snapshot — typically `after.diff(&before)` over the
+    /// incident region.
+    pub metrics: Option<&'a Snapshot>,
+    /// Machine PMU counters.
+    pub pmu: Option<&'a Pmu>,
+    /// The fault-plane ledger roll-up.
+    pub faults: Option<&'a FaultReport>,
+    /// SLO tracker health.
+    pub slo: Option<SloHealth>,
+}
+
+/// What a written bundle amounted to.
+#[derive(Debug, Clone)]
+pub struct BundleReceipt {
+    /// Where the bundle landed.
+    pub path: PathBuf,
+    /// Events included across all lanes.
+    pub included_events: u64,
+    /// Held events clipped by the per-lane budget.
+    pub truncated_events: u64,
+    /// Events the rings had already overwritten before capture.
+    pub ring_dropped: u64,
+}
+
+fn event_json(ev: &sb_observe::Event) -> Json {
+    let (tag, kind, dur) = match ev.kind {
+        EventKind::Begin(k) => ("begin", k.name(), None),
+        EventKind::End(k) => ("end", k.name(), None),
+        EventKind::Complete(k, d) => ("complete", k.name(), Some(d as u64)),
+        EventKind::Instant(k) => ("instant", k.name(), None),
+    };
+    let mut j = Json::obj()
+        .field("t", Json::U64(ev.t))
+        .field("corr", Json::U64(ev.corr))
+        .field("ev", Json::Str(tag.to_string()))
+        .field("kind", Json::Str(kind.to_string()));
+    if let Some(d) = dur {
+        j = j.field("dur", Json::U64(d));
+    }
+    j
+}
+
+fn rings_json(rec: &Recorder, budget: usize) -> (Json, u64, u64, u64) {
+    let mut lanes = Vec::new();
+    let (mut included, mut truncated) = (0u64, 0u64);
+    for lane in 0..rec.lane_count() {
+        let events = rec.events(lane);
+        let keep = events.len().min(budget);
+        let clipped = (events.len() - keep) as u64;
+        truncated += clipped;
+        included += keep as u64;
+        let tail = &events[events.len() - keep..];
+        lanes.push(
+            Json::obj()
+                .field("lane", Json::U64(lane as u64))
+                .field("available", Json::U64(events.len() as u64))
+                .field("included", Json::U64(keep as u64))
+                .field("clipped", Json::U64(clipped))
+                .field("ring_dropped", Json::U64(rec.lane_dropped(lane)))
+                .field("events", Json::Arr(tail.iter().map(event_json).collect())),
+        );
+    }
+    let global: Vec<Json> = rec
+        .global_events()
+        .iter()
+        .map(|f| {
+            Json::obj()
+                .field("seq", Json::U64(f.seq))
+                .field("stage", Json::Str(f.stage.name().to_string()))
+                .field("point", Json::Str(f.point.to_string()))
+        })
+        .collect();
+    let ring_dropped = rec.dropped();
+    let j = Json::obj()
+        .field("lanes", Json::Arr(lanes))
+        .field("global", Json::Arr(global));
+    (j, included, truncated, ring_dropped)
+}
+
+fn snapshot_json(s: &Snapshot) -> Json {
+    let counters = Json::Obj(
+        s.counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::U64(v)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        s.gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::F64(v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        s.histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::obj()
+                        .field("count", Json::U64(h.count))
+                        .field("mean", Json::F64(h.mean))
+                        .field("min", Json::U64(h.min))
+                        .field("p50", Json::U64(h.p50))
+                        .field("p95", Json::U64(h.p95))
+                        .field("p99", Json::U64(h.p99))
+                        .field("max", Json::U64(h.max)),
+                )
+            })
+            .collect(),
+    );
+    Json::obj()
+        .field("counters", counters)
+        .field("gauges", gauges)
+        .field("histograms", histograms)
+}
+
+fn pmu_json(p: &Pmu) -> Json {
+    Json::obj()
+        .field("l1i_misses", Json::U64(p.l1i_misses))
+        .field("l1d_misses", Json::U64(p.l1d_misses))
+        .field("l2_misses", Json::U64(p.l2_misses))
+        .field("l3_misses", Json::U64(p.l3_misses))
+        .field("itlb_misses", Json::U64(p.itlb_misses))
+        .field("dtlb_misses", Json::U64(p.dtlb_misses))
+        .field("page_walks", Json::U64(p.page_walks))
+        .field("walk_memory_accesses", Json::U64(p.walk_memory_accesses))
+        .field("ipis", Json::U64(p.ipis))
+        .field("vm_exits", Json::U64(p.vm_exits))
+        .field("vmfuncs", Json::U64(p.vmfuncs))
+        .field("mode_switches", Json::U64(p.mode_switches))
+        .field("cr3_writes", Json::U64(p.cr3_writes))
+}
+
+fn faults_json(r: &FaultReport) -> Json {
+    let rows: Vec<Json> = r
+        .rows
+        .iter()
+        .map(|row| {
+            Json::obj()
+                .field("point", Json::Str(row.point.name().to_string()))
+                .field("injected", Json::U64(row.injected))
+                .field("detected", Json::U64(row.detected))
+                .field("recovered", Json::U64(row.recovered))
+                .field("leaked", Json::U64(row.leaked))
+        })
+        .collect();
+    Json::obj()
+        .field("rows", Json::Arr(rows))
+        .field("injected", Json::U64(r.injected()))
+        .field("detected", Json::U64(r.detected()))
+        .field("recovered", Json::U64(r.recovered()))
+        .field("leaked", Json::U64(r.leaked()))
+}
+
+fn slo_json(h: &SloHealth) -> Json {
+    Json::obj()
+        .field("good", Json::U64(h.good))
+        .field("bad", Json::U64(h.bad))
+        .field("fast_burn", Json::F64(h.fast_burn))
+        .field("slow_burn", Json::F64(h.slow_burn))
+        .field("breaches", Json::U64(h.breaches))
+        .field("first_breach", h.first_breach.map_or(Json::Null, Json::U64))
+        .field("in_breach", Json::Bool(h.in_breach))
+}
+
+/// Renders the bundle JSON without touching the filesystem. Returns the
+/// JSON plus (included, clipped, ring-dropped) event totals.
+pub fn render(input: &PostmortemInput<'_>, max_events_per_lane: usize) -> (String, u64, u64, u64) {
+    let (rings, included, truncated, ring_dropped) = match input.recorder {
+        Some(rec) => {
+            let (j, i, t, d) = rings_json(rec, max_events_per_lane);
+            (j, i, t, d)
+        }
+        None => (Json::Null, 0, 0, 0),
+    };
+    let truncation = Json::obj()
+        .field("per_lane_budget", Json::U64(max_events_per_lane as u64))
+        .field("included_events", Json::U64(included))
+        .field("clipped_events", Json::U64(truncated))
+        .field("ring_dropped", Json::U64(ring_dropped));
+    let bundle = Json::obj()
+        .field("schema", Json::Str(SCHEMA.to_string()))
+        .field("reason", Json::Str(input.reason.to_string()))
+        .field("tag", Json::Str(input.tag.to_string()))
+        .field("truncation", truncation)
+        .field("rings", rings)
+        .field("metrics", input.metrics.map_or(Json::Null, snapshot_json))
+        .field("pmu", input.pmu.map_or(Json::Null, pmu_json))
+        .field("faults", input.faults.map_or(Json::Null, faults_json))
+        .field("slo", input.slo.as_ref().map_or(Json::Null, slo_json));
+    (bundle.render(), included, truncated, ring_dropped)
+}
+
+fn safe_name(tag: &str) -> String {
+    let cleaned: String = tag
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "postmortem".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Renders and writes the bundle as `<spec.dir>/<tag>.json`.
+pub fn write(spec: &PostmortemSpec, input: &PostmortemInput<'_>) -> io::Result<BundleReceipt> {
+    let (json, included, truncated, ring_dropped) = render(input, spec.max_events_per_lane);
+    debug_assert!(
+        sb_observe::validate_json(&json).is_ok(),
+        "bundle must be valid JSON"
+    );
+    fs::create_dir_all(&spec.dir)?;
+    let path: PathBuf = Path::new(&spec.dir).join(format!("{}.json", safe_name(input.tag)));
+    fs::write(&path, &json)?;
+    Ok(BundleReceipt {
+        path,
+        included_events: included,
+        truncated_events: truncated,
+        ring_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_observe::{validate_json, Registry, SpanKind};
+
+    #[test]
+    fn json_escapes_and_prints_integers_fraction_free() {
+        let j = Json::obj()
+            .field("s", Json::Str("a\"b\\c\nd".to_string()))
+            .field("n", Json::U64(42))
+            .field("f", Json::F64(1.5))
+            .field("nan", Json::F64(f64::NAN))
+            .field("arr", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        let s = j.render();
+        assert_eq!(
+            s,
+            r#"{"s":"a\"b\\c\nd","n":42,"f":1.5,"nan":null,"arr":[true,null]}"#
+        );
+        validate_json(&s).expect("well-formed");
+    }
+
+    #[test]
+    fn empty_bundle_is_valid_and_self_describing() {
+        let input = PostmortemInput {
+            reason: "unit",
+            tag: "t",
+            ..PostmortemInput::default()
+        };
+        let (json, included, truncated, dropped) = render(&input, 16);
+        assert_eq!((included, truncated, dropped), (0, 0, 0));
+        validate_json(&json).expect("valid");
+        assert!(json.contains(r#""schema":"sb-postmortem-v1""#));
+        assert!(json.contains(r#""rings":null"#));
+    }
+
+    #[test]
+    fn clipping_accounts_for_every_event_exactly() {
+        let rec = Recorder::new(256);
+        for i in 0..100u64 {
+            rec.span(0, SpanKind::Call, i * 10, i * 10 + 5, i + 1);
+        }
+        for i in 0..30u64 {
+            rec.span(1, SpanKind::Handler, i * 10, i * 10 + 4, i + 1);
+        }
+        let input = PostmortemInput {
+            reason: "unit",
+            tag: "clip",
+            recorder: Some(&rec),
+            ..PostmortemInput::default()
+        };
+        let (json, included, truncated, dropped) = render(&input, 40);
+        validate_json(&json).expect("valid");
+        assert_eq!(included, 40 + 30, "lane 0 clipped to budget, lane 1 whole");
+        assert_eq!(truncated, 60, "exactly the clipped remainder");
+        assert_eq!(dropped, 0, "nothing was overwritten at capacity 256");
+        // The newest events are the ones kept.
+        assert!(json.contains(r#""t":990"#), "lane 0's final span survives");
+    }
+
+    #[test]
+    fn ring_overwrite_shows_up_as_ring_dropped() {
+        let rec = Recorder::new(8);
+        for i in 0..50u64 {
+            rec.span(0, SpanKind::Call, i, i + 1, i + 1);
+        }
+        let input = PostmortemInput {
+            reason: "unit",
+            tag: "wrap",
+            recorder: Some(&rec),
+            ..PostmortemInput::default()
+        };
+        let (_, included, _, dropped) = render(&input, 1024);
+        assert_eq!(included, 8);
+        assert_eq!(dropped, 42, "the rings own the exact overwrite count");
+    }
+
+    #[test]
+    fn full_bundle_round_trips_every_section() {
+        let rec = Recorder::new(64);
+        rec.span(0, SpanKind::Call, 0, 100, 1);
+        let mut reg = Registry::new();
+        reg.count("calls", 3);
+        reg.observe("latency", 250);
+        let snap = reg.snapshot();
+        let pmu = Pmu {
+            vmfuncs: 7,
+            ..Pmu::default()
+        };
+        let slo = SloHealth {
+            good: 10,
+            bad: 2,
+            breaches: 1,
+            first_breach: Some(123),
+            in_breach: true,
+            fast_burn: 20.0,
+            slow_burn: 3.0,
+        };
+        let input = PostmortemInput {
+            reason: "slo_breach",
+            tag: "full",
+            recorder: Some(&rec),
+            metrics: Some(&snap),
+            pmu: Some(&pmu),
+            faults: None,
+            slo: Some(slo),
+        };
+        let (json, _, _, _) = render(&input, 16);
+        validate_json(&json).expect("valid");
+        for needle in [
+            r#""reason":"slo_breach""#,
+            r#""vmfuncs":7"#,
+            r#""calls":3"#,
+            r#""first_breach":123"#,
+            r#""faults":null"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn write_lands_in_the_spec_dir_with_a_safe_name() {
+        let dir = std::env::temp_dir().join("sb_sentinel_pm_test");
+        let _ = fs::remove_dir_all(&dir);
+        let spec = PostmortemSpec::in_dir(&dir);
+        let input = PostmortemInput {
+            reason: "unit",
+            tag: "seed 0x1/evil",
+            ..PostmortemInput::default()
+        };
+        let receipt = write(&spec, &input).expect("writable");
+        assert!(receipt.path.ends_with("seed_0x1_evil.json"));
+        let body = fs::read_to_string(&receipt.path).expect("exists");
+        validate_json(&body).expect("valid on disk");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

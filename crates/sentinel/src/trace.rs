@@ -1,0 +1,503 @@
+//! Causal request tracing: span-tree assembly and critical paths.
+//!
+//! Every instrumented layer stamps its events with the request-scoped
+//! correlation id (`WireHeader.corr`, propagated through nested
+//! `direct_server_call`s by the SkyBridge core and through every trap
+//! leg by the transports). This module folds the per-lane event rings
+//! back into one tree per request, so a tail-latency outlier is
+//! attributable to a specific hop and phase instead of a whole run.
+//!
+//! Assembly is deliberately honest about ring overwrite: a lane that
+//! dropped events can only have lost a contiguous *prefix* (the rings
+//! overwrite oldest-first) and requests occupy a lane serially, so the
+//! one request that may have been truncated is exactly the first one
+//! visible in the surviving stream. Its correlation id is *poisoned* —
+//! the whole request is excluded and counted, never presented as a
+//! smaller-but-plausible tree. Unmatched `End` events and frames still
+//! open at the end of a stream poison their requests the same way.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sb_observe::{Event, EventKind, Recorder, SpanKind};
+use sb_sim::Cycles;
+
+/// One assembled span: a contiguous section of one lane's time,
+/// containing the spans that ran inside it.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The lane (serving core) the span ran on.
+    pub lane: usize,
+    /// What the section was.
+    pub kind: SpanKind,
+    /// Lane-clock start, in simulated cycles.
+    pub start: Cycles,
+    /// Duration in cycles.
+    pub dur: Cycles,
+    /// Spans nested inside this one, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Lane-clock end of the span.
+    pub fn end(&self) -> Cycles {
+        self.start + self.dur
+    }
+
+    /// Cycles spent in this span itself, outside any child — the span's
+    /// contribution to the critical path.
+    pub fn self_time(&self) -> Cycles {
+        let inner: Cycles = self.children.iter().map(|c| c.dur).sum();
+        self.dur.saturating_sub(inner)
+    }
+
+    /// Spans in this subtree, including `self`.
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
+    }
+}
+
+/// One step of a request's critical path: a span's self-time, with
+/// enough position to say *where* the cycles went.
+#[derive(Debug, Clone, Copy)]
+pub struct PathStep {
+    /// Lane the cycles were spent on.
+    pub lane: usize,
+    /// Nesting depth (0 = root span).
+    pub depth: usize,
+    /// The phase.
+    pub kind: SpanKind,
+    /// Lane-clock start of the owning span.
+    pub start: Cycles,
+    /// Self-time cycles attributed to this step.
+    pub cycles: Cycles,
+}
+
+/// Every span a single request touched, across lanes and hops, under
+/// one correlation id.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// The request-scoped trace id (`WireHeader.corr`).
+    pub corr: u64,
+    /// Top-level spans in start order — one `Call` for a direct hop,
+    /// several for a client-side chain of sequential hops.
+    pub roots: Vec<SpanNode>,
+}
+
+impl RequestTrace {
+    /// Total cycles under the request's roots.
+    pub fn total(&self) -> Cycles {
+        self.roots.iter().map(|r| r.dur).sum()
+    }
+
+    /// Spans assembled for this request.
+    pub fn span_count(&self) -> usize {
+        self.roots.iter().map(SpanNode::span_count).sum()
+    }
+
+    /// The request's critical path: every span's self-time, in
+    /// depth-first start order. With well-nested spans the step cycles
+    /// sum back to [`RequestTrace::total`] exactly — the invariant the
+    /// integration suite holds against the transport's own end-to-end
+    /// clock.
+    pub fn critical_path(&self) -> Vec<PathStep> {
+        let mut steps = Vec::new();
+        for root in &self.roots {
+            walk(root, 0, &mut steps);
+        }
+        steps
+    }
+
+    /// Sum of the critical path's step cycles.
+    pub fn critical_path_cycles(&self) -> Cycles {
+        self.critical_path().iter().map(|s| s.cycles).sum()
+    }
+
+    /// The costliest single step — where a postmortem should look
+    /// first.
+    pub fn dominant(&self) -> Option<PathStep> {
+        self.critical_path().into_iter().max_by_key(|s| s.cycles)
+    }
+}
+
+fn walk(node: &SpanNode, depth: usize, out: &mut Vec<PathStep>) {
+    out.push(PathStep {
+        lane: node.lane,
+        depth,
+        kind: node.kind,
+        start: node.start,
+        cycles: node.self_time(),
+    });
+    for c in &node.children {
+        walk(c, depth + 1, out);
+    }
+}
+
+/// The per-request forest assembled from a recorder's rings, with the
+/// truncation accounting that keeps it honest.
+#[derive(Debug, Clone, Default)]
+pub struct TraceForest {
+    /// One trace per request, sorted by correlation id.
+    pub requests: Vec<RequestTrace>,
+    /// Events lost to ring overwrite across every lane — exact, from
+    /// the rings' own push counters.
+    pub ring_dropped: u64,
+    /// Correlation ids excluded because their spans could not be
+    /// assembled losslessly (truncated by overwrite, unmatched `End`,
+    /// or unclosed at end of stream), sorted.
+    pub poisoned: Vec<u64>,
+    /// Spans with correlation id 0 — emitted outside any request scope
+    /// — which never join a tree.
+    pub unattributed: u64,
+}
+
+impl TraceForest {
+    /// The trace for `corr`, if it assembled cleanly.
+    pub fn request(&self, corr: u64) -> Option<&RequestTrace> {
+        self.requests.iter().find(|r| r.corr == corr)
+    }
+}
+
+/// A closed span interval, pre-assembly.
+struct Interval {
+    lane: usize,
+    kind: SpanKind,
+    corr: u64,
+    start: Cycles,
+    end: Cycles,
+    seq: usize,
+}
+
+/// Assembles the per-request span forest from `recorder`'s lane rings.
+pub fn assemble(recorder: &Recorder) -> TraceForest {
+    let lanes: Vec<Vec<Event>> = (0..recorder.lane_count())
+        .map(|l| recorder.events(l))
+        .collect();
+    let dropped: Vec<u64> = (0..recorder.lane_count())
+        .map(|l| recorder.lane_dropped(l))
+        .collect();
+    assemble_lanes(&lanes, &dropped)
+}
+
+/// [`assemble`] over raw per-lane event streams; `lane_dropped[l]` is
+/// the number of events lane `l` lost to overwrite (pass zeros for a
+/// complete capture).
+pub fn assemble_lanes(lanes: &[Vec<Event>], lane_dropped: &[u64]) -> TraceForest {
+    let mut intervals: Vec<Interval> = Vec::new();
+    let mut poisoned: BTreeSet<u64> = BTreeSet::new();
+    let mut unattributed = 0u64;
+    let mut seq = 0usize;
+
+    for (lane, events) in lanes.iter().enumerate() {
+        let dropped = lane_dropped.get(lane).copied().unwrap_or(0);
+        if dropped > 0 {
+            // Overwrite removes a contiguous prefix and a lane serves
+            // requests serially, so the only request that can be
+            // missing events is the earliest surviving one.
+            if let Some(first) = events.first() {
+                poisoned.insert(first.corr);
+            }
+        }
+        // Stack of open Begin frames: (kind, start, corr).
+        let mut open: Vec<(SpanKind, Cycles, u64)> = Vec::new();
+        for ev in events {
+            seq += 1;
+            match ev.kind {
+                EventKind::Begin(kind) => open.push((kind, ev.t, ev.corr)),
+                EventKind::End(kind) => match open.last() {
+                    Some(&(k, start, corr)) if k == kind => {
+                        open.pop();
+                        if corr != ev.corr {
+                            poisoned.insert(corr);
+                            poisoned.insert(ev.corr);
+                        } else {
+                            intervals.push(Interval {
+                                lane,
+                                kind,
+                                corr,
+                                start,
+                                end: ev.t.max(start),
+                                seq,
+                            });
+                        }
+                    }
+                    _ => {
+                        // An End with no matching Begin: the opening
+                        // half was overwritten, so the request cannot
+                        // be assembled losslessly.
+                        poisoned.insert(ev.corr);
+                    }
+                },
+                EventKind::Complete(kind, dur) => intervals.push(Interval {
+                    lane,
+                    kind,
+                    corr: ev.corr,
+                    start: ev.t,
+                    end: ev.t + dur as Cycles,
+                    seq,
+                }),
+                EventKind::Instant(_) => {}
+            }
+        }
+        // Frames still open at the end of the stream never closed: a
+        // capture taken mid-call. Refuse to guess their extent.
+        for (_, _, corr) in open {
+            poisoned.insert(corr);
+        }
+    }
+
+    // Group intervals per (corr, lane); corr 0 is "no request in
+    // scope" by the ring's own convention.
+    let mut by_corr: BTreeMap<u64, BTreeMap<usize, Vec<Interval>>> = BTreeMap::new();
+    for iv in intervals {
+        if iv.corr == 0 {
+            unattributed += 1;
+            continue;
+        }
+        if poisoned.contains(&iv.corr) {
+            continue;
+        }
+        by_corr
+            .entry(iv.corr)
+            .or_default()
+            .entry(iv.lane)
+            .or_default()
+            .push(iv);
+    }
+    for corr in &poisoned {
+        by_corr.remove(corr);
+    }
+
+    let mut requests = Vec::new();
+    for (corr, lanes) in by_corr {
+        let mut roots: Vec<SpanNode> = Vec::new();
+        for (_, ivs) in lanes {
+            roots.extend(nest(ivs));
+        }
+        roots.sort_by_key(|r| (r.start, r.lane));
+        requests.push(RequestTrace { corr, roots });
+    }
+
+    TraceForest {
+        requests,
+        ring_dropped: lane_dropped.iter().sum(),
+        poisoned: poisoned.into_iter().collect(),
+        unattributed,
+    }
+}
+
+/// Builds the containment forest of one lane's intervals for one
+/// request. `Complete` events are emitted when a section *ends*, so the
+/// stream is ordered by end time and an enclosing span arrives after
+/// its children; sorting by (start asc, end desc) restores parent-first
+/// order, and a sweep with a stack of open ancestors nests the rest.
+fn nest(mut ivs: Vec<Interval>) -> Vec<SpanNode> {
+    ivs.sort_by(|a, b| {
+        a.start
+            .cmp(&b.start)
+            .then(b.end.cmp(&a.end))
+            .then(a.seq.cmp(&b.seq))
+    });
+    let mut roots: Vec<SpanNode> = Vec::new();
+    // Stack of open ancestors; each new node is attached once proven
+    // either contained in the top or disjoint from everything open.
+    let mut stack: Vec<SpanNode> = Vec::new();
+    for iv in ivs {
+        let node = SpanNode {
+            lane: iv.lane,
+            kind: iv.kind,
+            start: iv.start,
+            dur: iv.end - iv.start,
+            children: Vec::new(),
+        };
+        while let Some(top) = stack.last() {
+            if node.start < top.end() || (node.dur == 0 && node.start == top.end() && top.dur > 0) {
+                break;
+            }
+            let done = stack.pop().expect("checked non-empty");
+            attach(&mut stack, &mut roots, done);
+        }
+        stack.push(node);
+    }
+    while let Some(done) = stack.pop() {
+        attach(&mut stack, &mut roots, done);
+    }
+    roots.sort_by_key(|r| r.start);
+    roots
+}
+
+fn attach(stack: &mut [SpanNode], roots: &mut Vec<SpanNode>, node: SpanNode) {
+    match stack.last_mut() {
+        Some(parent) => parent.children.push(node),
+        None => roots.push(node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_observe::{InstantKind, Recorder};
+
+    fn complete(_lane: usize, kind: SpanKind, t0: Cycles, t1: Cycles, corr: u64) -> Event {
+        Event {
+            t: t0,
+            corr,
+            kind: EventKind::Complete(kind, (t1 - t0) as u32),
+        }
+    }
+
+    #[test]
+    fn flat_complete_events_nest_by_containment() {
+        // SkyBridge-core style: leaf sections emitted at their *end*,
+        // so the enclosing handler arrives after its children.
+        let lane = vec![
+            complete(0, SpanKind::Trampoline, 0, 10, 7),
+            complete(0, SpanKind::Marshal, 12, 20, 7),
+            complete(0, SpanKind::Switch, 30, 35, 7),
+            complete(0, SpanKind::Handler, 25, 60, 7),
+            complete(0, SpanKind::Call, 0, 70, 7),
+        ];
+        let f = assemble_lanes(&[lane], &[0]);
+        assert!(f.poisoned.is_empty());
+        let r = f.request(7).expect("one request");
+        assert_eq!(r.roots.len(), 1);
+        assert_eq!(r.roots[0].kind, SpanKind::Call);
+        assert_eq!(r.span_count(), 5);
+        let handler = &r.roots[0].children[2];
+        assert_eq!(handler.kind, SpanKind::Handler);
+        assert_eq!(handler.children.len(), 1, "switch nests under handler");
+        // Critical path conserves the root's cycles exactly.
+        assert_eq!(r.critical_path_cycles(), 70);
+        assert_eq!(r.total(), 70);
+    }
+
+    #[test]
+    fn begin_end_pairs_and_completes_mix() {
+        let lane = vec![
+            Event {
+                t: 0,
+                corr: 3,
+                kind: EventKind::Begin(SpanKind::Call),
+            },
+            complete(0, SpanKind::Marshal, 5, 15, 3),
+            Event {
+                t: 10,
+                corr: 3,
+                kind: EventKind::Instant(InstantKind::Retry),
+            },
+            complete(0, SpanKind::Handler, 20, 90, 3),
+            Event {
+                t: 100,
+                corr: 3,
+                kind: EventKind::End(SpanKind::Call),
+            },
+        ];
+        let f = assemble_lanes(&[lane], &[0]);
+        let r = f.request(3).expect("assembled");
+        assert_eq!(r.roots.len(), 1);
+        assert_eq!(r.roots[0].children.len(), 2);
+        assert_eq!(r.critical_path_cycles(), 100);
+        let dom = r.dominant().expect("non-empty path");
+        assert_eq!(dom.kind, SpanKind::Handler, "70-cycle handler dominates");
+        assert_eq!(dom.cycles, 70);
+    }
+
+    #[test]
+    fn sequential_hops_become_sibling_roots() {
+        // Trap-personality chain: two full calls under one trace id.
+        let lane = vec![
+            complete(0, SpanKind::KernelIpc, 2, 40, 9),
+            complete(0, SpanKind::Call, 0, 50, 9),
+            complete(0, SpanKind::KernelIpc, 52, 90, 9),
+            complete(0, SpanKind::Call, 50, 100, 9),
+        ];
+        let f = assemble_lanes(&[lane], &[0]);
+        let r = f.request(9).expect("assembled");
+        assert_eq!(r.roots.len(), 2, "one root per hop");
+        assert_eq!(r.total(), 100);
+        assert_eq!(r.critical_path_cycles(), 100);
+    }
+
+    #[test]
+    fn unmatched_end_poisons_the_request_not_the_lane() {
+        let lane = vec![
+            // Truncated request 4: its Begin was overwritten.
+            Event {
+                t: 50,
+                corr: 4,
+                kind: EventKind::End(SpanKind::Call),
+            },
+            // Healthy request 5 after it.
+            complete(0, SpanKind::Call, 60, 80, 5),
+        ];
+        let f = assemble_lanes(&[lane], &[0]);
+        assert_eq!(f.poisoned, vec![4]);
+        assert!(f.request(4).is_none(), "no fabricated partial tree");
+        assert!(f.request(5).is_some(), "later requests still assemble");
+    }
+
+    #[test]
+    fn unclosed_begin_poisons_its_request() {
+        let lane = vec![
+            complete(0, SpanKind::Call, 0, 10, 1),
+            Event {
+                t: 20,
+                corr: 2,
+                kind: EventKind::Begin(SpanKind::Call),
+            },
+        ];
+        let f = assemble_lanes(&[lane], &[0]);
+        assert_eq!(f.poisoned, vec![2]);
+        assert!(f.request(1).is_some());
+    }
+
+    #[test]
+    fn wrapped_ring_poisons_exactly_the_first_surviving_request() {
+        // Real recorder, capacity far below the traffic: the surviving
+        // stream starts mid-request and assembly must refuse that one
+        // request while keeping the exact drop count.
+        let rec = Recorder::new(8);
+        for corr in 1..=20u64 {
+            let t = corr * 100;
+            rec.begin(0, SpanKind::Call, t, corr);
+            rec.span(0, SpanKind::Handler, t + 10, t + 60, corr);
+            rec.end(0, SpanKind::Call, t + 80, corr);
+        }
+        let f = assemble(&rec);
+        assert_eq!(f.ring_dropped, rec.dropped(), "exact, from the rings");
+        assert!(f.ring_dropped > 0);
+        // Whatever was poisoned, every surviving request is whole.
+        for r in &f.requests {
+            assert_eq!(r.span_count(), 2, "corr {}: full tree or nothing", r.corr);
+            assert_eq!(r.roots.len(), 1);
+        }
+        // The newest request always survives intact.
+        assert!(f.request(20).is_some());
+    }
+
+    #[test]
+    fn corr_zero_spans_never_join_a_tree() {
+        let lane = vec![
+            complete(0, SpanKind::Switch, 0, 5, 0),
+            complete(0, SpanKind::Call, 10, 30, 2),
+        ];
+        let f = assemble_lanes(&[lane], &[0]);
+        assert_eq!(f.unattributed, 1);
+        assert_eq!(f.requests.len(), 1);
+    }
+
+    #[test]
+    fn requests_span_multiple_lanes() {
+        let l0 = vec![complete(0, SpanKind::Call, 0, 40, 6)];
+        let l1 = vec![complete(1, SpanKind::Call, 40, 90, 6)];
+        let f = assemble_lanes(&[l0, l1], &[0, 0]);
+        let r = f.request(6).expect("assembled across lanes");
+        assert_eq!(r.roots.len(), 2);
+        assert_eq!(r.roots[0].lane, 0);
+        assert_eq!(r.roots[1].lane, 1);
+        assert_eq!(r.total(), 90);
+    }
+}

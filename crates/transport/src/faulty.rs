@@ -124,6 +124,10 @@ impl<T: Transport> Transport for Faulty<T> {
     fn attach_recorder(&mut self, recorder: sb_observe::Recorder) {
         self.inner.attach_recorder(recorder);
     }
+
+    fn pmu(&self) -> Option<sb_sim::Pmu> {
+        self.inner.pmu()
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ mod transport;
 pub mod wire;
 
 pub use faulty::Faulty;
-pub use transport::{CallError, FixedServiceTransport, Transport};
+pub use transport::{verify_reply_corr, CallError, FixedServiceTransport, Transport};
 pub use wire::{
     CopyMeter, Lane, RegImage, Request, WireHeader, OP_TAG_OFFSET, WIRE_HEADER_LEN, WIRE_MIN,
 };

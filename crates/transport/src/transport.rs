@@ -25,6 +25,48 @@ pub enum CallError {
     },
     /// Any other failure (fault, broken binding, kernel error).
     Failed(String),
+    /// The reply left in the lane answers a *different* request: its
+    /// wire-header correlation id does not match the outstanding call.
+    /// Accepting it silently would hand one client another client's
+    /// (or an earlier retry's) data, so the transport refuses instead.
+    CorrMismatch {
+        /// The outstanding request's id.
+        expected: u64,
+        /// The id stamped in the lane's reply header.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Timeout { elapsed } => {
+                write!(f, "call timed out after {elapsed} cycles")
+            }
+            CallError::Failed(why) => write!(f, "call failed: {why}"),
+            CallError::CorrMismatch { expected, got } => write!(
+                f,
+                "reply correlation mismatch: expected {expected}, lane holds {got}"
+            ),
+        }
+    }
+}
+
+/// Verifies that the reply sitting in `lane` answers request `corr`.
+/// Every lane-buffered transport runs this at the tail of a successful
+/// `call`; the helper lives here so the check (and its error shape) is
+/// identical across personalities.
+pub fn verify_reply_corr(lane: &crate::wire::Lane, corr: u64) -> Result<(), CallError> {
+    match lane.reply_corr() {
+        Some(got) if got == corr => Ok(()),
+        Some(got) => Err(CallError::CorrMismatch {
+            expected: corr,
+            got,
+        }),
+        None => Err(CallError::Failed(
+            "reply lane holds no parseable wire header".to_string(),
+        )),
+    }
 }
 
 /// A serving transport: per-lane clocks plus the ability to execute one
@@ -83,6 +125,14 @@ pub trait Transport {
     /// default ignores it — a transport without instrumentation still
     /// satisfies the trait.
     fn attach_recorder(&mut self, _recorder: Recorder) {}
+
+    /// Machine-wide PMU counters for the simulated cores underneath
+    /// this transport, when it has real simulated hardware (the
+    /// kernel-backed transports do; synthetic ones return `None`).
+    /// Flight-recorder bundles attach this to postmortems.
+    fn pmu(&self) -> Option<sb_sim::Pmu> {
+        None
+    }
 }
 
 /// A synthetic transport with a constant service time and no kernel
@@ -96,6 +146,7 @@ pub struct FixedServiceTransport {
     service: Cycles,
     label: String,
     recorder: Recorder,
+    poison: Option<(usize, u64)>,
 }
 
 impl FixedServiceTransport {
@@ -110,7 +161,15 @@ impl FixedServiceTransport {
             service,
             label: format!("fixed:{service}"),
             recorder: Recorder::off(),
+            poison: None,
         }
+    }
+
+    /// Arranges for the *next* call on `lane` to come back with its
+    /// reply header restamped to `corr` — a stale-reply injection seam
+    /// for proving the correlation check refuses mismatched replies.
+    pub fn poison_next_reply_corr(&mut self, lane: usize, corr: u64) {
+        self.poison = Some((lane, corr));
     }
 }
 
@@ -136,8 +195,15 @@ impl Transport for FixedServiceTransport {
         let t0 = self.clocks[lane];
         self.lanes[lane].encode(req, 0, &self.meter);
         self.clocks[lane] += self.service;
+        if let Some((l, corr)) = self.poison {
+            if l == lane {
+                self.lanes[lane].set_reply_corr(corr);
+                self.poison = None;
+            }
+        }
         self.recorder
             .span(lane, SpanKind::Call, t0, self.clocks[lane], req.id);
+        verify_reply_corr(&self.lanes[lane], req.id)?;
         Ok(self.lanes[lane].reply().len())
     }
 
@@ -189,5 +255,25 @@ mod tests {
         assert_eq!(n, 64);
         assert_eq!(t.reply(0), r.encode());
         assert!(t.bytes_copied() > 0, "the single encode is metered");
+    }
+
+    #[test]
+    fn stale_reply_is_refused_not_served() {
+        let mut t = FixedServiceTransport::new(2, 10);
+        let r = Request {
+            id: 7,
+            ..req(1, false, 16)
+        };
+        t.poison_next_reply_corr(0, 6);
+        match t.call(0, &r) {
+            Err(CallError::CorrMismatch { expected, got }) => {
+                assert_eq!((expected, got), (7, 6));
+            }
+            other => panic!("stale reply must be refused, got {other:?}"),
+        }
+        // Poison is one-shot and lane-scoped: the same request succeeds
+        // on the next attempt and the other lane was never affected.
+        assert_eq!(t.call(0, &r).unwrap(), 16);
+        assert_eq!(t.call(1, &r).unwrap(), 16);
     }
 }

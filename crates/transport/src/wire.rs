@@ -229,6 +229,27 @@ impl Lane {
     pub fn reply(&self) -> &[u8] {
         &self.buf[WIRE_HEADER_LEN..WIRE_HEADER_LEN + self.reply_len]
     }
+
+    /// The correlation id currently stamped in the lane's wire header —
+    /// the id the reply in this buffer answers. For an in-place echo
+    /// this is the id [`Lane::encode`] wrote; a transport that routes a
+    /// reply from somewhere else must restamp it, and
+    /// `Transport::call` compares it against the outstanding request to
+    /// refuse stale replies.
+    pub fn reply_corr(&self) -> Option<u64> {
+        WireHeader::parse(&self.buf).map(|h| h.corr)
+    }
+
+    /// Restamps the header's correlation id in place. The legitimate
+    /// use is a transport writing back the id a routed reply belongs
+    /// to; tests use it to plant a *stale* id and prove the
+    /// correlation check fires instead of silently serving the wrong
+    /// reply.
+    pub fn set_reply_corr(&mut self, corr: u64) {
+        if self.buf.len() >= WIRE_HEADER_LEN {
+            self.buf[8..16].copy_from_slice(&corr.to_le_bytes());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -294,5 +315,20 @@ mod tests {
             meter.total(),
             wire.len() as u64 + WIRE_HEADER_LEN as u64 + 16
         );
+    }
+
+    #[test]
+    fn reply_corr_tracks_the_header_and_restamps() {
+        let meter = CopyMeter::new();
+        let mut lane = Lane::new();
+        assert_eq!(lane.reply_corr(), None, "an empty lane has no header");
+        lane.encode(&req(42, 1, false, 32), 0, &meter);
+        assert_eq!(lane.reply_corr(), Some(42));
+        lane.set_reply_corr(41);
+        assert_eq!(lane.reply_corr(), Some(41), "a stale id is visible");
+        // set_reply leaves the header alone — the echo contract keeps
+        // the encoded id, a routed reply must restamp explicitly.
+        lane.set_reply(&[0u8; 32]);
+        assert_eq!(lane.reply_corr(), Some(41));
     }
 }

@@ -22,11 +22,12 @@
 
 use sb_faultplane::{FaultHandle, FaultMix, FaultObserver, FaultPoint, FaultReport, FaultStage};
 use sb_fs::{log::Log, BlockDevice, FaultyDisk, RamDisk, BSIZE};
-use sb_observe::{FaultCounts, Recorder, DEFAULT_RING_CAPACITY};
+use sb_observe::{FaultCounts, Recorder, Registry, DEFAULT_RING_CAPACITY};
 use sb_runtime::{
     Faulty, PoissonArrivals, RequestFactory, RetryPolicy, RunStats, RuntimeConfig, ServerRuntime,
     SkyBridgeTransport, Transport, TrapIpcTransport,
 };
+use sb_sentinel::{postmortem, BundleReceipt, PostmortemInput, PostmortemSpec, SloHandle, SloSpec};
 
 use crate::scenarios::runtime::{Backend, ServingScenario};
 
@@ -58,6 +59,30 @@ pub fn fs_mixes() -> Vec<FaultMix> {
     ]
 }
 
+/// The SLO every serving chaos cell is held to. Generous against
+/// healthy service (a clean KV call finishes in a few thousand cycles,
+/// far under the objective) but tight enough that an injected crash or
+/// storm burst burns error budget visibly: a breach means the cell was
+/// actually degraded, not that the objective was mis-sized.
+pub fn chaos_slo() -> SloSpec {
+    SloSpec {
+        latency_objective: 150_000,
+        error_budget: 0.05,
+        fast_window: 1_000_000,
+        slow_window: 8_000_000,
+        fast_burn: 4.0,
+        slow_burn: 1.0,
+    }
+}
+
+/// The flight-recorder drill's mix: handler panics at certainty, so the
+/// very first served call kills the server deterministically.
+pub fn drill_mix() -> FaultMix {
+    FaultMix::none()
+        .with(FaultPoint::HandlerPanic, 10_000)
+        .named("drill")
+}
+
 /// One serving chaos cell's result.
 #[derive(Debug)]
 pub struct ChaosOutcome {
@@ -70,6 +95,13 @@ pub struct ChaosOutcome {
     /// these must agree with [`ChaosOutcome::report`] exactly — the
     /// two-source zero-leak check.
     pub trace: FaultCounts,
+    /// Online SLO health over the cell, evaluated in the dispatcher
+    /// against [`chaos_slo`].
+    pub slo: sb_sentinel::SloHealth,
+    /// The flight-recorder receipt — present exactly when the cell was
+    /// armed with a [`PostmortemSpec`] and tripped (leaked fault or SLO
+    /// breach).
+    pub postmortem: Option<BundleReceipt>,
 }
 
 impl ChaosOutcome {
@@ -94,6 +126,47 @@ impl ChaosOutcome {
 /// Runs one serving chaos cell: `requests` Poisson arrivals against
 /// `transport` under `mix`, everything seeded by `seed`.
 pub fn run_chaos_cell(backend: &Backend, seed: u64, mix: &FaultMix, requests: u64) -> ChaosOutcome {
+    chaos_cell(backend, seed, mix, requests, None, false)
+}
+
+/// [`run_chaos_cell`] with the flight recorder armed: if the cell ends
+/// with a leaked fault or an SLO breach, a postmortem bundle is written
+/// under `flight.dir` and its receipt returned in the outcome.
+pub fn run_chaos_cell_watched(
+    backend: &Backend,
+    seed: u64,
+    mix: &FaultMix,
+    requests: u64,
+    flight: &PostmortemSpec,
+) -> ChaosOutcome {
+    chaos_cell(backend, seed, mix, requests, Some(flight), false)
+}
+
+/// The flight-recorder drill: a cell under [`drill_mix`] with retries
+/// *disabled* and quiescence *skipped*, so the injected panic is
+/// detected but never recovered — a guaranteed leak that must produce a
+/// postmortem bundle. The chaos bin runs this to prove the recorder
+/// fires end-to-end before trusting the "no bundle means no incident"
+/// reading of a clean run.
+pub fn run_postmortem_drill(
+    backend: &Backend,
+    seed: u64,
+    requests: u64,
+    flight: &PostmortemSpec,
+) -> ChaosOutcome {
+    chaos_cell(backend, seed, &drill_mix(), requests, Some(flight), true)
+}
+
+/// One serving cell. `drill` withholds every recovery path (no retry
+/// policy, no quiesce) so injected faults stay leaked on purpose.
+fn chaos_cell(
+    backend: &Backend,
+    seed: u64,
+    mix: &FaultMix,
+    requests: u64,
+    flight: Option<&PostmortemSpec>,
+    drill: bool,
+) -> ChaosOutcome {
     let scenario = ServingScenario::Kv;
     let mut spec = scenario.service_spec();
     spec.timeout = Some(HANG_BUDGET);
@@ -136,13 +209,24 @@ pub fn run_chaos_cell(backend: &Backend, seed: u64, mix: &FaultMix, requests: u6
         )),
     };
 
+    // The metrics baseline for the bundle's diff: everything the run
+    // moves is published after quiescence and diffed against this.
+    let mut registry = Registry::new();
+    let before = registry.snapshot();
+    let slo = SloHandle::new(chaos_slo());
+
     let cfg = RuntimeConfig {
         queue_capacity: 64,
         // Generous in calm weather; injected storms collapse it to zero.
         queue_deadline: Some(4_000_000),
-        retry: Some(RetryPolicy::default()),
+        retry: if drill {
+            None
+        } else {
+            Some(RetryPolicy::default())
+        },
         faults: Some(faults.clone()),
         recorder: recorder.clone(),
+        slo: Some(slo.clone()),
         ..RuntimeConfig::default()
     };
     let mut factory = RequestFactory::new(scenario.workload(), scenario.payload());
@@ -153,26 +237,74 @@ pub fn run_chaos_cell(backend: &Backend, seed: u64, mix: &FaultMix, requests: u6
     // still-dead server, rebind a still-unbound connection), then prove
     // liveness with clean probe calls. A successful call is also the
     // recovery event for a corrupted-key instance, so keep probing until
-    // none are outstanding.
+    // none are outstanding. The drill skips all of this: its whole point
+    // is to leave the injected instance unrecovered.
     faults.disarm();
-    for w in 0..CHAOS_WORKERS {
-        engine.recover(w);
-        let probe = factory.make(0, None);
-        engine
-            .call(w, &probe)
-            .expect("every lane must serve cleanly after the chaos run");
+    if !drill {
+        for w in 0..CHAOS_WORKERS {
+            engine.recover(w);
+            let probe = factory.make(0, None);
+            engine
+                .call(w, &probe)
+                .expect("every lane must serve cleanly after the chaos run");
+        }
+        let mut probes = 0;
+        while faults.outstanding(FaultPoint::KeyCorrupt) > 0 && probes < 16 {
+            let probe = factory.make(0, None);
+            let _ = engine.call(probes % CHAOS_WORKERS, &probe);
+            probes += 1;
+        }
     }
-    let mut probes = 0;
-    while faults.outstanding(FaultPoint::KeyCorrupt) > 0 && probes < 16 {
-        let probe = factory.make(0, None);
-        let _ = engine.call(probes % CHAOS_WORKERS, &probe);
-        probes += 1;
+
+    let report = faults.report();
+    let health = slo.health();
+    let mut bundle = None;
+    if let Some(spec) = flight {
+        if report.unrecovered() > 0 || health.breached() {
+            // Fold the run into the registry so the bundle carries a
+            // metrics diff over exactly the incident window.
+            registry.count("run.offered", stats.offered);
+            registry.count("run.completed", stats.completed);
+            registry.count("run.shed_queue_full", stats.shed_queue_full);
+            registry.count("run.shed_deadline", stats.shed_deadline);
+            registry.count("run.timed_out", stats.timed_out);
+            registry.count("run.failed", stats.failed);
+            registry.count("run.retries", stats.retries);
+            registry.count("run.recoveries", stats.recoveries);
+            registry.count("run.bytes_copied", stats.bytes_copied);
+            slo.publish(&mut registry, "slo");
+            let pmu = engine.pmu();
+            if let Some(p) = &pmu {
+                registry.record_pmu("pmu", p);
+            }
+            let metrics = registry.snapshot().diff(&before);
+            let tag = format!("{}_{}_{seed:#x}", backend.label(), mix.name);
+            let input = PostmortemInput {
+                reason: if report.unrecovered() > 0 {
+                    "fault_unrecovered"
+                } else {
+                    "slo_breach"
+                },
+                tag: &tag,
+                recorder: Some(&recorder),
+                metrics: Some(&metrics),
+                pmu: pmu.as_ref(),
+                faults: Some(&report),
+                slo: Some(health),
+            };
+            bundle = Some(
+                postmortem::write(spec, &input)
+                    .expect("the flight-recorder bundle must be writable"),
+            );
+        }
     }
 
     ChaosOutcome {
         stats,
-        report: faults.report(),
+        report,
         trace: recorder.fault_counts(),
+        slo: health,
+        postmortem: bundle,
     }
 }
 
@@ -289,6 +421,44 @@ mod tests {
             out.report
         );
         assert!(out.stats.completed > 0);
+    }
+
+    #[test]
+    fn drill_leaks_on_purpose_and_writes_a_schema_clean_bundle() {
+        let dir = std::env::temp_dir().join("sb_chaos_drill_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = PostmortemSpec::in_dir(&dir);
+        let out = run_postmortem_drill(&Backend::SkyBridge, 0xd811, 60, &spec);
+        assert!(out.report.injected() > 0, "the drill must actually inject");
+        assert!(out.report.unrecovered() > 0, "{}", out.report);
+        let receipt = out
+            .postmortem
+            .expect("an unrecovered fault must trip the flight recorder");
+        let body = std::fs::read_to_string(&receipt.path).expect("bundle on disk");
+        sb_observe::validate_json(&body).expect("bundle is schema-clean");
+        assert!(body.contains("\"reason\":\"fault_unrecovered\""));
+        assert!(body.contains("\"schema\":\"sb-postmortem-v1\""));
+        // The truncation block in the bundle must agree with the receipt
+        // to the event.
+        assert!(body.contains(&format!("\"included_events\":{}", receipt.included_events)));
+        assert!(body.contains(&format!("\"clipped_events\":{}", receipt.truncated_events)));
+        assert!(body.contains(&format!("\"ring_dropped\":{}", receipt.ring_dropped)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watched_cell_without_incident_writes_nothing() {
+        let dir = std::env::temp_dir().join("sb_chaos_calm_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = PostmortemSpec::in_dir(&dir);
+        // No faults armed: the cell runs in calm weather and must not
+        // trip the recorder.
+        let out = run_chaos_cell_watched(&Backend::SkyBridge, 0xca11, &FaultMix::none(), 80, &spec);
+        assert_eq!(out.report.injected(), 0);
+        assert!(!out.slo.breached(), "calm weather must hold the SLO");
+        assert!(out.postmortem.is_none());
+        assert!(!dir.exists(), "no bundle directory for a clean run");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

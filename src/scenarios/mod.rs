@@ -3,6 +3,7 @@
 pub mod chaos;
 pub mod kv;
 pub mod runtime;
+pub mod sentinel;
 pub mod sqlite;
 
 /// Converts simulated cycles into seconds on the modeled 4 GHz part.

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use sb_observe::{
     attribute, chrome_trace, validate_json, validate_recorder_nesting, EventKind, InstantKind,
-    Recorder, SpanKind,
+    Log2Histogram, Recorder, SpanKind,
 };
 use sb_runtime::{Request, RuntimeConfig};
 use skybridge_repro::scenarios::runtime::{build_backend, Backend, ServingScenario};
@@ -38,6 +38,45 @@ fn trace_calls(backend: &Backend, lanes: usize, keys: &[u64]) -> Recorder {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Merging per-lane histograms is equivalent to having recorded
+    /// every sample into one histogram: identical counts, moments,
+    /// extremes, and summary quantiles for arbitrary sample splits.
+    #[test]
+    fn histogram_merge_matches_combined_recording(
+        a in proptest::collection::vec(0u64..2_000_000, 0..200),
+        b in proptest::collection::vec(0u64..2_000_000, 0..200),
+    ) {
+        let mut ha = Log2Histogram::new();
+        let mut hb = Log2Histogram::new();
+        let mut combined = Log2Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            combined.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), combined.count());
+        prop_assert_eq!(ha.mean(), combined.mean());
+        prop_assert_eq!(ha.min(), combined.min());
+        prop_assert_eq!(ha.max(), combined.max());
+        prop_assert_eq!(
+            ha.min(),
+            a.iter().chain(&b).copied().min().unwrap_or(0),
+            "the histogram keeps the exact minimum"
+        );
+        for q in [0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            prop_assert_eq!(
+                ha.percentile(q),
+                combined.percentile(q),
+                "p{} diverged after merge",
+                q
+            );
+        }
+    }
 
     /// Span nesting is well-formed on every personality for arbitrary
     /// key sequences: every End matches the innermost open Begin of its
@@ -159,6 +198,25 @@ fn ring_overwrite_is_surfaced_by_the_export() {
     assert!(trace.truncated, "the export must admit it lost events");
     assert_eq!(trace.dropped, recorder.dropped());
     validate_json(&trace.json).expect("a truncated trace is still valid JSON");
+}
+
+/// The checked-in sample trace (`results/sample_trace.json`, a small
+/// `SB_TRACE` capture) stays loadable by Perfetto: valid JSON in the
+/// Chrome trace shape, with the event array and time-unit header the
+/// importer keys on. Full-size captures land untracked under
+/// `results/traces/`; this sample is the format's regression anchor.
+#[test]
+fn checked_in_sample_trace_smokes_through_the_perfetto_format() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/sample_trace.json");
+    let body = std::fs::read_to_string(path).expect("sample trace present");
+    validate_json(&body).expect("sample trace must be valid JSON");
+    assert!(body.contains("\"displayTimeUnit\":\"ns\""));
+    assert!(body.contains("\"traceEvents\":["));
+    assert!(body.contains("\"ph\":\"X\""), "complete events present");
+    assert!(
+        body.contains("\"truncated\":false"),
+        "the sample must be a lossless capture"
+    );
 }
 
 /// A disabled recorder attached to a transport records nothing — the

@@ -1,0 +1,153 @@
+//! Sentinel integration: causal trace assembly must be *connected*
+//! (every multi-hop request is one tree under one trace id), *truthful*
+//! (the critical path reproduces the client-observed end-to-end cycles),
+//! *honest under loss* (a wrapped ring reports exactly what it dropped
+//! and never fabricates a partial tree), and the flight recorder must
+//! turn an incident into a schema-clean postmortem bundle.
+
+use proptest::prelude::*;
+use sb_observe::Recorder;
+use sb_sentinel::{assemble, PostmortemSpec};
+use skybridge_repro::scenarios::chaos::run_postmortem_drill;
+use skybridge_repro::scenarios::runtime::Backend;
+use skybridge_repro::scenarios::sentinel::{chain_for, skybridge_chain};
+
+/// The tolerance the acceptance gate allows between the assembled
+/// critical path and the simulator's own end-to-end measurement.
+const PATH_TOLERANCE: f64 = 0.05;
+
+fn assert_path_covers(label: &str, corr: u64, path: u64, end_to_end: u64) {
+    let cover = path as f64 / end_to_end.max(1) as f64;
+    assert!(
+        (cover - 1.0).abs() <= PATH_TOLERANCE,
+        "{label}: request {corr}: critical path {path} covers {:.1}% of \
+         the {end_to_end}-cycle end-to-end",
+        cover * 100.0
+    );
+}
+
+/// Every personality's multi-hop chain assembles into one connected
+/// tree per request, and the tree's critical path matches the cycles
+/// the client actually waited.
+#[test]
+fn chains_assemble_connected_trees_on_every_personality() {
+    for backend in Backend::all() {
+        let rec = Recorder::new(sb_observe::DEFAULT_RING_CAPACITY);
+        let run = chain_for(&backend, 3, 6, &rec);
+        let forest = assemble(&rec);
+        let label = backend.label();
+        assert_eq!(forest.ring_dropped, 0, "{label}: a short run fits the ring");
+        assert!(forest.poisoned.is_empty(), "{label}: nothing poisoned");
+        assert_eq!(forest.requests.len(), run.requests.len());
+        for &(corr, end_to_end) in &run.requests {
+            let tr = forest
+                .request(corr)
+                .unwrap_or_else(|| panic!("{label}: request {corr} missing"));
+            assert_eq!(
+                tr.roots.len(),
+                1,
+                "{label}: request {corr} must be one connected tree"
+            );
+            assert!(
+                tr.span_count() > run.depth,
+                "{label}: request {corr}: {} spans cannot cover {} hops",
+                tr.span_count(),
+                run.depth
+            );
+            assert_path_covers(label, corr, tr.critical_path_cycles(), end_to_end);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The critical-path identity holds at any nesting depth, on every
+    /// personality: deeper chains mean deeper trees, never a divergence
+    /// between the assembled path and the measured end-to-end.
+    #[test]
+    fn critical_path_matches_end_to_end_at_any_depth(depth in 1usize..6) {
+        for backend in Backend::all() {
+            let rec = Recorder::new(sb_observe::DEFAULT_RING_CAPACITY);
+            let run = chain_for(&backend, depth, 3, &rec);
+            let forest = assemble(&rec);
+            let label = backend.label();
+            for &(corr, end_to_end) in &run.requests {
+                let tr = forest
+                    .request(corr)
+                    .unwrap_or_else(|| panic!("{label}: request {corr} missing"));
+                prop_assert_eq!(tr.roots.len(), 1);
+                assert_path_covers(label, corr, tr.critical_path_cycles(), end_to_end);
+            }
+        }
+    }
+}
+
+/// Assembly over a wrapped ring is honest: the forest reports exactly
+/// the events the recorder overwrote, the requests whose spans were
+/// damaged are named in `poisoned`, and no poisoned request yields a
+/// fabricated partial tree.
+#[test]
+fn wrapped_rings_report_loss_exactly_and_never_fabricate() {
+    // 64 slots cannot hold 40 deep-chain requests; the ring must wrap.
+    let rec = Recorder::new(64);
+    let run = skybridge_chain(3, 40, &rec);
+    assert!(rec.dropped() > 0, "the run must overflow a 64-slot ring");
+
+    let forest = assemble(&rec);
+    assert_eq!(
+        forest.ring_dropped,
+        rec.dropped(),
+        "the forest must report the recorder's drop count exactly"
+    );
+    assert!(
+        !forest.poisoned.is_empty(),
+        "overwrite mid-request must poison the damaged trace ids"
+    );
+    for &corr in &forest.poisoned {
+        assert!(
+            forest.request(corr).is_none(),
+            "poisoned request {corr} must not surface as a partial tree"
+        );
+    }
+    // Requests that did survive intact still carry the exact identity.
+    for &(corr, end_to_end) in &run.requests {
+        if let Some(tr) = forest.request(corr) {
+            assert_eq!(tr.roots.len(), 1);
+            assert_path_covers("skybridge", corr, tr.critical_path_cycles(), end_to_end);
+        }
+    }
+}
+
+/// The flight recorder end-to-end: a drill that leaks a fault on
+/// purpose must produce a self-contained bundle that parses, carries
+/// the schema tag, and accounts for truncation with the exact counts
+/// the receipt reported.
+#[test]
+fn drill_incident_produces_a_schema_clean_bundle() {
+    let dir = std::env::temp_dir().join("sb_sentinel_itest_bundles");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = PostmortemSpec::in_dir(&dir);
+    let out = run_postmortem_drill(&Backend::SkyBridge, 0x5e17_11e1, 80, &spec);
+
+    assert!(
+        out.report.unrecovered() > 0,
+        "the drill must leave a fault stuck"
+    );
+    let receipt = out.postmortem.expect("an incident must write a bundle");
+    let body = std::fs::read_to_string(&receipt.path).expect("bundle readable");
+    sb_observe::validate_json(&body).expect("bundle must be valid JSON");
+    assert!(body.contains("\"schema\":\"sb-postmortem-v1\""));
+    assert!(body.contains("\"reason\":\"fault_unrecovered\""));
+    for (key, n) in [
+        ("included_events", receipt.included_events),
+        ("clipped_events", receipt.truncated_events),
+        ("ring_dropped", receipt.ring_dropped),
+    ] {
+        assert!(
+            body.contains(&format!("\"{key}\":{n}")),
+            "bundle must carry {key}={n}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
