@@ -15,9 +15,11 @@
 //!    into span trees; the critical path must cover end-to-end cycles
 //!    within 5% on every request.
 //! 3. **Perf trajectory** — fresh sentinel-armed ns/call per
-//!    personality is written to `results/BENCH_runtime.json` and
-//!    compared against the committed `BENCH_runtime.json` baseline
-//!    (override the path with `SB_BENCH_BASELINE`); any personality
+//!    personality is compared against the committed baseline at
+//!    `results/BENCH_runtime.json` — the single canonical copy — and
+//!    then written back to the same path (the baseline is read before
+//!    the write; refreshing it means committing the rewritten file).
+//!    Override the path with `SB_BENCH_BASELINE`. Any personality
 //!    regressing more than 10% fails the run, after up to two fresh
 //!    re-measurements. The gate demands *coherent* regression across
 //!    two signals: raw ns/call, and ns/call divided by the minimum
@@ -36,7 +38,8 @@
 //!
 //! Knobs: `SB_CALLS` (timed calls per rep, default 3,000), `SB_REPS`
 //! (repetitions per mode, default 5), `SB_BENCH_BASELINE` (baseline
-//! path, default `BENCH_runtime.json`; set to `off` to skip the gate).
+//! path, default `results/BENCH_runtime.json`; set to `off` to skip
+//! the gate).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -308,8 +311,8 @@ fn main() {
         println!("units_per_call:{}", r.units_per_call);
         return;
     }
-    let baseline_path =
-        std::env::var("SB_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_runtime.json".to_string());
+    let baseline_path = std::env::var("SB_BENCH_BASELINE")
+        .unwrap_or_else(|_| "results/BENCH_runtime.json".to_string());
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();

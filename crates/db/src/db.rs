@@ -413,4 +413,13 @@ impl<F: FileApi> Database<F> {
     pub fn fs(&self) -> &F {
         &self.fs
     }
+
+    /// Mutable borrow of the underlying file system. A file-system
+    /// *proxy* (the graph's charged FS adapter) carries configuration of
+    /// its own — which transport to charge, whether charging is live —
+    /// that the owner must be able to adjust after the database opened,
+    /// e.g. to pre-load rows without billing IPC crossings for them.
+    pub fn fs_mut(&mut self) -> &mut F {
+        &mut self.fs
+    }
 }

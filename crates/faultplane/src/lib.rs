@@ -160,6 +160,20 @@ impl FaultMix {
             .with(FaultPoint::BufferExhaust, 100)
     }
 
+    /// Power-loss drills: mid-request power cuts (with the occasional
+    /// torn final write) over a background of transient write errors —
+    /// the crash matrix the WAL + commit-log replay path must absorb.
+    /// Unlike [`FaultMix::storage`], this mix fires
+    /// [`FaultPoint::PowerLoss`], so a run *will* eventually lose the
+    /// device mid-sequence.
+    pub fn power() -> Self {
+        FaultMix::none()
+            .named("power")
+            .with(FaultPoint::PowerLoss, 40)
+            .with(FaultPoint::TornWrite, 20)
+            .with(FaultPoint::BlockWriteError, 120)
+    }
+
     /// Queue-deadline storms.
     pub fn storms() -> Self {
         FaultMix::none()

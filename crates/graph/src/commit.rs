@@ -1,0 +1,313 @@
+//! The per-cell commit log: append-only mediation, deterministic replay.
+//!
+//! Every operation a serving cell admits is recorded here **before** it
+//! is applied — the zero-os discipline: all authority flows through one
+//! mediation point, and every mutation is an auditable log entry. The
+//! log records *reads too*: a read warms the cache and the database's
+//! page cache, and cache state decides whether later requests reach the
+//! db at all, so byte-identical replay needs the exact operation
+//! sequence, not just the writes. Only [`CommitOp::Put`] entries carry
+//! state; replaying `Get`s merely reproduces the caching side effects.
+//!
+//! [`Snapshot`] pairs a log position with the cell's persistent state
+//! (the flushed disk image) and its volatile cache; restoring the
+//! snapshot and serving `log.since(snapshot.seq)` reproduces the live
+//! cell byte-for-byte — the replay drill in `serve`'s tests and the CI
+//! graph job assert exactly that.
+
+use std::collections::BTreeMap;
+
+use sb_fs::{BlockDevice, RamDisk, BSIZE};
+use sb_transport::opcode;
+
+/// One mediated cell operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOp {
+    /// Point read of `key` (cache-aside: may stop at the cache tier).
+    Get {
+        /// The record key.
+        key: u64,
+    },
+    /// Upsert of `key` to `value` (invalidates the cache entry).
+    Put {
+        /// The record key.
+        key: u64,
+        /// The full value written.
+        value: Vec<u8>,
+    },
+}
+
+impl CommitOp {
+    /// The record key the operation targets.
+    pub fn key(&self) -> u64 {
+        match self {
+            CommitOp::Get { key } | CommitOp::Put { key, .. } => *key,
+        }
+    }
+
+    /// Whether the operation mutates the cell.
+    pub fn is_write(&self) -> bool {
+        matches!(self, CommitOp::Put { .. })
+    }
+
+    /// The client-facing wire opcode of this operation.
+    pub fn opcode(&self) -> u8 {
+        if self.is_write() {
+            opcode::WRITE
+        } else {
+            opcode::READ
+        }
+    }
+}
+
+/// One append-only log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// 1-based position in the log (dense: entry `i` has seq `i`).
+    pub seq: u64,
+    /// The wire correlation id of the request that admitted it.
+    pub corr: u64,
+    /// The mediated operation.
+    pub op: CommitOp,
+}
+
+/// The append-only commit log of one serving cell.
+#[derive(Debug, Clone, Default)]
+pub struct CommitLog {
+    entries: Vec<CommitEntry>,
+}
+
+impl CommitLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        CommitLog::default()
+    }
+
+    /// Appends `op`, returning its sequence number.
+    pub fn append(&mut self, corr: u64, op: CommitOp) -> u64 {
+        let seq = self.entries.len() as u64 + 1;
+        self.entries.push(CommitEntry { seq, corr, op });
+        seq
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.entries.len() as u64 + 1
+    }
+
+    /// The sequence number of the last entry (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, in order.
+    pub fn entries(&self) -> &[CommitEntry] {
+        &self.entries
+    }
+
+    /// Entries *after* position `seq` — what a cell restored from a
+    /// snapshot at `seq` must replay to catch up.
+    pub fn since(&self, seq: u64) -> &[CommitEntry] {
+        let from = (seq as usize).min(self.entries.len());
+        &self.entries[from..]
+    }
+
+    /// Number of mutating entries.
+    pub fn writes(&self) -> u64 {
+        self.entries.iter().filter(|e| e.op.is_write()).count() as u64
+    }
+
+    /// An order-sensitive FNV-1a fingerprint over every entry — the
+    /// audit check two replicas of the same history must agree on.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for e in &self.entries {
+            h.write_u64(e.seq);
+            h.write_u64(e.corr);
+            h.write_u64(e.op.key());
+            match &e.op {
+                CommitOp::Get { .. } => h.write_u64(0),
+                CommitOp::Put { value, .. } => {
+                    h.write_u64(1);
+                    h.write(value);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// A restorable point-in-time image of a serving cell: the commit-log
+/// position, the flushed persistent disk, and the volatile cache tier.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The log position the image reflects (every entry `<= seq`
+    /// applied, nothing after).
+    pub seq: u64,
+    /// The flushed disk image (db file, WAL, journal — everything).
+    pub disk: RamDisk,
+    /// The cache tier's contents at the snapshot point.
+    pub cache: BTreeMap<u64, Vec<u8>>,
+}
+
+/// The deterministic value a write with sequence number `seq` stores
+/// under `key`: the sequence number in the first 8 bytes (little
+/// endian) — so crash recovery can read the last *persisted* write's
+/// position straight out of the surviving rows — followed by an
+/// FNV-keyed byte stream. At least 8 bytes regardless of `len`.
+pub fn value_bytes(key: u64, seq: u64, len: usize) -> Vec<u8> {
+    let len = len.max(8);
+    let mut v = vec![0u8; len];
+    v[..8].copy_from_slice(&seq.to_le_bytes());
+    let mut x = fnv1a_u64(key ^ seq.rotate_left(17));
+    for chunk in v[8..].chunks_mut(8) {
+        x = fnv1a_u64(x);
+        let bytes = x.to_le_bytes();
+        chunk.copy_from_slice(&bytes[..chunk.len()]);
+    }
+    v
+}
+
+/// Content fingerprint of a whole disk image (FNV-1a over every block).
+/// Takes the disk by value: [`RamDisk`] is cheap to clone and its I/O
+/// counters must not be disturbed on — or folded into — the digest.
+pub fn disk_digest(mut disk: RamDisk) -> u64 {
+    let mut h = Fnv::new();
+    let mut buf = [0u8; BSIZE];
+    for bno in 0..disk.nblocks() {
+        disk.read_block(bno, &mut buf);
+        h.write(&buf);
+    }
+    h.finish()
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a_u64(x: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_numbers_are_dense_and_one_based() {
+        let mut log = CommitLog::new();
+        assert_eq!(log.next_seq(), 1);
+        assert_eq!(log.append(9, CommitOp::Get { key: 1 }), 1);
+        assert_eq!(
+            log.append(
+                10,
+                CommitOp::Put {
+                    key: 2,
+                    value: vec![1]
+                }
+            ),
+            2
+        );
+        assert_eq!(log.last_seq(), 2);
+        assert_eq!(log.writes(), 1);
+        assert_eq!(log.since(0).len(), 2);
+        assert_eq!(log.since(1).len(), 1);
+        assert_eq!(log.since(1)[0].seq, 2);
+        assert!(log.since(5).is_empty());
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let mut a = CommitLog::new();
+        let mut b = CommitLog::new();
+        a.append(1, CommitOp::Get { key: 7 });
+        a.append(
+            2,
+            CommitOp::Put {
+                key: 7,
+                value: vec![3, 4],
+            },
+        );
+        b.append(
+            1,
+            CommitOp::Put {
+                key: 7,
+                value: vec![3, 4],
+            },
+        );
+        b.append(2, CommitOp::Get { key: 7 });
+        assert_ne!(a.digest(), b.digest());
+
+        let mut c = CommitLog::new();
+        c.append(1, CommitOp::Get { key: 7 });
+        c.append(
+            2,
+            CommitOp::Put {
+                key: 7,
+                value: vec![3, 4],
+            },
+        );
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn value_bytes_embed_the_seq_and_are_deterministic() {
+        let v = value_bytes(42, 0x0102_0304, 64);
+        assert_eq!(v.len(), 64);
+        assert_eq!(u64::from_le_bytes(v[..8].try_into().unwrap()), 0x0102_0304);
+        assert_eq!(v, value_bytes(42, 0x0102_0304, 64));
+        assert_ne!(v, value_bytes(43, 0x0102_0304, 64));
+        assert_eq!(value_bytes(1, 2, 0).len(), 8, "seq header always fits");
+    }
+
+    #[test]
+    fn disk_digest_sees_content_not_counters() {
+        let mut a = RamDisk::new(8);
+        let mut b = RamDisk::new(8);
+        let block = [7u8; BSIZE];
+        a.write_block(3, &block);
+        b.write_block(3, &block);
+        let mut probe = [0u8; BSIZE];
+        b.read_block(0, &mut probe); // skew the counters only
+        assert_eq!(disk_digest(a.clone()), disk_digest(b));
+        a.write_block(4, &block);
+        assert_ne!(disk_digest(a.clone()), disk_digest(RamDisk::new(8)));
+    }
+}

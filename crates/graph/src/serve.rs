@@ -1,0 +1,287 @@
+//! The whole graph as one [`Transport`]: a client call fans through
+//! every node as a real inner-transport call.
+//!
+//! [`GraphTransport`] owns one inner transport *per node* — all of the
+//! same IPC personality, each carrying that node's service work — plus
+//! the [`GraphCell`] holding the state. A `call(lane, req)`:
+//!
+//! 1. encodes the request into the graph's own lane (the one
+//!    marshalling copy) and opens the end-to-end `Call` span;
+//! 2. hops through gateway → cache (→ db on a cache miss / any write)
+//!    as sequential inner calls on the same lane, all sharing the
+//!    request's correlation id and threading one simulated clock, so
+//!    the sentinel assembles a single connected span tree per request;
+//! 3. admits the operation into the commit log, then serves it through
+//!    the cell — during which the charged FS adapter bills each file
+//!    operation as a crossing into the **fs node's** transport, under
+//!    the same correlation id;
+//! 4. writes the application reply into the graph lane and stamps the
+//!    clock.
+//!
+//! Application bytes live host-side (the inner transports serve the
+//! echo contract, as everywhere else in the repo); what the inner
+//! crossings contribute is the *cost* and the *spans* — true payload
+//! sizes, true clock advance, true critical path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sb_observe::{Recorder, SpanKind};
+use sb_sim::Cycles;
+use sb_transport::{verify_reply_corr, CallError, CopyMeter, Lane, Request, Transport};
+
+use crate::cell::{CellDisk, GraphCell, HopCtx, HopLink, SharedTransport};
+use crate::commit::Snapshot;
+use crate::spec::{GraphError, GraphSpec, Role};
+
+struct NodeHop {
+    transport: SharedTransport,
+    name: String,
+    role: Role,
+    payload: usize,
+}
+
+/// A multi-hop serving graph behind the [`Transport`] trait: drop it
+/// into the dispatcher, the chaos harness, or the differential tests
+/// exactly like a single-server transport.
+pub struct GraphTransport {
+    label: String,
+    nodes: Vec<NodeHop>,
+    route: Vec<usize>,
+    cell: GraphCell,
+    ctx: Rc<HopCtx>,
+    lanes: Vec<Lane>,
+    clocks: Vec<Cycles>,
+    meter: CopyMeter,
+    recorder: Recorder,
+}
+
+impl GraphTransport {
+    /// Assembles the graph on a fresh cell disk. `transports[i]` serves
+    /// `spec.nodes[i]`; all must expose at least `lanes` lanes.
+    pub fn assemble(
+        label: impl Into<String>,
+        spec: &GraphSpec,
+        transports: Vec<Box<dyn Transport>>,
+        lanes: usize,
+    ) -> Result<Self, GraphError> {
+        Self::assemble_on(
+            label,
+            spec,
+            transports,
+            lanes,
+            CellDisk::Ram(sb_fs::RamDisk::new(crate::cell::CELL_DISK_BLOCKS)),
+        )
+    }
+
+    /// Assembles the graph over an explicit cell disk (chaos drills
+    /// pass a [`CellDisk::Faulty`]; keep its fault plane disarmed until
+    /// this returns — the preload must land).
+    pub fn assemble_on(
+        label: impl Into<String>,
+        spec: &GraphSpec,
+        transports: Vec<Box<dyn Transport>>,
+        lanes: usize,
+        disk: CellDisk,
+    ) -> Result<Self, GraphError> {
+        let route = spec.route()?.order;
+        assert_eq!(
+            transports.len(),
+            spec.nodes.len(),
+            "one inner transport per node"
+        );
+        let nodes: Vec<NodeHop> = spec
+            .nodes
+            .iter()
+            .zip(transports)
+            .map(|(n, t)| NodeHop {
+                transport: Rc::new(RefCell::new(t)),
+                name: n.name.clone(),
+                role: n.role,
+                payload: n.payload,
+            })
+            .collect();
+        let ctx = HopCtx::new();
+        let link = nodes.iter().find(|n| n.role == Role::Fs).map(|n| HopLink {
+            transport: n.transport.clone(),
+            ctx: ctx.clone(),
+            payload: n.payload,
+        });
+        let cell = GraphCell::build_on(
+            disk,
+            spec.records,
+            spec.value_len,
+            spec.cache_capacity,
+            link,
+        );
+        Ok(GraphTransport {
+            label: label.into(),
+            nodes,
+            route,
+            cell,
+            ctx,
+            lanes: (0..lanes).map(|_| Lane::new()).collect(),
+            clocks: vec![0; lanes],
+            meter: CopyMeter::new(),
+            recorder: Recorder::off(),
+        })
+    }
+
+    /// The cell (commit log, counters, cache).
+    pub fn cell(&self) -> &GraphCell {
+        &self.cell
+    }
+
+    /// Mutable cell access (drills that roll state forward by hand).
+    pub fn cell_mut(&mut self) -> &mut GraphCell {
+        &mut self.cell
+    }
+
+    /// Checkpoints the cell mid-run; see [`GraphCell::snapshot`].
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.cell.snapshot()
+    }
+
+    /// Consumes the transport, returning the cell for end-of-run
+    /// inspection (final disk image, log, cache).
+    pub fn into_cell(self) -> GraphCell {
+        self.cell
+    }
+
+    /// Names of the explicit hops a db-miss request performs, in route
+    /// order (per-hop attribution labels).
+    pub fn hop_names(&self) -> Vec<String> {
+        self.route
+            .iter()
+            .filter(|&&i| self.nodes[i].role != Role::Fs)
+            .map(|&i| self.nodes[i].name.clone())
+            .collect()
+    }
+
+    /// One inner-transport hop: idle the node's lane forward to the
+    /// request clock, cross, return the advanced clock.
+    fn hop(&self, node: usize, lane: usize, req: &Request, t: Cycles) -> Result<Cycles, CallError> {
+        let n = &self.nodes[node];
+        let mut inner = n.transport.borrow_mut();
+        inner.wait_until(lane, t);
+        let hop_req = Request {
+            id: req.id,
+            arrival: t,
+            key: req.key,
+            write: req.write,
+            payload: n.payload,
+            client: req.client,
+        };
+        inner.call(lane, &hop_req)?;
+        Ok(inner.now(lane))
+    }
+
+    fn route_call(
+        &mut self,
+        lane: usize,
+        req: &Request,
+        t0: Cycles,
+    ) -> Result<(Vec<u8>, Cycles), CallError> {
+        let mut t = t0;
+        for idx in 0..self.route.len() {
+            let node = self.route[idx];
+            match self.nodes[node].role {
+                // The fs node is crossed from inside the db's file I/O,
+                // not as a routed hop of its own.
+                Role::Fs => continue,
+                // Cache-aside: a read that hits the cache tier never
+                // crosses into the db node.
+                Role::Db if !req.write && self.cell.cache_contains(req.key) => continue,
+                _ => {}
+            }
+            t = self.hop(node, lane, req, t)?;
+        }
+        // Mediation: the operation enters the commit log after
+        // admission through the gateway, before any state changes.
+        let op = self.cell.admit(req.id, req.key, req.write);
+        self.ctx.now.set(t);
+        let reply = self.cell.serve(&op);
+        t = t.max(self.ctx.now.get());
+        Ok((reply, t))
+    }
+}
+
+impl Transport for GraphTransport {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn lanes(&self) -> usize {
+        self.clocks.len()
+    }
+
+    fn now(&mut self, lane: usize) -> Cycles {
+        self.clocks[lane]
+    }
+
+    fn wait_until(&mut self, lane: usize, time: Cycles) {
+        if time > self.clocks[lane] {
+            self.clocks[lane] = time;
+        }
+    }
+
+    fn bind(&mut self, lane: usize) -> bool {
+        // Every node must bind — no short-circuit `any`.
+        let mut bound = false;
+        for n in &self.nodes {
+            bound |= n.transport.borrow_mut().bind(lane);
+        }
+        bound
+    }
+
+    fn call(&mut self, lane: usize, req: &Request) -> Result<usize, CallError> {
+        let t0 = self.clocks[lane];
+        self.ctx.lane.set(lane);
+        self.ctx.corr.set(req.id);
+        self.lanes[lane].encode(req, 0, &self.meter);
+        self.recorder.begin(lane, SpanKind::Call, t0, req.id);
+        let routed = self.route_call(lane, req, t0);
+        let (reply, t1) = match routed {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.recorder
+                    .end(lane, SpanKind::Call, self.clocks[lane], req.id);
+                return Err(e);
+            }
+        };
+        self.clocks[lane] = t1;
+        self.recorder.end(lane, SpanKind::Call, t1, req.id);
+        self.lanes[lane].set_reply(&reply);
+        verify_reply_corr(&self.lanes[lane], req.id)?;
+        Ok(reply.len())
+    }
+
+    fn reply(&self, lane: usize) -> &[u8] {
+        self.lanes[lane].reply()
+    }
+
+    fn recover(&mut self, lane: usize) -> bool {
+        // Every node must attempt recovery — no short-circuit `any`.
+        let mut recovered = false;
+        for n in &self.nodes {
+            recovered |= n.transport.borrow_mut().recover(lane);
+        }
+        recovered
+    }
+
+    fn bytes_copied(&self) -> u64 {
+        self.meter.total()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.transport.borrow().bytes_copied())
+                .sum::<u64>()
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        for n in &self.nodes {
+            n.transport.borrow_mut().attach_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+}

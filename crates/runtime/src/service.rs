@@ -25,6 +25,32 @@ pub struct ServiceSpec {
     pub timeout: Option<Cycles>,
 }
 
+impl ServiceSpec {
+    /// Replaces the record count.
+    pub fn with_records(mut self, records: u64) -> Self {
+        self.records = records;
+        self
+    }
+
+    /// Replaces the per-request compute.
+    pub fn with_cpu(mut self, cpu: Cycles) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Replaces the handler footprint.
+    pub fn with_footprint(mut self, footprint: usize) -> Self {
+        self.footprint = footprint;
+        self
+    }
+
+    /// Replaces the DoS-timeout budget.
+    pub fn with_timeout(mut self, timeout: Option<Cycles>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
 impl Default for ServiceSpec {
     fn default() -> Self {
         ServiceSpec {

@@ -20,5 +20,6 @@ pub mod wire;
 pub use faulty::Faulty;
 pub use transport::{verify_reply_corr, CallError, FixedServiceTransport, Transport};
 pub use wire::{
-    CopyMeter, Lane, RegImage, Request, WireHeader, OP_TAG_OFFSET, WIRE_HEADER_LEN, WIRE_MIN,
+    opcode, CopyMeter, Lane, RegImage, Request, WireHeader, OP_TAG_OFFSET, WIRE_HEADER_LEN,
+    WIRE_MIN,
 };

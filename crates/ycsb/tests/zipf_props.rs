@@ -1,0 +1,51 @@
+//! Property tests for the scrambled Zipfian key chooser: every draw
+//! stays in `[0, n)` for arbitrary table sizes and seeds, and the skew
+//! survives the scrambling — some key is drawn far more often than a
+//! uniform chooser would allow.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+use sb_ycsb::ScrambledZipfian;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Draws never escape the key space, including the degenerate
+    /// single-key table and sizes around powers of two.
+    #[test]
+    fn draws_stay_in_range(n in 1u64..200_000, seed in 0u64..u64::MAX) {
+        let z = ScrambledZipfian::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..512 {
+            let k = z.next(&mut rng);
+            prop_assert!(k < n, "drew {k} from a table of {n}");
+        }
+    }
+
+    /// The distribution stays plausibly Zipfian after scrambling: the
+    /// single most popular key takes far more than its uniform share.
+    /// (Scrambling relocates the head keys but must not flatten them.)
+    #[test]
+    fn skew_survives_the_scrambling(n in 100u64..50_000, seed in 0u64..u64::MAX) {
+        let z = ScrambledZipfian::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws = 4_000u32;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..draws {
+            *counts.entry(z.next(&mut rng)).or_insert(0u32) += 1;
+        }
+        let top = counts.values().copied().max().unwrap_or(0);
+        let uniform_share = draws as f64 / n as f64;
+        // Zipf(0.99) gives the head key ~1/zeta(n) of the mass — orders
+        // of magnitude above uniform for any n in range. 10x uniform
+        // (and at least a few percent absolute) is a conservative floor
+        // that a flattened distribution cannot meet.
+        prop_assert!(
+            (top as f64) > (10.0 * uniform_share).max(0.02 * draws as f64),
+            "head key drew {top}/{draws} over {n} keys — no Zipf skew"
+        );
+        // And the draws must not collapse onto one key either: the tail
+        // exists.
+        prop_assert!(counts.len() > 10, "only {} distinct keys drawn", counts.len());
+    }
+}

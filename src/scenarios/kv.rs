@@ -24,6 +24,8 @@ use sb_sim::{Cycles, Pmu};
 use sb_ycsb::kv::{KvMixSpec, KvOp};
 use skybridge::{ServerId, SkyBridge};
 
+use crate::scenarios::runtime::Backend;
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KvMode {
@@ -121,11 +123,24 @@ fn code_image(seed: u64, len: usize) -> Vec<u8> {
 
 impl KvPipeline {
     /// Builds the pipeline for `mode` at key/value length `len`, with
-    /// heap capacity for `capacity_ops` insertions.
+    /// heap capacity for `capacity_ops` insertions, under the paper's
+    /// default seL4 cost personality.
     pub fn new(mode: KvMode, len: usize, capacity_ops: usize) -> Self {
+        KvPipeline::with_personality(Personality::sel4(), mode, len, capacity_ops)
+    }
+
+    /// [`KvPipeline::new`] under an explicit kernel cost personality —
+    /// the trap-IPC configurations charge that kernel's crossing costs;
+    /// SkyBridge boots the same personality with the rootkernel.
+    pub fn with_personality(
+        personality: Personality,
+        mode: KvMode,
+        len: usize,
+        capacity_ops: usize,
+    ) -> Self {
         let config = match mode {
-            KvMode::SkyBridge => KernelConfig::with_rootkernel(Personality::sel4()),
-            _ => KernelConfig::native(Personality::sel4()),
+            KvMode::SkyBridge => KernelConfig::with_rootkernel(personality),
+            _ => KernelConfig::native(personality),
         };
         let mut k = Kernel::boot(config);
         let single_space = matches!(mode, KvMode::Baseline | KvMode::Delay);
@@ -400,6 +415,27 @@ impl KvPipeline {
     }
 }
 
+impl KvPipeline {
+    /// The pipeline for a unified serving [`Backend`]: trap backends run
+    /// the three-process kernel-IPC configuration under their own cost
+    /// personality; the SkyBridge backend runs `direct_server_call`.
+    /// This is how the standalone Figure 1 scenario joins the
+    /// all-four-personalities sweeps.
+    pub fn for_backend(backend: &Backend, len: usize, capacity_ops: usize) -> Self {
+        match backend {
+            Backend::SkyBridge => KvPipeline::with_personality(
+                Personality::sel4(),
+                KvMode::SkyBridge,
+                len,
+                capacity_ops,
+            ),
+            Backend::Trap(p) => {
+                KvPipeline::with_personality(p.clone(), KvMode::Ipc, len, capacity_ops)
+            }
+        }
+    }
+}
+
 /// The software footprint every component drags through the machine per
 /// invocation: its libc text, a slice of its own code, one line in each
 /// scratch page, and fixed compute.
@@ -557,5 +593,27 @@ mod tests {
             // data mismatch would break the slot directory invariants.
             assert!(p.kv_state.borrow().index.len() > 10);
         }
+    }
+
+    #[test]
+    fn pipeline_runs_under_every_serving_backend() {
+        // The unified path: all four personalities drive the Figure 1
+        // pipeline, and the trap kernels' differing crossing costs show
+        // up in the per-op cycles.
+        let mut avg = Vec::new();
+        for backend in Backend::all() {
+            let mut p = KvPipeline::for_backend(&backend, 16, 192);
+            p.run_ops(32); // Warmup.
+            let s = p.run_ops(128);
+            assert_eq!(s.ops, 128, "{}: all ops ran", backend.label());
+            assert!(s.avg_cycles > 0);
+            assert!(p.kv_state.borrow().index.len() > 10);
+            avg.push((backend.label().to_string(), s.avg_cycles));
+        }
+        let sky = avg.last().expect("SkyBridge is the last backend").1;
+        assert!(
+            avg[..avg.len() - 1].iter().all(|(_, c)| sky < *c),
+            "SkyBridge must beat every trap kernel: {avg:?}"
+        );
     }
 }

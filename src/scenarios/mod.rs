@@ -1,6 +1,7 @@
 //! Evaluation scenarios: the application topologies of the paper.
 
 pub mod chaos;
+pub mod graph;
 pub mod kv;
 pub mod runtime;
 pub mod sentinel;

@@ -98,10 +98,20 @@ pub fn build_backend(
     backend: &Backend,
     lanes: usize,
 ) -> Box<dyn Transport> {
-    let spec = scenario.service_spec();
+    build_backend_with_spec(&scenario.service_spec(), backend, lanes)
+}
+
+/// Builds the serving transport for `backend` from an explicit service
+/// spec — the path the serving-graph nodes use, where each node carries
+/// its own per-request work rather than a [`ServingScenario`] preset.
+pub fn build_backend_with_spec(
+    spec: &ServiceSpec,
+    backend: &Backend,
+    lanes: usize,
+) -> Box<dyn Transport> {
     match backend {
-        Backend::SkyBridge => Box::new(SkyBridgeTransport::new(lanes, &spec)),
-        Backend::Trap(p) => Box::new(TrapIpcTransport::new(p.clone(), lanes, &spec)),
+        Backend::SkyBridge => Box::new(SkyBridgeTransport::new(lanes, spec)),
+        Backend::Trap(p) => Box::new(TrapIpcTransport::new(p.clone(), lanes, spec)),
     }
 }
 

@@ -33,6 +33,8 @@ use sb_sim::{CpuId, Cycles, SimLock};
 use sb_ycsb::{OpKind, Workload, WorkloadSpec};
 use skybridge::{ServerId, SkyBridge};
 
+use crate::scenarios::runtime::Backend;
+
 /// Transport configuration of the stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StackMode {
@@ -344,6 +346,20 @@ pub struct SqliteStack {
 }
 
 impl SqliteStack {
+    /// The stack for a unified serving [`Backend`]: trap backends run
+    /// the multi-threaded kernel-IPC configuration under their own cost
+    /// personality; the SkyBridge backend runs direct server calls.
+    /// This is how the standalone §6.5 scenario joins the
+    /// all-four-personalities sweeps.
+    pub fn for_backend(backend: &Backend, nclients: usize) -> Self {
+        match backend {
+            Backend::SkyBridge => {
+                SqliteStack::new(Personality::sel4(), StackMode::SkyBridge, nclients, false)
+            }
+            Backend::Trap(p) => SqliteStack::new(p.clone(), StackMode::IpcMt, nclients, false),
+        }
+    }
+
     /// Builds the stack: `nclients` client threads (one per core), the FS
     /// and block-device servers per `mode`, on `personality`'s kernel.
     ///
@@ -710,6 +726,25 @@ mod tests {
             assert_eq!(stats.ops, 40);
             assert!(stats.ops_per_sec > 0.0, "mode {mode:?}");
         }
+    }
+
+    #[test]
+    fn stack_runs_under_every_serving_backend() {
+        // The unified path: all four personalities drive the §6.5 stack.
+        let mut rates = Vec::new();
+        for backend in Backend::all() {
+            let mut s = SqliteStack::for_backend(&backend, 1);
+            s.load(64, 100);
+            let stats = s.run_ycsb(30);
+            assert_eq!(stats.ops, 30, "{}: all ops ran", backend.label());
+            assert!(stats.ops_per_sec > 0.0);
+            rates.push((backend.label().to_string(), stats.ops_per_sec));
+        }
+        let sky = rates.last().expect("SkyBridge is the last backend").1;
+        assert!(
+            rates[..rates.len() - 1].iter().all(|(_, r)| sky > *r),
+            "SkyBridge must out-serve every trap kernel: {rates:?}"
+        );
     }
 
     #[test]

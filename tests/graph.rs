@@ -1,0 +1,213 @@
+//! Serving-graph acceptance: YCSB through client → gateway → cache →
+//! db → fs on all four IPC personalities, with byte-identical replies,
+//! connected cross-hop traces, snapshot/replay reproduction, power-loss
+//! recovery, and dispatcher conservation.
+
+use proptest::prelude::*;
+use sb_graph::GraphSpec;
+use sb_observe::Recorder;
+use sb_runtime::{AdmissionPolicy, RuntimeConfig, Transport};
+use sb_sentinel::assemble;
+use sb_ycsb::{OpKind, Workload, WorkloadSpec};
+use skybridge_repro::scenarios::graph::{
+    build_graph, client_payload, drive_one, replay_drill, run_graph_chaos, run_graph_open_loop,
+    DRILL_CACHE, DRILL_RECORDS, DRILL_VALUE_LEN,
+};
+use skybridge_repro::scenarios::runtime::Backend;
+
+fn drill_spec() -> GraphSpec {
+    GraphSpec::standard(DRILL_RECORDS, DRILL_VALUE_LEN, DRILL_CACHE)
+}
+
+/// A fixed `(key, write)` trace from the seeded YCSB-A generator.
+fn trace(spec: &GraphSpec, ops: u64, seed: u64) -> Vec<(u64, bool)> {
+    let mut wl = Workload::new(WorkloadSpec {
+        seed,
+        ..WorkloadSpec::ycsb_a(spec.records, spec.value_len)
+    });
+    (0..ops)
+        .map(|_| {
+            let op = wl.next_op();
+            (op.key, !matches!(op.kind, OpKind::Read | OpKind::Scan))
+        })
+        .collect()
+}
+
+/// Replies to a fixed trace driven through the graph under `backend`.
+fn replies_for(backend: &Backend, ops: u64, seed: u64) -> Vec<Vec<u8>> {
+    let spec = drill_spec();
+    let mut t = build_graph(backend, &spec, 1);
+    let payload = client_payload(&spec);
+    trace(&spec, ops, seed)
+        .iter()
+        .enumerate()
+        .map(|(i, &(key, write))| drive_one(&mut t, i as u64 + 1, key, write, payload))
+        .collect()
+}
+
+/// The application state a request observes must not depend on which
+/// IPC mechanism carried it: the same trace yields byte-identical
+/// replies on all four personalities.
+#[test]
+fn replies_are_byte_identical_across_all_personalities() {
+    let backends = Backend::all();
+    let reference = replies_for(&backends[0], 48, 0x9a9a);
+    assert!(
+        reference.iter().any(|r| !r.is_empty()),
+        "the trace must produce non-trivial replies"
+    );
+    for b in &backends[1..] {
+        let got = replies_for(b, 48, 0x9a9a);
+        assert_eq!(
+            got,
+            reference,
+            "{} diverged from {}",
+            b.label(),
+            backends[0].label()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The byte-identity holds for arbitrary trace seeds, not just the
+    /// hand-picked one.
+    #[test]
+    fn replies_are_byte_identical_for_any_seed(seed in 1u64..u64::MAX) {
+        let backends = Backend::all();
+        let reference = replies_for(&backends[0], 24, seed);
+        for b in &backends[1..] {
+            prop_assert_eq!(&replies_for(b, 24, seed), &reference, "{}", b.label());
+        }
+    }
+}
+
+/// Sentinel assembles each graph request into one connected span tree
+/// with the per-hop crossings as children — no new instrumentation, the
+/// inner transports' existing recorders light up.
+#[test]
+fn graph_requests_assemble_connected_span_trees() {
+    for backend in Backend::all() {
+        let spec = drill_spec();
+        let mut t = build_graph(&backend, &spec, 1);
+        let rec = Recorder::new(sb_observe::DEFAULT_RING_CAPACITY);
+        t.attach_recorder(rec.clone());
+        let payload = client_payload(&spec);
+
+        // A cold read: misses the cache, crosses into the db, whose
+        // pager I/O crosses into the fs node.
+        drive_one(&mut t, 1, 7, false, payload);
+        // A warm read of the same key: served at the cache tier.
+        drive_one(&mut t, 2, 7, true, payload);
+
+        let forest = assemble(&rec);
+        let cold = forest.request(1).expect("cold request trace");
+        assert_eq!(
+            cold.roots.len(),
+            1,
+            "{}: one connected tree per request",
+            backend.label()
+        );
+        assert!(
+            cold.roots[0].children.len() >= 3,
+            "{}: a cold read crosses gateway, cache, db (+fs), got {}",
+            backend.label(),
+            cold.roots[0].children.len()
+        );
+        assert!(
+            cold.critical_path_cycles() > 0 && cold.critical_path_cycles() <= cold.roots[0].dur,
+            "{}: critical path within the request envelope",
+            backend.label()
+        );
+
+        let warm = forest.request(2).expect("warm request trace");
+        assert_eq!(warm.roots.len(), 1, "{}", backend.label());
+    }
+}
+
+/// Snapshot the cell mid-run, replay `log.since(snapshot)` on a
+/// restored replica: the final disk images and cache tiers are
+/// byte-identical on every personality.
+#[test]
+fn replay_from_snapshot_is_byte_identical_on_every_personality() {
+    for backend in Backend::all() {
+        let d = replay_drill(&backend, 40, 0x5eed);
+        assert!(d.snapshot_seq > 0, "{}: snapshot saw traffic", d.label);
+        assert!(d.replayed > 0, "{}: tail entries replayed", d.label);
+        assert!(
+            d.ok(),
+            "{}: live {:#x} != replay {:#x} (caches match: {})",
+            d.label,
+            d.live_digest,
+            d.replay_digest,
+            d.cache_match
+        );
+    }
+}
+
+/// The power-loss matrix: every run recovers the committed prefix via
+/// WAL replay + journal rollback, rolls the commit log forward, and
+/// converges on the full-replay reference with a balanced fault ledger.
+#[test]
+fn power_loss_recovers_via_commit_log_with_no_leaked_faults() {
+    for backend in Backend::all() {
+        for seed in [0xc0de_0001u64, 0xc0de_0002, 0xc0de_0003] {
+            let o = run_graph_chaos(&backend, seed, 160);
+            assert_eq!(o.leaked, 0, "{} seed {seed:#x}: leaked faults", o.label);
+            assert!(
+                o.rows_match,
+                "{} seed {seed:#x}: recovered state diverged (died: {}, \
+                 recovered_seq {}, rolled forward {})",
+                o.label, o.died, o.recovered_seq, o.rolled_forward
+            );
+        }
+    }
+}
+
+/// At least one seed in the matrix must actually cut the power — the
+/// drill is vacuous otherwise.
+#[test]
+fn chaos_matrix_actually_cuts_power() {
+    let died = [0xc0de_0001u64, 0xc0de_0002, 0xc0de_0003]
+        .iter()
+        .any(|&seed| run_graph_chaos(&Backend::SkyBridge, seed, 160).died);
+    assert!(died, "no seed in the matrix ever cut the power");
+}
+
+/// The graph transport plugs into the dispatcher like any single-server
+/// transport: open-loop runs conserve requests on all four backends.
+#[test]
+fn open_loop_over_the_graph_conserves_requests() {
+    let cfg = RuntimeConfig {
+        queue_capacity: 16,
+        policy: AdmissionPolicy::Shed,
+        queue_deadline: None,
+        ..RuntimeConfig::default()
+    };
+    let spec = drill_spec();
+    for backend in Backend::all() {
+        let s = run_graph_open_loop(
+            &backend,
+            &spec,
+            2,
+            cfg.clone(),
+            WorkloadSpec::ycsb_a(spec.records, spec.value_len),
+            120_000.0,
+            96,
+            7,
+        );
+        assert_eq!(
+            s.offered,
+            s.completed + s.shed() + s.timed_out + s.failed,
+            "{}: conservation",
+            backend.label()
+        );
+        assert!(s.completed > 0, "{}: requests completed", backend.label());
+        assert!(
+            s.bytes_copied > 0,
+            "{}: the copy meter sees the hops",
+            backend.label()
+        );
+    }
+}
