@@ -45,8 +45,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use sb_bench::{
-    knob, print_table,
+    baseline_field, knob, print_table,
     report::{write_json, Json},
+    unit_probe,
 };
 use sb_observe::Recorder;
 use sb_runtime::{RequestFactory, Transport};
@@ -65,34 +66,6 @@ const REGRESSION_BUDGET: f64 = 0.10;
 
 fn factory() -> RequestFactory {
     RequestFactory::new(WorkloadSpec::ycsb_a(10_000, 64), 64)
-}
-
-/// One probe of the host speed unit: ns per iteration of a fixed
-/// reference loop — xorshift-indexed reads and writes over a 4 MiB
-/// working set, deliberately memory-bound like the simulator itself.
-/// The trajectory gate divides the minimum rep time by the minimum
-/// probe time, with probes interleaved between reps across the whole
-/// run: each minimum lands in a quiet window of the host, so host
-/// speed (CPU steal, throttling, a neighbor hammering the cache)
-/// divides out of the comparison. A pure-register reference does not
-/// work here: shared hosts perturb the memory subsystem far more
-/// than the core clock.
-fn unit_probe(arr: &mut [u64]) -> f64 {
-    const ITERS: u64 = 1_000_000;
-    let mask = arr.len() - 1;
-    let mut x = 0x9e37_79b9_7f4a_7c15u64;
-    let mut sum = 0u64;
-    let wall = Instant::now();
-    for _ in 0..ITERS {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        let i = (x as usize) & mask;
-        sum = sum.wrapping_add(arr[i]);
-        arr[i] = sum ^ x;
-    }
-    black_box((&arr, sum));
-    wall.elapsed().as_nanos() as f64 / ITERS as f64
 }
 
 /// One timed repetition. Both modes execute this exact function — one
@@ -278,22 +251,6 @@ fn remeasure(label: &str, calls: u64, reps: u64) -> Option<(f64, f64)> {
         line[prefix.len()..].trim().parse().ok()
     };
     Some((field("ns_per_call")?, field("units_per_call")?))
-}
-
-/// Pulls `"<field>":<x>` for `"transport":"<label>"` out of a
-/// baseline document without a JSON parser: rows are flat and emitted
-/// by this bin, so field order is stable.
-fn baseline_field(doc: &str, label: &str, field: &str) -> Option<f64> {
-    let key = format!("\"transport\":\"{label}\"");
-    let at = doc.find(&key)?;
-    let rest = &doc[at..];
-    let needle = format!("\"{field}\":");
-    let ns_at = rest.find(&needle)?;
-    let tail = &rest[ns_at + needle.len()..];
-    let end = tail
-        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
 }
 
 fn main() {

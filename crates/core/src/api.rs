@@ -69,6 +69,38 @@ pub struct HandlerCtx {
     pub connection: usize,
 }
 
+/// An open batched crossing: the migrated thread is parked in the
+/// server's EPT between [`SkyBridge::batch_begin`] and
+/// [`SkyBridge::batch_end`], serving ring frames one after another
+/// without re-paying the trampoline + VMFUNC boundary per frame.
+#[derive(Debug)]
+pub struct BatchSession {
+    server: ServerId,
+    client_tid: ThreadId,
+    client_pid: ProcessId,
+    core: usize,
+    binding: Binding,
+    server_pid: ProcessId,
+    return_root: Hpa,
+    return_identity: ProcessId,
+    client_key: u64,
+    open: bool,
+    served: u64,
+}
+
+impl BatchSession {
+    /// Whether the session still holds the server EPT (an error path
+    /// forces the return crossing early and closes it).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Frames served to completion inside this crossing.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
 /// The SkyBridge facility (the state the Subkernel integration keeps).
 pub struct SkyBridge {
     servers: Vec<ServerInfo>,
@@ -897,6 +929,357 @@ impl SkyBridge {
         // key). No-op when nothing is outstanding.
         self.faults.recovered(FaultPoint::KeyCorrupt);
         Ok((out, b))
+    }
+
+    /// Opens a batched crossing: the client-side trampoline, the VMFUNC
+    /// into the server EPT, and the server-side key check run **once**,
+    /// then [`SkyBridge::batch_serve`] handles any number of frames on
+    /// the migrated thread before [`SkyBridge::batch_end`] pays the
+    /// return crossing. This is the ring doorbell's native fast path:
+    /// the migrating-thread model already serves each call to completion
+    /// on the caller's schedulable entity, so serving consecutive frames
+    /// of the same connection inside one crossing changes nothing about
+    /// isolation — the key check guards the *binding*, which is
+    /// identical for every frame in the batch.
+    ///
+    /// No `Trampoline`/`Switch` spans are emitted for the shared
+    /// crossing; in ring mode that overhead is the doorbell span's
+    /// self-time, keeping the per-phase identity closed.
+    pub fn batch_begin(
+        &mut self,
+        k: &mut Kernel,
+        client_tid: ThreadId,
+        server: ServerId,
+    ) -> Result<BatchSession, SbError> {
+        let client_pid = k.threads[client_tid].process;
+        let core = k.threads[client_tid].core;
+        debug_assert_eq!(k.current_thread(core), Some(client_tid));
+        if !self.registered.contains_key(&client_pid) {
+            return Err(SbError::NotRegistered);
+        }
+        let binding = self
+            .bindings
+            .get(&(client_pid, server))
+            .ok_or(SbError::NotBound)?
+            .clone();
+        if self.servers[server].dead {
+            return Err(SbError::ServerDead { server });
+        }
+        let server_pid = self.servers[server].process;
+        let handler_len = self.servers[server].handler_len;
+        let cost = k.machine.cost.clone();
+        let return_root = Hpa(k.machine.cpu(core).ept_root);
+        let return_identity = k.identity_current(core).unwrap_or(client_pid);
+
+        // Client-side trampoline, once per crossing.
+        k.user_exec(
+            client_tid,
+            layout::TRAMPOLINE_BASE,
+            trampoline::TRAMPOLINE_FETCH,
+        )?;
+        k.machine.cpu_mut(core).advance(cost.trampoline_logic);
+        let client_key = self.rng.next_u64();
+        let mut entry = [0u8; 8];
+        sb_mem::walk::read_bytes(
+            &mut k.machine,
+            core,
+            &k.mem,
+            layout::SERVER_LIST_BASE.add((server as u64 % 512) * 8),
+            &mut entry,
+            true,
+        )?;
+        debug_assert_eq!(
+            u64::from_le_bytes(entry),
+            self.servers[server].handler_fn.0,
+            "function list must name the registered handler"
+        );
+
+        // One VMFUNC into the server EPT for the whole batch.
+        self.vmfunc_to_inner(k, core, client_pid, binding.ept_root)?;
+        k.identity_record(core, server_pid);
+        k.machine.cpu_mut(core).advance(cost.trampoline_logic / 2);
+
+        // Key check, once — it authorises the connection, and every
+        // frame in the batch rides the same connection.
+        let table = self.servers[server].key_table;
+        let mut stored = [0u8; 8];
+        sb_mem::walk::read_bytes(
+            &mut k.machine,
+            core,
+            &k.mem,
+            table.add(8 * binding.connection as u64),
+            &mut stored,
+            true,
+        )?;
+        let presented_key = if self.faults.fire(FaultPoint::KeyCorrupt) {
+            binding.server_key ^ (1 + self.faults.draw(u64::MAX - 1))
+        } else {
+            binding.server_key
+        };
+        if u64::from_le_bytes(stored) != presented_key {
+            self.faults.detected(FaultPoint::KeyCorrupt);
+            self.violations.push(Violation::BadServerKey {
+                client: client_pid,
+                server,
+            });
+            self.vmfunc_to_inner(k, core, client_pid, return_root)?;
+            k.identity_record(core, return_identity);
+            return Err(SbError::BadServerKey);
+        }
+
+        // Fetch the handler's code once; it stays I-cache-hot for the
+        // rest of the batch.
+        k.user_exec(client_tid, self.servers[server].handler_fn, handler_len)?;
+
+        Ok(BatchSession {
+            server,
+            client_tid,
+            client_pid,
+            core,
+            binding,
+            server_pid,
+            return_root,
+            return_identity,
+            client_key,
+            open: true,
+            served: 0,
+        })
+    }
+
+    /// Serves one frame inside an open batched crossing: the per-entry
+    /// marshal into the shared buffer, the handler run, the reply write
+    /// and the client's read-back — everything direct mode charges per
+    /// call *minus* the crossing. Emits the entry's `Call` span (with
+    /// its nested `Marshal`/`Handler` spans) under `corr`.
+    ///
+    /// Any error forces the return crossing immediately (§7's forced
+    /// return for timeouts, the Subkernel bounce for a crash) and closes
+    /// the session — unserved frames stay queued for a later crossing.
+    pub fn batch_serve(
+        &mut self,
+        k: &mut Kernel,
+        s: &mut BatchSession,
+        request: &[u8],
+        corr: u64,
+    ) -> Result<Option<Vec<u8>>, SbError> {
+        debug_assert!(s.open, "batch_serve on a closed session");
+        let core = s.core;
+        let server = s.server;
+        let cost = k.machine.cost.clone();
+        self.trace_corr = corr;
+        let t_entry = k.machine.cpu(core).tsc;
+        self.recorder.begin(core, SpanKind::Call, t_entry, corr);
+        if request.len() > layout::SB_SHARED_BUF_SIZE {
+            self.recorder
+                .end(core, SpanKind::Call, k.machine.cpu(core).tsc, corr);
+            self.batch_close(k, s)?;
+            return Err(SbError::MessageTooLarge);
+        }
+        // The server copies the frame from its ring slot into the
+        // connection's working buffer — the batch-mode analogue of the
+        // client's single marshal write.
+        if request.len() > REGISTER_ARGS_MAX {
+            let t_marshal = k.machine.cpu(core).tsc;
+            sb_mem::walk::write_bytes(
+                &mut k.machine,
+                core,
+                &mut k.mem,
+                s.binding.shared_buf,
+                request,
+                true,
+            )?;
+            self.recorder.span(
+                core,
+                SpanKind::Marshal,
+                t_marshal,
+                k.machine.cpu(core).tsc,
+                corr,
+            );
+        }
+        let t_srv = k.machine.cpu(core).tsc;
+        // The handler's in-place read of the request.
+        if request.len() > REGISTER_ARGS_MAX {
+            sb_mem::walk::touch_bytes(
+                &mut k.machine,
+                core,
+                &k.mem,
+                s.binding.shared_buf,
+                request.len(),
+                sb_mem::walk::Access::Read,
+                true,
+            )?;
+        }
+        if self.faults.fire(FaultPoint::HandlerPanic) {
+            self.servers[server].dead = true;
+            k.kill_thread(self.servers[server].thread);
+            self.violations.push(Violation::ServerCrash { server });
+            self.faults.detected(FaultPoint::HandlerPanic);
+            self.recorder.span(
+                core,
+                SpanKind::Handler,
+                t_srv,
+                k.machine.cpu(core).tsc,
+                corr,
+            );
+            self.recorder
+                .end(core, SpanKind::Call, k.machine.cpu(core).tsc, corr);
+            self.batch_close(k, s)?;
+            return Err(SbError::ServerDead { server });
+        }
+        let ctx = HandlerCtx {
+            server,
+            server_process: s.server_pid,
+            caller: s.client_tid,
+            shared_buf: s.binding.shared_buf,
+            connection: s.binding.connection,
+        };
+        let handler_t0 = k.machine.cpu(core).tsc;
+        let mut handler = self.handlers[server].take().expect("handler re-entered");
+        let result = handler(self, k, ctx, request);
+        self.handlers[server] = Some(handler);
+        let hung = self.timeout.is_some() && self.faults.fire(FaultPoint::HandlerHang);
+        if let (true, Some(limit)) = (hung, self.timeout) {
+            k.machine.cpu_mut(core).advance(limit.saturating_add(1));
+        }
+        let handler_cycles = k.machine.cpu(core).tsc - handler_t0;
+        let timed_out = self.timeout.is_some_and(|limit| handler_cycles > limit);
+        if hung {
+            debug_assert!(timed_out, "an injected hang always overruns the budget");
+            self.faults.recovered(FaultPoint::HandlerHang);
+        }
+        let reply = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.recorder.span(
+                    core,
+                    SpanKind::Handler,
+                    t_srv,
+                    k.machine.cpu(core).tsc,
+                    corr,
+                );
+                self.recorder
+                    .end(core, SpanKind::Call, k.machine.cpu(core).tsc, corr);
+                self.batch_close(k, s)?;
+                return Err(e);
+            }
+        };
+        let reply_bytes = match reply {
+            HandlerReply::Echo => None,
+            HandlerReply::Bytes(v) => Some(v),
+        };
+        let reply_len = reply_bytes.as_deref().map_or(request.len(), <[u8]>::len);
+        if reply_len > layout::SB_SHARED_BUF_SIZE {
+            self.recorder.span(
+                core,
+                SpanKind::Handler,
+                t_srv,
+                k.machine.cpu(core).tsc,
+                corr,
+            );
+            self.recorder
+                .end(core, SpanKind::Call, k.machine.cpu(core).tsc, corr);
+            self.batch_close(k, s)?;
+            return Err(SbError::MessageTooLarge);
+        }
+        if reply_len > REGISTER_ARGS_MAX {
+            match &reply_bytes {
+                None => sb_mem::walk::touch_bytes(
+                    &mut k.machine,
+                    core,
+                    &k.mem,
+                    s.binding.shared_buf,
+                    reply_len,
+                    sb_mem::walk::Access::Write,
+                    true,
+                )?,
+                Some(v) => sb_mem::walk::write_bytes(
+                    &mut k.machine,
+                    core,
+                    &mut k.mem,
+                    s.binding.shared_buf,
+                    v,
+                    true,
+                )?,
+            }
+        }
+        k.machine.cpu_mut(core).advance(cost.trampoline_logic / 2);
+        self.recorder.span(
+            core,
+            SpanKind::Handler,
+            t_srv,
+            k.machine.cpu(core).tsc,
+            corr,
+        );
+        // The client's read-back of the completion — charged here, at
+        // the point the reply bytes land in the completion ring.
+        if reply_len > REGISTER_ARGS_MAX {
+            let t_read = k.machine.cpu(core).tsc;
+            sb_mem::walk::touch_bytes(
+                &mut k.machine,
+                core,
+                &k.mem,
+                s.binding.shared_buf,
+                reply_len,
+                sb_mem::walk::Access::Read,
+                true,
+            )?;
+            self.recorder.span(
+                core,
+                SpanKind::Marshal,
+                t_read,
+                k.machine.cpu(core).tsc,
+                corr,
+            );
+        }
+        if timed_out {
+            self.violations.push(Violation::Timeout { server });
+            self.recorder
+                .end(core, SpanKind::Call, k.machine.cpu(core).tsc, corr);
+            self.batch_close(k, s)?;
+            return Err(SbError::Timeout {
+                server,
+                elapsed: handler_cycles,
+            });
+        }
+        self.recorder
+            .end(core, SpanKind::Call, k.machine.cpu(core).tsc, corr);
+        self.call_count += 1;
+        self.faults.recovered(FaultPoint::KeyCorrupt);
+        s.served += 1;
+        Ok(reply_bytes)
+    }
+
+    /// Pays the return crossing of an open session (no-op when an error
+    /// path already forced it): VMFUNC back, identity restore, the
+    /// return half of the trampoline, and the client key recheck.
+    pub fn batch_end(&mut self, k: &mut Kernel, mut s: BatchSession) -> Result<(), SbError> {
+        self.batch_close(k, &mut s)
+    }
+
+    fn batch_close(&mut self, k: &mut Kernel, s: &mut BatchSession) -> Result<(), SbError> {
+        if !s.open {
+            return Ok(());
+        }
+        s.open = false;
+        self.vmfunc_to_inner(k, s.core, s.client_pid, s.return_root)?;
+        k.identity_record(s.core, s.return_identity);
+        k.user_exec(
+            s.client_tid,
+            Gva(layout::TRAMPOLINE_BASE.0 + 64),
+            trampoline::TRAMPOLINE_FETCH / 2,
+        )?;
+        // Client key recheck (§4.4): the register compare the return
+        // trampoline performs. The server echoes the per-crossing key
+        // (the attack module corrupts the echo on the direct path).
+        let echoed_key = s.client_key;
+        if echoed_key != s.client_key {
+            self.violations.push(Violation::BadClientKey {
+                client: s.client_pid,
+                server: s.server,
+            });
+            return Err(SbError::BadClientKey);
+        }
+        Ok(())
     }
 
     /// Executes `VMFUNC` to the binding EPT, handling the LRU-evicted-slot

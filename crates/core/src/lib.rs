@@ -31,7 +31,7 @@ pub mod trampoline;
 pub mod wx;
 
 pub use crate::{
-    api::{Handler, HandlerReply, SkyBridge},
+    api::{BatchSession, Handler, HandlerReply, SkyBridge},
     error::SbError,
     registry::{Binding, ServerId, ServerInfo, Violation},
 };

@@ -42,7 +42,10 @@ fn us(cycles: u64) -> f64 {
 /// Whether `kind` renders on the lane's wait track instead of its call
 /// track (wait spans can overlap earlier call slices in wall time).
 fn is_wait(kind: SpanKind) -> bool {
-    matches!(kind, SpanKind::QueueWait | SpanKind::Backoff)
+    matches!(
+        kind,
+        SpanKind::QueueWait | SpanKind::Backoff | SpanKind::RingWait
+    )
 }
 
 fn push_slice(

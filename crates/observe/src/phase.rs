@@ -55,10 +55,15 @@ impl PhaseProfile {
     }
 
     /// Self-cycles of the phases nested inside calls (everything except
-    /// queue wait and backoff) — the sum the acceptance gate compares to
-    /// `end_to_end`.
+    /// the wait states — queue wait, backoff, ring wait — and the
+    /// doorbell crossing shared across a ring batch) — the sum the
+    /// acceptance gate compares to `end_to_end`.
     pub fn in_call_total(&self) -> Cycles {
-        self.total() - self.get(SpanKind::QueueWait) - self.get(SpanKind::Backoff)
+        self.total()
+            - self.get(SpanKind::QueueWait)
+            - self.get(SpanKind::Backoff)
+            - self.get(SpanKind::RingWait)
+            - self.get(SpanKind::Doorbell)
     }
 }
 

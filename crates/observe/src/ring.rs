@@ -55,11 +55,18 @@ pub enum SpanKind {
     KernelIpc,
     /// Idle lane time spent backing off before a retry.
     Backoff,
+    /// Time a submitted frame sat in a submission ring before its batch
+    /// was drained (ring mode's analogue of `QueueWait`).
+    RingWait,
+    /// One doorbell drain: the shared crossing that serves a whole batch
+    /// in ring mode. Per-entry `Call` spans nest inside it, so its
+    /// self-time is exactly the amortized crossing overhead.
+    Doorbell,
 }
 
 impl SpanKind {
     /// Every span kind, in display order.
-    pub const ALL: [SpanKind; 8] = [
+    pub const ALL: [SpanKind; 10] = [
         SpanKind::Call,
         SpanKind::QueueWait,
         SpanKind::Trampoline,
@@ -68,6 +75,8 @@ impl SpanKind {
         SpanKind::Handler,
         SpanKind::KernelIpc,
         SpanKind::Backoff,
+        SpanKind::RingWait,
+        SpanKind::Doorbell,
     ];
 
     /// Stable display name (trace and report keys).
@@ -81,6 +90,8 @@ impl SpanKind {
             SpanKind::Handler => "handler",
             SpanKind::KernelIpc => "kernel_ipc",
             SpanKind::Backoff => "backoff",
+            SpanKind::RingWait => "ring_wait",
+            SpanKind::Doorbell => "doorbell",
         }
     }
 }

@@ -31,6 +31,7 @@
 pub mod dispatch;
 pub mod load;
 pub mod queue;
+pub mod ring_run;
 pub mod service;
 pub mod sky;
 pub mod stats;
@@ -38,12 +39,15 @@ pub mod trap;
 
 pub use sb_observe::Recorder;
 pub use sb_sentinel::{SloHandle, SloSpec};
-pub use sb_transport::{CallError, Faulty, FixedServiceTransport, Request, Transport};
+pub use sb_transport::{
+    CallError, Faulty, FixedServiceTransport, Request, RingConfig, RingTransport, Transport,
+};
 
 pub use crate::{
     dispatch::{RetryPolicy, RuntimeConfig, ServerRuntime},
     load::{PoissonArrivals, RequestFactory},
     queue::AdmissionPolicy,
+    ring_run::RingRuntime,
     service::ServiceSpec,
     sky::SkyBridgeTransport,
     stats::{LatencyTrack, RunStats, EXACT_LATENCY_CAP},

@@ -1,0 +1,473 @@
+//! The ring-mode serving loop: the submission ring *is* the queue.
+//!
+//! Where [`crate::ServerRuntime`] buffers arrivals in a dispatch queue
+//! and starts each on the earliest-free lane, the ring pump submits
+//! every admitted arrival straight into its lane's submission ring and
+//! decides *when to ring the doorbell* — the ρ-aware adaptive policy:
+//!
+//! - **Latency mode (shallow rings):** whenever a lane would otherwise
+//!   sit idle before the next arrival, its pending frames are drained
+//!   immediately — batches of one, ring-wait ≈ 0, direct-mode latency.
+//! - **Throughput mode (saturated):** while a lane is busy serving,
+//!   arrivals accumulate in its ring; the doorbell fires when the
+//!   occupancy reaches the batch budget, so a saturated lane pays one
+//!   crossing per budget-sized batch instead of one per call.
+//!
+//! Under load the occupancy tracks ρ by construction — no estimator,
+//! no tuning: an idle system drains eagerly, a saturated one batches
+//! to the budget, and everything between interpolates.
+//!
+//! Admission, deadlines and SLO accounting keep their per-request
+//! semantics: a full submission ring sheds (or, under
+//! [`AdmissionPolicy::Block`], pumps the lane until a slot frees); the
+//! queue deadline travels in the wire header as an absolute cycle
+//! stamp and an expired frame completes as `CallError::Timeout` at
+//! batch-cut time — counted as `shed_deadline`, burning no service
+//! time, exactly like direct mode's start-time check; every completion
+//! and error lands in the [`SloHandle`] as it is reaped.
+
+use std::collections::HashMap;
+
+use sb_faultplane::FaultPoint;
+use sb_observe::{InstantKind, SpanKind};
+use sb_sim::Cycles;
+use sb_transport::{CallError, Request, RingTransport, Transport};
+
+use crate::{
+    dispatch::RuntimeConfig, load::RequestFactory, queue::AdmissionPolicy, stats::RunStats,
+};
+
+/// Longest injected deadline-storm window, in cycles (mirrors the
+/// direct dispatcher's constant).
+const STORM_WINDOW_MAX: Cycles = 20_000;
+
+/// A ring-mode dispatcher bound to a [`RingTransport`].
+pub struct RingRuntime<'a, T: Transport> {
+    ring: &'a mut RingTransport<T>,
+    cfg: RuntimeConfig,
+    storms: Vec<(Cycles, Cycles)>,
+    /// Outstanding submissions: corr → (request, attempts so far).
+    inflight: HashMap<u64, (Request, u32)>,
+    /// Latest submit stamp per lane — a doorbell never rings before the
+    /// frames it would drain were submitted.
+    last_submit: Vec<Cycles>,
+}
+
+impl<'a, T: Transport> RingRuntime<'a, T> {
+    /// Wraps `ring` with the dispatcher configuration. The
+    /// `queue_capacity` knob is unused here — the submission ring's own
+    /// capacity (fixed at [`RingTransport`] construction) bounds
+    /// admitted-but-unserved requests instead.
+    pub fn new(ring: &'a mut RingTransport<T>, cfg: RuntimeConfig) -> Self {
+        assert!(ring.lanes() > 0);
+        ring.attach_recorder(cfg.recorder.clone());
+        let lanes = ring.lanes();
+        RingRuntime {
+            ring,
+            cfg,
+            storms: Vec::new(),
+            inflight: HashMap::new(),
+            last_submit: vec![0; lanes],
+        }
+    }
+
+    fn maybe_storm(&mut self, t: Cycles) {
+        let Some(f) = &self.cfg.faults else { return };
+        if self.storms.iter().any(|&(s, e)| t >= s && t <= e) {
+            return;
+        }
+        if f.fire(FaultPoint::DeadlineStorm) {
+            let len = 1 + f.draw(STORM_WINDOW_MAX);
+            f.detected(FaultPoint::DeadlineStorm);
+            self.storms.push((t, t.saturating_add(len)));
+        }
+    }
+
+    fn settle_storms(&mut self) {
+        if let Some(f) = &self.cfg.faults {
+            if !self.storms.is_empty() {
+                f.recover_all(FaultPoint::DeadlineStorm);
+            }
+        }
+        self.storms.clear();
+    }
+
+    /// The absolute wire deadline for an arrival at `t` (0 = none).
+    /// Inside a storm window the queue deadline collapses to zero — the
+    /// frame expires the moment anything else delays its batch.
+    fn wire_deadline(&self, arrival: Cycles) -> Cycles {
+        let collapsed = self
+            .storms
+            .iter()
+            .any(|&(s, e)| arrival >= s && arrival <= e);
+        if collapsed {
+            return arrival.max(1);
+        }
+        match self.cfg.queue_deadline {
+            Some(d) => arrival.saturating_add(d).max(1),
+            None => 0,
+        }
+    }
+
+    /// The lane a fresh arrival submits to: least-occupied ring first,
+    /// earliest clock breaking ties (deterministic).
+    fn pick_lane(&mut self) -> usize {
+        let mut best = 0usize;
+        let mut best_key = (usize::MAX, Cycles::MAX);
+        for l in 0..self.ring.lanes() {
+            let key = (self.ring.sq_len(l), self.ring.now(l));
+            if key < best_key {
+                best_key = key;
+                best = l;
+            }
+        }
+        best
+    }
+
+    /// Rings `lane`'s doorbell (no earlier than its frames' submit
+    /// stamps), charges the lane's busy time, and reaps every posted
+    /// completion into `stats` — resubmitting retriable failures under
+    /// the retry policy.
+    fn drain_lane(&mut self, lane: usize, stats: &mut RunStats) {
+        self.ring.wait_until(lane, self.last_submit[lane]);
+        let before = self.ring.now(lane);
+        self.ring.doorbell(lane);
+        let after = self.ring.now(lane);
+        stats.busy[lane] += after - before;
+        self.reap(lane, stats);
+    }
+
+    /// Pops and accounts every completion waiting on `lane`.
+    fn reap(&mut self, lane: usize, stats: &mut RunStats) {
+        let mut resubmit: Vec<(Request, u32)> = Vec::new();
+        while let Some(c) = self.ring.pop_completion(lane) {
+            let now = self.ring.now(lane);
+            let Some((req, attempts)) = self.inflight.remove(&c.corr) else {
+                debug_assert!(false, "completion for unknown corr {}", c.corr);
+                continue;
+            };
+            if c.expired {
+                stats.shed_deadline += 1;
+                self.cfg
+                    .recorder
+                    .instant(lane, InstantKind::ShedDeadline, now, c.corr);
+                if let Some(slo) = &self.cfg.slo {
+                    slo.error(now);
+                }
+                continue;
+            }
+            match c.result {
+                Ok(_) => {
+                    stats.completed += 1;
+                    stats.latencies.push(now - req.arrival);
+                    if let Some(slo) = &self.cfg.slo {
+                        slo.complete(now, now - req.arrival);
+                    }
+                }
+                Err(ref e) => {
+                    let retriable = self
+                        .cfg
+                        .retry
+                        .as_ref()
+                        .is_some_and(|p| attempts < p.max_retries);
+                    if retriable {
+                        let policy = self.cfg.retry.clone().expect("checked");
+                        if matches!(e, CallError::Failed(_) | CallError::CorrMismatch { .. })
+                            && self.ring.recover(lane)
+                        {
+                            stats.recoveries += 1;
+                            let t = self.ring.now(lane);
+                            self.cfg
+                                .recorder
+                                .instant(lane, InstantKind::Recovery, t, c.corr);
+                        }
+                        let backoff = policy.backoff_base << attempts.min(32);
+                        let t = self.ring.now(lane);
+                        self.ring.wait_until(lane, t.saturating_add(backoff));
+                        let woke = self.ring.now(lane);
+                        self.cfg
+                            .recorder
+                            .span(lane, SpanKind::Backoff, t, woke, c.corr);
+                        self.cfg
+                            .recorder
+                            .instant(lane, InstantKind::Retry, woke, c.corr);
+                        stats.retries += 1;
+                        resubmit.push((req, attempts + 1));
+                    } else {
+                        match e {
+                            CallError::Timeout { .. } => stats.timed_out += 1,
+                            _ => stats.failed += 1,
+                        }
+                        if let Some(slo) = &self.cfg.slo {
+                            slo.error(now);
+                        }
+                    }
+                }
+            }
+        }
+        // Re-queue retries. The doorbell freed at least as many slots
+        // as it posted completions, so these always fit; a refused
+        // resubmission would be a bookkeeping bug, not load.
+        for (req, attempts) in resubmit {
+            let deadline = self.wire_deadline(req.arrival);
+            let t = self.ring.now(lane);
+            self.last_submit[lane] = self.last_submit[lane].max(t);
+            match self.ring.submit_with_deadline(lane, &req, deadline) {
+                Ok(()) => {
+                    self.inflight.insert(req.id, (req, attempts));
+                }
+                Err(_) => {
+                    stats.failed += 1;
+                    if let Some(slo) = &self.cfg.slo {
+                        slo.error(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Latency-mode drains: while any lane with pending frames would go
+    /// idle at or before `horizon`, drain it — earliest lane first, so
+    /// no batch is cut out of order with arrivals at the horizon.
+    fn drain_idle_until(&mut self, horizon: Cycles, stats: &mut RunStats) {
+        loop {
+            let mut best: Option<(Cycles, usize)> = None;
+            for l in 0..self.ring.lanes() {
+                if self.ring.sq_len(l) == 0 {
+                    continue;
+                }
+                let at = self.ring.now(l).max(self.last_submit[l]);
+                if at <= horizon && best.is_none_or(|(bt, _)| at < bt) {
+                    best = Some((at, l));
+                }
+            }
+            let Some((_, l)) = best else { break };
+            self.drain_lane(l, stats);
+        }
+    }
+
+    /// Open-loop run: `arrivals` yields monotone arrival times relative
+    /// to server readiness; each arrival takes its operation from
+    /// `factory`, submits into the least-occupied ring, and the
+    /// adaptive doorbell policy above decides when batches are cut.
+    pub fn run_open_loop<I>(&mut self, arrivals: I, factory: &mut RequestFactory) -> RunStats
+    where
+        I: IntoIterator<Item = Cycles>,
+    {
+        let lanes = self.ring.lanes();
+        let mut stats = RunStats::new(self.ring.label(), lanes);
+        let copied_at_start = self.ring.bytes_copied();
+        let epoch = (0..lanes).map(|l| self.ring.now(l)).max().unwrap_or(0);
+        let budget = self.ring.config().batch_budget.max(1);
+        let mut first = None;
+        let mut clock = 0;
+        for t in arrivals {
+            let t = t.saturating_add(epoch).max(clock);
+            clock = t;
+            first.get_or_insert(t);
+            stats.offered += 1;
+            self.maybe_storm(t);
+            self.drain_idle_until(t, &mut stats);
+            let req = factory.make(t, None);
+            let lane = self.pick_lane();
+            let deadline = self.wire_deadline(t);
+            let mut slot = self.ring.submit_with_deadline(lane, &req, deadline);
+            if slot.is_err() {
+                match self.cfg.policy {
+                    AdmissionPolicy::Shed => {
+                        stats.shed_queue_full += 1;
+                        self.cfg
+                            .recorder
+                            .instant(lanes, InstantKind::ShedQueueFull, t, req.id);
+                        if let Some(slo) = &self.cfg.slo {
+                            slo.error(t);
+                        }
+                        continue;
+                    }
+                    AdmissionPolicy::Block => {
+                        // Pump the lane until a slot frees (retries are
+                        // bounded, so this terminates).
+                        while self.ring.sq_len(lane) >= self.ring.config().capacity {
+                            self.drain_lane(lane, &mut stats);
+                        }
+                        slot = self.ring.submit_with_deadline(lane, &req, deadline);
+                    }
+                }
+            }
+            match slot {
+                Ok(()) => {
+                    self.cfg
+                        .recorder
+                        .instant(lanes, InstantKind::QueueAdmit, t, req.id);
+                    self.last_submit[lane] = self.last_submit[lane].max(t);
+                    self.inflight.insert(req.id, (req, 0));
+                    stats.max_queue_depth = stats.max_queue_depth.max(self.ring.sq_len(lane));
+                    // An *idle* lane whose ring just reached the budget
+                    // is drained now — one crossing, one full batch. A
+                    // busy lane keeps accumulating: its slots only free
+                    // once the server consumes them, so back-pressure
+                    // (and shedding) works exactly like the direct
+                    // dispatch queue.
+                    if self.ring.sq_len(lane) >= budget
+                        && self.ring.now(lane).max(self.last_submit[lane]) <= t
+                    {
+                        self.drain_lane(lane, &mut stats);
+                    }
+                }
+                Err(e) => {
+                    // An oversized frame (or a zero-capacity ring): the
+                    // request cannot ever be admitted.
+                    let _ = e;
+                    stats.shed_queue_full += 1;
+                    self.cfg
+                        .recorder
+                        .instant(lanes, InstantKind::ShedQueueFull, t, req.id);
+                    if let Some(slo) = &self.cfg.slo {
+                        slo.error(t);
+                    }
+                }
+            }
+        }
+        // Final drain: flush every ring (bounded retries terminate).
+        self.drain_idle_until(Cycles::MAX, &mut stats);
+        for l in 0..lanes {
+            self.reap(l, &mut stats);
+        }
+        debug_assert!(
+            self.inflight.is_empty(),
+            "every submission reaps exactly one completion"
+        );
+        self.settle_storms();
+        stats.start = first.unwrap_or(0);
+        stats.end = (0..lanes).map(|l| self.ring.now(l)).max().unwrap_or(0);
+        stats.bytes_copied = self.ring.bytes_copied() - copied_at_start;
+        stats.seal();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sb_transport::{FixedServiceTransport, RingConfig};
+    use sb_ycsb::WorkloadSpec;
+
+    use super::*;
+
+    fn factory() -> RequestFactory {
+        RequestFactory::new(WorkloadSpec::ycsb_a(1000, 64), 64)
+    }
+
+    fn ring(
+        lanes: usize,
+        service: Cycles,
+        capacity: usize,
+        budget: usize,
+    ) -> RingTransport<FixedServiceTransport> {
+        RingTransport::new(
+            FixedServiceTransport::new(lanes, service),
+            RingConfig {
+                capacity,
+                batch_budget: budget,
+                slot_bytes: 4096,
+            },
+        )
+    }
+
+    fn assert_conserved(s: &RunStats) {
+        assert_eq!(
+            s.offered,
+            s.completed + s.shed_queue_full + s.shed_deadline + s.timed_out + s.failed,
+            "request conservation violated: {s:?}"
+        );
+    }
+
+    #[test]
+    fn underload_drains_eagerly_with_direct_latency() {
+        let mut r = ring(2, 100, 16, 8);
+        let mut rt = RingRuntime::new(&mut r, RuntimeConfig::default());
+        let arrivals: Vec<Cycles> = (0..50).map(|i| i * 100).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_eq!(s.completed, 50);
+        assert_eq!(s.shed(), 0);
+        assert_eq!(s.p50(), 100, "shallow rings must not add batching delay");
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn overload_batches_and_sheds_at_ring_capacity() {
+        let mut r = ring(1, 1000, 4, 4);
+        let mut rt = RingRuntime::new(&mut r, RuntimeConfig::default());
+        let arrivals: Vec<Cycles> = (0..200).map(|i| i * 10).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert!(s.shed_queue_full > 0, "10x overload must shed at the ring");
+        assert!(s.max_queue_depth <= 4);
+        assert!(s.completed > 0);
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn block_policy_pumps_instead_of_shedding() {
+        let mut r = ring(1, 1000, 4, 4);
+        let mut rt = RingRuntime::new(
+            &mut r,
+            RuntimeConfig {
+                policy: AdmissionPolicy::Block,
+                ..RuntimeConfig::default()
+            },
+        );
+        let arrivals: Vec<Cycles> = (0..100).map(|i| i * 10).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_eq!(s.shed_queue_full, 0);
+        assert_eq!(s.completed, 100);
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn ring_deadline_expires_stale_frames_without_service() {
+        let mut r = ring(1, 10_000, 16, 8);
+        let mut rt = RingRuntime::new(
+            &mut r,
+            RuntimeConfig {
+                queue_deadline: Some(100),
+                ..RuntimeConfig::default()
+            },
+        );
+        let arrivals: Vec<Cycles> = (0..30).map(|i| i * 50).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_conserved(&s);
+        assert!(s.shed_deadline > 0, "queued frames must expire");
+        assert!(s.completed >= 1);
+        assert_eq!(
+            s.busy[0],
+            s.completed * 10_000,
+            "expired frames burn no lane time"
+        );
+    }
+
+    #[test]
+    fn storms_collapse_ring_deadlines_and_settle() {
+        use sb_faultplane::{FaultHandle, FaultMix};
+
+        let h = FaultHandle::new(
+            0x5708_0002,
+            FaultMix::none().with(FaultPoint::DeadlineStorm, 2_500),
+        );
+        let mut r = ring(1, 1_000, 64, 8);
+        let mut rt = RingRuntime::new(
+            &mut r,
+            RuntimeConfig {
+                queue_deadline: Some(1_000_000),
+                faults: Some(h.clone()),
+                ..RuntimeConfig::default()
+            },
+        );
+        let arrivals: Vec<Cycles> = (0..400).map(|i| i * 250).collect();
+        let s = rt.run_open_loop(arrivals, &mut factory());
+        assert_conserved(&s);
+        assert!(s.shed_deadline > 0, "storm windows must expire stale work");
+        assert!(s.completed > 0);
+        let rep = h.report();
+        assert!(rep.injected() > 0);
+        assert_eq!(rep.leaked(), 0, "{rep}");
+    }
+}

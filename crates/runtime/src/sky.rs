@@ -25,7 +25,7 @@ use sb_sim::Cycles;
 use sb_transport::{
     verify_reply_corr,
     wire::{Lane, OP_TAG_OFFSET},
-    CallError, CopyMeter, Request, Transport,
+    BatchComplete, CallError, CopyMeter, Request, Transport,
 };
 use skybridge::{HandlerReply, SbError, ServerId, SkyBridge};
 
@@ -244,6 +244,68 @@ impl Transport for SkyBridgeTransport {
 
     fn reply(&self, lane: usize) -> &[u8] {
         self.lanes[lane].reply()
+    }
+
+    /// The native doorbell drain: one trampoline + VMFUNC crossing for
+    /// the whole batch ([`SkyBridge::batch_begin`] / `batch_end`), each
+    /// frame served on the migrated thread inside it. Per-entry faults
+    /// keep their direct-mode semantics — a handler panic or a forced
+    /// timeout return closes the crossing early and leaves the tail of
+    /// the batch unconsumed for the ring to retry after recovery.
+    fn call_batch(&mut self, lane: usize, reqs: &[Request], complete: &mut BatchComplete) -> usize {
+        if reqs.is_empty() {
+            return 0;
+        }
+        let mut session = match self
+            .sb
+            .batch_begin(&mut self.k, self.clients[lane], self.server)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                // The crossing itself was refused (unbound lane, dead
+                // server, refused key): fail the head entry so the ring
+                // always makes progress; the rest stay queued for a
+                // later crossing after recovery.
+                complete(0, Err(CallError::Failed(e.to_string())), &[]);
+                return 1;
+            }
+        };
+        let mut consumed = 0;
+        for (i, req) in reqs.iter().enumerate() {
+            let deadline = self.sb.timeout.map_or(0, |t| req.arrival.saturating_add(t));
+            self.lanes[lane].encode(req, deadline, &self.meter);
+            let payload = self.lanes[lane].reply();
+            let out = self
+                .sb
+                .batch_serve(&mut self.k, &mut session, payload, req.id);
+            consumed = i + 1;
+            match out {
+                Ok(None) => {
+                    let r = verify_reply_corr(&self.lanes[lane], req.id).map(|()| payload.len());
+                    complete(i, r, self.lanes[lane].reply());
+                }
+                Ok(Some(v)) => {
+                    let n = v.len();
+                    self.meter.add(n);
+                    self.lanes[lane].set_reply(&v);
+                    let r = verify_reply_corr(&self.lanes[lane], req.id).map(|()| n);
+                    complete(i, r, self.lanes[lane].reply());
+                }
+                Err(SbError::Timeout { elapsed, .. }) => {
+                    complete(i, Err(CallError::Timeout { elapsed }), &[]);
+                    break; // The forced return (§7) closed the session.
+                }
+                Err(e) => {
+                    complete(i, Err(CallError::Failed(e.to_string())), &[]);
+                    break; // The error path closed the session.
+                }
+            }
+            if !session.is_open() {
+                break;
+            }
+        }
+        let _ = self.sb.batch_end(&mut self.k, session);
+        consumed
     }
 
     fn recover(&mut self, lane: usize) -> bool {

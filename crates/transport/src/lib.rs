@@ -14,11 +14,15 @@
 //! [`Transport`]; [`Faulty`] composes fault injection with any backend.
 
 mod faulty;
+pub mod ring;
 mod transport;
 pub mod wire;
 
 pub use faulty::Faulty;
-pub use transport::{verify_reply_corr, CallError, FixedServiceTransport, Transport};
+pub use ring::{RingCompletion, RingConfig, RingError, RingTransport};
+pub use transport::{
+    verify_reply_corr, BatchComplete, CallError, FixedServiceTransport, Transport,
+};
 pub use wire::{
     opcode, CopyMeter, Lane, RegImage, Request, WireHeader, OP_TAG_OFFSET, WIRE_HEADER_LEN,
     WIRE_MIN,

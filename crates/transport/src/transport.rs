@@ -69,6 +69,11 @@ pub fn verify_reply_corr(lane: &crate::wire::Lane, corr: u64) -> Result<(), Call
     }
 }
 
+/// The per-entry completion callback [`Transport::call_batch`] drives:
+/// `(entry index, call outcome, reply bytes)` — the reply view is only
+/// valid for the duration of the callback.
+pub type BatchComplete<'a> = dyn FnMut(usize, Result<usize, CallError>, &[u8]) + 'a;
+
 /// A serving transport: per-lane clocks plus the ability to execute one
 /// call synchronously on one lane.
 ///
@@ -106,6 +111,34 @@ pub trait Transport {
     /// lane's buffer. Valid until the next `call` on the same lane.
     fn reply(&self, lane: usize) -> &[u8];
 
+    /// Serves a batch of requests on `lane`, invoking `complete` once
+    /// per served entry — in order, with the entry index
+    /// ([`BatchComplete`]), the call outcome, and a view of the reply
+    /// bytes (empty on error; only valid for the duration of the
+    /// callback).
+    ///
+    /// Returns the number of entries *consumed* from the front of
+    /// `reqs`: `complete` is called exactly once for each of
+    /// `0..consumed` and never for the rest, so a transport that aborts
+    /// a batch mid-way (server death, forced timeout return) leaves the
+    /// tail unserved for the caller to retry on a later crossing.
+    ///
+    /// The default serves each entry with its own [`Transport::call`] —
+    /// one crossing per request, faults and accounting per entry —
+    /// which keeps every personality (and fault decorators like
+    /// `Faulty`) correct with zero extra work. Transports with a real
+    /// batched crossing (SkyBridge's doorbell drain) override this to
+    /// pay the boundary once per batch.
+    fn call_batch(&mut self, lane: usize, reqs: &[Request], complete: &mut BatchComplete) -> usize {
+        for (i, req) in reqs.iter().enumerate() {
+            match self.call(lane, req) {
+                Ok(n) => complete(i, Ok(n), self.reply(lane)),
+                Err(e) => complete(i, Err(e), &[]),
+            }
+        }
+        reqs.len()
+    }
+
     /// Attempts to repair lane `lane`'s serving path after a
     /// [`CallError::Failed`] — revive a crashed server, then rebind. The
     /// default defers to [`Transport::bind`].
@@ -132,6 +165,59 @@ pub trait Transport {
     /// Flight-recorder bundles attach this to postmortems.
     fn pmu(&self) -> Option<sb_sim::Pmu> {
         None
+    }
+}
+
+/// Boxed transports forward every method — including overridden
+/// `call_batch` fast paths — so `RingTransport<Box<dyn Transport>>`
+/// and friends lose nothing to the indirection.
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+
+    fn lanes(&self) -> usize {
+        (**self).lanes()
+    }
+
+    fn now(&mut self, lane: usize) -> Cycles {
+        (**self).now(lane)
+    }
+
+    fn wait_until(&mut self, lane: usize, time: Cycles) {
+        (**self).wait_until(lane, time)
+    }
+
+    fn bind(&mut self, lane: usize) -> bool {
+        (**self).bind(lane)
+    }
+
+    fn call(&mut self, lane: usize, req: &Request) -> Result<usize, CallError> {
+        (**self).call(lane, req)
+    }
+
+    fn reply(&self, lane: usize) -> &[u8] {
+        (**self).reply(lane)
+    }
+
+    fn call_batch(&mut self, lane: usize, reqs: &[Request], complete: &mut BatchComplete) -> usize {
+        (**self).call_batch(lane, reqs, complete)
+    }
+
+    fn recover(&mut self, lane: usize) -> bool {
+        (**self).recover(lane)
+    }
+
+    fn bytes_copied(&self) -> u64 {
+        (**self).bytes_copied()
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        (**self).attach_recorder(recorder)
+    }
+
+    fn pmu(&self) -> Option<sb_sim::Pmu> {
+        (**self).pmu()
     }
 }
 

@@ -24,8 +24,8 @@ use sb_faultplane::{FaultHandle, FaultMix, FaultObserver, FaultPoint, FaultRepor
 use sb_fs::{log::Log, BlockDevice, FaultyDisk, RamDisk, BSIZE};
 use sb_observe::{FaultCounts, Recorder, Registry, DEFAULT_RING_CAPACITY};
 use sb_runtime::{
-    Faulty, PoissonArrivals, RequestFactory, RetryPolicy, RunStats, RuntimeConfig, ServerRuntime,
-    SkyBridgeTransport, Transport, TrapIpcTransport,
+    Faulty, PoissonArrivals, RequestFactory, RetryPolicy, RingConfig, RingRuntime, RingTransport,
+    RunStats, RuntimeConfig, ServerRuntime, SkyBridgeTransport, Transport, TrapIpcTransport,
 };
 use sb_sentinel::{postmortem, BundleReceipt, PostmortemInput, PostmortemSpec, SloHandle, SloSpec};
 
@@ -126,7 +126,23 @@ impl ChaosOutcome {
 /// Runs one serving chaos cell: `requests` Poisson arrivals against
 /// `transport` under `mix`, everything seeded by `seed`.
 pub fn run_chaos_cell(backend: &Backend, seed: u64, mix: &FaultMix, requests: u64) -> ChaosOutcome {
-    chaos_cell(backend, seed, mix, requests, None, false)
+    chaos_cell(backend, seed, mix, requests, None, false, None)
+}
+
+/// [`run_chaos_cell`] in ring mode: the same cell, but every request
+/// travels through submission/completion rings and the adaptive
+/// doorbell, so mid-batch faults (a handler panic killing the rest of a
+/// cut batch, key corruption at the crossing, deadline storms expiring
+/// queued frames) exercise the partial-consumption path. The invariants
+/// are unchanged: conservation, zero leaked faults, trace == ledger.
+pub fn run_ring_chaos_cell(
+    backend: &Backend,
+    seed: u64,
+    mix: &FaultMix,
+    requests: u64,
+    ring: RingConfig,
+) -> ChaosOutcome {
+    chaos_cell(backend, seed, mix, requests, None, false, Some(ring))
 }
 
 /// [`run_chaos_cell`] with the flight recorder armed: if the cell ends
@@ -139,7 +155,7 @@ pub fn run_chaos_cell_watched(
     requests: u64,
     flight: &PostmortemSpec,
 ) -> ChaosOutcome {
-    chaos_cell(backend, seed, mix, requests, Some(flight), false)
+    chaos_cell(backend, seed, mix, requests, Some(flight), false, None)
 }
 
 /// The flight-recorder drill: a cell under [`drill_mix`] with retries
@@ -154,11 +170,21 @@ pub fn run_postmortem_drill(
     requests: u64,
     flight: &PostmortemSpec,
 ) -> ChaosOutcome {
-    chaos_cell(backend, seed, &drill_mix(), requests, Some(flight), true)
+    chaos_cell(
+        backend,
+        seed,
+        &drill_mix(),
+        requests,
+        Some(flight),
+        true,
+        None,
+    )
 }
 
 /// One serving cell. `drill` withholds every recovery path (no retry
 /// policy, no quiesce) so injected faults stay leaked on purpose.
+/// `ring` switches the dispatcher from the direct per-call queue to the
+/// submission/completion rings.
 fn chaos_cell(
     backend: &Backend,
     seed: u64,
@@ -166,6 +192,7 @@ fn chaos_cell(
     requests: u64,
     flight: Option<&PostmortemSpec>,
     drill: bool,
+    ring: Option<RingConfig>,
 ) -> ChaosOutcome {
     let scenario = ServingScenario::Kv;
     let mut spec = scenario.service_spec();
@@ -231,7 +258,15 @@ fn chaos_cell(
     };
     let mut factory = RequestFactory::new(scenario.workload(), scenario.payload());
     let arrivals = PoissonArrivals::new(12_000.0, seed ^ 0xa55a).take(requests as usize);
-    let stats = ServerRuntime::new(engine.as_mut(), cfg).run_open_loop(arrivals, &mut factory);
+    let stats = match ring {
+        Some(rc) => {
+            let mut rt = RingTransport::new(engine, rc);
+            let stats = RingRuntime::new(&mut rt, cfg).run_open_loop(arrivals, &mut factory);
+            engine = rt.into_inner();
+            stats
+        }
+        None => ServerRuntime::new(engine.as_mut(), cfg).run_open_loop(arrivals, &mut factory),
+    };
 
     // Quiesce: stop injecting, run every lane's recovery path (revive a
     // still-dead server, rebind a still-unbound connection), then prove
@@ -306,6 +341,117 @@ fn chaos_cell(
         slo: health,
         postmortem: bundle,
     }
+}
+
+/// One ring power-loss drill's result. The drill freezes a ring
+/// mid-flight — frames queued, completions posted but unacknowledged,
+/// acknowledgments taken — and proves the async boundary never loses or
+/// duplicates work across the cut.
+#[derive(Debug)]
+pub struct PowerDrillOutcome {
+    /// Frames submitted before the cut.
+    pub submitted: usize,
+    /// Completions the client had acknowledged (popped) at the cut.
+    pub acked_at_cut: usize,
+    /// Completions posted but not yet acknowledged at the cut.
+    pub in_cq_at_cut: usize,
+    /// Frames still queued in the submission ring at the cut.
+    pub in_sq_at_cut: usize,
+}
+
+/// The ring power-loss drill: submits `requests` frames with a lazy,
+/// seed-jittered acknowledgment cadence, cuts power at a seeded point,
+/// and checks the ledger partition — every submitted correlation id is
+/// in **exactly one** of {acknowledged, completion ring, submission
+/// ring} — then restarts, drains the remainder, and proves the
+/// acknowledged set only grew: nothing acked before the cut is lost,
+/// nothing completes twice, and every frame ends acknowledged.
+///
+/// # Panics
+///
+/// Panics if any of those invariants fails.
+pub fn run_ring_power_drill(
+    backend: &Backend,
+    seed: u64,
+    requests: u64,
+    ring: RingConfig,
+) -> PowerDrillOutcome {
+    use std::collections::BTreeSet;
+
+    assert!(requests >= 2);
+    let scenario = ServingScenario::Kv;
+    let mut rt = RingTransport::new(super::runtime::build_backend(scenario, backend, 1), ring);
+    let mut factory = RequestFactory::new(scenario.workload(), scenario.payload());
+    let budget = rt.config().batch_budget.max(1);
+    let cut = 1 + seed % (requests - 1);
+
+    let mut submitted: BTreeSet<u64> = BTreeSet::new();
+    let mut acked: BTreeSet<u64> = BTreeSet::new();
+    for i in 0..cut {
+        let req = factory.make(i * 2_000, None);
+        if rt.submit(0, &req).is_err() {
+            // Ring full: cut a batch, acknowledge just enough to free
+            // completion slots, leave the rest unacked in the CQ.
+            rt.doorbell(0);
+            while rt.cq_len(0) > budget / 2 {
+                let c = rt.pop_completion(0).expect("cq nonempty");
+                assert!(acked.insert(c.corr), "corr {} acked twice", c.corr);
+            }
+            rt.submit(0, &req).expect("the doorbell freed a slot");
+        }
+        submitted.insert(req.id);
+        if rt.sq_len(0) >= budget {
+            rt.doorbell(0);
+        }
+        if (seed ^ i).is_multiple_of(3) {
+            while let Some(c) = rt.pop_completion(0) {
+                assert!(acked.insert(c.corr), "corr {} acked twice", c.corr);
+            }
+        }
+    }
+
+    // Power cut. The ledger partition at the frozen instant: every
+    // submitted corr is in exactly one place.
+    let in_sq: BTreeSet<u64> = rt.queued_corrs(0).into_iter().collect();
+    let in_cq: BTreeSet<u64> = rt.unacked_corrs(0).into_iter().collect();
+    for corr in &submitted {
+        let places = u8::from(acked.contains(corr))
+            + u8::from(in_sq.contains(corr))
+            + u8::from(in_cq.contains(corr));
+        assert_eq!(places, 1, "corr {corr} is in {places} places at the cut");
+    }
+    let outcome = PowerDrillOutcome {
+        submitted: submitted.len(),
+        acked_at_cut: acked.len(),
+        in_cq_at_cut: in_cq.len(),
+        in_sq_at_cut: in_sq.len(),
+    };
+
+    // Restart: drain everything that survived the cut. Acknowledged
+    // completions must never reappear (no duplicates) or vanish.
+    let frozen = acked.clone();
+    let mut rounds = 0;
+    while rt.sq_len(0) > 0 || rt.cq_len(0) > 0 {
+        rt.doorbell(0);
+        while let Some(c) = rt.pop_completion(0) {
+            assert!(
+                acked.insert(c.corr),
+                "corr {} completed twice across the restart",
+                c.corr
+            );
+        }
+        rounds += 1;
+        assert!(rounds < 10_000, "the restart drain must terminate");
+    }
+    assert!(
+        frozen.is_subset(&acked),
+        "acknowledged completions were lost across the cut"
+    );
+    assert_eq!(
+        acked, submitted,
+        "every submitted frame must complete exactly once"
+    );
+    outcome
 }
 
 /// First block of the FS cell's log region.
@@ -421,6 +567,42 @@ mod tests {
             out.report
         );
         assert!(out.stats.completed > 0);
+    }
+
+    #[test]
+    fn ring_cell_under_everything_terminates_clean() {
+        let out = run_ring_chaos_cell(
+            &Backend::SkyBridge,
+            0xc0de_0002,
+            &FaultMix::everything(),
+            120,
+            RingConfig::default(),
+        );
+        assert!(out.conserved(), "{:?}", out.stats);
+        assert_eq!(out.report.leaked(), 0, "{}", out.report);
+        assert!(
+            out.trace_matches_ledger(),
+            "trace {:?} disagrees with ledger {}",
+            out.trace,
+            out.report
+        );
+        assert!(out.stats.completed > 0);
+    }
+
+    #[test]
+    fn power_drill_partitions_and_drains() {
+        let out = run_ring_power_drill(
+            &Backend::SkyBridge,
+            0x9d11,
+            60,
+            RingConfig {
+                capacity: 8,
+                batch_budget: 4,
+                slot_bytes: 4096,
+            },
+        );
+        assert_eq!(out.submitted as u64, 1 + 0x9d11 % 59);
+        assert!(out.in_sq_at_cut + out.in_cq_at_cut > 0, "{out:?}");
     }
 
     #[test]

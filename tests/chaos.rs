@@ -8,7 +8,11 @@
 //! power-loss remount.
 
 use sb_faultplane::FaultPoint;
-use skybridge_repro::scenarios::chaos::{fs_mixes, run_chaos_cell, run_fs_chaos, serving_mixes};
+use sb_runtime::RingConfig;
+use skybridge_repro::scenarios::chaos::{
+    fs_mixes, run_chaos_cell, run_fs_chaos, run_ring_chaos_cell, run_ring_power_drill,
+    serving_mixes,
+};
 use skybridge_repro::scenarios::runtime::Backend;
 
 const SEEDS: [u64; 2] = [0x5eed_c401, 0x5eed_c402];
@@ -94,6 +98,85 @@ fn storm_cells_exercise_deadline_collapse() {
             .sum::<u64>();
     }
     assert!(injected > 0, "storms never started across the sweep");
+}
+
+/// The same matrix through the asynchronous rings: a fault that lands
+/// mid-batch — after the doorbell cut the frames but while the server
+/// is draining them — must still be detected, recovered, and charged to
+/// the ledger, with no frame lost between the submission and completion
+/// rings.
+#[test]
+fn ring_chaos_matrix_conserves_and_leaks_nothing() {
+    let ring = RingConfig {
+        capacity: 16,
+        batch_budget: 4,
+        slot_bytes: 4096,
+    };
+    let mut total_injected = 0;
+    for transport in Backend::all() {
+        for mix in serving_mixes() {
+            for seed in SEEDS {
+                let out = run_ring_chaos_cell(&transport, seed, &mix, REQUESTS, ring);
+                let label = format!("ring/{}/{}/{seed:#x}", transport.label(), mix.name);
+                assert!(
+                    out.conserved(),
+                    "{label}: conservation violated: {:?}",
+                    out.stats
+                );
+                assert_eq!(out.report.leaked(), 0, "{label}: {}", out.report);
+                assert_eq!(
+                    out.report.detected(),
+                    out.report.injected(),
+                    "{label}: every injected fault must be observed: {}",
+                    out.report
+                );
+                assert!(
+                    out.trace_matches_ledger(),
+                    "{label}: trace counters {:?} disagree with the ledger {}",
+                    out.trace,
+                    out.report
+                );
+                assert!(
+                    out.stats.completed > 0,
+                    "{label}: the run must still make progress"
+                );
+                total_injected += out.report.injected();
+            }
+        }
+    }
+    assert!(
+        total_injected > 0,
+        "the ring matrix must actually inject faults somewhere"
+    );
+}
+
+/// Power loss with frames parked in the rings: at the cut, every
+/// submitted frame is in exactly one of {acknowledged, completion ring,
+/// submission ring} (asserted inside the drill), and the restart drains
+/// the survivors to acknowledgment without inventing or dropping any.
+#[test]
+fn ring_power_loss_drill_partitions_and_recovers() {
+    let ring = RingConfig {
+        capacity: 8,
+        batch_budget: 4,
+        slot_bytes: 4096,
+    };
+    let mut parked_somewhere = false;
+    for (i, backend) in Backend::all().into_iter().enumerate() {
+        for seed in SEEDS {
+            let out = run_ring_power_drill(&backend, seed + i as u64, 80, ring);
+            assert!(
+                out.submitted > 0,
+                "{}: the drill must submit",
+                backend.label()
+            );
+            parked_somewhere |= out.in_cq_at_cut + out.in_sq_at_cut > 0;
+        }
+    }
+    assert!(
+        parked_somewhere,
+        "at least one cut must land with frames still parked in a ring"
+    );
 }
 
 /// FS cells: a power cut at an arbitrary point during commit, a remount,

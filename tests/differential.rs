@@ -8,9 +8,13 @@
 //! transport corrupted, dropped, or reordered a message.
 
 use proptest::prelude::*;
-use sb_runtime::{Request, RequestFactory, RuntimeConfig, ServerRuntime, Transport};
+use sb_runtime::{
+    Request, RequestFactory, RingConfig, RingTransport, RuntimeConfig, ServerRuntime, Transport,
+};
 use sb_ycsb::WorkloadSpec;
-use skybridge_repro::scenarios::runtime::{build_backend, Backend, ServingScenario};
+use skybridge_repro::scenarios::runtime::{
+    build_backend, build_ring_backend, Backend, ServingScenario,
+};
 
 fn transports(workers: usize) -> Vec<Box<dyn Transport>> {
     Backend::all()
@@ -125,6 +129,83 @@ fn replies_agree_even_when_payloads_vary_per_worker() {
     }
 }
 
+/// Drives `trace` through a ring in budget-sized batches on one lane
+/// and checks, completion by completion, that the reply bytes are
+/// byte-identical to serving the same trace through the bare transport
+/// — batching the crossing must be invisible to payloads, ordering,
+/// and correlation.
+fn assert_ring_matches_direct(
+    backend: &Backend,
+    direct: &mut dyn Transport,
+    ring: &mut RingTransport<Box<dyn Transport>>,
+    trace: &[Request],
+) {
+    let budget = ring.config().batch_budget;
+    for chunk in trace.chunks(budget) {
+        for r in chunk {
+            ring.submit(0, r).expect("ring slot");
+        }
+        ring.doorbell(0);
+        for r in chunk {
+            let c = ring
+                .pop_completion(0)
+                .expect("exactly one completion per submitted frame");
+            assert_eq!(
+                c.corr,
+                r.id,
+                "{}: completions must arrive in submission order",
+                backend.label()
+            );
+            assert!(!c.expired);
+            c.result
+                .unwrap_or_else(|e| panic!("{}: ring call failed: {e:?}", backend.label()));
+            let ring_reply = ring.completion_reply(0).to_vec();
+            let direct_reply = call_for_reply(direct, 0, r);
+            assert_eq!(
+                ring_reply,
+                direct_reply,
+                "{}: ring and direct replies diverge on request {}",
+                backend.label(),
+                r.id
+            );
+            assert_eq!(ring_reply, r.encode(), "echo contract broken");
+        }
+    }
+    assert_eq!(ring.cq_len(0), 0, "no surplus completions");
+    assert_eq!(ring.sq_len(0), 0, "no abandoned frames");
+}
+
+fn ring_for(
+    backend: &Backend,
+    capacity: usize,
+    budget: usize,
+) -> RingTransport<Box<dyn Transport>> {
+    build_ring_backend(
+        ServingScenario::Kv,
+        backend,
+        1,
+        RingConfig {
+            capacity,
+            batch_budget: budget,
+            slot_bytes: 4096,
+        },
+    )
+}
+
+/// A fixed single-lane trace through every personality's ring: byte
+/// identity with direct mode, frame for frame.
+#[test]
+fn ring_batches_match_direct_replies_on_fixed_trace() {
+    for backend in Backend::all() {
+        let mut direct = build_backend(ServingScenario::Kv, &backend, 1);
+        let mut ring = ring_for(&backend, 64, 6);
+        let trace: Vec<Request> = (0..48)
+            .map(|i| req(100 + i, i * 7 + 3, i % 3 == 0, 16 + (i as usize % 4) * 48))
+            .collect();
+        assert_ring_matches_direct(&backend, direct.as_mut(), &mut ring, &trace);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -151,6 +232,30 @@ proptest! {
                 "op {}: personalities disagree",
                 i
             );
+        }
+    }
+
+    /// Generated traces under generated batch budgets stay
+    /// byte-identical between ring and direct mode on every
+    /// personality — including budget 1 (degenerate batching) and
+    /// budgets larger than the trace.
+    #[test]
+    fn arbitrary_ring_traces_match_direct(
+        ops in proptest::collection::vec(
+            (0u64..1_000_000, any::<bool>(), 9usize..256),
+            1..24,
+        ),
+        budget in 1usize..12,
+    ) {
+        let trace: Vec<Request> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, (key, write, payload))| req(i as u64, *key, *write, *payload))
+            .collect();
+        for backend in Backend::all() {
+            let mut direct = build_backend(ServingScenario::Kv, &backend, 1);
+            let mut ring = ring_for(&backend, 32, budget);
+            assert_ring_matches_direct(&backend, direct.as_mut(), &mut ring, &trace);
         }
     }
 }

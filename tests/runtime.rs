@@ -4,8 +4,9 @@
 use proptest::prelude::*;
 use sb_microkernel::Personality;
 use sb_runtime::{
-    AdmissionPolicy, CallError, FixedServiceTransport, Request, RequestFactory, RuntimeConfig,
-    ServerRuntime, ServiceSpec, SkyBridgeTransport, Transport,
+    AdmissionPolicy, CallError, FixedServiceTransport, Request, RequestFactory, RingConfig,
+    RingRuntime, RingTransport, RunStats, RuntimeConfig, ServerRuntime, ServiceSpec,
+    SkyBridgeTransport, Transport,
 };
 use sb_ycsb::WorkloadSpec;
 use skybridge::SbError;
@@ -143,6 +144,58 @@ fn dos_timeout_budget_counts_as_timed_out() {
     assert_eq!(s.timed_out, 3);
     assert_eq!(s.completed, 0);
     assert_eq!(s.offered, 3);
+}
+
+/// The deadline-expiry race, parameterized over the dispatch mode:
+/// the direct queue and the asynchronous rings — across batch-budget
+/// shapes — must agree that expiry is free. An expired request burns
+/// zero service cycles whether it is reaped at the queue head or swept
+/// out of a batch cut, and conservation holds in every mode.
+#[test]
+fn deadline_expiry_burns_no_service_in_any_mode() {
+    const SERVICE: u64 = 10_000;
+    let arrivals: Vec<u64> = (0..30u64).map(|i| i * 50).collect();
+    let cfg = || RuntimeConfig {
+        queue_capacity: 1,
+        policy: AdmissionPolicy::Shed,
+        queue_deadline: Some(100),
+        ..RuntimeConfig::default()
+    };
+    let factory = || RequestFactory::new(WorkloadSpec::ycsb_a(1_000, 64), 64);
+    let check = |mode: &str, s: RunStats| {
+        assert_eq!(
+            s.offered,
+            s.completed + s.shed_queue_full + s.shed_deadline + s.timed_out + s.failed,
+            "{mode}: conservation: {s:?}"
+        );
+        assert!(s.shed_deadline > 0, "{mode}: queued requests must expire");
+        assert!(s.completed >= 1, "{mode}: the first request starts in time");
+        assert_eq!(
+            s.busy[0],
+            s.completed * SERVICE,
+            "{mode}: expired requests must burn no service time"
+        );
+    };
+    // Direct mode: expiry is reaped at the queue head.
+    let mut e = FixedServiceTransport::new(1, SERVICE);
+    check(
+        "direct",
+        ServerRuntime::new(&mut e, cfg()).run_open_loop(arrivals.clone(), &mut factory()),
+    );
+    // Ring mode: expiry is swept out of the batch cut — degenerate
+    // (capacity 1), partial, and full-ring budget shapes.
+    for (capacity, budget) in [(1usize, 1usize), (4, 2), (8, 8)] {
+        let mut rt = RingTransport::new(
+            FixedServiceTransport::new(1, SERVICE),
+            RingConfig {
+                capacity,
+                batch_budget: budget,
+                slot_bytes: 4096,
+            },
+        );
+        let s = RingRuntime::new(&mut rt, cfg()).run_open_loop(arrivals.clone(), &mut factory());
+        check(&format!("ring capacity={capacity} budget={budget}"), s);
+    }
 }
 
 proptest! {
