@@ -154,15 +154,26 @@ impl fmt::Display for Json {
     }
 }
 
+/// How many of a run's busiest tenants get their own row in the JSON
+/// report.
+const TOP_TENANTS: usize = 8;
+
 /// One runtime run as a JSON object (`results/*.json` rows).
+///
+/// Multi-tenant runs additionally carry a `tenants` array — the
+/// [`TOP_TENANTS`] busiest tenants by offered load, each with its own
+/// conservation ledger and p99 — plus the per-tenant conservation
+/// verdict for the whole run. Single-tenant runs stay compact (no
+/// per-tenant section), keeping historical report shapes unchanged.
 pub fn run_stats_json(s: &RunStats) -> Json {
-    Json::obj()
+    let mut row = Json::obj()
         .field("label", s.label.as_str())
         .field("workers", s.workers)
         .field("offered", s.offered)
         .field("completed", s.completed)
         .field("shed_queue_full", s.shed_queue_full)
         .field("shed_deadline", s.shed_deadline)
+        .field("shed_rate_limit", s.shed_rate_limit)
         .field("timed_out", s.timed_out)
         .field("failed", s.failed)
         .field("retries", s.retries)
@@ -175,7 +186,31 @@ pub fn run_stats_json(s: &RunStats) -> Json {
         .field("latency_p95", s.p95())
         .field("latency_p99", s.p99())
         .field("max_queue_depth", s.max_queue_depth)
-        .field("utilization", s.utilization())
+        .field("utilization", s.utilization());
+    if s.tenants.len() > 1 {
+        let rows: Vec<Json> = s
+            .top_tenants(TOP_TENANTS)
+            .into_iter()
+            .map(|(id, t)| {
+                Json::obj()
+                    .field("tenant", u64::from(id))
+                    .field("offered", t.offered)
+                    .field("completed", t.completed)
+                    .field("shed_queue_full", t.shed_queue_full)
+                    .field("shed_deadline", t.shed_deadline)
+                    .field("shed_rate_limit", t.shed_rate_limit)
+                    .field("timed_out", t.timed_out)
+                    .field("failed", t.failed)
+                    .field("latency_p50", t.percentile(50.0))
+                    .field("latency_p99", t.p99())
+            })
+            .collect();
+        row = row
+            .field("tenant_count", s.tenants.len())
+            .field("tenants_conserved", s.tenants_conserved())
+            .field("tenants", Json::Arr(rows));
+    }
+    row
 }
 
 /// One serving chaos cell as a JSON row (`results/chaos.json`).
@@ -348,6 +383,39 @@ mod tests {
         assert!(row.contains("\"shed_queue_full\":2"));
         assert!(row.contains("\"bytes_copied\":704"));
         assert!(row.contains("\"latency_p50\":20"));
+    }
+
+    #[test]
+    fn multi_tenant_runs_emit_a_tenant_breakdown() {
+        let mut s = RunStats::new("sel4", 1);
+        s.offered = 5;
+        s.completed = 5;
+        s.end = 1000;
+        s.latencies = vec![10, 20, 30, 40, 50].into();
+        for (tenant, lat) in [(3u16, 10), (3, 20), (3, 30), (9, 40), (9, 50)] {
+            let t = s.tenant_mut(tenant);
+            t.offered += 1;
+            t.completed += 1;
+            t.latencies.push(lat);
+        }
+        s.seal();
+        let row = run_stats_json(&s).to_string();
+        assert!(row.contains("\"tenant_count\":2"), "{row}");
+        assert!(row.contains("\"tenants_conserved\":true"), "{row}");
+        // Busiest tenant first.
+        assert!(
+            row.find("\"tenant\":3").unwrap() < row.find("\"tenant\":9").unwrap(),
+            "{row}"
+        );
+
+        // Single-tenant runs keep the historical compact shape.
+        let mut solo = RunStats::new("sel4", 1);
+        solo.offered = 1;
+        solo.completed = 1;
+        solo.tenant_mut(0).offered += 1;
+        solo.tenant_mut(0).completed += 1;
+        solo.seal();
+        assert!(!run_stats_json(&solo).to_string().contains("\"tenants\""));
     }
 
     #[test]

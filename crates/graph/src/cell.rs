@@ -148,6 +148,7 @@ impl HopLink {
             write,
             payload: self.payload,
             client: None,
+            tenant: 0,
         };
         t.call(lane, &req).expect("fs hop crossing failed");
         self.ctx.now.set(t.now(lane));

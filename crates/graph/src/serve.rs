@@ -171,6 +171,7 @@ impl GraphTransport {
             write: req.write,
             payload: n.payload,
             client: req.client,
+            tenant: req.tenant,
         };
         inner.call(lane, &hop_req)?;
         Ok(inner.now(lane))

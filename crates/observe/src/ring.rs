@@ -105,6 +105,9 @@ pub enum InstantKind {
     ShedQueueFull,
     /// A queued request was dropped past its queue deadline.
     ShedDeadline,
+    /// An arrival was shed at the tenant admission gate (rate limit or
+    /// quarantine window).
+    ShedRateLimit,
     /// A failed call is about to be re-attempted.
     Retry,
     /// A transport recovery (revive/rebind/respawn) succeeded.
@@ -118,6 +121,7 @@ impl InstantKind {
             InstantKind::QueueAdmit => "queue_admit",
             InstantKind::ShedQueueFull => "shed_queue_full",
             InstantKind::ShedDeadline => "shed_deadline",
+            InstantKind::ShedRateLimit => "shed_rate_limit",
             InstantKind::Retry => "retry",
             InstantKind::Recovery => "recovery",
         }

@@ -1,10 +1,14 @@
 //! The serving loop: a discrete-event dispatcher over per-lane clocks.
 //!
 //! The runtime simulates an M/G/k server: arrivals (open-loop Poisson or
-//! closed-loop clients) enter one bounded [`DispatchQueue`]; the
-//! dispatcher starts each queued request on the earliest-free lane, in
-//! arrival order, never starting a request before everything that starts
-//! earlier in simulated time has been issued. Lane clocks are the
+//! closed-loop clients) enter the [`TenantFabric`] — per-tenant bounded
+//! queues under a deficit-round-robin scheduler; the dispatcher starts
+//! each scheduled request on the earliest-free lane, never starting a
+//! request before everything that starts earlier in simulated time has
+//! been issued. Within a tenant, service is arrival-order; across
+//! tenants the fabric's weights decide, and with a single tenant (the
+//! default when no [`TenantRegistry`] is configured) the fabric
+//! degenerates to the old global FIFO exactly. Lane clocks are the
 //! transport's simulated cores, so service times (and their cache/TLB
 //! history) come out of the machine model, not a distribution.
 
@@ -19,8 +23,9 @@ use sb_transport::{CallError, Request, Transport};
 
 use crate::{
     load::RequestFactory,
-    queue::{AdmissionPolicy, DispatchQueue},
+    queue::AdmissionPolicy,
     stats::RunStats,
+    tenant::{Gate, TenantFabric, TenantRegistry},
 };
 
 /// How the dispatcher retries failed calls.
@@ -78,6 +83,11 @@ pub struct RuntimeConfig {
     /// outcome — completions with their arrival-to-done latency, and
     /// failures/timeouts/sheds as errors — as it happens.
     pub slo: Option<SloHandle>,
+    /// The tenant contract registry. `None` (the default) builds a
+    /// single-tenant fabric from `queue_capacity` and `policy`, which
+    /// behaves exactly like the old global queue; pass a registry to get
+    /// per-tenant queues, weights, rate limits, and SLO-driven actions.
+    pub tenants: Option<TenantRegistry>,
 }
 
 impl Default for RuntimeConfig {
@@ -90,6 +100,7 @@ impl Default for RuntimeConfig {
             faults: None,
             recorder: Recorder::off(),
             slo: None,
+            tenants: None,
         }
     }
 }
@@ -102,6 +113,10 @@ pub struct ServerRuntime<'a, T: Transport + ?Sized> {
     /// arrival time: requests arriving inside one see their effective
     /// queue deadline collapse to zero.
     storms: Vec<(Cycles, Cycles)>,
+    /// The tenant scheduling fabric. Lives on the runtime (not the run)
+    /// so per-tenant SLO state and the action log persist across runs
+    /// and are inspectable afterwards via [`ServerRuntime::fabric`].
+    fabric: TenantFabric,
 }
 
 impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
@@ -111,11 +126,22 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
     pub fn new(transport: &'a mut T, cfg: RuntimeConfig) -> Self {
         assert!(transport.lanes() > 0);
         transport.attach_recorder(cfg.recorder.clone());
+        let registry = cfg
+            .tenants
+            .clone()
+            .unwrap_or_else(|| TenantRegistry::single(cfg.queue_capacity, cfg.policy));
         ServerRuntime {
             transport,
             cfg,
             storms: Vec::new(),
+            fabric: TenantFabric::new(registry),
         }
+    }
+
+    /// The tenant fabric: per-tenant SLO health, quarantine state, and
+    /// the SLO-burn action log accumulated over this runtime's runs.
+    pub fn fabric(&self) -> &TenantFabric {
+        &self.fabric
     }
 
     /// At each admission: maybe start a deadline storm at `t`. A storm is
@@ -194,12 +220,14 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
             .is_some_and(|d| start - req.arrival > d);
         if past_deadline {
             stats.shed_deadline += 1;
+            stats.tenant_mut(req.tenant).shed_deadline += 1;
             self.cfg
                 .recorder
                 .instant(l, InstantKind::ShedDeadline, start, req.id);
             if let Some(slo) = &self.cfg.slo {
                 slo.error(start);
             }
+            self.fabric.error(req.tenant, start);
         } else {
             match self.call_with_retries(l, &req, stats) {
                 Ok(()) => {
@@ -207,23 +235,33 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                     stats.completed += 1;
                     stats.latencies.push(done - req.arrival);
                     stats.busy[l] += done - start;
+                    let ts = stats.tenant_mut(req.tenant);
+                    ts.completed += 1;
+                    ts.latencies.push(done - req.arrival);
                     if let Some(slo) = &self.cfg.slo {
                         slo.complete(done, done - req.arrival);
                     }
+                    self.fabric.complete(req.tenant, done, done - req.arrival);
                 }
                 Err(CallError::Timeout { .. }) => {
                     stats.timed_out += 1;
+                    stats.tenant_mut(req.tenant).timed_out += 1;
                     stats.busy[l] += self.transport.now(l) - start;
                     if let Some(slo) = &self.cfg.slo {
                         slo.error(self.transport.now(l));
                     }
+                    let t = self.transport.now(l);
+                    self.fabric.error(req.tenant, t);
                 }
                 Err(CallError::Failed(_) | CallError::CorrMismatch { .. }) => {
                     stats.failed += 1;
+                    stats.tenant_mut(req.tenant).failed += 1;
                     stats.busy[l] += self.transport.now(l) - start;
                     if let Some(slo) = &self.cfg.slo {
                         slo.error(self.transport.now(l));
                     }
+                    let t = self.transport.now(l);
+                    self.fabric.error(req.tenant, t);
                 }
             }
         }
@@ -282,39 +320,57 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
         Err(last)
     }
 
-    /// Starts queued requests, earliest-free lane first, until no lane
-    /// frees up at or before `horizon` (so no service start is issued out
-    /// of order with arrivals at the horizon).
+    /// Starts queued requests in fabric (DRR) order, earliest-free lane
+    /// first, until no lane frees up at or before `horizon` (so no
+    /// service start is issued out of order with arrivals at the
+    /// horizon).
     fn drain_until(
         &mut self,
-        queue: &mut DispatchQueue,
         horizon: Cycles,
         stats: &mut RunStats,
         completions: &mut Vec<(usize, Cycles)>,
     ) {
-        while !queue.is_empty() {
+        while !self.fabric.is_empty() {
             let (l, t) = self.min_lane();
             if t > horizon {
                 break;
             }
-            let req = queue.pop().expect("checked non-empty");
+            let req = self.fabric.pop().expect("checked non-empty");
             self.serve_one(l, req, stats, completions);
         }
     }
 
-    /// Admits `req` under the configured policy, given a full queue.
-    /// Returns `true` when the request was consumed (shed or served
-    /// directly) and must not be queued by the caller.
+    /// Shed-at-the-gate bookkeeping for an arrival the fabric's rate
+    /// limit or quarantine window refused.
+    fn shed_rate_limited(&mut self, req: &Request, t: Cycles, stats: &mut RunStats) {
+        stats.shed_rate_limit += 1;
+        stats.tenant_mut(req.tenant).shed_rate_limit += 1;
+        self.cfg.recorder.instant(
+            self.transport.lanes(),
+            InstantKind::ShedRateLimit,
+            t,
+            req.id,
+        );
+        if let Some(slo) = &self.cfg.slo {
+            slo.error(t);
+        }
+        self.fabric.error(req.tenant, t);
+    }
+
+    /// Admits `req` under its tenant's policy, given that tenant's lane
+    /// is full. Returns `true` when the request was consumed (shed or
+    /// served directly) and must not be queued by the caller.
     fn admit_full(
         &mut self,
-        queue: &mut DispatchQueue,
         req: &mut Option<Request>,
         stats: &mut RunStats,
         completions: &mut Vec<(usize, Cycles)>,
     ) -> bool {
-        match self.cfg.policy {
+        let tenant = req.as_ref().expect("arrival present").tenant;
+        match self.fabric.policy(tenant) {
             AdmissionPolicy::Shed => {
                 stats.shed_queue_full += 1;
+                stats.tenant_mut(tenant).shed_queue_full += 1;
                 if let Some(r) = req.as_ref() {
                     self.cfg.recorder.instant(
                         self.transport.lanes(),
@@ -325,12 +381,13 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                     if let Some(slo) = &self.cfg.slo {
                         slo.error(r.arrival);
                     }
+                    self.fabric.error(tenant, r.arrival);
                 }
                 *req = None;
                 true
             }
             AdmissionPolicy::Block => {
-                if queue.capacity() == 0 {
+                if self.fabric.capacity(tenant) == 0 {
                     // No slot can ever free: the arrival rendezvouses
                     // directly with the earliest-free lane.
                     let (l, _) = self.min_lane();
@@ -338,11 +395,13 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                     self.serve_one(l, r, stats, completions);
                     return true;
                 }
-                // Free one slot by force-running the oldest queued
-                // request on the earliest-free lane.
-                while queue.is_full() {
+                // Free a slot in this tenant's lane by force-running
+                // fabric-scheduled requests on the earliest-free lane.
+                // DRR rotation reaches every backlogged tenant, so the
+                // loop always terminates.
+                while self.fabric.is_full(tenant) {
                     let (l, _) = self.min_lane();
-                    let r = queue.pop().expect("full queue is non-empty");
+                    let r = self.fabric.pop().expect("full lane implies work");
                     self.serve_one(l, r, stats, completions);
                 }
                 false
@@ -350,17 +409,17 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
         }
     }
 
-    /// Queues `req`, stamping the admission on the dispatcher's
-    /// pseudo-lane (`transport.lanes()` — the queue has no core of its
-    /// own).
-    fn admit(&mut self, queue: &mut DispatchQueue, req: Request) {
+    /// Queues `req` on its tenant's lane, stamping the admission on the
+    /// dispatcher's pseudo-lane (`transport.lanes()` — the queue has no
+    /// core of its own).
+    fn admit(&mut self, req: Request) {
         self.cfg.recorder.instant(
             self.transport.lanes(),
             InstantKind::QueueAdmit,
             req.arrival,
             req.id,
         );
-        queue.push(req);
+        self.fabric.push(req);
     }
 
     /// The instant the server is ready: the latest lane clock. Transport
@@ -386,7 +445,6 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
     {
         let mut stats = RunStats::new(self.transport.label(), self.transport.lanes());
         let copied_at_start = self.transport.bytes_copied();
-        let mut queue = DispatchQueue::new(self.cfg.queue_capacity);
         let mut completions = Vec::new();
         let epoch = self.epoch();
         let mut first = None;
@@ -395,23 +453,28 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
             let t = t.saturating_add(epoch).max(clock); // Never backwards.
             clock = t;
             first.get_or_insert(t);
+            let req = factory.make(t, None);
             stats.offered += 1;
+            stats.tenant_mut(req.tenant).offered += 1;
             self.maybe_storm(t);
-            self.drain_until(&mut queue, t, &mut stats, &mut completions);
-            if queue.is_full() {
-                let mut req = Some(factory.make(t, None));
-                if self.admit_full(&mut queue, &mut req, &mut stats, &mut completions) {
+            self.drain_until(t, &mut stats, &mut completions);
+            if self.fabric.gate(req.tenant, t) != Gate::Admit {
+                self.shed_rate_limited(&req, t, &mut stats);
+                continue;
+            }
+            if self.fabric.is_full(req.tenant) {
+                let mut req = Some(req);
+                if self.admit_full(&mut req, &mut stats, &mut completions) {
                     continue;
                 }
                 let r = req.take().expect("not consumed");
-                self.admit(&mut queue, r);
+                self.admit(r);
             } else {
-                let r = factory.make(t, None);
-                self.admit(&mut queue, r);
+                self.admit(req);
             }
-            stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
+            stats.max_queue_depth = stats.max_queue_depth.max(self.fabric.len());
         }
-        self.drain_until(&mut queue, Cycles::MAX, &mut stats, &mut completions);
+        self.drain_until(Cycles::MAX, &mut stats, &mut completions);
         self.settle_storms();
         stats.start = first.unwrap_or(0);
         stats.end = (0..self.transport.lanes())
@@ -419,6 +482,10 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
             .max()
             .unwrap_or(0);
         stats.bytes_copied = self.transport.bytes_copied() - copied_at_start;
+        if let Some(slo) = &self.cfg.slo {
+            slo.tick(stats.end);
+        }
+        self.fabric.tick(stats.end);
         stats.seal();
         stats
     }
@@ -438,7 +505,6 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
         assert!(clients > 0);
         let mut stats = RunStats::new(self.transport.label(), self.transport.lanes());
         let copied_at_start = self.transport.bytes_copied();
-        let mut queue = DispatchQueue::new(self.cfg.queue_capacity);
         let mut completions: Vec<(usize, Cycles)> = Vec::new();
         let epoch = self.epoch();
         // One-cycle stagger breaks the all-at-once tie deterministically.
@@ -453,15 +519,15 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                 }
             }
             let Some(&Reverse((t, c))) = ready.peek() else {
-                if queue.is_empty() {
+                if self.fabric.is_empty() {
                     break;
                 }
-                self.drain_until(&mut queue, Cycles::MAX, &mut stats, &mut completions);
+                self.drain_until(Cycles::MAX, &mut stats, &mut completions);
                 continue;
             };
             // Completions inside the drain may schedule arrivals earlier
             // than `t`; flush them into the heap before admitting.
-            self.drain_until(&mut queue, t, &mut stats, &mut completions);
+            self.drain_until(t, &mut stats, &mut completions);
             if !completions.is_empty() {
                 continue;
             }
@@ -469,11 +535,23 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
             stats.offered += 1;
             remaining[c] -= 1;
             self.maybe_storm(t);
-            if queue.is_full() {
-                let mut req = Some(factory.make(t, Some(c)));
-                if self.admit_full(&mut queue, &mut req, &mut stats, &mut completions) {
+            let req = factory.make(t, Some(c));
+            stats.tenant_mut(req.tenant).offered += 1;
+            if self.fabric.gate(req.tenant, t) != Gate::Admit {
+                self.shed_rate_limited(&req, t, &mut stats);
+                // Like a shed, the client retries its next op after a
+                // think pause rather than stopping forever.
+                if remaining[c] > 0 {
+                    ready.push(Reverse((t.saturating_add(think.max(1)), c)));
+                }
+                continue;
+            }
+            if self.fabric.is_full(req.tenant) {
+                let tenant = req.tenant;
+                let mut req = Some(req);
+                if self.admit_full(&mut req, &mut stats, &mut completions) {
                     if req.is_none()
-                        && matches!(self.cfg.policy, AdmissionPolicy::Shed)
+                        && matches!(self.fabric.policy(tenant), AdmissionPolicy::Shed)
                         && remaining[c] > 0
                     {
                         ready.push(Reverse((t.saturating_add(think.max(1)), c)));
@@ -481,12 +559,11 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                     continue;
                 }
                 let r = req.take().expect("not consumed");
-                self.admit(&mut queue, r);
+                self.admit(r);
             } else {
-                let r = factory.make(t, Some(c));
-                self.admit(&mut queue, r);
+                self.admit(req);
             }
-            stats.max_queue_depth = stats.max_queue_depth.max(queue.len());
+            stats.max_queue_depth = stats.max_queue_depth.max(self.fabric.len());
         }
         self.settle_storms();
         stats.start = epoch;
@@ -495,6 +572,10 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
             .max()
             .unwrap_or(0);
         stats.bytes_copied = self.transport.bytes_copied() - copied_at_start;
+        if let Some(slo) = &self.cfg.slo {
+            slo.tick(stats.end);
+        }
+        self.fabric.tick(stats.end);
         stats.seal();
         stats
     }

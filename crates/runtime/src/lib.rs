@@ -35,12 +35,14 @@ pub mod ring_run;
 pub mod service;
 pub mod sky;
 pub mod stats;
+pub mod tenant;
 pub mod trap;
 
 pub use sb_observe::Recorder;
 pub use sb_sentinel::{SloHandle, SloSpec};
 pub use sb_transport::{
-    CallError, Faulty, FixedServiceTransport, Request, RingConfig, RingTransport, Transport,
+    CallError, Faulty, FixedServiceTransport, Request, RingConfig, RingTransport, TenantId,
+    Transport,
 };
 
 pub use crate::{
@@ -50,6 +52,7 @@ pub use crate::{
     ring_run::RingRuntime,
     service::ServiceSpec,
     sky::SkyBridgeTransport,
-    stats::{LatencyTrack, RunStats, EXACT_LATENCY_CAP},
+    stats::{LatencyTrack, RunStats, TenantStats, EXACT_LATENCY_CAP},
+    tenant::{Gate, RateLimit, TenantAction, TenantFabric, TenantRegistry, TenantSpec},
     trap::TrapIpcTransport,
 };

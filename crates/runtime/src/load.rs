@@ -1,35 +1,138 @@
-//! Load generation: YCSB-mix request factories and Poisson arrivals.
+//! Load generation: YCSB-mix request factories, tenant assignment, and
+//! open-loop arrival processes (Poisson, diurnal, bursty).
+
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use sb_sim::Cycles;
-use sb_ycsb::{OpKind, Workload, WorkloadSpec};
+use sb_ycsb::{OpKind, ScrambledZipfian, Workload, WorkloadSpec};
 
-use sb_transport::Request;
+use sb_transport::{Request, TenantId};
+
+/// How a [`RequestFactory`] stamps tenants onto requests.
+#[derive(Debug)]
+enum TenantSource {
+    /// Every request bills to one tenant (the single-tenant default).
+    Fixed(TenantId),
+    /// Production-shaped skew: tenant drawn from a scrambled-Zipfian
+    /// distribution over `n` tenants — a few tenants dominate, a long
+    /// tail trickles, and the hot set is spread by the FNV scramble.
+    Zipf {
+        zipf: ScrambledZipfian,
+        rng: SmallRng,
+    },
+    /// An explicit per-arrival schedule (front = next request). Lets a
+    /// scenario interleave hand-built per-tenant arrival streams and
+    /// know exactly which request belongs to whom; runs out back to
+    /// tenant 0.
+    Schedule(VecDeque<TenantId>),
+}
 
 /// Turns a YCSB operation stream into [`Request`]s with a fixed wire
 /// payload.
 #[derive(Debug)]
 pub struct RequestFactory {
     workload: Workload,
+    spec: WorkloadSpec,
     payload: usize,
     next_id: u64,
+    tenants: TenantSource,
+    /// When set, each tenant draws keys/ops from its own
+    /// deterministically seeded workload stream instead of the shared
+    /// one: tenant `t`'s nth request is the same bytes no matter how
+    /// other tenants' arrivals interleave with it. The noisy-neighbor
+    /// comparison depends on this — a victim's solo and contended runs
+    /// must differ only in what else the server is doing.
+    per_tenant: Option<BTreeMap<TenantId, Workload>>,
 }
 
 impl RequestFactory {
     /// A factory over `spec`'s key/op mix with `payload` wire bytes per
-    /// request.
+    /// request; everything bills to tenant 0.
     pub fn new(spec: WorkloadSpec, payload: usize) -> Self {
         RequestFactory {
-            workload: Workload::new(spec),
+            workload: Workload::new(spec.clone()),
+            spec,
             payload,
             next_id: 0,
+            tenants: TenantSource::Fixed(0),
+            per_tenant: None,
+        }
+    }
+
+    /// A factory whose every request bills to `tenant`.
+    pub fn for_tenant(spec: WorkloadSpec, payload: usize, tenant: TenantId) -> Self {
+        let mut f = RequestFactory::new(spec, payload);
+        f.tenants = TenantSource::Fixed(tenant);
+        f
+    }
+
+    /// A factory drawing tenants from a scrambled-Zipfian skew over
+    /// `tenants` distinct tenants — the production shape, where a few
+    /// tenants carry most of the traffic.
+    pub fn with_zipf_tenants(spec: WorkloadSpec, payload: usize, tenants: u16, seed: u64) -> Self {
+        assert!(tenants > 0, "at least one tenant");
+        let mut f = RequestFactory::new(spec, payload);
+        f.tenants = TenantSource::Zipf {
+            zipf: ScrambledZipfian::new(tenants as u64),
+            rng: SmallRng::seed_from_u64(seed ^ 0x7e4a_97a5_1d2b_91c3),
+        };
+        f
+    }
+
+    /// A factory following an explicit tenant schedule, one entry per
+    /// request in order. The noisy-neighbor scenario builds per-tenant
+    /// arrival streams, merges them, and hands the merged tenant order
+    /// here so solo and contended runs see identical victim streams.
+    pub fn with_tenant_schedule(
+        spec: WorkloadSpec,
+        payload: usize,
+        schedule: Vec<TenantId>,
+    ) -> Self {
+        let mut f = RequestFactory::new(spec, payload);
+        f.tenants = TenantSource::Schedule(schedule.into());
+        f
+    }
+
+    /// Like [`RequestFactory::with_tenant_schedule`], but each tenant
+    /// additionally draws its keys and operations from a private
+    /// workload stream seeded by its tenant id. Tenant `t`'s nth
+    /// request is byte-identical across runs regardless of how other
+    /// tenants interleave — the property the noisy-neighbor isolation
+    /// verdict rests on.
+    pub fn with_per_tenant_streams(
+        spec: WorkloadSpec,
+        payload: usize,
+        schedule: Vec<TenantId>,
+    ) -> Self {
+        let mut f = RequestFactory::with_tenant_schedule(spec, payload, schedule);
+        f.per_tenant = Some(BTreeMap::new());
+        f
+    }
+
+    fn next_tenant(&mut self) -> TenantId {
+        match &mut self.tenants {
+            TenantSource::Fixed(t) => *t,
+            TenantSource::Zipf { zipf, rng } => zipf.next(rng) as TenantId,
+            TenantSource::Schedule(q) => q.pop_front().unwrap_or(0),
         }
     }
 
     /// The next request, stamped with `arrival` (and, for closed-loop
     /// runs, the issuing `client`).
     pub fn make(&mut self, arrival: Cycles, client: Option<usize>) -> Request {
-        let op = self.workload.next_op();
+        let tenant = self.next_tenant();
+        let op = match &mut self.per_tenant {
+            Some(streams) => streams
+                .entry(tenant)
+                .or_insert_with(|| {
+                    let mut spec = self.spec.clone();
+                    spec.seed ^= (tenant as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    Workload::new(spec)
+                })
+                .next_op(),
+            None => self.workload.next_op(),
+        };
         let id = self.next_id;
         self.next_id += 1;
         Request {
@@ -39,6 +142,7 @@ impl RequestFactory {
             write: !matches!(op.kind, OpKind::Read | OpKind::Scan),
             payload: self.payload,
             client,
+            tenant,
         }
     }
 }
@@ -86,6 +190,121 @@ impl Iterator for PoissonArrivals {
     }
 }
 
+/// A diurnally modulated Poisson process: the instantaneous rate swings
+/// sinusoidally around the base rate with the given period, like a
+/// day/night traffic curve compressed into simulated cycles. Fully
+/// deterministic for a given seed.
+#[derive(Debug)]
+pub struct DiurnalArrivals {
+    rng: SmallRng,
+    /// Mean inter-arrival gap at the midline, in cycles.
+    base_mean: f64,
+    /// Peak-to-midline rate swing, in `[0, 1)`: at `0.5` the peak rate
+    /// is 1.5x the base and the trough 0.5x.
+    amplitude: f64,
+    /// One full day, in cycles.
+    period: f64,
+    t: f64,
+}
+
+impl DiurnalArrivals {
+    /// Arrivals around a `base_mean` gap, swinging by `amplitude` over
+    /// `period` cycles.
+    pub fn new(base_mean: f64, amplitude: f64, period: Cycles, seed: u64) -> Self {
+        assert!(base_mean > 0.0, "mean inter-arrival must be positive");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must stay below 1 or the trough rate hits zero"
+        );
+        assert!(period > 0, "a day has positive length");
+        DiurnalArrivals {
+            rng: SmallRng::seed_from_u64(seed),
+            base_mean,
+            amplitude,
+            period: period as f64,
+            t: 0.0,
+        }
+    }
+}
+
+impl Iterator for DiurnalArrivals {
+    type Item = Cycles;
+
+    fn next(&mut self) -> Option<Cycles> {
+        // Thin the gap by the instantaneous rate multiplier at the
+        // current clock: rate(t) = base * (1 + A sin(2πt/P)).
+        let phase = (self.t / self.period) * std::f64::consts::TAU;
+        let rate_mult = 1.0 + self.amplitude * phase.sin();
+        let mean = self.base_mean / rate_mult;
+        let u: f64 = self.rng.gen();
+        self.t += -mean * (1.0 - u).ln();
+        Some(self.t as Cycles)
+    }
+}
+
+/// A two-phase burst process: calm stretches at one rate, storm windows
+/// at another, alternating on a fixed cadence — the arrival shape of a
+/// misbehaving tenant replaying a thundering herd. Deterministic for a
+/// given seed.
+#[derive(Debug)]
+pub struct BurstArrivals {
+    rng: SmallRng,
+    /// Mean gap during calm stretches, in cycles.
+    calm_mean: f64,
+    /// Mean gap inside a burst window (smaller = harder storm).
+    burst_mean: f64,
+    /// Calm stretch length, in cycles.
+    calm_len: f64,
+    /// Burst window length, in cycles.
+    burst_len: f64,
+    t: f64,
+}
+
+impl BurstArrivals {
+    /// Arrivals alternating `calm_len` cycles at a `calm_mean` gap with
+    /// `burst_len` cycles at a `burst_mean` gap.
+    pub fn new(
+        calm_mean: f64,
+        burst_mean: f64,
+        calm_len: Cycles,
+        burst_len: Cycles,
+        seed: u64,
+    ) -> Self {
+        assert!(calm_mean > 0.0 && burst_mean > 0.0);
+        assert!(calm_len > 0 && burst_len > 0);
+        BurstArrivals {
+            rng: SmallRng::seed_from_u64(seed),
+            calm_mean,
+            burst_mean,
+            calm_len: calm_len as f64,
+            burst_len: burst_len as f64,
+            t: 0.0,
+        }
+    }
+
+    /// Whether simulated time `t` falls inside a burst window.
+    pub fn in_burst(&self, t: Cycles) -> bool {
+        let cycle = self.calm_len + self.burst_len;
+        (t as f64) % cycle >= self.calm_len
+    }
+}
+
+impl Iterator for BurstArrivals {
+    type Item = Cycles;
+
+    fn next(&mut self) -> Option<Cycles> {
+        let cycle = self.calm_len + self.burst_len;
+        let mean = if self.t % cycle < self.calm_len {
+            self.calm_mean
+        } else {
+            self.burst_mean
+        };
+        let u: f64 = self.rng.gen();
+        self.t += -mean * (1.0 - u).ln();
+        Some(self.t as Cycles)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,9 +335,118 @@ mod tests {
             assert!(!r.write, "YCSB-C is read-only");
             assert!(r.key < 100);
             assert_eq!(r.payload, 64);
+            assert_eq!(r.tenant, 0, "default factory bills tenant 0");
         }
         let mut f = RequestFactory::new(WorkloadSpec::ycsb_a(100, 64), 64);
         let writes = (0..200).filter(|&i| f.make(i, None).write).count();
         assert!((60..140).contains(&writes), "YCSB-A is ~50% update");
+    }
+
+    #[test]
+    fn zipf_tenants_skew_and_stay_in_range() {
+        let n_tenants = 64u16;
+        let mut f =
+            RequestFactory::with_zipf_tenants(WorkloadSpec::ycsb_c(100, 64), 64, n_tenants, 0x7e7a);
+        let mut counts = vec![0u64; n_tenants as usize];
+        for i in 0..20_000 {
+            let t = f.make(i, None).tenant;
+            counts[t as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        assert!(max > 20_000 / 64 * 4, "a hot tenant must dominate: {max}");
+        assert!(nonzero > 16, "the tail must still appear: {nonzero}");
+    }
+
+    #[test]
+    fn tenant_schedule_is_followed_exactly_then_defaults() {
+        let sched = vec![3u16, 1, 4, 1, 5];
+        let mut f =
+            RequestFactory::with_tenant_schedule(WorkloadSpec::ycsb_c(100, 64), 64, sched.clone());
+        let got: Vec<u16> = (0..7).map(|i| f.make(i, None).tenant).collect();
+        assert_eq!(&got[..5], &sched[..]);
+        assert_eq!(&got[5..], &[0, 0], "an exhausted schedule bills tenant 0");
+    }
+
+    #[test]
+    fn per_tenant_streams_are_interleaving_invariant() {
+        // Tenant 3's request stream must be byte-identical whether it
+        // runs alone or interleaved with a storming tenant 9.
+        let spec = WorkloadSpec::ycsb_a(1_000, 64);
+        let solo: Vec<_> = {
+            let mut f = RequestFactory::with_per_tenant_streams(spec.clone(), 64, vec![3; 20]);
+            (0..20).map(|i| f.make(i, None)).collect()
+        };
+        let mixed_sched: Vec<u16> = (0..60).map(|i| if i % 3 == 0 { 3 } else { 9 }).collect();
+        let mut f = RequestFactory::with_per_tenant_streams(spec, 64, mixed_sched);
+        let mixed: Vec<_> = (0..60).map(|i| f.make(i, None)).collect();
+        let t3: Vec<_> = mixed.iter().filter(|r| r.tenant == 3).collect();
+        assert_eq!(t3.len(), 20);
+        for (a, b) in solo.iter().zip(&t3) {
+            assert_eq!((a.key, a.write, a.payload), (b.key, b.write, b.payload));
+        }
+    }
+
+    #[test]
+    fn diurnal_arrivals_swing_the_rate_with_the_period() {
+        // One full day of 1M cycles, ±60% swing. Count arrivals in the
+        // peak quarter (phase π/2) vs the trough quarter (3π/2).
+        let day = 1_000_000u64;
+        let times: Vec<Cycles> = DiurnalArrivals::new(200.0, 0.6, day, 11)
+            .take_while(|&t| t < day)
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        let quarter = |lo: u64, hi: u64| times.iter().filter(|&&t| t >= lo && t < hi).count();
+        let peak = quarter(day / 8, 3 * day / 8);
+        let trough = quarter(5 * day / 8, 7 * day / 8);
+        assert!(
+            peak as f64 > trough as f64 * 2.0,
+            "peak {peak} must clearly outdraw trough {trough}"
+        );
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_per_seed() {
+        let a: Vec<Cycles> = DiurnalArrivals::new(300.0, 0.4, 500_000, 9)
+            .take(500)
+            .collect();
+        let b: Vec<Cycles> = DiurnalArrivals::new(300.0, 0.4, 500_000, 9)
+            .take(500)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_arrivals_storm_inside_the_window() {
+        // Calm gap 1000, burst gap 20: the burst window holds far more
+        // arrivals per cycle than the calm stretch.
+        let b = BurstArrivals::new(1_000.0, 20.0, 100_000, 20_000, 3);
+        assert!(!b.in_burst(50_000));
+        assert!(b.in_burst(110_000));
+        let times: Vec<Cycles> = BurstArrivals::new(1_000.0, 20.0, 100_000, 20_000, 3)
+            .take_while(|&t| t < 240_000)
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        let calm = times.iter().filter(|&&t| t < 100_000).count() as f64 / 100_000.0;
+        let storm = times
+            .iter()
+            .filter(|&&t| (100_000..120_000).contains(&t))
+            .count() as f64
+            / 20_000.0;
+        assert!(
+            storm > calm * 10.0,
+            "storm density {storm} must dwarf calm {calm}"
+        );
+    }
+
+    #[test]
+    fn burst_is_deterministic_per_seed() {
+        let a: Vec<Cycles> = BurstArrivals::new(500.0, 25.0, 10_000, 5_000, 77)
+            .take(400)
+            .collect();
+        let b: Vec<Cycles> = BurstArrivals::new(500.0, 25.0, 10_000, 5_000, 77)
+            .take(400)
+            .collect();
+        assert_eq!(a, b);
     }
 }

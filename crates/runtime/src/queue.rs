@@ -86,6 +86,7 @@ mod tests {
             write: false,
             payload: 16,
             client: None,
+            tenant: 0,
         }
     }
 

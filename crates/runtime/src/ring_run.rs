@@ -25,16 +25,28 @@
 //! batch-cut time — counted as `shed_deadline`, burning no service
 //! time, exactly like direct mode's start-time check; every completion
 //! and error lands in the [`SloHandle`] as it is reaped.
+//!
+//! Tenancy: arrivals pass the [`TenantFabric`] gate (rate limits,
+//! quarantine windows) before touching a ring, and once a lane is
+//! batching (occupancy at or past the budget) each tenant may hold at
+//! most its weight's share of that lane's submission slots — so a
+//! storming tenant cannot monopolize a batch; the slots it cannot take
+//! stay available to everyone else. With a single tenant the share is
+//! the whole ring and behavior is unchanged.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use sb_faultplane::FaultPoint;
 use sb_observe::{InstantKind, SpanKind};
 use sb_sim::Cycles;
-use sb_transport::{CallError, Request, RingTransport, Transport};
+use sb_transport::{CallError, Request, RingTransport, TenantId, Transport};
 
 use crate::{
-    dispatch::RuntimeConfig, load::RequestFactory, queue::AdmissionPolicy, stats::RunStats,
+    dispatch::RuntimeConfig,
+    load::RequestFactory,
+    queue::AdmissionPolicy,
+    stats::RunStats,
+    tenant::{Gate, TenantFabric, TenantRegistry},
 };
 
 /// Longest injected deadline-storm window, in cycles (mirrors the
@@ -51,6 +63,15 @@ pub struct RingRuntime<'a, T: Transport> {
     /// Latest submit stamp per lane — a doorbell never rings before the
     /// frames it would drain were submitted.
     last_submit: Vec<Cycles>,
+    /// The tenant gate/SLO machinery (its queues are unused here — the
+    /// submission ring is the queue).
+    fabric: TenantFabric,
+    /// Submission slots currently held, per (lane, tenant).
+    held: BTreeMap<(usize, TenantId), usize>,
+    /// Tenants seen so far; `total_weight` sums their registry weights
+    /// for the share computation.
+    seen: BTreeSet<TenantId>,
+    total_weight: u64,
 }
 
 impl<'a, T: Transport> RingRuntime<'a, T> {
@@ -62,13 +83,54 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
         assert!(ring.lanes() > 0);
         ring.attach_recorder(cfg.recorder.clone());
         let lanes = ring.lanes();
+        let registry = cfg
+            .tenants
+            .clone()
+            .unwrap_or_else(|| TenantRegistry::single(usize::MAX, cfg.policy));
         RingRuntime {
             ring,
             cfg,
             storms: Vec::new(),
             inflight: HashMap::new(),
             last_submit: vec![0; lanes],
+            fabric: TenantFabric::new(registry),
+            held: BTreeMap::new(),
+            seen: BTreeSet::new(),
+            total_weight: 0,
         }
+    }
+
+    /// The tenant fabric: per-tenant SLO health, quarantine state, and
+    /// the SLO-burn action log accumulated over this runtime's runs.
+    pub fn fabric(&self) -> &TenantFabric {
+        &self.fabric
+    }
+
+    fn note_tenant(&mut self, id: TenantId) {
+        if self.seen.insert(id) {
+            self.total_weight += self.fabric.registry().weight(id);
+        }
+    }
+
+    /// The submission slots one tenant may hold on one lane while that
+    /// lane is batching: its weight's share of the ring, at least one.
+    fn share(&self, id: TenantId) -> usize {
+        let capacity = self.ring.config().capacity as u64;
+        let w = self.fabric.registry().weight(id);
+        ((capacity * w) / self.total_weight.max(1)).max(1) as usize
+    }
+
+    fn held(&self, lane: usize, id: TenantId) -> usize {
+        self.held.get(&(lane, id)).copied().unwrap_or(0)
+    }
+
+    /// Whether a submit by `id` on `lane` would exceed its batch share.
+    /// Only binds once the lane is batching (occupancy at the budget) —
+    /// an uncontended ring is work-conserving and any tenant may fill
+    /// it.
+    fn over_share(&self, lane: usize, id: TenantId) -> bool {
+        self.ring.sq_len(lane) >= self.ring.config().batch_budget.max(1)
+            && self.held(lane, id) >= self.share(id)
     }
 
     fn maybe_storm(&mut self, t: Cycles) {
@@ -146,23 +208,32 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
                 debug_assert!(false, "completion for unknown corr {}", c.corr);
                 continue;
             };
+            if let Some(h) = self.held.get_mut(&(lane, req.tenant)) {
+                *h = h.saturating_sub(1);
+            }
             if c.expired {
                 stats.shed_deadline += 1;
+                stats.tenant_mut(req.tenant).shed_deadline += 1;
                 self.cfg
                     .recorder
                     .instant(lane, InstantKind::ShedDeadline, now, c.corr);
                 if let Some(slo) = &self.cfg.slo {
                     slo.error(now);
                 }
+                self.fabric.error(req.tenant, now);
                 continue;
             }
             match c.result {
                 Ok(_) => {
                     stats.completed += 1;
                     stats.latencies.push(now - req.arrival);
+                    let ts = stats.tenant_mut(req.tenant);
+                    ts.completed += 1;
+                    ts.latencies.push(now - req.arrival);
                     if let Some(slo) = &self.cfg.slo {
                         slo.complete(now, now - req.arrival);
                     }
+                    self.fabric.complete(req.tenant, now, now - req.arrival);
                 }
                 Err(ref e) => {
                     let retriable = self
@@ -195,12 +266,19 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
                         resubmit.push((req, attempts + 1));
                     } else {
                         match e {
-                            CallError::Timeout { .. } => stats.timed_out += 1,
-                            _ => stats.failed += 1,
+                            CallError::Timeout { .. } => {
+                                stats.timed_out += 1;
+                                stats.tenant_mut(req.tenant).timed_out += 1;
+                            }
+                            _ => {
+                                stats.failed += 1;
+                                stats.tenant_mut(req.tenant).failed += 1;
+                            }
                         }
                         if let Some(slo) = &self.cfg.slo {
                             slo.error(now);
                         }
+                        self.fabric.error(req.tenant, now);
                     }
                 }
             }
@@ -214,13 +292,18 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
             self.last_submit[lane] = self.last_submit[lane].max(t);
             match self.ring.submit_with_deadline(lane, &req, deadline) {
                 Ok(()) => {
+                    // Retries may briefly exceed a tenant's share; the
+                    // cap applies to fresh admissions only.
+                    *self.held.entry((lane, req.tenant)).or_insert(0) += 1;
                     self.inflight.insert(req.id, (req, attempts));
                 }
                 Err(_) => {
                     stats.failed += 1;
+                    stats.tenant_mut(req.tenant).failed += 1;
                     if let Some(slo) = &self.cfg.slo {
                         slo.error(t);
                     }
+                    self.fabric.error(req.tenant, t);
                 }
             }
         }
@@ -269,28 +352,58 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
             self.maybe_storm(t);
             self.drain_idle_until(t, &mut stats);
             let req = factory.make(t, None);
+            stats.tenant_mut(req.tenant).offered += 1;
+            self.note_tenant(req.tenant);
+            if self.fabric.gate(req.tenant, t) != Gate::Admit {
+                stats.shed_rate_limit += 1;
+                stats.tenant_mut(req.tenant).shed_rate_limit += 1;
+                self.cfg
+                    .recorder
+                    .instant(lanes, InstantKind::ShedRateLimit, t, req.id);
+                if let Some(slo) = &self.cfg.slo {
+                    slo.error(t);
+                }
+                self.fabric.error(req.tenant, t);
+                continue;
+            }
             let lane = self.pick_lane();
             let deadline = self.wire_deadline(t);
-            let mut slot = self.ring.submit_with_deadline(lane, &req, deadline);
+            // A tenant past its batch share is refused exactly like a
+            // full ring — the slots it cannot take stay open for others.
+            let mut slot = if self.over_share(lane, req.tenant) {
+                Err(())
+            } else {
+                self.ring
+                    .submit_with_deadline(lane, &req, deadline)
+                    .map_err(|_| ())
+            };
             if slot.is_err() {
-                match self.cfg.policy {
+                match self.fabric.policy(req.tenant) {
                     AdmissionPolicy::Shed => {
                         stats.shed_queue_full += 1;
+                        stats.tenant_mut(req.tenant).shed_queue_full += 1;
                         self.cfg
                             .recorder
                             .instant(lanes, InstantKind::ShedQueueFull, t, req.id);
                         if let Some(slo) = &self.cfg.slo {
                             slo.error(t);
                         }
+                        self.fabric.error(req.tenant, t);
                         continue;
                     }
                     AdmissionPolicy::Block => {
-                        // Pump the lane until a slot frees (retries are
+                        // Pump the lane until a slot frees and the
+                        // tenant is back inside its share (retries are
                         // bounded, so this terminates).
-                        while self.ring.sq_len(lane) >= self.ring.config().capacity {
+                        while self.ring.sq_len(lane) >= self.ring.config().capacity
+                            || self.over_share(lane, req.tenant)
+                        {
                             self.drain_lane(lane, &mut stats);
                         }
-                        slot = self.ring.submit_with_deadline(lane, &req, deadline);
+                        slot = self
+                            .ring
+                            .submit_with_deadline(lane, &req, deadline)
+                            .map_err(|_| ());
                     }
                 }
             }
@@ -300,6 +413,7 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
                         .recorder
                         .instant(lanes, InstantKind::QueueAdmit, t, req.id);
                     self.last_submit[lane] = self.last_submit[lane].max(t);
+                    *self.held.entry((lane, req.tenant)).or_insert(0) += 1;
                     self.inflight.insert(req.id, (req, 0));
                     stats.max_queue_depth = stats.max_queue_depth.max(self.ring.sq_len(lane));
                     // An *idle* lane whose ring just reached the budget
@@ -314,17 +428,18 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
                         self.drain_lane(lane, &mut stats);
                     }
                 }
-                Err(e) => {
+                Err(_) => {
                     // An oversized frame (or a zero-capacity ring): the
                     // request cannot ever be admitted.
-                    let _ = e;
                     stats.shed_queue_full += 1;
+                    stats.tenant_mut(req.tenant).shed_queue_full += 1;
                     self.cfg
                         .recorder
                         .instant(lanes, InstantKind::ShedQueueFull, t, req.id);
                     if let Some(slo) = &self.cfg.slo {
                         slo.error(t);
                     }
+                    self.fabric.error(req.tenant, t);
                 }
             }
         }
@@ -341,6 +456,10 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
         stats.start = first.unwrap_or(0);
         stats.end = (0..lanes).map(|l| self.ring.now(l)).max().unwrap_or(0);
         stats.bytes_copied = self.ring.bytes_copied() - copied_at_start;
+        if let Some(slo) = &self.cfg.slo {
+            slo.tick(stats.end);
+        }
+        self.fabric.tick(stats.end);
         stats.seal();
         stats
     }

@@ -355,6 +355,7 @@ mod tests {
             write,
             payload: 64,
             client: None,
+            tenant: 0,
         }
     }
 

@@ -1,7 +1,11 @@
-//! Run statistics: latency percentiles, throughput, shedding, utilization.
+//! Run statistics: latency percentiles, throughput, shedding, utilization,
+//! and the per-tenant breakdown.
+
+use std::collections::BTreeMap;
 
 use sb_observe::Log2Histogram;
 use sb_sim::Cycles;
+use sb_transport::TenantId;
 
 /// How many latency samples [`LatencyTrack`] keeps verbatim before
 /// percentiles switch to the bounded histogram.
@@ -86,6 +90,54 @@ impl From<Vec<Cycles>> for LatencyTrack {
     }
 }
 
+/// One tenant's slice of a run: the same outcome classes as the global
+/// counters, plus that tenant's own latency distribution. The invariant
+/// mirrors the global one — `offered` equals the sum of every outcome —
+/// and summing any field across tenants reproduces the global figure
+/// exactly (checked by [`RunStats::tenants_conserved`]).
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Arrivals billed to this tenant.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Arrivals rejected at a full queue.
+    pub shed_queue_full: u64,
+    /// Admitted requests dropped past the queue deadline.
+    pub shed_deadline: u64,
+    /// Arrivals refused by the tenant's token bucket or an active
+    /// quarantine window.
+    pub shed_rate_limit: u64,
+    /// Requests whose handler overran the per-call DoS budget.
+    pub timed_out: u64,
+    /// Requests that failed for any other reason.
+    pub failed: u64,
+    /// This tenant's completed-request latencies.
+    pub latencies: LatencyTrack,
+}
+
+impl TenantStats {
+    /// Requests shed for any reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline + self.shed_rate_limit
+    }
+
+    /// Whether this tenant's ledger balances.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.completed + self.shed() + self.timed_out + self.failed
+    }
+
+    /// The tenant's `p`-th latency percentile.
+    pub fn percentile(&self, p: f64) -> Cycles {
+        self.latencies.percentile(p)
+    }
+
+    /// 99th-percentile latency for this tenant.
+    pub fn p99(&self) -> Cycles {
+        self.percentile(99.0)
+    }
+}
+
 /// Everything one runtime run measured. Latencies are client-observed:
 /// service completion minus arrival, so queueing delay is included.
 #[derive(Debug, Clone)]
@@ -103,6 +155,9 @@ pub struct RunStats {
     /// Admitted requests dropped because they waited past the queue
     /// deadline before service started.
     pub shed_deadline: u64,
+    /// Arrivals refused by a tenant token bucket or quarantine window
+    /// before touching any queue.
+    pub shed_rate_limit: u64,
     /// Requests whose handler overran the per-call DoS budget.
     pub timed_out: u64,
     /// Requests that failed for any other reason.
@@ -127,6 +182,10 @@ pub struct RunStats {
     /// samples, bounded histogram beyond), sealed once by the
     /// dispatcher at end of run.
     pub latencies: LatencyTrack,
+    /// Per-tenant breakdown of the counters above (ordered, so reports
+    /// and tests iterate deterministically). Single-tenant runs carry
+    /// one entry for tenant 0.
+    pub tenants: BTreeMap<TenantId, TenantStats>,
 }
 
 impl RunStats {
@@ -139,6 +198,7 @@ impl RunStats {
             completed: 0,
             shed_queue_full: 0,
             shed_deadline: 0,
+            shed_rate_limit: 0,
             timed_out: 0,
             failed: 0,
             retries: 0,
@@ -149,18 +209,68 @@ impl RunStats {
             max_queue_depth: 0,
             busy: vec![0; workers],
             latencies: LatencyTrack::default(),
+            tenants: BTreeMap::new(),
         }
     }
 
-    /// Sorts latencies; the dispatcher calls this once at the end of a
-    /// run, before percentiles are read.
+    /// Sorts latencies (global and per-tenant); the dispatcher calls
+    /// this once at the end of a run, before percentiles are read.
     pub fn seal(&mut self) {
         self.latencies.seal();
+        for t in self.tenants.values_mut() {
+            t.latencies.seal();
+        }
     }
 
-    /// Requests shed for any reason (queue-full plus deadline).
+    /// Requests shed for any reason (queue-full, deadline, rate limit).
     pub fn shed(&self) -> u64 {
-        self.shed_queue_full + self.shed_deadline
+        self.shed_queue_full + self.shed_deadline + self.shed_rate_limit
+    }
+
+    /// The mutable per-tenant slice for `id`, created on first touch.
+    pub fn tenant_mut(&mut self, id: TenantId) -> &mut TenantStats {
+        self.tenants.entry(id).or_default()
+    }
+
+    /// The per-tenant slice for `id`, if that tenant appeared in the run.
+    pub fn tenant(&self, id: TenantId) -> Option<&TenantStats> {
+        self.tenants.get(&id)
+    }
+
+    /// Whether every tenant's ledger balances *and* the tenant slices
+    /// sum back to the global counters — the exactly-once conservation
+    /// check, per tenant.
+    pub fn tenants_conserved(&self) -> bool {
+        let mut sums = TenantStats::default();
+        for t in self.tenants.values() {
+            if !t.conserved() {
+                return false;
+            }
+            sums.offered += t.offered;
+            sums.completed += t.completed;
+            sums.shed_queue_full += t.shed_queue_full;
+            sums.shed_deadline += t.shed_deadline;
+            sums.shed_rate_limit += t.shed_rate_limit;
+            sums.timed_out += t.timed_out;
+            sums.failed += t.failed;
+        }
+        sums.offered == self.offered
+            && sums.completed == self.completed
+            && sums.shed_queue_full == self.shed_queue_full
+            && sums.shed_deadline == self.shed_deadline
+            && sums.shed_rate_limit == self.shed_rate_limit
+            && sums.timed_out == self.timed_out
+            && sums.failed == self.failed
+    }
+
+    /// The `k` tenants with the most offered traffic, busiest first
+    /// (ties broken by tenant id for determinism).
+    pub fn top_tenants(&self, k: usize) -> Vec<(TenantId, &TenantStats)> {
+        let mut v: Vec<(TenantId, &TenantStats)> =
+            self.tenants.iter().map(|(&id, t)| (id, t)).collect();
+        v.sort_by(|a, b| b.1.offered.cmp(&a.1.offered).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
     }
 
     /// The `p`-th latency percentile. `p` is clamped into `[0, 100]`
@@ -311,6 +421,34 @@ mod tests {
         assert_eq!(t.percentile(0.0), 10);
         assert_eq!(t.percentile(50.0), 20);
         assert_eq!(t.percentile(100.0), 30);
+    }
+
+    #[test]
+    fn tenant_breakdown_conserves_and_ranks() {
+        let mut s = RunStats::new("t", 1);
+        for (tenant, completed, shed_rl) in [(0u16, 5u64, 0u64), (7, 2, 3), (9, 1, 0)] {
+            let t = s.tenant_mut(tenant);
+            t.offered = completed + shed_rl;
+            t.completed = completed;
+            t.shed_rate_limit = shed_rl;
+            for i in 0..completed {
+                t.latencies.push(100 + i);
+            }
+            s.offered += completed + shed_rl;
+            s.completed += completed;
+            s.shed_rate_limit += shed_rl;
+        }
+        s.seal();
+        assert!(s.tenants_conserved());
+        assert_eq!(s.shed(), 3, "rate-limit sheds count as sheds");
+        let top = s.top_tenants(2);
+        assert_eq!(top[0].0, 0);
+        assert_eq!(top[1].0, 7);
+        assert_eq!(s.tenant(7).unwrap().shed(), 3);
+        assert!(s.tenant(1).is_none());
+        // Break one tenant's ledger: the check must catch it.
+        s.tenant_mut(9).failed += 1;
+        assert!(!s.tenants_conserved());
     }
 
     #[test]

@@ -304,6 +304,7 @@ mod tests {
             write,
             payload: 64,
             client: None,
+            tenant: 0,
         }
     }
 

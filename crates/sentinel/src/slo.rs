@@ -185,6 +185,22 @@ impl SloTracker {
         }
     }
 
+    /// Advances the tracker's clock to `t` without recording a sample
+    /// and re-evaluates the burn rule there.
+    ///
+    /// [`SloTracker::record`] only evaluates on bad records and bucket
+    /// boundaries — the good path stays two counter bumps — so a tenant
+    /// that goes idle right after a burst would otherwise keep a stale
+    /// burn rate (and a stuck breach episode) forever. The dispatcher
+    /// calls this at end of run, and periodic pollers may call it any
+    /// time; `t` earlier than the last recorded sample is clamped
+    /// (time never rewinds).
+    pub fn tick(&mut self, t: Cycles) {
+        self.last_t = self.last_t.max(t);
+        self.last_eval_slot = self.last_t / self.width;
+        self.evaluate(self.last_t);
+    }
+
     /// The burn rate over the trailing `window` at time `t`: the bad
     /// fraction divided by the error budget (1.0 = burning exactly the
     /// sustainable rate; 0.0 when the window holds no samples).
@@ -276,6 +292,11 @@ impl SloHandle {
     /// See [`SloTracker::error`].
     pub fn error(&self, t: Cycles) {
         self.0.borrow_mut().error(t);
+    }
+
+    /// See [`SloTracker::tick`].
+    pub fn tick(&self, t: Cycles) {
+        self.0.borrow_mut().tick(t);
     }
 
     /// See [`SloTracker::health`].
@@ -381,6 +402,48 @@ mod tests {
             }
         }
         assert_eq!(t.health().breaches, 3, "each burst is its own episode");
+    }
+
+    #[test]
+    fn tick_decays_a_stale_burn_after_idle_time() {
+        let mut t = SloTracker::new(spec());
+        // Warm, then a hard burst: the tracker enters a breach episode.
+        for i in 0..1_000u64 {
+            t.complete(i * 100, 100);
+        }
+        for i in 1_000..1_400u64 {
+            t.error(i * 100);
+        }
+        let h = t.health();
+        assert!(h.in_breach, "the burst must open an episode: {h:?}");
+        assert!(h.fast_burn > 1.0);
+        // Without tick, going idle leaves the burn stale forever: the
+        // reading is unchanged no matter how much time passes.
+        let stale = t.health();
+        assert_eq!(stale.fast_burn, h.fast_burn);
+        // Tick well past both windows: burn decays to zero and the
+        // episode closes — but the episode *count* is history and stays.
+        t.tick(1_400 * 100 + 10 * 100_000);
+        let fresh = t.health();
+        assert_eq!(fresh.fast_burn, 0.0, "windows slid past the burst");
+        assert_eq!(fresh.slow_burn, 0.0);
+        assert!(!fresh.in_breach, "tick must close the episode");
+        assert_eq!(fresh.breaches, h.breaches, "history is preserved");
+    }
+
+    #[test]
+    fn tick_never_rewinds_the_clock() {
+        let mut t = SloTracker::new(spec());
+        for i in 0..400u64 {
+            t.error(100_000 + i * 10);
+        }
+        let before = t.health();
+        assert!(before.in_breach);
+        // A tick dated before the last sample is clamped: nothing decays.
+        t.tick(0);
+        let after = t.health();
+        assert_eq!(after.fast_burn, before.fast_burn);
+        assert!(after.in_breach);
     }
 
     #[test]

@@ -145,6 +145,7 @@ mod tests {
             write: false,
             payload: 16,
             client: None,
+            tenant: 0,
         }
     }
 

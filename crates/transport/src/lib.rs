@@ -24,6 +24,6 @@ pub use transport::{
     verify_reply_corr, BatchComplete, CallError, FixedServiceTransport, Transport,
 };
 pub use wire::{
-    opcode, CopyMeter, Lane, RegImage, Request, WireHeader, OP_TAG_OFFSET, WIRE_HEADER_LEN,
-    WIRE_MIN,
+    opcode, CopyMeter, Lane, RegImage, Request, TenantId, WireHeader, OP_TAG_OFFSET,
+    WIRE_HEADER_LEN, WIRE_MIN,
 };

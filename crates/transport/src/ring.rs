@@ -218,6 +218,7 @@ impl<T: Transport> RingTransport<T> {
             corr: req.id,
             deadline,
             len: req.payload_len() as u32,
+            tenant: req.tenant,
         }
         .write_to(&mut frame[..WIRE_HEADER_LEN]);
         frame[WIRE_HEADER_LEN..WIRE_HEADER_LEN + 8].copy_from_slice(&req.key.to_le_bytes());
@@ -477,6 +478,7 @@ mod tests {
             write: id.is_multiple_of(2),
             payload,
             client: None,
+            tenant: 0,
         }
     }
 

@@ -318,6 +318,7 @@ mod tests {
             write,
             payload,
             client: None,
+            tenant: 0,
         }
     }
 

@@ -37,6 +37,12 @@ pub const WIRE_MIN: usize = 9;
 /// Payload offset of the 1-byte op tag (after the key).
 pub const OP_TAG_OFFSET: usize = 8;
 
+/// The tenant a request belongs to. Tenant 0 is the default tenant —
+/// single-tenant runs never set anything else, and a header whose
+/// (previously reserved) tenant bytes read zero parses as tenant 0, so
+/// old wire images stay valid.
+pub type TenantId = u16;
+
 /// One request flowing through a transport.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -53,6 +59,8 @@ pub struct Request {
     pub payload: usize,
     /// The closed-loop client that issued this request, if any.
     pub client: Option<usize>,
+    /// The tenant this request bills to (carried in the wire header).
+    pub tenant: TenantId,
 }
 
 impl Request {
@@ -117,6 +125,9 @@ pub struct WireHeader {
     pub deadline: Cycles,
     /// Payload bytes following the header.
     pub len: u32,
+    /// Billing tenant (bytes 2..4, previously reserved zeroes — tenant 0
+    /// keeps old images parseable). The layout stays 24 bytes.
+    pub tenant: TenantId,
 }
 
 impl WireHeader {
@@ -124,8 +135,7 @@ impl WireHeader {
     pub fn write_to(&self, out: &mut [u8]) {
         out[0] = self.opcode;
         out[1] = 1; // Wire layout version.
-        out[2] = 0;
-        out[3] = 0;
+        out[2..4].copy_from_slice(&self.tenant.to_le_bytes());
         out[4..8].copy_from_slice(&self.len.to_le_bytes());
         out[8..16].copy_from_slice(&self.corr.to_le_bytes());
         out[16..24].copy_from_slice(&self.deadline.to_le_bytes());
@@ -139,6 +149,7 @@ impl WireHeader {
         }
         Some(WireHeader {
             opcode: bytes[0],
+            tenant: u16::from_le_bytes(bytes[2..4].try_into().ok()?),
             len: u32::from_le_bytes(bytes[4..8].try_into().ok()?),
             corr: u64::from_le_bytes(bytes[8..16].try_into().ok()?),
             deadline: u64::from_le_bytes(bytes[16..24].try_into().ok()?),
@@ -197,6 +208,7 @@ impl Lane {
             corr: req.id,
             deadline,
             len: req.payload_len() as u32,
+            tenant: req.tenant,
         }
         .write_to(&mut self.buf[..WIRE_HEADER_LEN]);
         let payload = &mut self.buf[WIRE_HEADER_LEN..];
@@ -315,6 +327,7 @@ mod tests {
             write,
             payload,
             client: None,
+            tenant: 0,
         }
     }
 
@@ -339,11 +352,40 @@ mod tests {
             corr: 0xdead_beef,
             deadline: 123_456,
             len: 200,
+            tenant: 0x1f2e,
         };
         let mut img = [0u8; WIRE_HEADER_LEN];
         h.write_to(&mut img);
         assert_eq!(WireHeader::parse(&img), Some(h));
         assert_eq!(WireHeader::parse(&img[..10]), None);
+    }
+
+    #[test]
+    fn legacy_zeroed_tenant_bytes_parse_as_tenant_zero() {
+        // Pre-tenant images wrote zeroes into bytes 2..4; they must keep
+        // parsing, as the default tenant.
+        let h = WireHeader {
+            opcode: 0,
+            corr: 7,
+            deadline: 0,
+            len: 16,
+            tenant: 0,
+        };
+        let mut img = [0u8; WIRE_HEADER_LEN];
+        h.write_to(&mut img);
+        assert_eq!(img[2], 0);
+        assert_eq!(img[3], 0);
+        assert_eq!(WireHeader::parse(&img).unwrap().tenant, 0);
+    }
+
+    #[test]
+    fn lane_encode_carries_the_tenant_on_the_wire() {
+        let meter = CopyMeter::new();
+        let mut lane = Lane::new();
+        let mut r = req(3, 9, false, 32);
+        r.tenant = 4711;
+        lane.encode(&r, 0, &meter);
+        assert_eq!(WireHeader::parse(lane.wire()).unwrap().tenant, 4711);
     }
 
     #[test]

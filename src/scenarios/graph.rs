@@ -134,6 +134,7 @@ pub fn drive_one(
         write,
         payload,
         client: None,
+        tenant: 0,
     };
     t.call(0, &req).expect("graph call");
     t.reply(0).to_vec()

@@ -6,6 +6,7 @@ pub mod kv;
 pub mod runtime;
 pub mod sentinel;
 pub mod sqlite;
+pub mod tenant;
 
 /// Converts simulated cycles into seconds on the modeled 4 GHz part.
 pub fn cycles_to_seconds(cycles: u64) -> f64 {

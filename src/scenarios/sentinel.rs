@@ -148,6 +148,7 @@ pub fn trap_chain(
                 write: hop % 2 == 0,
                 payload: CHAIN_PAYLOAD,
                 client: None,
+                tenant: 0,
             };
             t.call(0, &req).expect("chain hop");
         }

@@ -40,6 +40,7 @@ fn req(id: u64, key: u64, write: bool, payload: usize) -> Request {
         write,
         payload,
         client: None,
+        tenant: 0,
     }
 }
 

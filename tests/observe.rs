@@ -20,6 +20,7 @@ fn req(id: u64, key: u64, write: bool) -> Request {
         write,
         payload: 64,
         client: None,
+        tenant: 0,
     }
 }
 

@@ -28,6 +28,7 @@ fn req(id: u64, payload: usize) -> Request {
         write: id.is_multiple_of(2),
         payload,
         client: None,
+        tenant: 0,
     }
 }
 

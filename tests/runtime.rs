@@ -93,6 +93,7 @@ fn shared_buffer_exhaustion_fails_cleanly() {
             write: w % 2 == 0,
             payload: 64,
             client: None,
+            tenant: 0,
         };
         e.call(w, &req).expect("existing connections unharmed");
     }
@@ -134,6 +135,7 @@ fn dos_timeout_budget_counts_as_timed_out() {
         write: false,
         payload: 64,
         client: None,
+        tenant: 0,
     };
     match e.call(0, &req) {
         Err(CallError::Timeout { elapsed }) => assert!(elapsed > 1),
