@@ -1,5 +1,5 @@
 //! Serving-graph macro-benchmark: YCSB-A/B/C through the client →
-//! gateway → cache → db → fs graph on all four IPC personalities, plus
+//! gateway → cache → db → fs graph on all five IPC personalities, plus
 //! the replay and power-loss drills the commit log buys.
 //!
 //! Four sections, all landing in `results/graph.json`:

@@ -1,12 +1,20 @@
 //! Serving-runtime scaling sweep: threads × offered load × IPC transport.
 //!
-//! For each of the four transports (seL4, Fiasco.OC, Zircon kernel IPC,
-//! and SkyBridge direct server calls) and each worker-thread count
-//! (1/2/4/8 simulated cores), the sweep calibrates the transport's base
-//! service time, then offers open-loop Poisson load at multiples of the
-//! theoretical capacity (ρ = offered / capacity) and records throughput,
-//! p50/p95/p99 latency, shed counts, and per-core utilization. Results go
-//! to `results/runtime_scaling.json`.
+//! For each of the five transports (seL4, Fiasco.OC, Zircon kernel IPC,
+//! SkyBridge direct server calls, and MPK protection-key crossings) and
+//! each worker-thread count (1/2/4/8 simulated cores), the sweep
+//! calibrates the transport's base service time, then offers open-loop
+//! Poisson load at multiples of the theoretical capacity
+//! (ρ = offered / capacity) and records throughput, p50/p95/p99 latency,
+//! shed counts, and per-core utilization. Results go to
+//! `results/runtime_scaling.json`.
+//!
+//! A CI-enforced **five-way gate** closes the sweep: every personality's
+//! traced phase self-times must decompose its end-to-end cycles (within
+//! 5%), the trap kernels' calibrated service time must exceed
+//! SkyBridge's, and MPK's must undercut it — two WRPKRU flips
+//! (2 × 28 cycles) against a VMFUNC round trip (2 × 134). A breach
+//! prints `FAIL:` lines and exits nonzero.
 //!
 //! Defaults simulate ~1.04M requests (80 cells × 13,000); `SB_REQUESTS`
 //! scales the per-cell count.
@@ -21,7 +29,7 @@ use sb_bench::{
     knob, print_table,
     report::{run_stats_json, write_json, write_raw, Json},
 };
-use sb_observe::{chrome_trace, Recorder};
+use sb_observe::{attribute, chrome_trace, Recorder, SpanKind};
 use sb_runtime::{AdmissionPolicy, RequestFactory, RuntimeConfig, Transport};
 use skybridge_repro::scenarios::runtime::{
     build_backend, ops_per_sec, run_open_loop, Backend, ServingScenario,
@@ -99,6 +107,99 @@ fn dump_trace(which: &str, requests: u64, capacity: usize) {
     }
 }
 
+/// Tolerance on the per-personality phase-decomposition identity.
+const PHASE_TOLERANCE: f64 = 0.05;
+
+/// The five-way gate: every personality's traced phases must decompose
+/// its end-to-end cycles, and the calibrated service times must order
+/// the way the crossing costs say they should — each trap kernel above
+/// SkyBridge, and MPK below it (two WRPKRU flips against a VMFUNC round
+/// trip). `svcs` carries the (label, service cycles) pairs the sweep
+/// calibrated; breaches land in `failures`.
+fn five_way_gate(svcs: &[(String, f64)], failures: &mut Vec<String>) -> Json {
+    let mut rows = Vec::new();
+    for backend in Backend::all() {
+        let recorder = Recorder::new(1 << 14);
+        let mut t = build_backend(ServingScenario::Kv, &backend, 1);
+        let mut f = RequestFactory::new(
+            ServingScenario::Kv.workload(),
+            ServingScenario::Kv.payload(),
+        );
+        for _ in 0..64 {
+            let r = f.make(t.now(0), None);
+            t.call(0, &r).expect("warm call");
+        }
+        t.attach_recorder(recorder.clone());
+        for _ in 0..256 {
+            let r = f.make(t.now(0), None);
+            t.call(0, &r).expect("traced call");
+        }
+        let by_lane: Vec<_> = (0..recorder.lane_count())
+            .map(|l| recorder.events(l))
+            .collect();
+        let prof = attribute(&by_lane);
+        let ratio = if prof.end_to_end == 0 {
+            0.0
+        } else {
+            prof.in_call_total() as f64 / prof.end_to_end as f64
+        };
+        if (ratio - 1.0).abs() > PHASE_TOLERANCE {
+            failures.push(format!(
+                "{}: phase self-times cover {:.1}% of end-to-end cycles",
+                backend.label(),
+                ratio * 100.0
+            ));
+        }
+        let mut phases = Vec::new();
+        for kind in SpanKind::ALL {
+            if prof.get(kind) > 0 {
+                phases.push(
+                    Json::obj()
+                        .field("phase", kind.name())
+                        .field("cycles_per_call", prof.per_call(kind)),
+                );
+            }
+        }
+        let svc = svcs
+            .iter()
+            .find(|(l, _)| l == backend.label())
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0);
+        rows.push(
+            Json::obj()
+                .field("transport", backend.label())
+                .field("service_cycles", svc)
+                .field("phase_sum_over_end_to_end", ratio)
+                .field("breakdown", Json::Arr(phases)),
+        );
+    }
+
+    let svc_of = |label: &str| svcs.iter().find(|(l, _)| l == label).map(|&(_, s)| s);
+    match (svc_of("skybridge"), svc_of("mpk")) {
+        (Some(sky), Some(mpk)) => {
+            if mpk >= sky {
+                failures.push(format!(
+                    "mpk: {mpk:.0} service cycles/call must undercut skybridge's {sky:.0} — \
+                     two WRPKRU flips against a VMFUNC round trip"
+                ));
+            }
+            for (label, svc) in svcs {
+                if label != "skybridge" && label != "mpk" && *svc <= sky {
+                    failures.push(format!(
+                        "{label}: trap IPC at {svc:.0} cycles/call must cost more than \
+                         skybridge's {sky:.0}"
+                    ));
+                }
+            }
+        }
+        _ => failures.push("five-way gate: skybridge or mpk missing from the sweep".to_string()),
+    }
+
+    Json::obj()
+        .field("phase_tolerance", PHASE_TOLERANCE)
+        .field("rows", Json::Arr(rows))
+}
+
 fn main() {
     let requests = knob("SB_REQUESTS", 13_000) as u64;
     let capacity = knob("SB_QUEUE_CAPACITY", 64);
@@ -113,10 +214,12 @@ fn main() {
     );
 
     let mut json_rows: Vec<Json> = Vec::new();
+    let mut svcs: Vec<(String, f64)> = Vec::new();
     for (ti, transport) in Backend::all().iter().enumerate() {
         let mut cal_transport = build_backend(scenario, transport, 1);
         let mut cal_factory = RequestFactory::new(scenario.workload(), scenario.payload());
         let svc = calibrate(cal_transport.as_mut(), &mut cal_factory);
+        svcs.push((transport.label().to_string(), svc));
         let mut rows = Vec::new();
         for (wi, &workers) in threads.iter().enumerate() {
             let mut row = vec![format!("{} threads", workers)];
@@ -162,12 +265,26 @@ fn main() {
         );
     }
 
+    let mut failures: Vec<String> = Vec::new();
+    let five_way = five_way_gate(&svcs, &mut failures);
+    let mut order = svcs.clone();
+    order.sort_by(|a, b| a.1.total_cmp(&b.1));
+    print_table(
+        "five-way crossing comparison (calibrated service cycles/call, cheapest first)",
+        &["transport", "service cycles"],
+        &order
+            .iter()
+            .map(|(l, s)| vec![l.clone(), format!("{s:.0}")])
+            .collect::<Vec<_>>(),
+    );
+
     let doc = Json::obj()
         .field("bench", "runtime_scaling")
         .field("scenario", "kv")
         .field("workload", "ycsb-a")
         .field("requests_per_cell", requests)
         .field("queue_capacity", capacity)
+        .field("five_way", five_way)
         .field("rows", Json::Arr(json_rows));
     match write_json("runtime_scaling", &doc) {
         Ok(path) => println!("\nwrote {}", path.display()),
@@ -175,11 +292,23 @@ fn main() {
     }
     println!(
         "\nShape to check: at every thread count SkyBridge's zero-shed\n\
-         offered load sits above each trap-based kernel's, and p99 blows\n\
-         up past rho = 1.0 while the Shed policy bounds queue depth."
+         offered load sits above each trap-based kernel's with MPK's above\n\
+         both, and p99 blows up past rho = 1.0 while the Shed policy\n\
+         bounds queue depth."
     );
 
     if let Ok(which) = std::env::var("SB_TRACE") {
         dump_trace(&which, requests, capacity);
     }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "five-way gate holds: phases decompose on every personality; \
+         traps > skybridge > mpk per crossing"
+    );
 }

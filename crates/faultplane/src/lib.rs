@@ -58,11 +58,17 @@ pub enum FaultPoint {
     /// effective queue deadline collapses and everything queued goes
     /// stale.
     DeadlineStorm,
+    /// `transport`/mpk: the armed PKRU value for a lane goes stale (a
+    /// "forgot to restore PKRU" bug), so the next domain switch leaves
+    /// the handler without rights to its own records — the MPK analogue
+    /// of [`FaultPoint::EptpEvict`]. Only the MPK personality can
+    /// misbehave here; the others rescind.
+    PkruStale,
 }
 
 impl FaultPoint {
     /// Every injectable point, in a fixed order (report rows).
-    pub const ALL: [FaultPoint; 10] = [
+    pub const ALL: [FaultPoint; 11] = [
         FaultPoint::BlockReadError,
         FaultPoint::BlockWriteError,
         FaultPoint::TornWrite,
@@ -73,6 +79,7 @@ impl FaultPoint {
         FaultPoint::BufferExhaust,
         FaultPoint::KeyCorrupt,
         FaultPoint::DeadlineStorm,
+        FaultPoint::PkruStale,
     ];
 
     /// Stable display name (report keys).
@@ -88,6 +95,7 @@ impl FaultPoint {
             FaultPoint::BufferExhaust => "buffer_exhaust",
             FaultPoint::KeyCorrupt => "key_corrupt",
             FaultPoint::DeadlineStorm => "deadline_storm",
+            FaultPoint::PkruStale => "pkru_stale",
         }
     }
 
@@ -158,6 +166,7 @@ impl FaultMix {
             .with(FaultPoint::KeyCorrupt, 300)
             .with(FaultPoint::EptpEvict, 400)
             .with(FaultPoint::BufferExhaust, 100)
+            .with(FaultPoint::PkruStale, 400)
     }
 
     /// Power-loss drills: mid-request power cuts (with the occasional
@@ -194,6 +203,7 @@ impl FaultMix {
             .with(FaultPoint::BufferExhaust, 60)
             .with(FaultPoint::KeyCorrupt, 150)
             .with(FaultPoint::DeadlineStorm, 80)
+            .with(FaultPoint::PkruStale, 150)
     }
 }
 

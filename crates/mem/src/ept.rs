@@ -23,6 +23,14 @@ const EPT_WRITE: u64 = 1 << 1;
 const EPT_EXEC: u64 = 1 << 2;
 const EPT_LEAF: u64 = 1 << 7;
 const ADDR_MASK: u64 = 0x000f_ffff_ffff_f000;
+/// Domain-key nibble stashed in leaf entries, mirroring the guest PTE's
+/// pkey position (bits 62:59). Hardware EPT entries have *no* protection
+/// keys — PKRU guards guest-virtual mappings only — so these bits are
+/// architecturally ignored here. The Rootkernel uses the stash purely as
+/// an audit tag: which protection domain a frame was handed to. The MPK
+/// enforcement teeth live in the guest-PTE walk ([`crate::walk`]).
+const EPT_KEY_SHIFT: u64 = 59;
+const EPT_KEY_MASK: u64 = 0xf << EPT_KEY_SHIFT;
 
 /// Access permissions of an EPT mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +126,9 @@ pub struct EptTranslation {
     pub entry_addrs: [Hpa; 4],
     /// Permissions of the leaf mapping.
     pub perms: EptPerms,
+    /// Domain-key tag of the leaf (0 unless mapped via
+    /// [`Ept::map_keyed`]). Informational: EPT hardware ignores it.
+    pub key: u8,
 }
 
 /// One extended page table, identified by its root frame.
@@ -146,6 +157,27 @@ impl Ept {
     /// is blocked by an existing larger leaf (splitting happens only on
     /// the shallow-copy path, [`Ept::shallow_copy_with_remap`]).
     pub fn map(&self, mem: &mut HostMem, gpa: Gpa, hpa: Hpa, size: PageSize, perms: EptPerms) {
+        self.map_keyed(mem, gpa, hpa, size, perms, 0);
+    }
+
+    /// [`Ept::map`] with a 4-bit domain-key tag stashed in the leaf's
+    /// ignored bits 62:59 (the guest-PTE pkey position). The tag is
+    /// surfaced by [`Ept::translate`] for audit; it grants or denies
+    /// nothing at this level.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misalignment (as [`Ept::map`]) or a key ≥ 16.
+    pub fn map_keyed(
+        &self,
+        mem: &mut HostMem,
+        gpa: Gpa,
+        hpa: Hpa,
+        size: PageSize,
+        perms: EptPerms,
+        key: u8,
+    ) {
+        assert!(key < 16, "domain keys are 4 bits");
         assert_eq!(gpa.0 % size.bytes(), 0, "gpa misaligned for {size:?}");
         assert_eq!(hpa.0 % size.bytes(), 0, "hpa misaligned for {size:?}");
         let idx = ept_indices(gpa);
@@ -172,7 +204,8 @@ impl Ept {
         }
         let entry_addr = table.add(idx[(4 - level) as usize] as u64 * 8);
         let leaf_bit = if level > 1 { EPT_LEAF } else { 0 };
-        mem.write_u64(entry_addr, hpa.0 | perms.bits() | leaf_bit);
+        let key_bits = (key as u64) << EPT_KEY_SHIFT;
+        mem.write_u64(entry_addr, hpa.0 | perms.bits() | leaf_bit | key_bits);
     }
 
     /// Identity-maps `[start, end)` (GPA = HPA) at the given granularity.
@@ -226,6 +259,7 @@ impl Ept {
                     entries_read: 5 - level,
                     entry_addrs,
                     perms: EptPerms::from_bits(entry),
+                    key: ((entry & EPT_KEY_MASK) >> EPT_KEY_SHIFT) as u8,
                 });
             }
             table = Hpa(entry & ADDR_MASK);
@@ -274,7 +308,7 @@ impl Ept {
                 };
                 let frame = mem.alloc_reserved_frame();
                 pages_written += 1;
-                let perms = entry & (EPT_READ | EPT_WRITE | EPT_EXEC);
+                let perms = entry & (EPT_READ | EPT_WRITE | EPT_EXEC | EPT_KEY_MASK);
                 let leaf_base = entry & ADDR_MASK;
                 let child_leaf_bit = if child_granule > PAGE_SIZE {
                     EPT_LEAF
@@ -413,6 +447,33 @@ mod tests {
         assert_eq!(t.hpa, Hpa(0x4_0042));
         assert_eq!(t.entries_read, 4);
         assert!(!t.perms.exec);
+    }
+
+    #[test]
+    fn domain_key_tag_survives_mapping_and_grants_nothing() {
+        let mut mem = HostMem::new();
+        let ept = Ept::new(&mut mem);
+        ept.map_keyed(
+            &mut mem,
+            Gpa(0x8000),
+            Hpa(0x4_0000),
+            PageSize::Size4K,
+            EptPerms::RW,
+            0xd,
+        );
+        let t = ept.translate(&mem, Gpa(0x8042)).unwrap();
+        assert_eq!(t.key, 0xd, "audit tag rides the ignored bits 62:59");
+        assert_eq!(t.hpa, Hpa(0x4_0042), "tag does not perturb the address");
+        assert_eq!(t.perms, EptPerms::RW, "tag does not perturb permissions");
+        // Untagged mappings read back key 0.
+        ept.map(
+            &mut mem,
+            Gpa(0x9000),
+            Hpa(0x5_0000),
+            PageSize::Size4K,
+            EptPerms::RWX,
+        );
+        assert_eq!(ept.translate(&mem, Gpa(0x9000)).unwrap().key, 0);
     }
 
     #[test]

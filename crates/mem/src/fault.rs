@@ -34,6 +34,18 @@ pub enum MemFault {
         /// Faulting guest-physical address.
         gpa: Gpa,
     },
+    /// The leaf permits the access but the core's PKRU denies the
+    /// mapping's protection key (a `PK`-bit page fault on hardware).
+    /// This is the teeth of the MPK personality's isolation story: a
+    /// handler that strays outside its pkey-permitted set faults here.
+    PkeyDenied {
+        /// Faulting virtual address.
+        gva: Gva,
+        /// Protection key of the mapping that was denied.
+        key: u8,
+        /// True if the denied access was a write.
+        write: bool,
+    },
 }
 
 impl std::fmt::Display for MemFault {
@@ -54,6 +66,9 @@ impl std::fmt::Display for MemFault {
             ),
             MemFault::EptViolation { gpa } => {
                 write!(f, "EPT violation at {gpa:?}")
+            }
+            MemFault::PkeyDenied { gva, key, write } => {
+                write!(f, "pkey {key} denied at {gva:?} (write={write})")
             }
         }
     }

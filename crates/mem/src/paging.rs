@@ -18,6 +18,10 @@ const PTE_WRITE: u64 = 1 << 1;
 const PTE_USER: u64 = 1 << 2;
 const PTE_NX: u64 = 1 << 63;
 const PTE_ADDR_MASK: u64 = 0x000f_ffff_ffff_f000;
+/// The protection key occupies PTE bits 62:59, exactly as on x86-64
+/// with PKU enabled.
+const PTE_PKEY_SHIFT: u64 = 59;
+const PTE_PKEY_MASK: u64 = 0xf << PTE_PKEY_SHIFT;
 
 /// Leaf permissions of a guest mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +32,13 @@ pub struct PteFlags {
     pub user: bool,
     /// Instruction fetch allowed (`false` sets the NX bit).
     pub exec: bool,
+    /// 4-bit memory protection key (PTE bits 62:59). Key 0 is the
+    /// conventional "shared" key every PKRU value leaves accessible in
+    /// this codebase, so pkey-oblivious mappings behave exactly as
+    /// before. Checked against the core's PKRU on user data accesses by
+    /// [`crate::walk::translate`]; instruction fetches are exempt, as on
+    /// hardware.
+    pub pkey: u8,
 }
 
 impl PteFlags {
@@ -36,35 +47,60 @@ impl PteFlags {
         write: true,
         user: true,
         exec: false,
+        pkey: 0,
     };
     /// User read-only data.
     pub const USER_RO: PteFlags = PteFlags {
         write: false,
         user: true,
         exec: false,
+        pkey: 0,
     };
     /// User executable code (W^X: not writable).
     pub const USER_CODE: PteFlags = PteFlags {
         write: false,
         user: true,
         exec: true,
+        pkey: 0,
     };
     /// Kernel read/write data.
     pub const KERNEL_DATA: PteFlags = PteFlags {
         write: true,
         user: false,
         exec: false,
+        pkey: 0,
     };
     /// Kernel executable code.
     pub const KERNEL_CODE: PteFlags = PteFlags {
         write: false,
         user: false,
         exec: true,
+        pkey: 0,
     };
 
-    /// Packs the flags into the TLB's one-byte permission meta.
+    /// The same permissions tagged with protection key `pkey` (low 4
+    /// bits; higher bits would not fit the PTE field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pkey` exceeds 15.
+    pub const fn with_pkey(self, pkey: u8) -> PteFlags {
+        assert!(pkey < 16, "protection keys are 4 bits");
+        PteFlags {
+            write: self.write,
+            user: self.user,
+            exec: self.exec,
+            pkey,
+        }
+    }
+
+    /// Packs the flags into the TLB's one-byte permission meta (3
+    /// permission bits, then the 4-bit pkey).
     pub fn to_meta(self) -> u8 {
-        (self.write as u8) | (self.user as u8) << 1 | (self.exec as u8) << 2
+        (self.write as u8)
+            | (self.user as u8) << 1
+            | (self.exec as u8) << 2
+            | (self.pkey & 0xf) << 3
     }
 
     /// Unpacks [`PteFlags::to_meta`].
@@ -73,6 +109,7 @@ impl PteFlags {
             write: meta & 1 != 0,
             user: meta & 2 != 0,
             exec: meta & 4 != 0,
+            pkey: meta >> 3 & 0xf,
         }
     }
 
@@ -80,6 +117,7 @@ impl PteFlags {
         PTE_PRESENT
             | ((self.write as u64) * PTE_WRITE)
             | ((self.user as u64) * PTE_USER)
+            | ((self.pkey as u64 & 0xf) << PTE_PKEY_SHIFT)
             | if self.exec { 0 } else { PTE_NX }
     }
 
@@ -88,6 +126,7 @@ impl PteFlags {
             write: bits & PTE_WRITE != 0,
             user: bits & PTE_USER != 0,
             exec: bits & PTE_NX == 0,
+            pkey: ((bits & PTE_PKEY_MASK) >> PTE_PKEY_SHIFT) as u8,
         }
     }
 }
@@ -289,9 +328,29 @@ mod tests {
 
     #[test]
     fn meta_roundtrip() {
-        for meta in 0..8u8 {
+        // 3 permission bits + 4 pkey bits = 7 meta bits.
+        for meta in 0..128u8 {
             assert_eq!(PteFlags::from_meta(meta).to_meta(), meta);
         }
+    }
+
+    #[test]
+    fn pkey_rides_pte_bits_59_to_62() {
+        let mut mem = HostMem::new();
+        let asp = AddressSpace::new(&mut mem, 1);
+        let gpa = asp.alloc_and_map(&mut mem, Gva(0xa000), 1, PteFlags::USER_DATA.with_pkey(0xb));
+        let (gpa2, flags) = asp.translate_setup(&mem, Gva(0xa123)).unwrap();
+        assert_eq!(
+            gpa2,
+            Gpa(gpa.0 + 0x123),
+            "the key must not disturb the address"
+        );
+        assert_eq!(flags.pkey, 0xb);
+        assert!(flags.write && flags.user && !flags.exec);
+        // protect() preserves an explicit retag and key 0 stays default.
+        asp.protect(&mut mem, Gva(0xa000), PteFlags::USER_RO.with_pkey(3));
+        assert_eq!(asp.translate_setup(&mem, Gva(0xa000)).unwrap().1.pkey, 3);
+        assert_eq!(PteFlags::USER_DATA.pkey, 0);
     }
 
     #[test]

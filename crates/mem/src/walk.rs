@@ -67,6 +67,32 @@ impl Access {
     }
 }
 
+/// The protection-key check, applied after ordinary permissions pass:
+/// data accesses to user-mode pages are checked against the core's live
+/// PKRU; instruction fetches and supervisor-only mappings are exempt, as
+/// on hardware. The reset PKRU (0) permits every key, so pkey-oblivious
+/// paths never fault here.
+fn pkey_check(
+    m: &Machine,
+    core: CpuId,
+    flags: PteFlags,
+    access: Access,
+    gva: Gva,
+) -> Result<(), MemFault> {
+    if access == Access::Fetch || !flags.user {
+        return Ok(());
+    }
+    let write = access == Access::Write;
+    if m.cpu(core).pkey_denies(flags.pkey, write) {
+        return Err(MemFault::PkeyDenied {
+            gva,
+            key: flags.pkey,
+            write,
+        });
+    }
+    Ok(())
+}
+
 /// Translates one GPA through the core's active EPT, charging the entry
 /// reads. Identity (free) when no EPT is active.
 fn ept_resolve(
@@ -125,6 +151,10 @@ pub fn translate(
         Some((ppn, meta)) => {
             let flags = PteFlags::from_meta(meta);
             if access.allowed_by(flags, user) {
+                // The cached meta carries the mapping's pkey, so a PKRU
+                // flip changes what a *hit* permits — no re-walk needed,
+                // which is exactly why WRPKRU domain switches are cheap.
+                pkey_check(m, core, flags, access, gva)?;
                 return Ok(Hpa(ppn << 12 | gva.page_offset()));
             }
             // Insufficient cached permissions: hardware re-walks; the walk
@@ -162,6 +192,7 @@ pub fn translate(
             if !access.allowed_by(flags, user) {
                 return Err(access.protection_fault(gva, user));
             }
+            pkey_check(m, core, flags, access, gva)?;
             let frame_hpa = ept_resolve(m, core, mem, addr, access == Access::Write, is_fetch)?;
             let cpu = m.cpu_mut(core);
             cpu.pmu.page_walks += 1;
@@ -454,6 +485,82 @@ mod tests {
         activate(&mut e.m, &asp);
         let err = fetch_code(&mut e.m, 0, &e.mem, Gva(0x6000), 64, true).unwrap_err();
         assert!(matches!(err, MemFault::Protection { exec: true, .. }));
+    }
+
+    #[test]
+    fn pkey_denied_access_faults() {
+        let mut e = env();
+        let asp = AddressSpace::new(&mut e.mem, 1);
+        asp.alloc_and_map(&mut e.mem, Gva(0x6000), 1, PteFlags::USER_DATA.with_pkey(5));
+        activate(&mut e.m, &asp);
+        // Reset PKRU (0) permits every key.
+        write_u64(&mut e.m, 0, &mut e.mem, Gva(0x6000), 9, true).unwrap();
+        // Access-disable bit for key 5: both read and write fault.
+        e.m.cpu_mut(0).write_pkru(1 << 10);
+        let err = read_u64(&mut e.m, 0, &e.mem, Gva(0x6000), true).unwrap_err();
+        assert_eq!(
+            err,
+            MemFault::PkeyDenied {
+                gva: Gva(0x6000),
+                key: 5,
+                write: false
+            }
+        );
+        // Write-disable only: reads pass, writes fault.
+        e.m.cpu_mut(0).write_pkru(1 << 11);
+        assert_eq!(read_u64(&mut e.m, 0, &e.mem, Gva(0x6000), true).unwrap(), 9);
+        let err = write_u64(&mut e.m, 0, &mut e.mem, Gva(0x6000), 1, true).unwrap_err();
+        assert!(matches!(
+            err,
+            MemFault::PkeyDenied {
+                key: 5,
+                write: true,
+                ..
+            }
+        ));
+        // A differently-keyed page is untouched by key 5's rights.
+        asp.alloc_and_map(&mut e.mem, Gva(0x7000), 1, PteFlags::USER_DATA.with_pkey(3));
+        write_u64(&mut e.m, 0, &mut e.mem, Gva(0x7000), 2, true).unwrap();
+    }
+
+    #[test]
+    fn pkey_exempts_fetches_and_supervisor_mappings() {
+        let mut e = env();
+        let asp = AddressSpace::new(&mut e.mem, 1);
+        asp.alloc_and_map(&mut e.mem, Gva(0x6000), 1, PteFlags::USER_CODE.with_pkey(5));
+        asp.alloc_and_map(
+            &mut e.mem,
+            Gva(0x7000),
+            1,
+            PteFlags::KERNEL_DATA.with_pkey(5),
+        );
+        activate(&mut e.m, &asp);
+        // Deny key 5 entirely: instruction fetches are still exempt
+        // (PKRU guards data accesses only, as on hardware)...
+        e.m.cpu_mut(0).write_pkru(0b11 << 10);
+        fetch_code(&mut e.m, 0, &e.mem, Gva(0x6000), 64, true).unwrap();
+        // ...and so are supervisor-only mappings.
+        read_u64(&mut e.m, 0, &e.mem, Gva(0x7000), false).unwrap();
+    }
+
+    /// The property WRPPKRU domain switching leans on: flipping PKRU
+    /// changes what a *cached* translation permits, because the pkey
+    /// rides the TLB meta and is re-checked against the live register on
+    /// every hit — no CR3 write, no shootdown, no re-walk.
+    #[test]
+    fn tlb_cached_pkey_still_enforced_after_pkru_flip() {
+        let mut e = env();
+        let asp = AddressSpace::new(&mut e.mem, 1);
+        asp.alloc_and_map(&mut e.mem, Gva(0x6000), 1, PteFlags::USER_DATA.with_pkey(7));
+        activate(&mut e.m, &asp);
+        // Warm the TLB while the key is permitted.
+        write_u64(&mut e.m, 0, &mut e.mem, Gva(0x6000), 1, true).unwrap();
+        e.m.cpu_mut(0).write_pkru(1 << 14);
+        let before = e.m.cpu(0).pmu;
+        let err = read_u64(&mut e.m, 0, &e.mem, Gva(0x6000), true).unwrap_err();
+        assert!(matches!(err, MemFault::PkeyDenied { key: 7, .. }));
+        let d = e.m.cpu(0).pmu.delta(&before);
+        assert_eq!(d.page_walks, 0, "denied on the TLB-hit path, not a re-walk");
     }
 
     #[test]

@@ -13,10 +13,11 @@ use sb_mem::{
 use sb_sim::Machine;
 
 fn arb_flags() -> impl Strategy<Value = PteFlags> {
-    (any::<bool>(), any::<bool>()).prop_map(|(write, exec)| PteFlags {
+    (any::<bool>(), any::<bool>(), 0u8..16).prop_map(|(write, exec, pkey)| PteFlags {
         write,
         user: true,
         exec,
+        pkey,
     })
 }
 

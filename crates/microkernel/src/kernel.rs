@@ -198,6 +198,31 @@ impl Kernel {
         asp.alloc_and_map(&mut self.mem, at, pages, PteFlags::USER_DATA);
     }
 
+    /// [`Kernel::map_heap`] with the pages tagged by a 4-bit protection
+    /// key, so a PKRU value can later grant or deny the region as a unit
+    /// — the MPK personality's way of carving domains out of a single
+    /// address space.
+    pub fn map_heap_keyed(&mut self, pid: ProcessId, at: Gva, pages: usize, pkey: u8) {
+        let asp = self.processes[pid].asp;
+        asp.alloc_and_map(
+            &mut self.mem,
+            at,
+            pages,
+            PteFlags::USER_DATA.with_pkey(pkey),
+        );
+    }
+
+    /// Executes `WRPKRU` on `core`: loads `pkru` into the core's rights
+    /// register and charges the instruction's cost. This is a *user-mode*
+    /// instruction — no mode switch, no CR3 write, no TLB shootdown —
+    /// which is the entire reason the MPK crossing is cheap.
+    pub fn wrpkru(&mut self, core: CpuId, pkru: u32) {
+        let cost = self.machine.cost.wrpkru;
+        let cpu = self.machine.cpu_mut(core);
+        cpu.write_pkru(pkru);
+        cpu.advance(cost);
+    }
+
     /// Creates a thread in `pid` pinned to `core`.
     pub fn create_thread(&mut self, pid: ProcessId, core: CpuId) -> ThreadId {
         let tid = self.threads.len();
@@ -379,12 +404,21 @@ impl Kernel {
         cpu.advance(cost.mode_switch());
         let mut kpti_cycles = 0;
         if self.kpti {
-            // Entry: switch to the kernel page table. The matching exit
-            // write happens when the kernel switches to the target process
+            // Entry: switch to the kernel-half page table. KPTI keeps two
+            // tables per process — the trimmed user half, and a kernel
+            // half that maps the kernel *plus* the process's user pages
+            // (the kernel must still reach message buffers to copy them).
+            // We model the kernel half as the process's own root under
+            // the kernel PCID 0, so TLB entries filled in kernel mode are
+            // tagged apart from user-mode ones. The matching exit write
+            // happens when the kernel switches to the target process
             // (`switch_address_space`) or restores the caller
             // (`kernel_exit`) — "an IPC usually involves two address space
             // switches" (§2.1.1).
-            let kernel_cr3 = self.kernel_asp.root_gpa.0;
+            let kernel_cr3 = match self.current[core] {
+                Some(tid) => self.processes[self.threads[tid].process].cr3().0,
+                None => self.kernel_asp.root_gpa.0,
+            };
             let cpu = self.machine.cpu_mut(core);
             cpu.load_cr3(kernel_cr3, 0);
             cpu.advance(cost.cr3_write);
@@ -690,6 +724,30 @@ mod tests {
         let mut buf = [0u8; 8];
         k.user_read(tb, layout::HEAP_BASE, &mut buf).unwrap();
         assert_ne!(&buf, b"secret-a", "address spaces must be disjoint");
+    }
+
+    #[test]
+    fn keyed_heap_is_gated_by_pkru() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let pid = k.create_process(&small_code());
+        let tid = k.create_thread(pid, 0);
+        k.map_heap_keyed(pid, Gva(0x5100_0000), 1, 6);
+        k.run_thread(tid);
+        // Reset PKRU: the keyed region is reachable.
+        k.user_write(tid, Gva(0x5100_0000), b"keyed").unwrap();
+        // Deny key 6: the same touch now takes a pkey fault, and the
+        // un-keyed msg_buf stays reachable (key 0 is never denied here).
+        let t0 = k.machine.cpu(0).tsc;
+        k.wrpkru(0, 0b11 << 12);
+        assert_eq!(k.machine.cpu(0).tsc - t0, k.machine.cost.wrpkru);
+        let err = k.user_write(tid, Gva(0x5100_0000), b"nope").unwrap_err();
+        assert!(matches!(err, MemFault::PkeyDenied { key: 6, .. }));
+        let msg_buf = k.threads[tid].msg_buf;
+        k.user_write(tid, msg_buf, b"fine").unwrap();
+        // Restore: rights come back with one more WRPKRU.
+        k.wrpkru(0, 0);
+        k.user_write(tid, Gva(0x5100_0000), b"back").unwrap();
+        assert_eq!(k.machine.cpu(0).pmu.wrpkru_writes, 2);
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl Registry {
     /// snapshot keeps the registry's own diff semantics aligned with
     /// [`Pmu::delta`].
     pub fn record_pmu(&mut self, prefix: &str, pmu: &Pmu) {
-        let fields: [(&str, u64); 13] = [
+        let fields: [(&str, u64); 14] = [
             ("l1i_misses", pmu.l1i_misses),
             ("l1d_misses", pmu.l1d_misses),
             ("l2_misses", pmu.l2_misses),
@@ -73,6 +73,7 @@ impl Registry {
             ("vmfuncs", pmu.vmfuncs),
             ("mode_switches", pmu.mode_switches),
             ("cr3_writes", pmu.cr3_writes),
+            ("wrpkru_writes", pmu.wrpkru_writes),
         ];
         for (field, v) in fields {
             self.counters.insert(format!("{prefix}.{field}"), v);

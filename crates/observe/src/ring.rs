@@ -62,11 +62,16 @@ pub enum SpanKind {
     /// in ring mode. Per-entry `Call` spans nest inside it, so its
     /// self-time is exactly the amortized crossing overhead.
     Doorbell,
+    /// One `WRPKRU` protection-domain flip on the MPK transport (the
+    /// analogue of `Switch` when the crossing changes pkey rights
+    /// instead of EPTPs). Nested inside `Call`, so the phase identity
+    /// `in_call_total == end_to_end` stays closed.
+    Wrpkru,
 }
 
 impl SpanKind {
     /// Every span kind, in display order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::Call,
         SpanKind::QueueWait,
         SpanKind::Trampoline,
@@ -77,6 +82,7 @@ impl SpanKind {
         SpanKind::Backoff,
         SpanKind::RingWait,
         SpanKind::Doorbell,
+        SpanKind::Wrpkru,
     ];
 
     /// Stable display name (trace and report keys).
@@ -92,6 +98,7 @@ impl SpanKind {
             SpanKind::Backoff => "backoff",
             SpanKind::RingWait => "ring_wait",
             SpanKind::Doorbell => "doorbell",
+            SpanKind::Wrpkru => "wrpkru",
         }
     }
 }

@@ -13,7 +13,9 @@
 //!   via `direct_server_call` (one connection slot, and so one shared
 //!   buffer, per server thread — §4.4's concurrency rule);
 //!   [`TrapIpcTransport`] serves via `ipc_call` / `ipc_reply` under a
-//!   seL4/Fiasco.OC/Zircon personality; `FixedServiceTransport` is the
+//!   seL4/Fiasco.OC/Zircon personality; [`MpkTransport`] (from
+//!   `sb-transport`) crosses protection-key domains with two `WRPKRU`
+//!   flips in a single address space; `FixedServiceTransport` is the
 //!   synthetic backend for dispatcher tests, and [`Faulty`] wraps any of
 //!   them with the chaos fault plane.
 //! * [`ServerRuntime`] — a discrete-event dispatcher: one bounded
@@ -41,8 +43,8 @@ pub mod trap;
 pub use sb_observe::Recorder;
 pub use sb_sentinel::{SloHandle, SloSpec};
 pub use sb_transport::{
-    CallError, Faulty, FixedServiceTransport, Request, RingConfig, RingTransport, TenantId,
-    Transport,
+    CallError, Faulty, FixedServiceTransport, MpkTransport, Request, RingConfig, RingTransport,
+    TenantId, Transport,
 };
 
 pub use crate::{

@@ -57,8 +57,30 @@ impl TrapIpcTransport {
     ///
     /// Panics if `lanes` is zero or exceeds the simulated core count.
     pub fn new(personality: Personality, lanes: usize, spec: &ServiceSpec) -> Self {
-        let label = personality.name.to_string();
-        let mut k = Kernel::boot(KernelConfig::native(personality));
+        Self::with_kpti(personality, lanes, spec, false)
+    }
+
+    /// [`TrapIpcTransport::new`] with kernel page-table isolation
+    /// switched on or off. The paper's baseline numbers disable KPTI;
+    /// the five-way comparison re-runs the trap personalities with it
+    /// enabled because the tax (two CR3 writes per kernel entry/exit
+    /// pair) falls *only* on them — SkyBridge and MPK never enter the
+    /// kernel on the data path.
+    pub fn with_kpti(
+        personality: Personality,
+        lanes: usize,
+        spec: &ServiceSpec,
+        kpti: bool,
+    ) -> Self {
+        let label = if kpti {
+            format!("{}+kpti", personality.name)
+        } else {
+            personality.name.to_string()
+        };
+        let mut k = Kernel::boot(KernelConfig {
+            kpti,
+            ..KernelConfig::native(personality)
+        });
         assert!(
             lanes >= 1 && lanes <= k.machine.num_cores(),
             "lanes must fit the machine's cores"
@@ -376,6 +398,80 @@ mod tests {
         assert!(
             sky_avg < trap_avg,
             "skybridge {sky_avg} must beat trap IPC {trap_avg}"
+        );
+    }
+
+    #[test]
+    fn kpti_taxes_trap_ipc_per_call() {
+        // The KPTI knob for the five-way comparison: kernel page-table
+        // isolation adds CR3 traffic to every kernel entry/exit, so the
+        // trap personalities slow down while SkyBridge and MPK — which
+        // never enter the kernel on the data path — are untouched by
+        // construction (their data paths record zero mode switches).
+        let spec = ServiceSpec::default();
+        let mut plain = TrapIpcTransport::new(Personality::sel4(), 1, &spec);
+        let mut taxed = TrapIpcTransport::with_kpti(Personality::sel4(), 1, &spec, true);
+        assert_eq!(taxed.label(), "seL4+kpti");
+        for t in [&mut plain, &mut taxed] {
+            for i in 0..32 {
+                t.call(0, &req(i, false)).unwrap();
+            }
+        }
+        let measure = |t: &mut TrapIpcTransport| {
+            let t0 = t.now(0);
+            let c0 = t.k.machine.pmu_total().cr3_writes;
+            for i in 0..64 {
+                t.call(0, &req(i, false)).unwrap();
+            }
+            (
+                (t.now(0) - t0) / 64,
+                t.k.machine.pmu_total().cr3_writes - c0,
+            )
+        };
+        let (plain_avg, plain_cr3) = measure(&mut plain);
+        let (taxed_avg, taxed_cr3) = measure(&mut taxed);
+        assert!(
+            taxed_avg > plain_avg,
+            "KPTI must cost cycles: {taxed_avg} vs {plain_avg}"
+        );
+        assert!(
+            taxed_cr3 > plain_cr3,
+            "the tax is CR3 traffic: {taxed_cr3} vs {plain_cr3}"
+        );
+    }
+
+    #[test]
+    fn mpk_crossing_beats_skybridge_and_trap_per_call() {
+        // The fifth personality's headline, at the transport level: two
+        // WRPKRU flips (2 × 28 cycles in the model) undercut SkyBridge's
+        // VMFUNC round trip, which in turn undercuts kernel IPC — on
+        // identical service work.
+        let spec = ServiceSpec::default();
+        let mut mpk = sb_transport::MpkTransport::new(1, &spec);
+        let mut sky = crate::SkyBridgeTransport::new(1, &spec);
+        let mut trap = TrapIpcTransport::new(Personality::sel4(), 1, &spec);
+        for t in [
+            &mut mpk as &mut dyn Transport,
+            &mut sky as &mut dyn Transport,
+            &mut trap,
+        ] {
+            for i in 0..32 {
+                t.call(0, &req(i, i % 2 == 0)).unwrap();
+            }
+        }
+        let measure = |t: &mut dyn Transport| {
+            let t0 = t.now(0);
+            for i in 0..64 {
+                t.call(0, &req(i, i % 2 == 0)).unwrap();
+            }
+            (t.now(0) - t0) / 64
+        };
+        let mpk_avg = measure(&mut mpk);
+        let sky_avg = measure(&mut sky);
+        let trap_avg = measure(&mut trap);
+        assert!(
+            mpk_avg < sky_avg && sky_avg < trap_avg,
+            "per-call order must be mpk {mpk_avg} < skybridge {sky_avg} < trap {trap_avg}"
         );
     }
 }

@@ -52,6 +52,12 @@ pub struct Cpu {
     /// Host-physical address of the active EPT root (0 when the core runs
     /// without an EPT, i.e. before the Rootkernel self-virtualizes).
     pub ept_root: u64,
+    /// Protection-key rights register: two bits per 4-bit pkey —
+    /// access-disable at bit `2k`, write-disable at bit `2k + 1`. Zero
+    /// (reset state) permits everything, so pkey-oblivious paths are
+    /// unaffected; the MPK personality flips it with `WRPKRU` to cross
+    /// protection domains inside one address space.
+    pub pkru: u32,
     /// Private L1 instruction cache.
     pub l1i: Cache,
     /// Private L1 data cache.
@@ -77,6 +83,7 @@ impl Cpu {
             cr3: 0,
             pcid: 0,
             ept_root: 0,
+            pkru: 0,
             l1i: Cache::new(CacheConfig::skylake_l1i()),
             l1d: Cache::new(CacheConfig::skylake_l1d()),
             l2: Cache::new(CacheConfig::skylake_l2()),
@@ -118,6 +125,28 @@ impl Cpu {
     /// the TLB.
     pub fn load_eptp(&mut self, ept_root: u64) {
         self.ept_root = ept_root;
+    }
+
+    /// Reloads the protection-key rights register (`WRPKRU`).
+    ///
+    /// No TLB or cache effect — pkeys are checked at access time against
+    /// the live register, which is exactly why the flip is cheap. Charges
+    /// nothing, mirroring [`Cpu::load_cr3`]: callers charge
+    /// [`crate::cost::CostModel::wrpkru`] so the crossing lands in the
+    /// right breakdown bucket.
+    pub fn write_pkru(&mut self, pkru: u32) {
+        self.pkru = pkru;
+        self.pmu.wrpkru_writes += 1;
+    }
+
+    /// True if the live PKRU denies `write` access (or any access) under
+    /// protection key `key` (4 bits): access-disable at bit `2k` blocks
+    /// everything, write-disable at bit `2k + 1` blocks writes.
+    pub fn pkey_denies(&self, key: u8, write: bool) -> bool {
+        let k = (key & 0xf) as u32;
+        let ad = self.pkru >> (2 * k) & 1 != 0;
+        let wd = self.pkru >> (2 * k + 1) & 1 != 0;
+        ad || (write && wd)
     }
 }
 
@@ -163,5 +192,31 @@ mod tests {
         cpu.advance(10);
         cpu.advance(5);
         assert_eq!(cpu.tsc, 15);
+    }
+
+    #[test]
+    fn reset_pkru_permits_everything() {
+        let cpu = Cpu::new_skylake(0);
+        assert_eq!(cpu.pkru, 0);
+        for key in 0..16u8 {
+            assert!(!cpu.pkey_denies(key, false));
+            assert!(!cpu.pkey_denies(key, true));
+        }
+    }
+
+    #[test]
+    fn wrpkru_sets_rights_and_counts() {
+        let mut cpu = Cpu::new_skylake(0);
+        // Deny all access to key 2, writes only to key 5.
+        cpu.write_pkru(1 << 4 | 1 << 11);
+        assert_eq!(cpu.pmu.wrpkru_writes, 1);
+        assert!(cpu.pkey_denies(2, false));
+        assert!(cpu.pkey_denies(2, true));
+        assert!(!cpu.pkey_denies(5, false));
+        assert!(cpu.pkey_denies(5, true));
+        assert!(!cpu.pkey_denies(0, true));
+        cpu.write_pkru(0);
+        assert_eq!(cpu.pmu.wrpkru_writes, 2);
+        assert!(!cpu.pkey_denies(2, true));
     }
 }

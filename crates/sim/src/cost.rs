@@ -19,6 +19,7 @@ use crate::Cycles;
 /// | `SYSRET` | 75 | §2.1.1 |
 /// | write to CR3 | 186 | Table 2 |
 /// | `VMFUNC` | 134 | Table 2 |
+/// | `WRPKRU` | 28 | MPK literature (~20–30 cycles) |
 /// | IPI (send to delivery) | 1913 | §2.1.3 |
 ///
 /// # Examples
@@ -45,6 +46,11 @@ pub struct CostModel {
     pub cr3_write: Cycles,
     /// EPTP switching via `VMFUNC`, VPID enabled (no TLB flush).
     pub vmfunc: Cycles,
+    /// PKRU reload via `WRPKRU` (MPK protection-domain switch). Not in the
+    /// paper's Table 2 — the MPK personality is the modern rival the
+    /// five-way comparison adds; the literature puts the serializing
+    /// `WRPKRU` at ~20–30 cycles.
+    pub wrpkru: Cycles,
     /// One inter-processor interrupt, from send until the remote handler
     /// runs.
     pub ipi: Cycles,
@@ -83,6 +89,7 @@ impl CostModel {
             sysret: 75,
             cr3_write: 186,
             vmfunc: 134,
+            wrpkru: 28,
             ipi: 1913,
             vm_exit: 1400,
             copy_per_word: 1,
@@ -132,6 +139,25 @@ impl CostModel {
     pub fn skybridge_one_way(&self) -> Cycles {
         self.vmfunc + self.trampoline_logic
     }
+
+    /// Crossing cost of one MPK domain round-trip: two `WRPKRU` flips
+    /// (enter the server's protection domain, restore the caller's) with
+    /// no address-space or EPTP switch in between. 2 × 28 = 56 cycles —
+    /// well under the VMFUNC round-trip, which is the speed side of the
+    /// five-way comparison (the isolation side is what walk-level pkey
+    /// checks and KPTI assumptions quantify).
+    pub fn mpk_round_trip(&self) -> Cycles {
+        2 * self.wrpkru
+    }
+
+    /// The KPTI tax on one no-op syscall: the extra cycles Meltdown
+    /// page-table isolation adds to every kernel crossing (Table 2:
+    /// 431 − 181 = 250). Trap personalities pay this on *every* IPC leg
+    /// under KPTI; SkyBridge and MPK never enter the kernel on the data
+    /// path, so their crossing costs are KPTI-invariant.
+    pub fn kpti_tax(&self) -> Cycles {
+        self.noop_syscall(true) - self.noop_syscall(false)
+    }
 }
 
 impl Default for CostModel {
@@ -176,5 +202,21 @@ mod tests {
     fn skybridge_roundtrip_is_396() {
         let c = CostModel::skylake();
         assert_eq!(2 * c.skybridge_one_way(), 396);
+    }
+
+    #[test]
+    fn mpk_round_trip_beats_vmfunc_round_trip() {
+        // The acceptance model of the fifth personality: two WRPKRU
+        // flips must undercut both the bare VMFUNC round-trip and the
+        // full SkyBridge crossing (VMFUNC + trampoline, both ways).
+        let c = CostModel::skylake();
+        assert_eq!(c.mpk_round_trip(), 56);
+        assert!(c.mpk_round_trip() < 2 * c.vmfunc);
+        assert!(c.mpk_round_trip() < 2 * c.skybridge_one_way());
+    }
+
+    #[test]
+    fn kpti_tax_is_250() {
+        assert_eq!(CostModel::skylake().kpti_tax(), 250);
     }
 }

@@ -40,6 +40,8 @@ pub struct Pmu {
     pub mode_switches: u64,
     /// CR3 loads.
     pub cr3_writes: u64,
+    /// `WRPKRU` executions (MPK protection-domain switches).
+    pub wrpkru_writes: u64,
 }
 
 impl Pmu {
@@ -74,6 +76,7 @@ impl Pmu {
             vmfuncs: self.vmfuncs - earlier.vmfuncs,
             mode_switches: self.mode_switches - earlier.mode_switches,
             cr3_writes: self.cr3_writes - earlier.cr3_writes,
+            wrpkru_writes: self.wrpkru_writes - earlier.wrpkru_writes,
         }
     }
 
@@ -93,6 +96,7 @@ impl Pmu {
             vmfuncs: self.vmfuncs + other.vmfuncs,
             mode_switches: self.mode_switches + other.mode_switches,
             cr3_writes: self.cr3_writes + other.cr3_writes,
+            wrpkru_writes: self.wrpkru_writes + other.wrpkru_writes,
         }
     }
 }

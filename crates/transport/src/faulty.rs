@@ -23,6 +23,9 @@ pub struct Faulty<T: Transport> {
     faults: FaultHandle,
     /// Lane `l`'s server died (injected panic) and awaits recovery.
     dead: Vec<bool>,
+    /// Lane `l`'s armed PKRU went stale (injected restore bug): every
+    /// call faults in the handler until recovery re-arms the rights.
+    stale: Vec<bool>,
     /// Cycles an injected hang consumes before the forced return.
     hang: Cycles,
 }
@@ -36,6 +39,7 @@ impl<T: Transport> Faulty<T> {
             inner,
             faults,
             dead: vec![false; lanes],
+            stale: vec![false; lanes],
             hang,
         }
     }
@@ -70,6 +74,17 @@ impl<T: Transport> Faulty<T> {
             self.faults.recovered(FaultPoint::HandlerHang);
             return Err(CallError::Timeout { elapsed: self.hang });
         }
+        if self.faults.fire(FaultPoint::PkruStale) {
+            // A restore bug can only misbehave on a transport with real
+            // per-lane PKRU state (the MPK personality), and opening a
+            // second instance on an already-stale lane would double-book
+            // one episode — rescind in both cases.
+            if !self.stale[lane] && self.inner.inject_pkru_stale(lane) {
+                self.stale[lane] = true;
+            } else {
+                self.faults.rescind(FaultPoint::PkruStale);
+            }
+        }
         Ok(())
     }
 }
@@ -97,7 +112,13 @@ impl<T: Transport> Transport for Faulty<T> {
 
     fn call(&mut self, lane: usize, req: &Request) -> Result<usize, CallError> {
         self.intercept(lane)?;
-        self.inner.call(lane, req)
+        let out = self.inner.call(lane, req);
+        if out.is_err() && self.stale[lane] {
+            // The stale rights surfaced as a real fault (the MPK walk
+            // denied the handler's own records): the bug is observed.
+            self.faults.detected(FaultPoint::PkruStale);
+        }
+        out
     }
 
     fn reply(&self, lane: usize) -> &[u8] {
@@ -105,13 +126,19 @@ impl<T: Transport> Transport for Faulty<T> {
     }
 
     fn recover(&mut self, lane: usize) -> bool {
-        if self.dead[lane] {
-            self.dead[lane] = false;
-            // Respawn the transport underneath (fresh endpoint/threads)
-            // where it supports that; the decorator-level revive is the
-            // recovery either way.
+        let dead = std::mem::replace(&mut self.dead[lane], false);
+        let stale = std::mem::replace(&mut self.stale[lane], false);
+        if dead || stale {
+            // Respawn/re-arm the transport underneath (fresh
+            // endpoint/threads, restored PKRU) where it supports that;
+            // the decorator-level revive is the recovery either way.
             self.inner.recover(lane);
-            self.faults.recovered(FaultPoint::HandlerPanic);
+            if dead {
+                self.faults.recovered(FaultPoint::HandlerPanic);
+            }
+            if stale {
+                self.faults.recovered(FaultPoint::PkruStale);
+            }
             return true;
         }
         self.inner.recover(lane)
@@ -123,6 +150,10 @@ impl<T: Transport> Transport for Faulty<T> {
 
     fn attach_recorder(&mut self, recorder: sb_observe::Recorder) {
         self.inner.attach_recorder(recorder);
+    }
+
+    fn inject_pkru_stale(&mut self, lane: usize) -> bool {
+        self.inner.inject_pkru_stale(lane)
     }
 
     fn pmu(&self) -> Option<sb_sim::Pmu> {
@@ -175,6 +206,47 @@ mod tests {
         assert_eq!(t.now(0) - t0, 5_000, "the hang burns real lane time");
         let r = h.report();
         assert_eq!((r.injected(), r.leaked()), (1, 0), "{r}");
+    }
+
+    #[test]
+    fn pkru_stale_is_rescinded_on_transports_without_pkru() {
+        // FixedServiceTransport has no PKRU to stale: every injection
+        // must rescind, so the ledger stays clean (nothing to leak).
+        let h = FaultHandle::new(4, FaultMix::none().with(FaultPoint::PkruStale, 10_000));
+        let mut t = Faulty::new(FixedServiceTransport::new(1, 100), h.clone(), 1_000);
+        for i in 0..8 {
+            t.call(0, &req(i)).unwrap();
+        }
+        let r = h.report();
+        assert_eq!((r.injected(), r.leaked()), (0, 0), "{r}");
+    }
+
+    #[test]
+    fn pkru_stale_on_mpk_is_detected_and_recovered() {
+        use crate::mpk::MpkTransport;
+        use crate::service::ServiceSpec;
+
+        let h = FaultHandle::new(4, FaultMix::none().with(FaultPoint::PkruStale, 10_000));
+        let mut t = Faulty::new(
+            MpkTransport::new(1, &ServiceSpec::default()),
+            h.clone(),
+            1_000,
+        );
+        // First call arms the stale PKRU and then faults in the handler.
+        assert!(matches!(t.call(0, &req(0)), Err(CallError::Failed(_))));
+        assert_eq!(h.injected_at(FaultPoint::PkruStale), 1);
+        // Re-injections on the already-stale lane rescind; the lane
+        // keeps faulting off the one real episode.
+        assert!(matches!(t.call(0, &req(1)), Err(CallError::Failed(_))));
+        assert_eq!(h.injected_at(FaultPoint::PkruStale), 1);
+        assert!(t.recover(0));
+        h.disarm();
+        t.call(0, &req(2)).unwrap();
+        let r = h.report();
+        assert_eq!(r.injected(), 1);
+        assert_eq!(r.detected(), 1, "the walk's pkey fault is the detection");
+        assert_eq!(r.recovered(), 1, "re-arming the lane is the recovery");
+        assert_eq!(r.leaked(), 0, "{r}");
     }
 
     #[test]

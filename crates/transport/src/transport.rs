@@ -4,10 +4,11 @@
 //! each with its own shared buffer and its own simulated core clock
 //! (§4.4's rule that connections bound concurrency). The dispatcher, the
 //! retry/recovery machinery, the load generator, the chaos harness and
-//! the differential suite are all generic over this trait, so the four
+//! the differential suite are all generic over this trait, so the five
 //! IPC personalities (SkyBridge direct server calls; seL4, Fiasco.OC and
-//! Zircon kernel IPC) differ only in how `call` crosses the protection
-//! boundary — never in marshalling, buffer handling or accounting.
+//! Zircon kernel IPC; MPK protection-key crossings) differ only in how
+//! `call` crosses the protection boundary — never in marshalling, buffer
+//! handling or accounting.
 
 use sb_observe::{Recorder, SpanKind};
 use sb_sim::Cycles;
@@ -146,6 +147,17 @@ pub trait Transport {
         self.bind(lane)
     }
 
+    /// Arms a "forgot to restore PKRU" bug on `lane`: the next domain
+    /// crossing loads a stale rights value and the handler faults on its
+    /// own records until [`Transport::recover`] re-arms the lane.
+    /// Returns whether the transport actually has per-lane PKRU state to
+    /// go stale — only the MPK personality does; the default cannot
+    /// misbehave and returns `false`, so the chaos harness rescinds the
+    /// injection.
+    fn inject_pkru_stale(&mut self, _lane: usize) -> bool {
+        false
+    }
+
     /// Total bytes the transport's marshalling layer has physically
     /// copied since construction (the `transport_hotpath` bench's
     /// bytes-copied-per-call numerator).
@@ -206,6 +218,10 @@ impl<T: Transport + ?Sized> Transport for Box<T> {
 
     fn recover(&mut self, lane: usize) -> bool {
         (**self).recover(lane)
+    }
+
+    fn inject_pkru_stale(&mut self, lane: usize) -> bool {
+        (**self).inject_pkru_stale(lane)
     }
 
     fn bytes_copied(&self) -> u64 {

@@ -10,6 +10,8 @@
 //!   connection-slot exhaustion);
 //! * the trap transports inject at the call boundary through
 //!   [`sb_runtime::Faulty`] (panics, hangs);
+//! * the MPK transport injects through the same wrapper, plus the
+//!   PKRU-restore bug ([`FaultPoint::PkruStale`]) only it can express;
 //! * the dispatcher injects queue-deadline storms.
 //!
 //! Each cell must terminate cleanly, conserve requests
@@ -24,8 +26,9 @@ use sb_faultplane::{FaultHandle, FaultMix, FaultObserver, FaultPoint, FaultRepor
 use sb_fs::{log::Log, BlockDevice, FaultyDisk, RamDisk, BSIZE};
 use sb_observe::{FaultCounts, Recorder, Registry, DEFAULT_RING_CAPACITY};
 use sb_runtime::{
-    Faulty, PoissonArrivals, RequestFactory, RetryPolicy, RingConfig, RingRuntime, RingTransport,
-    RunStats, RuntimeConfig, ServerRuntime, SkyBridgeTransport, Transport, TrapIpcTransport,
+    Faulty, MpkTransport, PoissonArrivals, RequestFactory, RetryPolicy, RingConfig, RingRuntime,
+    RingTransport, RunStats, RuntimeConfig, ServerRuntime, SkyBridgeTransport, Transport,
+    TrapIpcTransport,
 };
 use sb_sentinel::{postmortem, BundleReceipt, PostmortemInput, PostmortemSpec, SloHandle, SloSpec};
 
@@ -231,6 +234,11 @@ fn chaos_cell(
         }
         Backend::Trap(p) => Box::new(Faulty::new(
             TrapIpcTransport::new(p.clone(), CHAOS_WORKERS, &spec),
+            faults.clone(),
+            HANG_BUDGET,
+        )),
+        Backend::Mpk => Box::new(Faulty::new(
+            MpkTransport::new(CHAOS_WORKERS, &spec),
             faults.clone(),
             HANG_BUDGET,
         )),
@@ -578,6 +586,25 @@ mod tests {
             120,
             RingConfig::default(),
         );
+        assert!(out.conserved(), "{:?}", out.stats);
+        assert_eq!(out.report.leaked(), 0, "{}", out.report);
+        assert!(
+            out.trace_matches_ledger(),
+            "trace {:?} disagrees with ledger {}",
+            out.trace,
+            out.report
+        );
+        assert!(out.stats.completed > 0);
+    }
+
+    #[test]
+    fn mpk_cell_under_security_terminates_clean() {
+        // The security mix carries the PKRU-restore bug at its highest
+        // weight; only the MPK backend can express it (other transports
+        // rescind the injection), so this cell is the one that proves
+        // stale rights are detected by the walk and recovered by the
+        // quiesce re-arm.
+        let out = run_chaos_cell(&Backend::Mpk, 0xc0de_0005, &FaultMix::security(), 120);
         assert!(out.conserved(), "{:?}", out.stats);
         assert_eq!(out.report.leaked(), 0, "{}", out.report);
         assert!(

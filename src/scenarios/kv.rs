@@ -39,6 +39,10 @@ pub enum KvMode {
     IpcCrossCore,
     /// Three processes, SkyBridge direct server calls.
     SkyBridge,
+    /// One address space, MPK protection-key domains: each component
+    /// boundary is a `WRPKRU` flip, and the KV slot region is tagged
+    /// with [`MPK_SLOT_KEY`] so only the kv domain can touch it.
+    Mpk,
 }
 
 /// The one-way direct IPC cost the Delay configuration compensates
@@ -76,6 +80,17 @@ const SCRATCH_PAGES: u64 = 14;
 
 /// Fixed per-component software work (hashing, parsing, copying).
 const COMPONENT_CPU: Cycles = 180;
+
+/// Protection key tagging the KV slot region in [`KvMode::Mpk`]: only
+/// the kv domain's PKRU grants it, so the client and enc components
+/// cannot reach the store even though all three share one address space.
+const MPK_SLOT_KEY: u8 = 1;
+
+/// PKRU of the client and enc domains: access-disable the slot key.
+const MPK_APP_PKRU: u32 = 0b11 << (2 * MPK_SLOT_KEY as u32);
+
+/// PKRU of the kv domain: full rights (the slot region is its own).
+const MPK_KV_PKRU: u32 = 0;
 
 /// Rust-side KV index (the slot directory; the *data* lives in simulated
 /// memory).
@@ -143,7 +158,7 @@ impl KvPipeline {
             _ => KernelConfig::native(personality),
         };
         let mut k = Kernel::boot(config);
-        let single_space = matches!(mode, KvMode::Baseline | KvMode::Delay);
+        let single_space = matches!(mode, KvMode::Baseline | KvMode::Delay | KvMode::Mpk);
         let cross = mode == KvMode::IpcCrossCore;
 
         let client_pid = k.create_process(&code_image(21, 4096));
@@ -169,7 +184,11 @@ impl KvPipeline {
         // the default heap.
         let slot_bytes = (capacity_ops + 8) * (2 * len + 16);
         let slot_pages = slot_bytes.div_ceil(4096) + 1;
-        k.map_heap(kv_pid, SLOT_BASE, slot_pages);
+        if mode == KvMode::Mpk {
+            k.map_heap_keyed(kv_pid, SLOT_BASE, slot_pages, MPK_SLOT_KEY);
+        } else {
+            k.map_heap(kv_pid, SLOT_BASE, slot_pages);
+        }
         if single_space {
             k.map_heap(client_pid, COMM_BASE, 2);
         }
@@ -219,7 +238,7 @@ impl KvPipeline {
         let (mut enc_cap, mut kv_cap) = (0, 0);
         let (mut sb_enc, mut sb_kv) = (0, 0);
         match mode {
-            KvMode::Baseline | KvMode::Delay => {}
+            KvMode::Baseline | KvMode::Delay | KvMode::Mpk => {}
             KvMode::Ipc | KvMode::IpcCrossCore => {
                 let (enc_ep, _) = k.create_endpoint(enc_pid);
                 let (kv_ep, _) = k.create_endpoint(kv_pid);
@@ -267,6 +286,12 @@ impl KvPipeline {
             }
         }
         k.run_thread(client);
+        if mode == KvMode::Mpk {
+            // Enter the client domain: the slot region is out of reach
+            // until the kv crossing flips to [`MPK_KV_PKRU`].
+            let core = k.core_of(client);
+            k.wrpkru(core, MPK_APP_PKRU);
+        }
         KvPipeline {
             k,
             sb,
@@ -343,7 +368,7 @@ impl KvPipeline {
         let req = Self::encode_req(op);
         // Client-side work: compose the request in its buffer.
         let client_buf = match self.mode {
-            KvMode::Baseline | KvMode::Delay => COMM_BASE,
+            KvMode::Baseline | KvMode::Delay | KvMode::Mpk => COMM_BASE,
             _ => self.k.threads[self.client].msg_buf,
         };
         component_work(&mut self.k, self.client, layout::CODE_BASE, 4096);
@@ -369,6 +394,29 @@ impl KvPipeline {
                 // decrypt on the way back.
                 let out = enc_transform(&mut self.k, self.client, &reply);
                 self.k.compute(self.client, delay);
+                self.k.user_write(self.client, client_buf, &out).unwrap();
+            }
+            KvMode::Mpk => {
+                // The Figure 1 pipeline as MPK domains: the same four
+                // component boundaries the trap and SkyBridge modes
+                // cross, each paid as one WRPKRU flip on the client's
+                // core. The kv domain alone holds the slot key, so the
+                // store stays unreachable outside its crossing.
+                let core = self.k.core_of(self.client);
+                // client → enc.
+                self.k.wrpkru(core, MPK_APP_PKRU);
+                let enc = enc_transform(&mut self.k, self.client, &req);
+                self.k.user_write(self.client, client_buf, &enc).unwrap();
+                // enc → kv: the only window where the slots are in reach.
+                self.k.wrpkru(core, MPK_KV_PKRU);
+                let mut state = self.kv_state.borrow_mut();
+                let reply = kv_server_op(&mut self.k, self.client, &mut state, &enc);
+                drop(state);
+                // kv → enc: decrypt on the way back.
+                self.k.wrpkru(core, MPK_APP_PKRU);
+                let out = enc_transform(&mut self.k, self.client, &reply);
+                // enc → client.
+                self.k.wrpkru(core, MPK_APP_PKRU);
                 self.k.user_write(self.client, client_buf, &out).unwrap();
             }
             KvMode::Ipc | KvMode::IpcCrossCore => {
@@ -418,9 +466,10 @@ impl KvPipeline {
 impl KvPipeline {
     /// The pipeline for a unified serving [`Backend`]: trap backends run
     /// the three-process kernel-IPC configuration under their own cost
-    /// personality; the SkyBridge backend runs `direct_server_call`.
+    /// personality; the SkyBridge backend runs `direct_server_call`; the
+    /// MPK backend runs protection-key domains in one address space.
     /// This is how the standalone Figure 1 scenario joins the
-    /// all-four-personalities sweeps.
+    /// all-five-personalities sweeps.
     pub fn for_backend(backend: &Backend, len: usize, capacity_ops: usize) -> Self {
         match backend {
             Backend::SkyBridge => KvPipeline::with_personality(
@@ -431,6 +480,9 @@ impl KvPipeline {
             ),
             Backend::Trap(p) => {
                 KvPipeline::with_personality(p.clone(), KvMode::Ipc, len, capacity_ops)
+            }
+            Backend::Mpk => {
+                KvPipeline::with_personality(Personality::sel4(), KvMode::Mpk, len, capacity_ops)
             }
         }
     }
@@ -597,9 +649,9 @@ mod tests {
 
     #[test]
     fn pipeline_runs_under_every_serving_backend() {
-        // The unified path: all four personalities drive the Figure 1
-        // pipeline, and the trap kernels' differing crossing costs show
-        // up in the per-op cycles.
+        // The unified path: all five personalities drive the Figure 1
+        // pipeline, and the crossing-cost ordering shows up in the
+        // per-op cycles: every trap kernel > SkyBridge > MPK.
         let mut avg = Vec::new();
         for backend in Backend::all() {
             let mut p = KvPipeline::for_backend(&backend, 16, 192);
@@ -610,10 +662,32 @@ mod tests {
             assert!(p.kv_state.borrow().index.len() > 10);
             avg.push((backend.label().to_string(), s.avg_cycles));
         }
-        let sky = avg.last().expect("SkyBridge is the last backend").1;
+        let mpk = avg.last().expect("MPK is the last backend").1;
+        let sky = avg[avg.len() - 2].1;
+        assert_eq!(avg[avg.len() - 2].0, "skybridge");
         assert!(
-            avg[..avg.len() - 1].iter().all(|(_, c)| sky < *c),
+            avg[..avg.len() - 2].iter().all(|(_, c)| sky < *c),
             "SkyBridge must beat every trap kernel: {avg:?}"
         );
+        assert!(
+            mpk < sky,
+            "two WRPKRU flips must undercut the VMFUNC round trip: {avg:?}"
+        );
+    }
+
+    #[test]
+    fn mpk_pipeline_walls_off_the_slot_region() {
+        let mut p = KvPipeline::for_backend(&Backend::Mpk, 16, 192);
+        p.run_ops(16); // The pipeline itself crosses domains cleanly.
+                       // Outside the kv domain the slot region must be unreachable:
+                       // the client's armed PKRU denies the slot key.
+        let mut b = [0u8; 8];
+        let err =
+            p.k.user_read(p.client, SLOT_BASE, &mut b)
+                .expect_err("the client domain must not reach the kv slots");
+        assert!(format!("{err}").contains("pkey"), "got: {err}");
+        // The pipeline still serves after the denied probe.
+        let s = p.run_ops(16);
+        assert_eq!(s.ops, 16);
     }
 }

@@ -11,8 +11,9 @@
 
 use sb_microkernel::Personality;
 use sb_runtime::{
-    PoissonArrivals, RequestFactory, RingConfig, RingRuntime, RingTransport, RunStats,
-    RuntimeConfig, ServerRuntime, ServiceSpec, SkyBridgeTransport, Transport, TrapIpcTransport,
+    MpkTransport, PoissonArrivals, RequestFactory, RingConfig, RingRuntime, RingTransport,
+    RunStats, RuntimeConfig, ServerRuntime, ServiceSpec, SkyBridgeTransport, Transport,
+    TrapIpcTransport,
 };
 use sb_ycsb::WorkloadSpec;
 
@@ -26,6 +27,9 @@ pub enum Backend {
     SkyBridge,
     /// Synchronous kernel IPC under the given personality.
     Trap(Personality),
+    /// MPK protection-key domain crossing: two `WRPKRU` flips in one
+    /// address space, no kernel on the data path.
+    Mpk,
 }
 
 impl Backend {
@@ -34,14 +38,16 @@ impl Backend {
         match self {
             Backend::SkyBridge => "skybridge",
             Backend::Trap(p) => p.name,
+            Backend::Mpk => "mpk",
         }
     }
 
-    /// The four personalities the scaling sweep compares: the three
-    /// trap-based kernels, then SkyBridge.
+    /// The five personalities the scaling sweep compares: the three
+    /// trap-based kernels, then SkyBridge, then the MPK crossing.
     pub fn all() -> Vec<Backend> {
         let mut v: Vec<Backend> = Personality::all().into_iter().map(Backend::Trap).collect();
         v.push(Backend::SkyBridge);
+        v.push(Backend::Mpk);
         v
     }
 }
@@ -112,6 +118,7 @@ pub fn build_backend_with_spec(
     match backend {
         Backend::SkyBridge => Box::new(SkyBridgeTransport::new(lanes, spec)),
         Backend::Trap(p) => Box::new(TrapIpcTransport::new(p.clone(), lanes, spec)),
+        Backend::Mpk => Box::new(MpkTransport::new(lanes, spec)),
     }
 }
 
@@ -215,7 +222,11 @@ mod tests {
 
     #[test]
     fn kv_open_loop_completes_under_light_load() {
-        for backend in [Backend::SkyBridge, Backend::Trap(Personality::sel4())] {
+        for backend in [
+            Backend::SkyBridge,
+            Backend::Trap(Personality::sel4()),
+            Backend::Mpk,
+        ] {
             let s = run_open_loop(
                 ServingScenario::Kv,
                 &backend,

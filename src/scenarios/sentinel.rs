@@ -21,7 +21,7 @@
 
 use sb_microkernel::{Kernel, KernelConfig, Personality, ThreadId};
 use sb_observe::{Recorder, SpanKind};
-use sb_runtime::{Request, Transport, TrapIpcTransport};
+use sb_runtime::{MpkTransport, Request, Transport, TrapIpcTransport};
 use sb_sim::Cycles;
 use skybridge::{ServerId, SkyBridge};
 
@@ -130,9 +130,29 @@ pub fn trap_chain(
     calls: u64,
     recorder: &Recorder,
 ) -> ChainRun {
-    assert!(hops >= 1, "a chain needs at least one hop");
     let spec = ServingScenario::Kv.service_spec();
-    let mut t = TrapIpcTransport::new(personality, 1, &spec);
+    chain_over(
+        TrapIpcTransport::new(personality, 1, &spec),
+        hops,
+        calls,
+        recorder,
+    )
+}
+
+/// [`trap_chain`] over the MPK personality: each hop is an in-place
+/// handler between two `WRPKRU` flips, so the assembled span trees carry
+/// `Wrpkru` phase spans instead of kernel crossings.
+pub fn mpk_chain(hops: usize, calls: u64, recorder: &Recorder) -> ChainRun {
+    let spec = ServingScenario::Kv.service_spec();
+    chain_over(MpkTransport::new(1, &spec), hops, calls, recorder)
+}
+
+/// Drives `calls` requests of `hops` sequential transport calls each
+/// through lane 0 of `t`. All hops of request `c` share trace id
+/// `c + 1`; the scenario wraps them in one end-to-end `Call` span so
+/// the assembled tree is connected.
+fn chain_over<T: Transport>(mut t: T, hops: usize, calls: u64, recorder: &Recorder) -> ChainRun {
+    assert!(hops >= 1, "a chain needs at least one hop");
     let label = t.label().to_string();
     t.attach_recorder(recorder.clone());
     let mut requests = Vec::new();
@@ -164,11 +184,13 @@ pub fn trap_chain(
 }
 
 /// The chain for any serving backend: nested direct server calls on
-/// SkyBridge, sequential same-id kernel IPC hops under a trap kernel.
+/// SkyBridge, sequential same-id kernel IPC hops under a trap kernel,
+/// sequential two-flip crossings under MPK.
 pub fn chain_for(backend: &Backend, depth: usize, calls: u64, recorder: &Recorder) -> ChainRun {
     match backend {
         Backend::SkyBridge => skybridge_chain(depth, calls, recorder),
         Backend::Trap(p) => trap_chain(p.clone(), depth, calls, recorder),
+        Backend::Mpk => mpk_chain(depth, calls, recorder),
     }
 }
 
@@ -217,6 +239,29 @@ mod tests {
             assert_eq!(tr.roots.len(), 1);
             assert_eq!(tr.roots[0].children.len(), 3, "one child Call span per hop");
             assert_eq!(tr.critical_path_cycles(), end_to_end);
+        }
+    }
+
+    #[test]
+    fn mpk_chain_carries_wrpkru_spans() {
+        let rec = Recorder::new(DEFAULT_RING_CAPACITY);
+        let run = mpk_chain(3, 3, &rec);
+        assert_eq!(run.label, "mpk");
+        let forest = assemble(&rec);
+        for &(corr, end_to_end) in &run.requests {
+            let tr = forest.request(corr).expect("request assembled");
+            assert_eq!(tr.roots.len(), 1);
+            assert_eq!(tr.roots[0].children.len(), 3, "one child Call span per hop");
+            assert_eq!(tr.critical_path_cycles(), end_to_end);
+            // Each hop's interior carries the two crossing flips.
+            for hop in &tr.roots[0].children {
+                let flips = hop
+                    .children
+                    .iter()
+                    .filter(|s| s.kind == SpanKind::Wrpkru)
+                    .count();
+                assert_eq!(flips, 2, "two WRPKRU spans per crossing");
+            }
         }
     }
 }

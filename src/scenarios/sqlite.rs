@@ -44,6 +44,9 @@ pub enum StackMode {
     IpcMt,
     /// SkyBridge direct server calls.
     SkyBridge,
+    /// MPK protection-key domains in one address space: each server
+    /// crossing is a `WRPKRU` flip pair on the client's core.
+    Mpk,
 }
 
 /// FS server software cycles per request.
@@ -65,6 +68,15 @@ const DB_PAGE_CPU: Cycles = 180;
 
 /// Largest payload per IPC message (the per-thread message buffer).
 const MSG_MAX: usize = layout::MSG_BUF_SIZE;
+
+/// PKRU values of the three [`StackMode::Mpk`] domains (database
+/// client, FS server, block-device server). The stack charges every
+/// crossing through the kernel's `wrpkru` facade — real cycles, real
+/// PMU counts; pkey *enforcement* fidelity is proven at the transport
+/// and memory layers, so the throughput stack does not re-tag its heap.
+const MPK_DB_PKRU: u32 = 0b11 << 2;
+const MPK_FS_PKRU: u32 = 0b11 << 4;
+const MPK_BD_PKRU: u32 = 0b11 << 6;
 
 /// The shared simulation state (kernel + SkyBridge + the big lock).
 pub struct Sim {
@@ -124,6 +136,17 @@ impl Sim {
                 sb.direct_server_call(&mut self.k, client, self.sb_fs, &msg)
                     .expect("fs direct call");
             }
+            StackMode::Mpk => {
+                // One address space: the request bytes are composed in
+                // place (pay the compose copy the other modes pay at
+                // their message writes) and the crossing is one WRPKRU
+                // flip into the FS domain on the client's core.
+                let core = self.k.core_of(client);
+                let words = req.min(MSG_MAX).div_ceil(8) as Cycles;
+                let per_word = self.k.machine.cost.copy_per_word;
+                self.k.machine.cpu_mut(core).advance(words * per_word);
+                self.k.wrpkru(core, MPK_FS_PKRU);
+            }
             _ => {
                 let core = self.k.core_of(client);
                 let cap = self.fs_caps[self.client_index(client)];
@@ -143,6 +166,15 @@ impl Sim {
         }
         match self.mode {
             StackMode::SkyBridge => {}
+            StackMode::Mpk => {
+                // The reply is served in place: flip back to the
+                // database domain after charging the reply compose.
+                let core = self.k.core_of(client);
+                let words = resp.min(MSG_MAX).div_ceil(8) as Cycles;
+                let per_word = self.k.machine.cost.copy_per_word;
+                self.k.machine.cpu_mut(core).advance(words * per_word);
+                self.k.wrpkru(core, MPK_DB_PKRU);
+            }
             _ => {
                 let core = self.k.core_of(client);
                 let fs_tid = self.fs_tid_for(core);
@@ -173,6 +205,14 @@ impl Sim {
                 let core = self.k.core_of(client);
                 self.k.machine.cpu_mut(core).advance(BD_CALL_CPU);
             }
+            StackMode::Mpk => {
+                // Nested crossing: FS domain → block-device domain and
+                // back, two more flips on the executing client's core.
+                let core = self.k.core_of(self.driver);
+                self.k.wrpkru(core, MPK_BD_PKRU);
+                self.k.machine.cpu_mut(core).advance(BD_CALL_CPU);
+                self.k.wrpkru(core, MPK_FS_PKRU);
+            }
             _ => {
                 // The FS thread issues the block IPC from its core.
                 let client_core = self.k.core_of(self.driver);
@@ -196,7 +236,7 @@ impl Sim {
     /// The core on which FS *computation* runs for the current driver.
     fn fs_compute_core(&self) -> CpuId {
         match self.mode {
-            StackMode::SkyBridge => self.k.core_of(self.driver),
+            StackMode::SkyBridge | StackMode::Mpk => self.k.core_of(self.driver),
             _ => {
                 let c = self.k.core_of(self.driver);
                 self.k.core_of(self.fs_tid_for(c))
@@ -348,15 +388,17 @@ pub struct SqliteStack {
 impl SqliteStack {
     /// The stack for a unified serving [`Backend`]: trap backends run
     /// the multi-threaded kernel-IPC configuration under their own cost
-    /// personality; the SkyBridge backend runs direct server calls.
+    /// personality; the SkyBridge backend runs direct server calls; the
+    /// MPK backend crosses protection-key domains in one address space.
     /// This is how the standalone §6.5 scenario joins the
-    /// all-four-personalities sweeps.
+    /// all-five-personalities sweeps.
     pub fn for_backend(backend: &Backend, nclients: usize) -> Self {
         match backend {
             Backend::SkyBridge => {
                 SqliteStack::new(Personality::sel4(), StackMode::SkyBridge, nclients, false)
             }
             Backend::Trap(p) => SqliteStack::new(p.clone(), StackMode::IpcMt, nclients, false),
+            Backend::Mpk => SqliteStack::new(Personality::sel4(), StackMode::Mpk, nclients, false),
         }
     }
 
@@ -439,6 +481,16 @@ impl SqliteStack {
                     bridge.register_client(&mut k, tid, sb_bd).unwrap();
                 }
                 sb = Some(bridge);
+            }
+            StackMode::Mpk => {
+                // One address space, no kernel on the data path: no
+                // endpoints and no bridge — the crossings are WRPKRU
+                // flips charged at the call sites, and the database
+                // domain starts armed on every client core.
+                for &tid in &client_tids {
+                    let core = k.core_of(tid);
+                    k.wrpkru(core, MPK_DB_PKRU);
+                }
             }
             _ => {
                 // Endpoints: one per server thread; clients get caps to

@@ -1,11 +1,12 @@
-//! Differential testing across the four IPC personalities.
+//! Differential testing across the five IPC personalities.
 //!
 //! The transports implement one service contract — echo: the reply
-//! equals the request's payload bytes — over four personalities (seL4,
-//! Fiasco.OC, Zircon kernel IPC, SkyBridge direct server calls). Feeding
-//! the *same* request trace through all four must yield byte-identical
-//! payloads and identical completion counts; any divergence means a
-//! transport corrupted, dropped, or reordered a message.
+//! equals the request's payload bytes — over five personalities (seL4,
+//! Fiasco.OC, Zircon kernel IPC, SkyBridge direct server calls, MPK
+//! protection-key crossings). Feeding the *same* request trace through
+//! all five must yield byte-identical payloads and identical completion
+//! counts; any divergence means a transport corrupted, dropped, or
+//! reordered a message.
 
 use proptest::prelude::*;
 use sb_runtime::{
@@ -45,7 +46,7 @@ fn req(id: u64, key: u64, write: bool, payload: usize) -> Request {
 }
 
 /// A fixed mixed trace through every personality: reply bytes must agree
-/// across all four and equal the echo of the request.
+/// across all five and equal the echo of the request.
 #[test]
 fn fixed_trace_replies_are_byte_identical() {
     let mut es = transports(2);

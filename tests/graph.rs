@@ -1,5 +1,5 @@
 //! Serving-graph acceptance: YCSB through client → gateway → cache →
-//! db → fs on all four IPC personalities, with byte-identical replies,
+//! db → fs on all five IPC personalities, with byte-identical replies,
 //! connected cross-hop traces, snapshot/replay reproduction, power-loss
 //! recovery, and dispatcher conservation.
 
@@ -47,7 +47,7 @@ fn replies_for(backend: &Backend, ops: u64, seed: u64) -> Vec<Vec<u8>> {
 
 /// The application state a request observes must not depend on which
 /// IPC mechanism carried it: the same trace yields byte-identical
-/// replies on all four personalities.
+/// replies on all five personalities.
 #[test]
 fn replies_are_byte_identical_across_all_personalities() {
     let backends = Backend::all();
@@ -176,7 +176,7 @@ fn chaos_matrix_actually_cuts_power() {
 }
 
 /// The graph transport plugs into the dispatcher like any single-server
-/// transport: open-loop runs conserve requests on all four backends.
+/// transport: open-loop runs conserve requests on all five backends.
 #[test]
 fn open_loop_over_the_graph_conserves_requests() {
     let cfg = RuntimeConfig {

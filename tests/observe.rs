@@ -134,6 +134,11 @@ fn phases_fit_inside_their_calls() {
                     assert!(prof.get(k) > 0, "{label}: {} cycles missing", k.name());
                 }
             }
+            Backend::Mpk => {
+                for k in [SpanKind::Wrpkru, SpanKind::Marshal, SpanKind::Handler] {
+                    assert!(prof.get(k) > 0, "{label}: {} cycles missing", k.name());
+                }
+            }
         }
     }
 }

@@ -71,6 +71,37 @@ fn capacity_one_ring_wraps_without_loss() {
     assert_eq!(rt.acked(0), 200);
 }
 
+/// The capacity-1 wrap over the real MPK transport: every frame is its
+/// own batch, so every crossing pays the full two-flip price and the
+/// slot-reuse path runs against genuine in-place replies rather than
+/// the synthetic backend.
+#[test]
+fn capacity_one_ring_wraps_on_mpk() {
+    let mut rt = build_ring_backend(
+        ServingScenario::Kv,
+        &Backend::Mpk,
+        1,
+        RingConfig {
+            capacity: 1,
+            batch_budget: 1,
+            slot_bytes: 4096,
+        },
+    );
+    let mut seen = BTreeMap::new();
+    for i in 0..64u64 {
+        rt.submit(0, &req(i, 64)).expect("an empty ring has a slot");
+        rt.doorbell(0);
+        while let Some(c) = rt.pop_completion(0) {
+            assert!(!c.expired);
+            c.result.expect("mpk serve");
+            assert_eq!(rt.completion_reply(0), req(c.corr, 64).encode());
+            *seen.entry(c.corr).or_insert(0u32) += 1;
+        }
+    }
+    assert_eq!(seen.len(), 64);
+    assert!(seen.values().all(|&c| c == 1));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

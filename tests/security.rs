@@ -201,6 +201,80 @@ fn identity_page_resolves_misidentification() {
     assert_eq!(w.k.identity_current(core), Some(client_pid));
 }
 
+/// §7 under the MPK personality: a handler that strays outside its
+/// pkey-permitted set faults **deterministically** — every attempt, on
+/// the first touched line, with the permitted control path unaffected.
+/// Contrast with VMFUNC isolation, where a stray touch faults only
+/// because the other space's mappings are absent; here both domains
+/// share one address space and the PKRU check alone stands between them.
+#[test]
+fn mpk_rogue_handler_touch_faults_deterministically() {
+    use sb_runtime::{MpkTransport, Request, ServiceSpec, Transport};
+
+    let mut t = MpkTransport::new(2, &ServiceSpec::default());
+    for attempt in 0..3 {
+        let err = t
+            .rogue_handler_touch(0)
+            .expect_err("the server domain must not reach client-private memory");
+        assert!(err.contains("pkey"), "attempt {attempt}: got {err}");
+    }
+    // Control: the same region, touched from the domain that owns it.
+    t.client_private_touch(0).unwrap();
+    // The denied touches left both lanes fully serviceable.
+    for lane in 0..2 {
+        t.call(
+            lane,
+            &Request {
+                id: 90 + lane as u64,
+                arrival: 0,
+                key: 7,
+                write: false,
+                payload: 64,
+                client: None,
+                tenant: 0,
+            },
+        )
+        .unwrap();
+    }
+}
+
+/// §7 under the MPK personality: the "forgot to restore PKRU" bug — a
+/// server that leaves its rights register stale. The injected episode
+/// must be *detected* (the very next call faults on the handler's own
+/// records), *recovered* (re-arming the lane), and never leaked.
+#[test]
+fn mpk_forgotten_pkru_restore_is_caught_and_recovered() {
+    use sb_faultplane::{FaultHandle, FaultMix, FaultPoint};
+    use sb_runtime::{CallError, Faulty, MpkTransport, Request, ServiceSpec, Transport};
+
+    let req = |id: u64| Request {
+        id,
+        arrival: 0,
+        key: id,
+        write: false,
+        payload: 64,
+        client: None,
+        tenant: 0,
+    };
+    let h = FaultHandle::new(7, FaultMix::none().with(FaultPoint::PkruStale, 10_000));
+    let mut t = Faulty::new(
+        MpkTransport::new(1, &ServiceSpec::default()),
+        h.clone(),
+        1_000,
+    );
+    // The stale rights deny the handler its own records: detection.
+    assert!(matches!(t.call(0, &req(0)), Err(CallError::Failed(_))));
+    assert_eq!(h.injected_at(FaultPoint::PkruStale), 1);
+    // Recovery re-arms the lane; a clean probe proves liveness.
+    assert!(t.recover(0));
+    h.disarm();
+    t.call(0, &req(1)).unwrap();
+    let r = h.report();
+    assert_eq!(r.detected(), 1, "{r}");
+    assert_eq!(r.recovered(), 1, "{r}");
+    assert_eq!(r.leaked(), 0, "{r}");
+}
+
 /// The trampoline page is the *only* executable VMFUNC in a registered
 /// process's address space.
 #[test]
