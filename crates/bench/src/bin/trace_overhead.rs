@@ -11,7 +11,9 @@
 //! * `disabled` — a [`Recorder::off`] attached explicitly to every
 //!   hook: each emit is one flag read, which must cost (statistically)
 //!   nothing, and the attach itself must be free.
-//! * `enabled` — a live recorder capturing every span of every call.
+//! * `enabled` — a live recorder capturing every span of every call,
+//!   with the cycle sampler enabled, so the tax gate bounds the whole
+//!   always-on observability stack (spans + sampling).
 //!
 //! Each mode runs `SB_REPS` timed repetitions, interleaved and with the
 //! order alternating every round so slow host drift cancels, keeping
@@ -25,7 +27,10 @@
 //! 3. the in-call phase self-times decompose end-to-end cycles within
 //!    5% (they are equal by construction; the gate catches regressions
 //!    in the emit sites, e.g. a dropped or double-counted span);
-//! 4. the Chrome trace export of the profiled run is valid JSON.
+//! 4. the quiescent profiled capture loses nothing: zero ring
+//!    overwrites, zero dropped/poisoned samples, zero export
+//!    truncation;
+//! 5. the Chrome trace export of the profiled run is valid JSON.
 //!
 //! Results go to `results/trace_overhead.json`, including the per-phase
 //! cycle breakdown and a PMU metrics snapshot through the registry.
@@ -42,7 +47,9 @@ use sb_bench::{
     report::{snapshot_json, write_json, Json},
 };
 use sb_microkernel::Personality;
-use sb_observe::{attribute, chrome_trace, validate_json, Recorder, Registry, SpanKind};
+use sb_observe::{
+    attribute, chrome_trace, validate_json, Recorder, Registry, SamplerConfig, SpanKind,
+};
 use sb_runtime::{RequestFactory, ServiceSpec, SkyBridgeTransport, Transport, TrapIpcTransport};
 use sb_ycsb::WorkloadSpec;
 
@@ -86,6 +93,7 @@ struct TransportResult {
     phase_ratio: f64,
     trace_events: u64,
     trace_valid: bool,
+    samples_taken: u64,
     failures: Vec<String>,
 }
 
@@ -110,15 +118,28 @@ fn run_transport(name: &'static str, calls: u64, reps: u64) -> TransportResult {
     // alternating every round so slow host drift cancels; min-of-N
     // filters the jitter on top.
     let recorder = Recorder::new(knob("SB_RING", sb_observe::DEFAULT_RING_CAPACITY));
+    // The enabled mode carries the cycle sampler too, so the ≤5% tax
+    // gate bounds spans *and* sampling together — the full always-on
+    // observability cost, not just the event writes. `SB_SAMPLE=0`
+    // isolates the span-only tax when attributing a breach.
+    if knob("SB_SAMPLE", 1) != 0 {
+        recorder.enable_sampling(SamplerConfig {
+            backend: name.to_string(),
+            ..SamplerConfig::default()
+        });
+    }
     let modes: [Recorder; 3] = [Recorder::off(), Recorder::off(), recorder.clone()];
     let mut t = build(name, &spec);
     warm(t.as_mut());
     // Min-of-N only ever over-reports a cost (noise inflates a minimum,
-    // never deflates it), so on a gate breach one full re-measurement
-    // pass is sound: the minima carry across passes and a genuine
-    // regression fails both, while a one-off scheduler spike doesn't.
+    // never deflates it), so on a gate breach re-measurement passes are
+    // sound: the minima carry across passes and a genuine regression
+    // fails every pass, while a scheduler spike that inflated one
+    // mode's minimum washes out. Three retry passes keep the gate
+    // honest on busy shared hosts where a single re-run still lands
+    // inside the same noise window.
     let mut ns = [f64::INFINITY; 3];
-    for pass in 0..2 {
+    for pass in 0..4 {
         for i in 0..reps {
             for j in 0..3usize {
                 let m = if i % 2 == 0 { j } else { 2 - j };
@@ -130,8 +151,11 @@ fn run_transport(name: &'static str, calls: u64, reps: u64) -> TransportResult {
         if within_budget(ns[1], ns[0]) && within_budget(ns[2], ns[1]) {
             break;
         }
-        if pass == 0 {
-            eprintln!("note: {name}: gate breached on pass 1, re-measuring");
+        if pass < 3 {
+            eprintln!(
+                "note: {name}: gate breached on pass {}, re-measuring",
+                pass + 1
+            );
         }
     }
     let [baseline_ns, disabled_ns, enabled_ns] = ns;
@@ -182,6 +206,24 @@ fn run_transport(name: &'static str, calls: u64, reps: u64) -> TransportResult {
         ));
     }
 
+    // A quiescent cell — a capture sized to fit its rings — must lose
+    // nothing: zero ring overwrites, zero sample drops, zero poisoned
+    // or desynced sampler stacks, zero export truncation. Any loss here
+    // is an accounting bug, not pressure.
+    let sstats = recorder.sample_stats();
+    if recorder.dropped() > 0 {
+        failures.push(format!(
+            "{name}: quiescent capture overwrote {} events",
+            recorder.dropped()
+        ));
+    }
+    if sstats.dropped > 0 || sstats.poisoned > 0 || sstats.broken_events > 0 {
+        failures.push(format!(
+            "{name}: quiescent sampler lost samples ({} dropped, {} poisoned, {} broken events)",
+            sstats.dropped, sstats.poisoned, sstats.broken_events
+        ));
+    }
+
     let trace = chrome_trace(&recorder);
     let trace_valid = validate_json(&trace.json).is_ok() && !trace.truncated;
     if !trace_valid {
@@ -219,6 +261,7 @@ fn run_transport(name: &'static str, calls: u64, reps: u64) -> TransportResult {
         phase_ratio,
         trace_events: trace.events,
         trace_valid,
+        samples_taken: sstats.taken,
         failures,
     }
 }
@@ -254,6 +297,7 @@ fn main() {
                 .field("phase_sum_over_end_to_end", r.phase_ratio)
                 .field("trace_events", r.trace_events)
                 .field("trace_valid_json", r.trace_valid)
+                .field("samples_taken", r.samples_taken)
                 .field("profile", r.phases),
         );
         failures.extend(r.failures);
@@ -275,7 +319,12 @@ fn main() {
     // PMU of one traced SkyBridge run through the registry.
     let spec = ServiceSpec::default();
     let mut sky = SkyBridgeTransport::new(1, &spec);
-    sky.attach_recorder(Recorder::new(1 << 14));
+    let pmu_rec = Recorder::new(1 << 14);
+    pmu_rec.enable_sampling(SamplerConfig {
+        backend: "skybridge".to_string(),
+        ..SamplerConfig::default()
+    });
+    sky.attach_recorder(pmu_rec.clone());
     let mut f = factory();
     let mut reg = Registry::new();
     let before = {
@@ -287,6 +336,11 @@ fn main() {
         sky.call(0, &r).expect("pmu run call");
     }
     reg.record_pmu("cpu0", &sky.k.machine.cpu(0).pmu);
+    // Fold the trace-completeness ledger into the same snapshot: ring
+    // and sampler loss counters plus the exporter's truncation flag,
+    // so the results file carries a `trace_loss` section.
+    reg.record_trace_loss(&pmu_rec);
+    reg.record_export(&chrome_trace(&pmu_rec));
     let pmu = reg.snapshot().diff(&before);
 
     let doc = Json::obj()

@@ -49,6 +49,13 @@ pub fn baseline_field(doc: &str, label: &str, field: &str) -> Option<f64> {
     let key = format!("\"transport\":\"{label}\"");
     let at = doc.find(&key)?;
     let rest = &doc[at..];
+    // Bound the lookup to this row: rows need not share a field set
+    // (per-phase fields differ by personality), so a missing field must
+    // read as absent, not as the next row's value.
+    let rest = match rest[key.len()..].find("\"transport\":\"") {
+        Some(next) => &rest[..key.len() + next],
+        None => rest,
+    };
     let needle = format!("\"{field}\":");
     let ns_at = rest.find(&needle)?;
     let tail = &rest[ns_at + needle.len()..];

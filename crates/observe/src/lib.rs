@@ -20,6 +20,10 @@
 //! * [`export::chrome_trace`] — Chrome trace-event JSON loadable in
 //!   Perfetto, with explicit truncation accounting when a ring
 //!   overwrote events.
+//! * [`profiler`] — a deterministic cycle-sampling profiler riding the
+//!   emit path: per-lane span stacks sampled on a fixed grid of the
+//!   simulated clock, folded into collapsed-stack flamegraphs and
+//!   validated against the exact [`PhaseProfile`] shares.
 //!
 //! The crate depends only on `sb-sim`, so every layer of the stack —
 //! transports, the SkyBridge core, the dispatcher, the chaos harness —
@@ -29,12 +33,18 @@ pub mod export;
 pub mod hist;
 pub mod metrics;
 pub mod phase;
+pub mod profiler;
 pub mod ring;
 
 pub use export::{chrome_trace, validate_json, validate_recorder_nesting, ChromeTrace};
-pub use hist::{Log2Histogram, HIST_RELATIVE_ERROR};
+pub use hist::{Exemplar, Log2Histogram, DEFAULT_EXEMPLAR_CAPACITY, HIST_RELATIVE_ERROR};
 pub use metrics::{HistSummary, Registry, Snapshot};
 pub use phase::{attribute, validate_nesting, PhaseProfile};
+pub use profiler::{
+    collapsed_lines, compare_shares, fold_samples, fold_samples_by_tenant, sampled_shares, Sample,
+    SampleStats, SamplerConfig, ShareComparison, DEFAULT_SAMPLE_CAPACITY, DEFAULT_SAMPLE_PERIOD,
+    MAX_SAMPLE_DEPTH,
+};
 pub use ring::{
     Event, EventKind, EventRing, FaultCounts, FaultEvent, FaultStage, InstantKind, Recorder,
     SpanKind, DEFAULT_RING_CAPACITY,

@@ -10,7 +10,9 @@ use std::collections::BTreeMap;
 
 use sb_sim::{Cycles, Pmu};
 
-use crate::hist::Log2Histogram;
+use crate::export::ChromeTrace;
+use crate::hist::{Exemplar, Log2Histogram, DEFAULT_EXEMPLAR_CAPACITY};
+use crate::ring::Recorder;
 
 /// A metrics registry.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +44,18 @@ impl Registry {
             .entry(name.to_string())
             .or_default()
             .record(v);
+    }
+
+    /// Records `v` into histogram `name` tagged with a correlation id.
+    /// The first tagged record turns on exemplar retention
+    /// ([`DEFAULT_EXEMPLAR_CAPACITY`]) for that histogram, so a fat
+    /// bucket in any snapshot links back to concrete request ids.
+    pub fn observe_tagged(&mut self, name: &str, v: Cycles, corr: u64) {
+        let h = self.histograms.entry(name.to_string()).or_default();
+        if h.exemplar_capacity() == 0 {
+            h.set_exemplar_capacity(DEFAULT_EXEMPLAR_CAPACITY);
+        }
+        h.record_tagged(v, corr);
     }
 
     /// The current value of counter `name` (0 if absent).
@@ -80,6 +94,41 @@ impl Registry {
         }
     }
 
+    /// Surfaces a recorder's trace-loss accounting as absolute
+    /// counters under `trace.*` — the registry-side mirror of the
+    /// rings' exact drop counts, so every snapshot (and through
+    /// `snapshot_json`, every results document) says whether its trace
+    /// data is complete. Absolute values, like [`Registry::record_pmu`],
+    /// so [`Snapshot::diff`] scopes them to a region.
+    pub fn record_trace_loss(&mut self, rec: &Recorder) {
+        let stats = rec.sample_stats();
+        let fields: [(&str, u64); 6] = [
+            ("events_recorded", rec.recorded()),
+            ("events_dropped", rec.dropped()),
+            ("samples_taken", stats.taken),
+            ("samples_dropped", stats.dropped),
+            ("samples_poisoned", stats.poisoned),
+            ("sampler_broken_events", stats.broken_events),
+        ];
+        for (field, v) in fields {
+            self.counters.insert(format!("trace.{field}"), v);
+        }
+    }
+
+    /// Surfaces a rendered Chrome-trace export's truncation accounting
+    /// as `trace.export_*` counters (absolute, latest-wins).
+    pub fn record_export(&mut self, trace: &ChromeTrace) {
+        let fields: [(&str, u64); 4] = [
+            ("export_events", trace.events),
+            ("export_dropped", trace.dropped),
+            ("export_unmatched", trace.unmatched),
+            ("export_truncated", trace.truncated as u64),
+        ];
+        for (field, v) in fields {
+            self.counters.insert(format!("trace.{field}"), v);
+        }
+    }
+
     /// A point-in-time copy of everything recorded.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -89,6 +138,12 @@ impl Registry {
                 .histograms
                 .iter()
                 .map(|(k, h)| (k.clone(), HistSummary::of(h)))
+                .collect(),
+            exemplars: self
+                .histograms
+                .iter()
+                .filter(|(_, h)| h.exemplar_capacity() != 0)
+                .map(|(k, h)| (k.clone(), h.exemplars()))
                 .collect(),
         }
     }
@@ -137,6 +192,9 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries at snapshot time.
     pub histograms: BTreeMap<String, HistSummary>,
+    /// Retained exemplars per histogram (only histograms with retention
+    /// on appear; oldest first).
+    pub exemplars: BTreeMap<String, Vec<Exemplar>>,
 }
 
 impl Snapshot {
@@ -156,6 +214,7 @@ impl Snapshot {
             counters,
             gauges: self.gauges.clone(),
             histograms: self.histograms.clone(),
+            exemplars: self.exemplars.clone(),
         }
     }
 
@@ -222,6 +281,66 @@ mod tests {
         let d = r.snapshot().diff(&before);
         assert_eq!(d.counter("core0.vmfuncs"), 8);
         assert_eq!(d.counter("core0.dtlb_misses"), 0);
+    }
+
+    #[test]
+    fn tagged_observations_surface_exemplars_in_snapshots() {
+        let mut r = Registry::new();
+        r.observe("latency", 5); // Untagged first: no retention yet.
+        for i in 0..20u64 {
+            r.observe_tagged("latency", 1000 + i, 100 + i);
+        }
+        let s = r.snapshot();
+        let ex = s.exemplars.get("latency").expect("retention turned on");
+        assert_eq!(ex.len(), DEFAULT_EXEMPLAR_CAPACITY);
+        assert_eq!(ex.last().unwrap().corr, 119, "newest tag retained");
+        assert!(
+            !s.exemplars.contains_key("untagged"),
+            "histograms without retention stay out of the exemplar map"
+        );
+        assert_eq!(s.histograms["latency"].count, 21);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_loss_counters_mirror_the_recorder() {
+        use crate::ring::SpanKind;
+
+        let mut r = Registry::new();
+        let rec = Recorder::new(2);
+        rec.enable_sampling(crate::profiler::SamplerConfig {
+            period: 10,
+            capacity: 1,
+            backend: "test".into(),
+        });
+        for i in 0..4u64 {
+            rec.span(0, SpanKind::Call, i * 100, i * 100 + 50, i);
+        }
+        r.record_trace_loss(&rec);
+        let s = r.snapshot();
+        assert_eq!(s.counter("trace.events_recorded"), 4);
+        assert_eq!(s.counter("trace.events_dropped"), 2);
+        assert_eq!(s.counter("trace.samples_taken"), 20);
+        assert_eq!(s.counter("trace.samples_dropped"), 19);
+        assert_eq!(s.counter("trace.samples_poisoned"), 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn export_truncation_counters_land_under_trace() {
+        use crate::export::chrome_trace;
+        use crate::ring::SpanKind;
+
+        let mut r = Registry::new();
+        let rec = Recorder::new(4);
+        for i in 0..8u64 {
+            rec.span(0, SpanKind::Call, i * 10, i * 10 + 5, i);
+        }
+        r.record_export(&chrome_trace(&rec));
+        let s = r.snapshot();
+        assert_eq!(s.counter("trace.export_events"), 4);
+        assert_eq!(s.counter("trace.export_dropped"), 4);
+        assert_eq!(s.counter("trace.export_truncated"), 1);
     }
 
     #[test]

@@ -54,6 +54,20 @@ impl PhaseProfile {
         self.phases.values().sum()
     }
 
+    /// Accumulates another profile's totals into this one — the fold
+    /// step of a chunked capture, where each harvested window is
+    /// attributed while it still fits a ring and an arbitrarily long
+    /// run gets an exact profile from bounded memory.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for (phase, cycles) in &other.phases {
+            *self.phases.entry(phase).or_insert(0) += cycles;
+        }
+        self.calls += other.calls;
+        self.end_to_end += other.end_to_end;
+        self.unmatched += other.unmatched;
+        self.unclosed += other.unclosed;
+    }
+
     /// Self-cycles of the phases nested inside calls (everything except
     /// the wait states — queue wait, backoff, ring wait — and the
     /// doorbell crossing shared across a ring batch) — the sum the
@@ -294,6 +308,30 @@ mod tests {
         assert_eq!(validate_nesting(&ok), Ok(2));
         let open = vec![b(0, SpanKind::Call)];
         assert!(validate_nesting(&open).unwrap_err().contains("left open"));
+    }
+
+    #[test]
+    fn merge_equals_attributing_one_stream() {
+        let chunk1 = vec![
+            b(0, SpanKind::Call),
+            b(10, SpanKind::Handler),
+            e(60, SpanKind::Handler),
+            e(100, SpanKind::Call),
+        ];
+        let chunk2 = vec![
+            b(100, SpanKind::Call),
+            b(100, SpanKind::Switch),
+            e(120, SpanKind::Switch),
+            e(150, SpanKind::Call),
+        ];
+        let whole: Vec<Event> = chunk1.iter().chain(chunk2.iter()).copied().collect();
+        let mut merged = attribute(&[chunk1]);
+        merged.merge(&attribute(&[chunk2]));
+        let one = attribute(&[whole]);
+        assert_eq!(merged.calls, one.calls);
+        assert_eq!(merged.end_to_end, one.end_to_end);
+        assert_eq!(merged.phases, one.phases);
+        assert_eq!(merged.in_call_total(), one.in_call_total());
     }
 
     #[test]

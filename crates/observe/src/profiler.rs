@@ -1,0 +1,961 @@
+//! Statistical cycle-sampling: a deterministic sampling profiler riding
+//! the span stream, flamegraph folding, and the sampled-vs-exact gate.
+//!
+//! The exact [`PhaseProfile`](crate::phase::PhaseProfile) answers "where
+//! did this run's cycles go" only while every event of the window fits a
+//! ring; a long run overwrites its history and the answer silently
+//! shrinks to the tail. The sampler answers the same question with fixed
+//! memory over any horizon: the [`Recorder`](crate::ring::Recorder)
+//! already sees every span boundary, so it can maintain a per-lane
+//! current-span stack and, on a fixed grid of the lane's simulated cycle
+//! clock (every [`SamplerConfig::period`] cycles), record one
+//! [`Sample`] — `(lane, tenant, span stack)` — into a bounded ring with
+//! exact loss accounting.
+//!
+//! Because the grid is deterministic, a sample point lands in a span
+//! exactly when the span covers that cycle, so the expected share of
+//! samples whose **innermost** frame is phase *k* equals *k*'s
+//! self-time share — the quantity the exact profile measures. That
+//! identity is this module's correctness gate
+//! ([`compare_shares`]): sampled shares must track exact shares within
+//! a relative tolerance for every phase that matters. The default
+//! period is prime so the grid cannot alias against the near-periodic
+//! call durations the simulator produces.
+//!
+//! Two grids per lane, because wait spans are emitted retroactively
+//! (queue wait is stamped at service start, covering a wait that
+//! overlaps earlier calls in lane time): the **main grid** covers the
+//! forward-ordered call stream, the **wait grid** covers the wait spans
+//! on their own cursor — the same split the Perfetto exporter makes
+//! with its per-lane wait track.
+//!
+//! The sampler never guesses: a stack deeper than a sample can hold, or
+//! an event stream the state machine cannot reconcile, poisons the
+//! affected samples instead of truncating them silently.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sb_sim::Cycles;
+
+use crate::phase::PhaseProfile;
+use crate::ring::{Event, EventKind, SpanKind};
+
+/// Default sampling period in simulated cycles. Prime, so the fixed
+/// grid cannot phase-lock onto call durations (a 4096-cycle period
+/// against a 1024-cycle call would sample the same offset forever).
+pub const DEFAULT_SAMPLE_PERIOD: Cycles = 4093;
+
+/// Default sample-ring capacity.
+pub const DEFAULT_SAMPLE_CAPACITY: usize = 1 << 16;
+
+/// Frames a [`Sample`] can hold. Deeper stacks poison the sample
+/// rather than truncate it — see [`Sample::poisoned`].
+pub const MAX_SAMPLE_DEPTH: usize = 8;
+
+/// Sampler configuration, passed to
+/// [`Recorder::enable_sampling`](crate::ring::Recorder::enable_sampling).
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Grid spacing in simulated cycles (clamped to ≥ 1). Keep it prime.
+    pub period: Cycles,
+    /// Sample-ring capacity (clamped to ≥ 1); a full ring overwrites
+    /// the oldest sample and counts it in [`SampleStats::dropped`].
+    pub capacity: usize,
+    /// The transport personality label folded into flamegraph roots
+    /// (`backend;frame;frame count`).
+    pub backend: String,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            period: DEFAULT_SAMPLE_PERIOD,
+            capacity: DEFAULT_SAMPLE_CAPACITY,
+            backend: String::new(),
+        }
+    }
+}
+
+/// One sample: the span stack live on a lane at one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// The lane (simulated core) the grid point landed on.
+    pub lane: u16,
+    /// The tenant the lane was serving, per the latest
+    /// [`note_tenant`](crate::ring::Recorder::note_tenant) (0 when
+    /// nothing was noted).
+    pub tenant: u16,
+    /// Valid frames in `stack`.
+    pub depth: u8,
+    /// Nonzero when the sample is poisoned (stack deeper than
+    /// [`MAX_SAMPLE_DEPTH`], or the lane's span stream desynchronised);
+    /// a poisoned sample's frames must not be trusted.
+    pub flags: u8,
+    /// Span-kind codes ([`SpanKind::code`]), outermost first.
+    pub stack: [u8; MAX_SAMPLE_DEPTH],
+}
+
+const FLAG_POISONED: u8 = 1;
+
+impl Sample {
+    /// The frames, outermost first (empty when poisoned past repair).
+    pub fn frames(&self) -> impl Iterator<Item = SpanKind> + '_ {
+        self.stack[..self.depth as usize]
+            .iter()
+            .filter_map(|&c| SpanKind::from_code(c))
+    }
+
+    /// The innermost frame — the phase this sampled cycle is charged
+    /// to, mirroring the exact profile's self-time attribution.
+    pub fn leaf(&self) -> Option<SpanKind> {
+        if self.depth == 0 {
+            return None;
+        }
+        SpanKind::from_code(self.stack[self.depth as usize - 1])
+    }
+
+    /// Whether the stack cannot be trusted.
+    pub fn poisoned(&self) -> bool {
+        self.flags & FLAG_POISONED != 0
+    }
+
+    /// Whether the sample landed inside a `Call` span (the in-call
+    /// population the sampled-vs-exact gate compares).
+    pub fn in_call(&self) -> bool {
+        !self.poisoned() && self.frames().any(|k| k == SpanKind::Call)
+    }
+}
+
+/// Exact sampler accounting, immune to sample-ring overwrite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Samples ever taken (pushed into the ring).
+    pub taken: u64,
+    /// Samples lost to ring overwrite — `taken` minus what
+    /// [`samples`](crate::ring::Recorder::samples) and prior drains
+    /// returned.
+    pub dropped: u64,
+    /// Grid points that landed outside any span (lane idle). Counted,
+    /// never stored: idle is not a phase.
+    pub idle_points: u64,
+    /// Poisoned samples among `taken`.
+    pub poisoned: u64,
+    /// Events the state machine could not reconcile (unmatched ends,
+    /// out-of-order begins); each taints its lane until the stack
+    /// drains empty.
+    pub broken_events: u64,
+}
+
+/// A bounded overwrite-oldest sample ring with drain support: unlike
+/// the event ring, samples are harvested incrementally over a long
+/// run, so loss accounting must survive a drain.
+#[derive(Debug, Default)]
+struct SampleRing {
+    buf: Vec<Sample>,
+    capacity: usize,
+    head: usize,
+    pushed: u64,
+    drained: u64,
+}
+
+impl SampleRing {
+    fn new(capacity: usize) -> Self {
+        SampleRing {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            pushed: 0,
+            drained: 0,
+        }
+    }
+
+    fn push(&mut self, s: Sample) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(s);
+        } else {
+            self.buf[self.head] = s;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+        }
+        self.pushed += 1;
+    }
+
+    fn dropped(&self) -> u64 {
+        self.pushed - self.drained - self.buf.len() as u64
+    }
+
+    fn ordered(&self) -> Vec<Sample> {
+        let start = if self.buf.len() < self.capacity {
+            0
+        } else {
+            self.head
+        };
+        self.buf[start..]
+            .iter()
+            .chain(self.buf[..start].iter())
+            .copied()
+            .collect()
+    }
+
+    fn drain(&mut self) -> Vec<Sample> {
+        let out = self.ordered();
+        self.drained += out.len() as u64;
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+}
+
+/// Frames the per-lane tracker stores inline. Deeper nesting is
+/// counted (so depth accounting and drains stay exact) but the frames
+/// themselves are unknowable, which taints the lane — never guess.
+const TRACK_DEPTH: usize = 16;
+
+/// The live span stack, inline and heap-free: the emit hot path pushes
+/// and pops on every span boundary, so the frames live directly inside
+/// the lane's track rather than behind a `Vec`'s pointer.
+#[derive(Debug, Default)]
+pub(crate) struct FrameStack {
+    /// Frames held in `buf`.
+    len: u8,
+    /// Frames pushed beyond [`TRACK_DEPTH`] (counted, not stored).
+    over: u8,
+    /// Span-kind codes, innermost last.
+    buf: [u8; TRACK_DEPTH],
+}
+
+impl FrameStack {
+    #[inline]
+    pub(crate) fn push(&mut self, kind: SpanKind) {
+        if (self.len as usize) < TRACK_DEPTH {
+            self.buf[self.len as usize] = kind.code();
+            self.len += 1;
+        } else {
+            self.over = self.over.saturating_add(1);
+        }
+    }
+
+    /// Drops the innermost frame (overflowed frames first).
+    #[inline]
+    pub(crate) fn pop(&mut self) {
+        if self.over > 0 {
+            self.over -= 1;
+        } else if self.len > 0 {
+            self.len -= 1;
+        }
+    }
+
+    /// The innermost frame, or `None` when empty — or when the top
+    /// overflowed the store and is unknowable (callers treat that as a
+    /// mismatch and poison rather than guess).
+    #[inline]
+    pub(crate) fn last(&self) -> Option<SpanKind> {
+        if self.over > 0 || self.len == 0 {
+            None
+        } else {
+            SpanKind::from_code(self.buf[self.len as usize - 1])
+        }
+    }
+
+    /// True nesting depth, including overflowed frames.
+    #[inline]
+    pub(crate) fn depth(&self) -> usize {
+        self.len as usize + self.over as usize
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0 && self.over == 0
+    }
+
+    /// The stored frame codes, outermost first.
+    fn codes(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+/// Per-lane sampler state: the live span stack and the two grid
+/// cursors. Lives inside the recorder's per-lane track (next to the
+/// lane's event ring) so the emit hot path reaches it through the
+/// borrow it already holds — the shared [`Sampler`] is only borrowed
+/// when a grid point is actually crossed.
+#[derive(Debug, Default)]
+pub(crate) struct LaneSampler {
+    pub(crate) stack: FrameStack,
+    /// Set by an irreconcilable event; poisons samples until the stack
+    /// drains empty (the next clean top-level boundary resynchronises).
+    pub(crate) tainted: bool,
+    /// Lane time covered so far on the main (call) grid.
+    pub(crate) cursor: Cycles,
+    /// Next main-grid point (a multiple of the period).
+    pub(crate) next: Cycles,
+    /// Next wait-grid point.
+    pub(crate) wait_next: Cycles,
+    pub(crate) tenant: u16,
+    /// Events this lane's state machine could not reconcile.
+    pub(crate) broken_events: u64,
+}
+
+/// The sampler the [`Recorder`](crate::ring::Recorder) drives from its
+/// emit path: the shared half (grid period, sample ring, accounting);
+/// the per-lane half is [`LaneSampler`].
+#[derive(Debug)]
+pub(crate) struct Sampler {
+    period: Cycles,
+    backend: String,
+    ring: SampleRing,
+    idle_points: u64,
+    poisoned: u64,
+}
+
+fn is_wait(kind: SpanKind) -> bool {
+    matches!(
+        kind,
+        SpanKind::QueueWait | SpanKind::Backoff | SpanKind::RingWait
+    )
+}
+
+impl Sampler {
+    pub(crate) fn new(config: SamplerConfig) -> Self {
+        Sampler {
+            period: config.period.max(1),
+            ring: SampleRing::new(config.capacity),
+            backend: config.backend,
+            idle_points: 0,
+            poisoned: 0,
+        }
+    }
+
+    pub(crate) fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// First grid point at or after `t`.
+    fn grid_at(&self, t: Cycles) -> Cycles {
+        t.div_ceil(self.period) * self.period
+    }
+
+    fn record(ring: &mut SampleRing, poisoned_total: &mut u64, lane: usize, ls: &LaneSampler) {
+        let deep = ls.stack.depth() > MAX_SAMPLE_DEPTH;
+        let poisoned = ls.tainted || deep;
+        let mut s = Sample {
+            lane: lane.min(u16::MAX as usize) as u16,
+            tenant: ls.tenant,
+            depth: 0,
+            flags: if poisoned { FLAG_POISONED } else { 0 },
+            stack: [0; MAX_SAMPLE_DEPTH],
+        };
+        if !poisoned {
+            let codes = ls.stack.codes();
+            s.stack[..codes.len()].copy_from_slice(codes);
+            s.depth = codes.len() as u8;
+        } else {
+            *poisoned_total += 1;
+        }
+        ring.push(s);
+    }
+
+    /// Advances the main grid to `t`, attributing every crossed grid
+    /// point to the lane's current stack (or counting it idle). Callers
+    /// on the emit path reach this only when a grid point was actually
+    /// crossed ([`drive`] filters the common nothing-to-do case without
+    /// borrowing the sampler at all).
+    fn advance_main(&mut self, lane: usize, ls: &mut LaneSampler, t: Cycles) {
+        let period = self.period;
+        if t <= ls.cursor {
+            return;
+        }
+        if ls.next < ls.cursor {
+            ls.next = ls.cursor.div_ceil(period) * period;
+        }
+        if ls.stack.is_empty() && !ls.tainted {
+            // Idle stretch: count the grid points arithmetically, no
+            // per-point work (this is the common inter-call path).
+            if ls.next < t {
+                let n = (t - 1 - ls.next) / period + 1;
+                self.idle_points += n;
+                ls.next += n * period;
+            }
+        } else {
+            while ls.next < t {
+                Self::record(&mut self.ring, &mut self.poisoned, lane, ls);
+                ls.next += period;
+            }
+        }
+        ls.cursor = t;
+    }
+
+    /// Samples a retroactive wait span `[t0, t1)` of `kind` on the wait
+    /// grid. Wait spans overlap each other (two queued requests wait
+    /// through the same cycles); a forward-only cursor samples each
+    /// wait-grid point at most once, attributed to the first span
+    /// processed over it.
+    fn advance_wait(
+        &mut self,
+        lane: usize,
+        ls: &mut LaneSampler,
+        kind: SpanKind,
+        t0: Cycles,
+        t1: Cycles,
+    ) {
+        let period = self.period;
+        let first = self.grid_at(t0);
+        let start = ls.wait_next.max(first);
+        let mut p = start;
+        while p < t1 {
+            let mut s = Sample {
+                lane: lane.min(u16::MAX as usize) as u16,
+                tenant: ls.tenant,
+                depth: 1,
+                flags: 0,
+                stack: [0; MAX_SAMPLE_DEPTH],
+            };
+            s.stack[0] = kind.code();
+            self.ring.push(s);
+            p += period;
+        }
+        if p != start {
+            // Only consumed points advance the cursor: a short span
+            // between grid points must not swallow a later span's
+            // point.
+            ls.wait_next = p;
+        }
+    }
+
+    pub(crate) fn samples(&self) -> Vec<Sample> {
+        self.ring.ordered()
+    }
+
+    pub(crate) fn drain(&mut self) -> Vec<Sample> {
+        self.ring.drain()
+    }
+
+    /// Exact accounting; `broken_events` is summed by the recorder from
+    /// the per-lane state it owns.
+    pub(crate) fn stats(&self, broken_events: u64) -> SampleStats {
+        SampleStats {
+            taken: self.ring.pushed,
+            dropped: self.ring.dropped(),
+            idle_points: self.idle_points,
+            poisoned: self.poisoned,
+            broken_events,
+        }
+    }
+
+    /// Resets samples and accounting; keeps the configuration. The
+    /// recorder resets the per-lane cursors alongside.
+    pub(crate) fn reset(&mut self) {
+        let capacity = self.ring.capacity;
+        self.ring = SampleRing::new(capacity);
+        self.idle_points = 0;
+        self.poisoned = 0;
+    }
+}
+
+/// Drives the sampler for one emitted event, in emit order.
+///
+/// This is the emit hot path: the per-lane state comes in through the
+/// borrow the event push already paid for, so the common case — no
+/// grid point crossed — is two compares and a stack push/pop, without
+/// touching the shared sampler's `RefCell` at all. The cell is
+/// borrowed only on a grid crossing (every `period` cycles) or for a
+/// retroactive wait span.
+#[inline]
+pub(crate) fn drive(
+    cell: &std::cell::RefCell<Option<Sampler>>,
+    lane: usize,
+    ls: &mut LaneSampler,
+    ev: &Event,
+) {
+    match ev.kind {
+        EventKind::Begin(kind) => {
+            advance(cell, lane, ls, ev.t);
+            ls.stack.push(kind);
+        }
+        EventKind::End(kind) => {
+            advance(cell, lane, ls, ev.t);
+            match ls.stack.last() {
+                Some(top) if top == kind => {
+                    ls.stack.pop();
+                    if ls.stack.is_empty() {
+                        // A clean top-level close resynchronises a
+                        // tainted lane.
+                        ls.tainted = false;
+                    }
+                }
+                _ => {
+                    // An end with no matching open span: the stream
+                    // desynchronised (ring overwrite upstream or an
+                    // instrumentation bug). Never guess — poison
+                    // until the stack drains.
+                    ls.tainted = true;
+                    ls.broken_events += 1;
+                }
+            }
+        }
+        EventKind::Complete(kind, dur) => {
+            let t1 = ev.t + dur as Cycles;
+            // A leaf wholly inside the current grid interval can never
+            // be sampled: just move the cursor forward. Tainted lanes
+            // fall through so resync stays on one path.
+            if !is_wait(kind) && t1 <= ls.next && !ls.tainted {
+                if t1 > ls.cursor {
+                    ls.cursor = t1;
+                }
+                return;
+            }
+            complete_slow(cell, lane, ls, kind, ev.t, t1);
+        }
+        EventKind::Instant(_) => advance(cell, lane, ls, ev.t),
+    }
+}
+
+/// The grid-advance fast path: nothing to do unless `t` crosses the
+/// lane's next grid point.
+#[inline]
+fn advance(
+    cell: &std::cell::RefCell<Option<Sampler>>,
+    lane: usize,
+    ls: &mut LaneSampler,
+    t: Cycles,
+) {
+    if t <= ls.cursor {
+        return;
+    }
+    if t <= ls.next {
+        ls.cursor = t;
+        return;
+    }
+    flush(cell, lane, ls, t);
+}
+
+#[cold]
+fn flush(cell: &std::cell::RefCell<Option<Sampler>>, lane: usize, ls: &mut LaneSampler, t: Cycles) {
+    if let Some(s) = cell.borrow_mut().as_mut() {
+        s.advance_main(lane, ls, t);
+    }
+}
+
+/// The grid-crossing (or tainted / wait) half of `Complete` handling:
+/// glue up to the leaf's start belongs to the enclosing stack, the
+/// leaf's extent to stack + leaf.
+#[cold]
+fn complete_slow(
+    cell: &std::cell::RefCell<Option<Sampler>>,
+    lane: usize,
+    ls: &mut LaneSampler,
+    kind: SpanKind,
+    t0: Cycles,
+    t1: Cycles,
+) {
+    if is_wait(kind) {
+        if let Some(s) = cell.borrow_mut().as_mut() {
+            s.advance_wait(lane, ls, kind, t0, t1);
+        }
+        return;
+    }
+    advance(cell, lane, ls, t0);
+    ls.stack.push(kind);
+    advance(cell, lane, ls, t1);
+    ls.stack.pop();
+    if ls.stack.is_empty() {
+        ls.tainted = false;
+    }
+}
+
+// --- folding -------------------------------------------------------------
+
+/// The poisoned-sample frame in folded output.
+pub const POISONED_FRAME: &str = "(poisoned)";
+
+fn stack_key(backend: &str, sample: &Sample) -> String {
+    let mut key = String::from(backend);
+    if sample.poisoned() {
+        key.push(';');
+        key.push_str(POISONED_FRAME);
+        return key;
+    }
+    for f in sample.frames() {
+        key.push(';');
+        key.push_str(f.name());
+    }
+    key
+}
+
+/// Folds samples into collapsed-stack counts keyed
+/// `backend;frame;...;frame`. Idle samples never exist (idle grid
+/// points are only counted), and poisoned samples fold under
+/// [`POISONED_FRAME`] so loss of attribution stays visible.
+pub fn fold_samples<'a>(
+    samples: impl IntoIterator<Item = &'a Sample>,
+    backend: &str,
+) -> BTreeMap<String, u64> {
+    let mut folds = BTreeMap::new();
+    for s in samples {
+        if s.depth == 0 && !s.poisoned() {
+            continue;
+        }
+        *folds.entry(stack_key(backend, s)).or_insert(0) += 1;
+    }
+    folds
+}
+
+/// Folds samples per tenant (same keys as [`fold_samples`]).
+pub fn fold_samples_by_tenant<'a>(
+    samples: impl IntoIterator<Item = &'a Sample>,
+    backend: &str,
+) -> BTreeMap<u16, BTreeMap<String, u64>> {
+    let mut by_tenant: BTreeMap<u16, BTreeMap<String, u64>> = BTreeMap::new();
+    for s in samples {
+        if s.depth == 0 && !s.poisoned() {
+            continue;
+        }
+        *by_tenant
+            .entry(s.tenant)
+            .or_default()
+            .entry(stack_key(backend, s))
+            .or_insert(0) += 1;
+    }
+    by_tenant
+}
+
+/// Renders folds as collapsed-stack text (`stack count` per line) — the
+/// format `flamegraph.pl` and speedscope ingest directly.
+pub fn collapsed_lines(folds: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (stack, count) in folds {
+        let _ = writeln!(out, "{stack} {count}");
+    }
+    out
+}
+
+// --- the sampled-vs-exact gate -------------------------------------------
+
+/// One phase's exact-vs-sampled share, from [`compare_shares`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShareComparison {
+    /// The phase name.
+    pub phase: &'static str,
+    /// Exact self-time share of in-call cycles.
+    pub exact: f64,
+    /// Sampled leaf share of in-call samples.
+    pub sampled: f64,
+}
+
+/// In-call sampled leaf shares: for each phase, the fraction of
+/// unpoisoned in-call samples whose innermost frame is that phase.
+pub fn sampled_shares(samples: &[Sample]) -> BTreeMap<&'static str, f64> {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for s in samples {
+        if !s.in_call() {
+            continue;
+        }
+        let leaf = s.leaf().expect("in_call implies depth > 0");
+        *counts.entry(leaf.name()).or_insert(0) += 1;
+        total += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, n)| (k, n as f64 / total.max(1) as f64))
+        .collect()
+}
+
+/// The profiler's correctness gate: every in-call phase whose exact
+/// self-time share is at least `min_share` must be sampled within
+/// `tolerance` (relative) of that share. One sample's weight of
+/// absolute slack rides on top, so a phase sitting exactly at the
+/// threshold cannot fail on quantisation alone.
+///
+/// Wait phases (queue wait, backoff, ring wait) and the doorbell
+/// crossing are outside the in-call population on both sides, mirroring
+/// [`PhaseProfile::in_call_total`].
+pub fn compare_shares(
+    samples: &[Sample],
+    exact: &PhaseProfile,
+    min_share: f64,
+    tolerance: f64,
+) -> Result<Vec<ShareComparison>, String> {
+    let in_call = exact.in_call_total();
+    if in_call == 0 {
+        return Err("no in-call cycles in the exact profile".to_string());
+    }
+    let n: u64 = samples.iter().filter(|s| s.in_call()).count() as u64;
+    if n == 0 {
+        return Err("no in-call samples".to_string());
+    }
+    let sampled = sampled_shares(samples);
+    let quantum = 1.0 / n as f64;
+    let mut out = Vec::new();
+    let mut failures = Vec::new();
+    for kind in SpanKind::ALL {
+        if is_wait(kind) || kind == SpanKind::Doorbell {
+            continue;
+        }
+        let exact_share = exact.get(kind) as f64 / in_call as f64;
+        let sampled_share = sampled.get(kind.name()).copied().unwrap_or(0.0);
+        if exact_share < min_share {
+            continue;
+        }
+        out.push(ShareComparison {
+            phase: kind.name(),
+            exact: exact_share,
+            sampled: sampled_share,
+        });
+        let err = (sampled_share - exact_share).abs();
+        if err > exact_share * tolerance + quantum {
+            failures.push(format!(
+                "{}: sampled {:.3} vs exact {:.3} ({:+.1}% relative, tolerance {:.0}%)",
+                kind.name(),
+                sampled_share,
+                exact_share,
+                (sampled_share / exact_share - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Recorder;
+
+    fn sampling_recorder(period: Cycles, capacity: usize) -> Recorder {
+        let r = Recorder::new(1 << 12);
+        r.enable_sampling(SamplerConfig {
+            period,
+            capacity,
+            backend: "test".to_string(),
+        });
+        r
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn samples_land_on_the_grid_with_self_time_attribution() {
+        // period 10; call [5, 95) with a handler [20, 60): grid points
+        // 10..90. Points in [20,60) are handler leaves, the rest call
+        // glue.
+        let r = sampling_recorder(10, 1 << 8);
+        r.begin(0, SpanKind::Call, 5, 1);
+        r.span(0, SpanKind::Handler, 20, 60, 1);
+        r.end(0, SpanKind::Call, 95, 1);
+        let samples = r.samples();
+        assert_eq!(samples.len(), 9, "grid points 10..=90");
+        let handler = samples
+            .iter()
+            .filter(|s| s.leaf() == Some(SpanKind::Handler))
+            .count();
+        let glue = samples
+            .iter()
+            .filter(|s| s.leaf() == Some(SpanKind::Call))
+            .count();
+        assert_eq!(handler, 4, "points 20,30,40,50");
+        assert_eq!(glue, 5, "points 10,60,70,80,90");
+        assert!(samples.iter().all(|s| s.in_call()));
+        assert_eq!(r.sample_stats().idle_points, 1, "point 0 was idle");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn idle_gaps_are_counted_not_stored() {
+        let r = sampling_recorder(10, 1 << 8);
+        r.span(0, SpanKind::Call, 100, 120, 1);
+        r.span(0, SpanKind::Call, 500, 520, 2);
+        let stats = r.sample_stats();
+        // Grid points 100,110 in the first call; 500,510 in the second;
+        // 0..100 and 120..500 idle (10 + 38 points).
+        assert_eq!(stats.taken, 4);
+        assert_eq!(stats.idle_points, 48);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn wait_spans_sample_on_their_own_grid() {
+        let r = sampling_recorder(10, 1 << 8);
+        // A call [0,40) on the main grid, then a retroactive queue wait
+        // [5, 35) — overlapping the call in lane time.
+        r.span(0, SpanKind::Call, 0, 40, 1);
+        r.span(0, SpanKind::QueueWait, 5, 35, 2);
+        let samples = r.samples();
+        let wait: Vec<_> = samples
+            .iter()
+            .filter(|s| s.leaf() == Some(SpanKind::QueueWait))
+            .collect();
+        assert_eq!(wait.len(), 3, "wait points 10,20,30");
+        let call = samples
+            .iter()
+            .filter(|s| s.leaf() == Some(SpanKind::Call))
+            .count();
+        assert_eq!(call, 4, "main points 0,10,20,30");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn overlapping_waits_sample_each_point_once() {
+        let r = sampling_recorder(10, 1 << 8);
+        r.span(0, SpanKind::QueueWait, 0, 50, 1);
+        r.span(0, SpanKind::QueueWait, 20, 100, 2);
+        let n = r.samples().len();
+        assert_eq!(n, 10, "0..100 on one forward-only wait cursor");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn deep_stacks_poison_instead_of_truncating() {
+        let r = sampling_recorder(10, 1 << 8);
+        for _ in 0..(MAX_SAMPLE_DEPTH + 1) {
+            r.begin(0, SpanKind::Call, 0, 1);
+        }
+        // Long enough to cross grid points with the over-deep stack.
+        r.instant(0, crate::ring::InstantKind::Retry, 100, 1);
+        let samples = r.samples();
+        assert!(!samples.is_empty());
+        assert!(
+            samples.iter().all(|s| s.poisoned() && s.depth == 0),
+            "a stack deeper than a sample can hold must poison, not guess"
+        );
+        assert_eq!(r.sample_stats().poisoned, samples.len() as u64);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn unmatched_end_taints_until_the_stack_drains() {
+        let r = sampling_recorder(10, 1 << 8);
+        r.begin(0, SpanKind::Call, 0, 1);
+        r.end(0, SpanKind::Handler, 15, 1); // Desync: nothing matches.
+        r.end(0, SpanKind::Call, 45, 1); // Stack drains; lane resyncs.
+        r.span(0, SpanKind::Call, 50, 95, 2); // Clean again.
+        let samples = r.samples();
+        let poisoned = samples.iter().filter(|s| s.poisoned()).count();
+        let clean = samples.iter().filter(|s| !s.poisoned()).count();
+        assert_eq!(poisoned, 3, "points 20,30,40 in the tainted window");
+        assert_eq!(clean, 7, "points 0,10 before and 50..90 after resync");
+        assert_eq!(r.sample_stats().broken_events, 1);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn capacity_one_ring_keeps_newest_with_exact_loss() {
+        let r = sampling_recorder(10, 1);
+        r.span(0, SpanKind::Call, 0, 1000, 1);
+        let stats = r.sample_stats();
+        assert_eq!(stats.taken, 100);
+        assert_eq!(stats.dropped, 99, "capacity 1 keeps exactly one");
+        assert_eq!(r.samples().len(), 1);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn drain_preserves_loss_accounting() {
+        let r = sampling_recorder(10, 4);
+        r.span(0, SpanKind::Call, 0, 100, 1); // 10 points into 4 slots.
+        let drained = r.drain_samples();
+        assert_eq!(drained.len(), 4);
+        let stats = r.sample_stats();
+        assert_eq!(stats.taken, 10);
+        assert_eq!(stats.dropped, 6, "drained samples are not dropped");
+        r.span(0, SpanKind::Call, 100, 140, 2);
+        let stats = r.sample_stats();
+        assert_eq!(stats.taken, 14);
+        assert_eq!(stats.dropped, 6, "post-drain samples fit");
+        assert_eq!(r.samples().len(), 4);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn folds_key_backend_stack_and_tenants_split() {
+        let r = sampling_recorder(10, 1 << 8);
+        r.note_tenant(0, 7);
+        r.begin(0, SpanKind::Call, 0, 1);
+        r.span(0, SpanKind::Handler, 0, 40, 1);
+        r.end(0, SpanKind::Call, 40, 1);
+        r.note_tenant(0, 9);
+        r.begin(0, SpanKind::Call, 40, 2);
+        r.span(0, SpanKind::Handler, 40, 80, 2);
+        r.end(0, SpanKind::Call, 80, 2);
+        let samples = r.samples();
+        let folds = fold_samples(&samples, "skybridge");
+        assert_eq!(folds.get("skybridge;call;handler"), Some(&8));
+        let by_tenant = fold_samples_by_tenant(&samples, "skybridge");
+        assert_eq!(by_tenant[&7]["skybridge;call;handler"], 4);
+        assert_eq!(by_tenant[&9]["skybridge;call;handler"], 4);
+        let text = collapsed_lines(&folds);
+        assert_eq!(text, "skybridge;call;handler 8\n");
+    }
+
+    #[test]
+    fn compare_shares_matches_and_flags_drift() {
+        // Build an exact profile and a perfectly proportional sample
+        // set, then distort it.
+        let mut exact = PhaseProfile::default();
+        exact.phases.insert(SpanKind::Handler.name(), 600);
+        exact.phases.insert(SpanKind::Switch.name(), 400);
+        exact.calls = 10;
+        exact.end_to_end = 1000;
+        let mk = |kinds: &[SpanKind]| {
+            let mut s = Sample {
+                lane: 0,
+                tenant: 0,
+                depth: kinds.len() as u8,
+                flags: 0,
+                stack: [0; MAX_SAMPLE_DEPTH],
+            };
+            for (i, k) in kinds.iter().enumerate() {
+                s.stack[i] = k.code();
+            }
+            s
+        };
+        let mut samples = Vec::new();
+        for _ in 0..60 {
+            samples.push(mk(&[SpanKind::Call, SpanKind::Handler]));
+        }
+        for _ in 0..40 {
+            samples.push(mk(&[SpanKind::Call, SpanKind::Switch]));
+        }
+        let cmp = compare_shares(&samples, &exact, 0.02, 0.10).expect("proportional set passes");
+        assert_eq!(cmp.len(), 2);
+        // Now skew: handler over-sampled far past 10%.
+        for _ in 0..40 {
+            samples.push(mk(&[SpanKind::Call, SpanKind::Handler]));
+        }
+        let err = compare_shares(&samples, &exact, 0.02, 0.10).unwrap_err();
+        assert!(err.contains("handler"), "{err}");
+    }
+
+    #[test]
+    fn poisoned_samples_are_excluded_from_shares_but_folded() {
+        let poisoned = Sample {
+            lane: 0,
+            tenant: 0,
+            depth: 0,
+            flags: FLAG_POISONED,
+            stack: [0; MAX_SAMPLE_DEPTH],
+        };
+        assert!(!poisoned.in_call());
+        let folds = fold_samples([&poisoned], "mpk");
+        assert_eq!(folds.get("mpk;(poisoned)"), Some(&1));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn clear_resets_sampler_state_and_accounting() {
+        let r = sampling_recorder(10, 1 << 8);
+        r.span(0, SpanKind::Call, 0, 100, 1);
+        assert!(r.sample_stats().taken > 0);
+        r.clear();
+        assert_eq!(r.sample_stats(), SampleStats::default());
+        assert!(r.sampling_enabled(), "clear keeps the configuration");
+        r.span(0, SpanKind::Call, 0, 50, 2);
+        assert_eq!(r.sample_stats().taken, 5, "grid restarts at zero");
+    }
+}

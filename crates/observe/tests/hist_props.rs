@@ -1,0 +1,166 @@
+//! Property tests for [`Log2Histogram`] at the extremes: quantiles on
+//! inputs spanning the full `u64` range (including 0 and `u64::MAX`)
+//! must stay bounded by the data and within the structure's advertised
+//! relative error, and the last-K exemplar ring must retain exactly
+//! the newest K tagged records — through shrinks, growth, and merges.
+
+use proptest::prelude::*;
+use sb_observe::{Exemplar, Log2Histogram, HIST_RELATIVE_ERROR};
+
+/// Values biased toward the histogram's edge cases: the exact
+/// sub-16 buckets, octave boundaries, and both ends of the range.
+fn edge_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(15u64),
+        Just(16u64),
+        Just(17u64),
+        Just(u64::MAX - 1),
+        Just(u64::MAX),
+        any::<u64>(),
+        0u64..1024,
+    ]
+}
+
+proptest! {
+    /// Every reported percentile is bounded below by the true value at
+    /// its rank and above by the structure's relative error — even
+    /// when the data sits at 0 or `u64::MAX`.
+    #[test]
+    fn percentiles_bound_their_rank_value(
+        values in proptest::collection::vec(edge_value(), 1..120),
+        ps in proptest::collection::vec(0u32..=100, 1..8),
+    ) {
+        let mut h = Log2Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &p in &ps {
+            let p = p as f64;
+            let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+            let truth = sorted[rank];
+            let got = h.percentile(p);
+            prop_assert!(got >= truth, "p{p}: reported {got} below true {truth}");
+            // The bucket's upper bound overshoots by at most one
+            // sub-bucket width (≤ truth/16); clamping to the observed
+            // max can only tighten it.
+            let bound = truth.saturating_add(
+                ((truth as f64) * HIST_RELATIVE_ERROR).ceil() as u64
+            );
+            prop_assert!(got <= bound, "p{p}: reported {got} above bound {bound}");
+        }
+    }
+
+    /// Percentiles are monotone in `p` and always inside `[min, max]`;
+    /// count/sum/min/max are exact whatever the input range.
+    #[test]
+    fn moments_are_exact_and_quantiles_monotone(
+        values in proptest::collection::vec(edge_value(), 1..120),
+    ) {
+        let mut h = Log2Histogram::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record(v);
+            sum += v as u128;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), sum);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        prop_assert!(h.mean().is_finite());
+        let mut last = h.percentile(0.0);
+        prop_assert!(last >= h.min());
+        for i in 1..=20 {
+            let q = h.percentile(i as f64 * 5.0);
+            prop_assert!(q >= last, "quantiles must be monotone");
+            last = q;
+        }
+        prop_assert!(last <= h.max().max(h.percentile(0.0)));
+        prop_assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    /// The exemplar ring holds exactly the newest K tagged records,
+    /// oldest first, with their correlation ids intact.
+    #[test]
+    fn exemplar_ring_retains_the_last_k(
+        records in proptest::collection::vec((edge_value(), any::<u64>()), 0..48),
+        k in 1usize..12,
+    ) {
+        let mut h = Log2Histogram::with_exemplars(k);
+        for &(v, corr) in &records {
+            h.record_tagged(v, corr);
+        }
+        let expect: Vec<Exemplar> = records
+            .iter()
+            .skip(records.len().saturating_sub(k))
+            .map(|&(value, corr)| Exemplar { corr, value })
+            .collect();
+        prop_assert_eq!(h.exemplars(), expect);
+        prop_assert_eq!(h.count(), records.len() as u64);
+    }
+
+    /// Merging replays the other side's exemplars as the newer records:
+    /// the result is the last K of (this side's retained ++ the other
+    /// side's retained), and the bucket moments add exactly.
+    #[test]
+    fn merge_replays_exemplars_as_newer(
+        a in proptest::collection::vec((edge_value(), any::<u64>()), 0..32),
+        b in proptest::collection::vec((edge_value(), any::<u64>()), 0..32),
+        k in 1usize..10,
+    ) {
+        let mut ha = Log2Histogram::with_exemplars(k);
+        let mut hb = Log2Histogram::with_exemplars(k);
+        for &(v, corr) in &a {
+            ha.record_tagged(v, corr);
+        }
+        for &(v, corr) in &b {
+            hb.record_tagged(v, corr);
+        }
+        let tail = |recs: &[(u64, u64)]| -> Vec<Exemplar> {
+            recs.iter()
+                .skip(recs.len().saturating_sub(k))
+                .map(|&(value, corr)| Exemplar { corr, value })
+                .collect()
+        };
+        let mut expect: Vec<Exemplar> = tail(&a);
+        expect.extend(tail(&b));
+        let expect: Vec<Exemplar> = expect
+            .iter()
+            .skip(expect.len().saturating_sub(k))
+            .copied()
+            .collect();
+        ha.merge(&hb);
+        prop_assert_eq!(ha.exemplars(), expect);
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// Capacity changes never fabricate: shrinking keeps the newest,
+    /// zero clears, and re-growing starts from what was kept.
+    #[test]
+    fn capacity_changes_keep_the_newest(
+        records in proptest::collection::vec((edge_value(), any::<u64>()), 1..40),
+        k in 2usize..10,
+    ) {
+        let mut h = Log2Histogram::with_exemplars(k);
+        for &(v, corr) in &records {
+            h.record_tagged(v, corr);
+        }
+        let before = h.exemplars();
+        let smaller = k / 2;
+        h.set_exemplar_capacity(smaller);
+        let kept = h.exemplars();
+        prop_assert_eq!(
+            kept.clone(),
+            before[before.len().saturating_sub(smaller)..].to_vec()
+        );
+        h.set_exemplar_capacity(0);
+        prop_assert!(h.exemplars().is_empty());
+        h.set_exemplar_capacity(k);
+        h.record_tagged(7, 42);
+        prop_assert_eq!(h.exemplars(), vec![Exemplar { corr: 42, value: 7 }]);
+        let _ = kept;
+    }
+}

@@ -208,6 +208,7 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
         self.transport.wait_until(l, req.arrival);
         let start = self.transport.now(l);
         let client = req.client;
+        self.cfg.recorder.note_tenant(l, req.tenant);
         if start > req.arrival {
             // Time between arrival and service start is queueing delay —
             // recorded against the serving lane, outside the call span.
@@ -233,11 +234,11 @@ impl<'a, T: Transport + ?Sized> ServerRuntime<'a, T> {
                 Ok(()) => {
                     let done = self.transport.now(l);
                     stats.completed += 1;
-                    stats.latencies.push(done - req.arrival);
+                    stats.latencies.push_tagged(done - req.arrival, req.id);
                     stats.busy[l] += done - start;
                     let ts = stats.tenant_mut(req.tenant);
                     ts.completed += 1;
-                    ts.latencies.push(done - req.arrival);
+                    ts.latencies.push_tagged(done - req.arrival, req.id);
                     if let Some(slo) = &self.cfg.slo {
                         slo.complete(done, done - req.arrival);
                     }

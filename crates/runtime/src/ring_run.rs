@@ -226,10 +226,10 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
             match c.result {
                 Ok(_) => {
                     stats.completed += 1;
-                    stats.latencies.push(now - req.arrival);
+                    stats.latencies.push_tagged(now - req.arrival, c.corr);
                     let ts = stats.tenant_mut(req.tenant);
                     ts.completed += 1;
-                    ts.latencies.push(now - req.arrival);
+                    ts.latencies.push_tagged(now - req.arrival, c.corr);
                     if let Some(slo) = &self.cfg.slo {
                         slo.complete(now, now - req.arrival);
                     }
@@ -367,6 +367,7 @@ impl<'a, T: Transport> RingRuntime<'a, T> {
                 continue;
             }
             let lane = self.pick_lane();
+            self.cfg.recorder.note_tenant(lane, req.tenant);
             let deadline = self.wire_deadline(t);
             // A tenant past its batch share is refused exactly like a
             // full ring — the slots it cannot take stay open for others.

@@ -36,6 +36,27 @@ impl LatencyTrack {
         self.hist.record(v);
     }
 
+    /// Records one latency sample tagged with a correlation id (the
+    /// request id), retaining it as a histogram exemplar so an outlier
+    /// percentile can be walked back to the concrete request — and from
+    /// there to its trace spans — instead of being an anonymous count.
+    /// The first tagged push turns exemplar retention on.
+    pub fn push_tagged(&mut self, v: Cycles, corr: u64) {
+        if self.exact.len() < EXACT_LATENCY_CAP {
+            self.exact.push(v);
+        }
+        if self.hist.exemplar_capacity() == 0 {
+            self.hist
+                .set_exemplar_capacity(sb_observe::DEFAULT_EXEMPLAR_CAPACITY);
+        }
+        self.hist.record_tagged(v, corr);
+    }
+
+    /// The retained `(request id, latency)` exemplars, oldest first.
+    pub fn exemplars(&self) -> Vec<sb_observe::Exemplar> {
+        self.hist.exemplars()
+    }
+
     /// Samples recorded (all of them, not just the exact prefix).
     pub fn len(&self) -> usize {
         self.hist.count() as usize

@@ -240,6 +240,43 @@ fn rings_json(rec: &Recorder, budget: usize) -> (Json, u64, u64, u64) {
     (j, included, truncated, ring_dropped)
 }
 
+/// The sampling profiler's view of the incident: collapsed-stack folds
+/// (overall and per tenant) plus the sampler's exact loss accounting,
+/// so a bundle is enough to draw the flamegraph of the window that
+/// breached — and to know how much of it the sampler could not see.
+fn flamegraph_json(rec: &Recorder) -> Json {
+    if !rec.sampling_enabled() {
+        return Json::Null;
+    }
+    let backend = rec.sampler_backend();
+    let samples = rec.samples();
+    let stats = rec.sample_stats();
+    let folds_json = |folds: &std::collections::BTreeMap<String, u64>| {
+        Json::Obj(
+            folds
+                .iter()
+                .map(|(stack, &n)| (stack.clone(), Json::U64(n)))
+                .collect(),
+        )
+    };
+    let folds = sb_observe::fold_samples(&samples, &backend);
+    let by_tenant = Json::Obj(
+        sb_observe::fold_samples_by_tenant(&samples, &backend)
+            .iter()
+            .map(|(tenant, folds)| (tenant.to_string(), folds_json(folds)))
+            .collect(),
+    );
+    Json::obj()
+        .field("backend", Json::Str(backend))
+        .field("taken", Json::U64(stats.taken))
+        .field("dropped", Json::U64(stats.dropped))
+        .field("idle_points", Json::U64(stats.idle_points))
+        .field("poisoned", Json::U64(stats.poisoned))
+        .field("broken_events", Json::U64(stats.broken_events))
+        .field("folds", folds_json(&folds))
+        .field("by_tenant", by_tenant)
+}
+
 fn snapshot_json(s: &Snapshot) -> Json {
     let counters = Json::Obj(
         s.counters
@@ -271,10 +308,30 @@ fn snapshot_json(s: &Snapshot) -> Json {
             })
             .collect(),
     );
+    let exemplars = Json::Obj(
+        s.exemplars
+            .iter()
+            .map(|(k, exs)| {
+                (
+                    k.clone(),
+                    Json::Arr(
+                        exs.iter()
+                            .map(|e| {
+                                Json::obj()
+                                    .field("corr", Json::U64(e.corr))
+                                    .field("value", Json::U64(e.value))
+                            })
+                            .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    );
     Json::obj()
         .field("counters", counters)
         .field("gauges", gauges)
         .field("histograms", histograms)
+        .field("exemplars", exemplars)
 }
 
 fn pmu_json(p: &Pmu) -> Json {
@@ -347,6 +404,10 @@ pub fn render(input: &PostmortemInput<'_>, max_events_per_lane: usize) -> (Strin
         .field("tag", Json::Str(input.tag.to_string()))
         .field("truncation", truncation)
         .field("rings", rings)
+        .field(
+            "flamegraph",
+            input.recorder.map_or(Json::Null, flamegraph_json),
+        )
         .field("metrics", input.metrics.map_or(Json::Null, snapshot_json))
         .field("pmu", input.pmu.map_or(Json::Null, pmu_json))
         .field("faults", input.faults.map_or(Json::Null, faults_json))

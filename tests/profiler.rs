@@ -1,0 +1,231 @@
+//! The cycle-sampling profiler, end to end: sampled flamegraph shares
+//! must track the exact phase profile on every IPC personality, loss
+//! under ring pressure must be *counted* (never silent, never
+//! fabricated), and desynchronised span streams must poison their
+//! samples rather than guess.
+
+use sb_observe::{
+    attribute, compare_shares, fold_samples, fold_samples_by_tenant, Recorder, SamplerConfig,
+    SpanKind,
+};
+use sb_runtime::Request;
+use skybridge_repro::scenarios::runtime::{build_backend, Backend, ServingScenario};
+
+fn req(id: u64, tenant: u16) -> Request {
+    Request {
+        id,
+        arrival: 0,
+        key: id.wrapping_mul(0x9e37_79b9) % 10_000,
+        write: id.is_multiple_of(3),
+        payload: 64,
+        client: None,
+        tenant,
+    }
+}
+
+/// Drives `calls` requests straight at `backend`'s transport on one
+/// lane with the given sampler armed, returning the recorder.
+fn sampled_calls(backend: &Backend, config: SamplerConfig, calls: u64) -> Recorder {
+    let recorder = Recorder::new(1 << 16);
+    recorder.enable_sampling(config);
+    let mut t = build_backend(ServingScenario::Kv, backend, 1);
+    t.attach_recorder(recorder.clone());
+    for i in 0..calls {
+        t.call(0, &req(i, (i % 3) as u16)).unwrap();
+    }
+    recorder
+}
+
+/// The correctness contract of the whole profiler: on every
+/// personality, the sampled leaf shares of a dense grid reproduce the
+/// exact self-time shares within ±10% for every phase carrying at
+/// least 2% of in-call cycles — with nothing lost and nothing
+/// poisoned along the way.
+#[test]
+fn sampled_shares_track_exact_profiles_on_every_personality() {
+    for backend in Backend::all() {
+        let config = SamplerConfig {
+            period: 257,
+            capacity: 1 << 17,
+            backend: backend.label().to_string(),
+        };
+        let recorder = sampled_calls(&backend, config, 2048);
+        assert_eq!(
+            recorder.dropped(),
+            0,
+            "{}: the event ring must hold this capture",
+            backend.label()
+        );
+        let stats = recorder.sample_stats();
+        assert_eq!(stats.dropped, 0, "{}: sample ring wrapped", backend.label());
+        assert_eq!(stats.poisoned, 0, "{}: poisoned samples", backend.label());
+        assert_eq!(
+            stats.broken_events,
+            0,
+            "{}: sampler desynced from the span stream",
+            backend.label()
+        );
+        let prof = attribute(&recorder.take_lane_events());
+        let samples = recorder.drain_samples();
+        assert!(
+            !samples.is_empty(),
+            "{}: a 257-cycle grid over 2048 calls must sample",
+            backend.label()
+        );
+        let shares = compare_shares(&samples, &prof, 0.02, 0.10)
+            .unwrap_or_else(|e| panic!("{}: {e}", backend.label()));
+        assert!(
+            !shares.is_empty(),
+            "{}: at least one phase must clear the 2% floor",
+            backend.label()
+        );
+    }
+}
+
+/// A capacity-1 sample ring under sustained pressure: the newest sample
+/// survives, every overwritten one is counted — exactly — and the
+/// squeeze neither poisons nor fabricates anything.
+#[test]
+fn capacity_one_sample_ring_counts_every_loss() {
+    for backend in Backend::all() {
+        let config = SamplerConfig {
+            period: 127,
+            capacity: 1,
+            backend: backend.label().to_string(),
+        };
+        let recorder = sampled_calls(&backend, config, 512);
+        let stats = recorder.sample_stats();
+        assert!(
+            stats.taken > 1,
+            "{}: a 127-cycle grid over 512 calls takes many samples",
+            backend.label()
+        );
+        let held = recorder.samples();
+        assert_eq!(held.len(), 1, "{}: ring holds one", backend.label());
+        assert_eq!(
+            stats.dropped,
+            stats.taken - 1,
+            "{}: loss accounting must be exact",
+            backend.label()
+        );
+        assert_eq!(
+            stats.poisoned,
+            0,
+            "{}: pressure is not poison",
+            backend.label()
+        );
+        assert_eq!(
+            stats.broken_events,
+            0,
+            "{}: pressure is not desync",
+            backend.label()
+        );
+        // The survivor is a real sample, not an artifact of the squeeze.
+        assert!(held[0].depth > 0 || held[0].poisoned());
+    }
+}
+
+/// Event-ring overwrite must not disturb sampling: the sampler rides
+/// the emit funnel in event order, so a tiny event ring losing most of
+/// the trace still yields a clean, fully-accounted sample population.
+#[test]
+fn event_ring_overwrite_does_not_reach_the_sampler() {
+    for backend in Backend::all() {
+        let config = SamplerConfig {
+            period: 257,
+            capacity: 1 << 16,
+            backend: backend.label().to_string(),
+        };
+        let recorder = Recorder::new(64);
+        recorder.enable_sampling(config);
+        let mut t = build_backend(ServingScenario::Kv, &backend, 1);
+        t.attach_recorder(recorder.clone());
+        for i in 0..512 {
+            t.call(0, &req(i, 0)).unwrap();
+        }
+        assert!(
+            recorder.dropped() > 0,
+            "{}: a 64-event ring must overwrite under 512 calls",
+            backend.label()
+        );
+        let stats = recorder.sample_stats();
+        assert!(stats.taken > 0, "{}", backend.label());
+        assert_eq!(
+            stats.dropped,
+            0,
+            "{}: sample ring must not wrap",
+            backend.label()
+        );
+        assert_eq!(
+            stats.poisoned,
+            0,
+            "{}: overwrite is upstream of sampling",
+            backend.label()
+        );
+        assert_eq!(stats.broken_events, 0, "{}", backend.label());
+    }
+}
+
+/// An unmatched span close poisons the lane's samples until the stack
+/// drains; the poisoned samples carry no frames (nothing is ever
+/// guessed) and the clean call afterwards samples normally again.
+#[test]
+fn desynced_streams_poison_rather_than_fabricate() {
+    let recorder = Recorder::new(1 << 12);
+    recorder.enable_sampling(SamplerConfig {
+        period: 10,
+        capacity: 1 << 10,
+        backend: "test".to_string(),
+    });
+    // A well-formed call first: grid points 10..=90 sample cleanly.
+    recorder.begin(0, SpanKind::Call, 5, 1);
+    recorder.end(0, SpanKind::Call, 95, 1);
+    // An unmatched close at 100 desyncs the lane mid-"call"...
+    recorder.begin(0, SpanKind::Call, 100, 2);
+    recorder.end(0, SpanKind::Handler, 150, 2);
+    // ...poisoning the grid points its open stack covers...
+    recorder.end(0, SpanKind::Call, 200, 2);
+    // ...and a clean call after the drain samples normally again.
+    recorder.begin(0, SpanKind::Call, 300, 3);
+    recorder.end(0, SpanKind::Call, 400, 3);
+
+    let stats = recorder.sample_stats();
+    assert_eq!(stats.broken_events, 1, "one irreconcilable close");
+    assert!(stats.poisoned > 0, "the desynced stretch must poison");
+    let samples = recorder.drain_samples();
+    for s in &samples {
+        if s.poisoned() {
+            assert_eq!(s.depth, 0, "poisoned samples carry no frames");
+        }
+    }
+    // Clean samples exist on both sides of the poisoned stretch.
+    let clean = samples.iter().filter(|s| !s.poisoned()).count();
+    let poisoned = samples.iter().filter(|s| s.poisoned()).count();
+    assert!(clean >= 9 + 10, "both well-formed calls sampled");
+    assert_eq!(poisoned, stats.poisoned as usize);
+}
+
+/// Tenant attribution: per-tenant folds partition the overall fold —
+/// same stacks, same total weight — and every tenant driven through
+/// the transport shows up.
+#[test]
+fn tenant_folds_partition_the_samples() {
+    let backend = Backend::SkyBridge;
+    let config = SamplerConfig {
+        period: 257,
+        capacity: 1 << 17,
+        backend: backend.label().to_string(),
+    };
+    let recorder = sampled_calls(&backend, config, 2048);
+    let samples = recorder.drain_samples();
+    let overall = fold_samples(&samples, "skybridge");
+    let by_tenant = fold_samples_by_tenant(&samples, "skybridge");
+    assert_eq!(by_tenant.len(), 3, "three tenants drove the lane");
+    let mut recombined = std::collections::BTreeMap::new();
+    for folds in by_tenant.values() {
+        for (stack, count) in folds {
+            *recombined.entry(stack.clone()).or_insert(0u64) += count;
+        }
+    }
+    assert_eq!(recombined, overall, "tenant folds partition the total");
+}

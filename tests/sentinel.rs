@@ -151,3 +151,68 @@ fn drill_incident_produces_a_schema_clean_bundle() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A bundle from a sampling recorder carries the flamegraph section —
+/// folds, per-tenant folds, and the sampler's exact loss ledger — and
+/// a metrics snapshot with exemplar retention surfaces them under
+/// `exemplars`, correlation ids intact.
+#[test]
+fn bundles_carry_flamegraphs_and_exemplars() {
+    use sb_observe::{Registry, SamplerConfig, SpanKind};
+    use sb_sentinel::postmortem::{render, PostmortemInput};
+
+    let recorder = Recorder::new(1 << 10);
+    recorder.enable_sampling(SamplerConfig {
+        period: 10,
+        capacity: 1 << 8,
+        backend: "skybridge".to_string(),
+    });
+    recorder.note_tenant(0, 3);
+    recorder.begin(0, SpanKind::Call, 5, 1);
+    recorder.span(0, SpanKind::Handler, 20, 60, 1);
+    recorder.end(0, SpanKind::Call, 95, 1);
+
+    let mut reg = Registry::new();
+    reg.observe_tagged("latency", 90, 41);
+    reg.observe_tagged("latency", 120, 42);
+    let snapshot = reg.snapshot();
+
+    let input = PostmortemInput {
+        reason: "slo_breach",
+        tag: "itest",
+        recorder: Some(&recorder),
+        metrics: Some(&snapshot),
+        ..Default::default()
+    };
+    let (body, _, _, _) = render(&input, 512);
+    sb_observe::validate_json(&body).expect("bundle must be valid JSON");
+    assert!(
+        body.contains("\"flamegraph\":{\"backend\":\"skybridge\""),
+        "flamegraph section present"
+    );
+    assert!(
+        body.contains("\"skybridge;call;handler\":"),
+        "folded stacks name their frames"
+    );
+    assert!(
+        body.contains("\"by_tenant\":{\"3\":"),
+        "tenant folds keyed by tenant"
+    );
+    assert!(
+        body.contains(
+            "\"exemplars\":{\"latency\":[{\"corr\":41,\"value\":90},{\"corr\":42,\"value\":120}]}"
+        ),
+        "exemplars round-trip corr and value"
+    );
+
+    // Without sampling the section renders null, not an empty object.
+    let quiet = Recorder::new(64);
+    let input = PostmortemInput {
+        reason: "slo_breach",
+        tag: "quiet",
+        recorder: Some(&quiet),
+        ..Default::default()
+    };
+    let (body, _, _, _) = render(&input, 512);
+    assert!(body.contains("\"flamegraph\":null"));
+}
